@@ -1,0 +1,114 @@
+"""Ablation: cache-block tiling and cross-loop fusion (Section VI locality).
+
+Two experiments on real executions:
+
+* tile-size sweep of the OPS ``tiled`` backend over a CloverLeaf-sized
+  stencil sweep, with the model's cache-fit estimate alongside measured
+  wall time;
+* lazy loop-chain execution (fusion) vs eager execution of a pointwise
+  pipeline: identical results, with the fusion statistics (group sizes =
+  launches saved on real hardware).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _support import emit
+from repro import ops
+from repro.ops.fusion import LoopChain
+from repro.ops.tiling import tile_working_set_bytes
+
+N = 256
+TILE_EDGES = [16, 32, 64, 128, 256]
+
+
+def smooth(a, b):
+    b[0, 0] = 0.25 * (a[1, 0] + a[-1, 0] + a[0, 1] + a[0, -1])
+
+
+def axpy(a, b):
+    b[0, 0] = 2.0 * a[0, 0] + 1.0
+
+
+def square(b, c):
+    c[0, 0] = b[0, 0] * b[0, 0]
+
+
+def fields():
+    blk = ops.Block(2)
+    a = ops.Dat(blk, (N, N), halo_depth=2)
+    b = ops.Dat(blk, (N, N), halo_depth=2)
+    c = ops.Dat(blk, (N, N), halo_depth=2)
+    a.interior[...] = np.random.default_rng(0).standard_normal((N, N))
+    return blk, a, b, c
+
+
+def test_ablation_tile_size(benchmark):
+    blk, a, b, c = fields()
+    r = [(1, N - 1), (1, N - 1)]
+
+    def run_tiled(edge):
+        ops.par_loop(smooth, blk, r, a(ops.READ, ops.S2D_5PT), b(ops.WRITE),
+                     backend="tiled", tile_shape=(edge, edge))
+
+    benchmark.pedantic(lambda: run_tiled(64), rounds=3, iterations=1)
+
+    ops.par_loop(smooth, blk, r, a(ops.READ, ops.S2D_5PT), c(ops.WRITE), backend="vec")
+    ref = c.interior.copy()
+
+    rows = [f"{'tile edge':>10}{'working set KiB':>17}{'measured ms':>13}{'correct':>9}"]
+    for edge in TILE_EDGES:
+        b.data[:] = 0
+        t0 = time.perf_counter()
+        run_tiled(edge)
+        ms = (time.perf_counter() - t0) * 1e3
+        ws = tile_working_set_bytes((edge, edge), n_fields=2) / 1024
+        ok = np.allclose(b.interior, ref)
+        rows.append(f"{edge:>10}{ws:>17.0f}{ms:>13.2f}{str(ok):>9}")
+        assert ok
+    emit("ablation_tile_size", rows)
+
+
+def test_ablation_fusion_vs_eager(benchmark):
+    blk, a, b, c = fields()
+    r = [(0, N), (0, N)]
+
+    def eager():
+        ops.par_loop(axpy, blk, r, a(ops.READ), b(ops.WRITE))
+        ops.par_loop(square, blk, r, b(ops.READ), c(ops.WRITE))
+
+    def fused():
+        chain = LoopChain(tile_shape=(64, 64))
+        chain.add(axpy, blk, r, a(ops.READ), b(ops.WRITE))
+        chain.add(square, blk, r, b(ops.READ), c(ops.WRITE))
+        return chain.execute()
+
+    eager()
+    ref = c.interior.copy()
+    b.data[:] = 0
+    c.data[:] = 0
+    stats = fused()
+    np.testing.assert_array_equal(c.interior, ref)
+
+    benchmark.pedantic(fused, rounds=3, iterations=1)
+
+    t0 = time.perf_counter()
+    eager()
+    t_eager = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fused()
+    t_fused = time.perf_counter() - t0
+
+    rows = [
+        f"chain of 2 pointwise loops over {N}x{N}:",
+        f"  fusion groups: {stats['groups']} (largest {stats['largest_group']}, "
+        f"{stats['tiles']} tiles)",
+        f"  eager {t_eager * 1e3:.2f} ms vs fused {t_fused * 1e3:.2f} ms",
+        "  (on real hardware fusion additionally saves one kernel launch per",
+        "   fused loop and keeps the tile resident in cache between loops)",
+    ]
+    emit("ablation_fusion", rows)
+    assert stats["groups"] == 1
+    assert stats["largest_group"] == 2

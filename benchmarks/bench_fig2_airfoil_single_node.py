@@ -1,0 +1,60 @@
+"""Figure 2: Airfoil single-node performance across programming models.
+
+Paper series: CPU (MPI), CPU (MPI vectorized), CPU (MPI+OpenMP),
+CPU (MPI+OpenMP vectorized), Xeon Phi (MPI+OpenMP vectorized), CUDA K40.
+Expected shape: vectorisation helps, hybrid ≈ pure MPI, the Phi is held
+back by the unvectorisable indirect loops, the K40 wins outright.
+"""
+
+import pytest
+
+from _support import AIRFOIL_KERNEL_INFO, characters_for, emit, scale_characters
+from repro.apps.airfoil import AirfoilApp
+from repro.machine import NVIDIA_K40, XEON_E5_2697V2, XEON_PHI_5110P
+from repro.perfmodel import PlatformConfig, predict_chain
+from repro.perfmodel.predict import standard_cpu_configs
+
+MESH = (600, 360)
+ITERS = 2
+
+
+def airfoil_characters():
+    app = AirfoilApp(nx=MESH[0], ny=MESH[1], jitter=0.1)
+    chars = characters_for(lambda: app.run(ITERS), AIRFOIL_KERNEL_INFO)
+    # extrapolate to the original benchmark's 720k-cell mesh
+    return scale_characters(chars, 720_000 / (MESH[0] * MESH[1]))
+
+
+CONFIGS = standard_cpu_configs(XEON_E5_2697V2) + [
+    PlatformConfig("Xeon Phi (MPI+OpenMP vectorized)", XEON_PHI_5110P, vectorised=True),
+    PlatformConfig("CUDA K40", NVIDIA_K40, gpu=True),
+]
+
+
+def predictions():
+    chars = airfoil_characters()
+    return {cfg.label: predict_chain(cfg, chars)[0] for cfg in CONFIGS}
+
+
+def test_fig2_shape_and_report(benchmark):
+    app = AirfoilApp(nx=MESH[0], ny=MESH[1], jitter=0.1)
+    benchmark.pedantic(lambda: app.iteration(), rounds=3, iterations=1)
+
+    times = predictions()
+    rows = [f"{label:<42} {secs:8.4f} s" for label, secs in times.items()]
+    emit("fig2_airfoil_single_node", rows)
+
+    # paper shapes -----------------------------------------------------------
+    # vectorisation helps on the CPU
+    assert times["MPI vectorized"] < times["MPI"]
+    # hybrid MPI+OpenMP does not beat pure MPI on one node
+    assert times["MPI+OpenMP vectorized"] >= times["MPI vectorized"] * 0.99
+    # the K40 is the fastest platform
+    assert times["CUDA K40"] == min(times.values())
+    # the Phi does not fulfil its bandwidth promise on this indirect code:
+    # it lands between the CPU and the GPU, well off its 140 GB/s headline
+    assert times["CUDA K40"] < times["Xeon Phi (MPI+OpenMP vectorized)"]
+    # GPU wins by a 2-4x class margin over the best CPU config (paper bar
+    # heights: ~17s CPU best vs ~7s K40)
+    ratio = times["MPI vectorized"] / times["CUDA K40"]
+    assert 1.05 < ratio < 6.0

@@ -1,0 +1,134 @@
+"""Figure 4: Airfoil and Hydra strong/weak scaling (CPU and GPU clusters).
+
+Paper series: Airfoil and Hydra on HECToR (Cray XE6) and on M2090/K20m GPU
+clusters, 1-256 nodes, strong (fixed 26M-cell-class mesh) and weak (fixed
+per-node mesh).  Expected shape: strong scaling tails off as the per-node
+problem shrinks — much faster on GPUs; weak scaling holds within a few
+percent on CPUs; and the Airfoil (proxy) trends match the Hydra
+(industrial) trends — the paper's transferability claim.
+
+Halo volumes and neighbour counts are *measured* from real 4-rank
+partitioned runs on the simulated MPI substrate, then extrapolated with the
+surface-to-volume law.
+"""
+
+import numpy as np
+import pytest
+
+from _support import (
+    AIRFOIL_KERNEL_INFO,
+    HYDRA_KERNEL_INFO,
+    characters_for,
+    emit,
+    scale_characters,
+)
+from repro.apps.airfoil import AirfoilApp
+from repro.apps.hydra import HydraApp, generate_hydra_mesh
+from repro.machine import HECTOR_XE6_NODE, NVIDIA_K20M, NVIDIA_M2090
+from repro.machine.catalog import GEMINI, QDR_IB
+from repro.perfmodel import ScalingModel
+from repro.simmpi import World, run_spmd
+
+NODES = [1, 2, 4, 8, 16, 32, 64, 128, 256]
+STRONG_TOTAL = 26_000_000  # cells-class, "tens of millions of edges"
+WEAK_PER_NODE = 1_500_000
+
+
+def measure_airfoil_comm():
+    """4-rank partitioned Airfoil run: halo sizes and exchange counts."""
+    app = AirfoilApp(nx=48, ny=32, jitter=0.1)
+    pm = app.build_partitioned(4, "rcb")
+    world = World(4)
+    run_spmd(4, lambda comm: app.run_distributed(comm, pm, 2), world=world)
+    total = world.total_counters()
+    cells = app.mesh.cells
+    halo_elems = np.mean(
+        [pm.local(r).layouts[id(cells)].halo_ids.size for r in range(4)]
+    )
+    neighbours = np.mean(
+        [len(pm.local(r).layouts[id(cells)].recv) or 1 for r in range(4)]
+    )
+    local = cells.size / 4
+    coeff = ScalingModel.calibrate_halo(max(halo_elems, 1.0), local, dim=2)
+    exch_per_step = total.halo_exchanges / 4 / 2  # per rank per iteration
+    bytes_per_halo_elem = total.bytes_sent / max(total.halo_exchanges * halo_elems, 1)
+    return coeff, int(round(neighbours)), exch_per_step, bytes_per_halo_elem
+
+
+def model_for(machine, net, chars, comm_params, *, gpu=False):
+    coeff, neighbours, exch, bph = comm_params
+    return ScalingModel(
+        machine,
+        net,
+        dim=2,
+        gpu=gpu,
+        vectorised=True,
+        neighbours=neighbours,
+        halo_coeff=coeff,
+        bytes_per_halo_elem=bph,
+        exchanges_per_step=max(int(round(exch)), 1),
+        reductions_per_step=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def curves():
+    comm = measure_airfoil_comm()
+
+    a = AirfoilApp(nx=120, ny=80, jitter=0.1)
+    a_chars = characters_for(lambda: a.run(2), AIRFOIL_KERNEL_INFO)
+    h = HydraApp(generate_hydra_mesh(120, 80, jitter=0.1))
+    h_chars = characters_for(lambda: h.run(2), HYDRA_KERNEL_INFO)
+
+    base_cells = 120 * 80
+    out = {}
+    for app_name, chars in (("airfoil", a_chars), ("hydra", h_chars)):
+        strong_chars = scale_characters(chars, STRONG_TOTAL / base_cells)
+        weak_chars = scale_characters(chars, WEAK_PER_NODE / base_cells)
+        gpu_machine = NVIDIA_M2090 if app_name == "airfoil" else NVIDIA_K20M
+        cpu = model_for(HECTOR_XE6_NODE, GEMINI, chars, comm)
+        gpu = model_for(gpu_machine, QDR_IB, chars, comm, gpu=True)
+        out[(app_name, "cpu", "strong")] = cpu.strong(strong_chars, STRONG_TOTAL, NODES, steps=2)
+        out[(app_name, "gpu", "strong")] = gpu.strong(strong_chars, STRONG_TOTAL, NODES, steps=2)
+        out[(app_name, "cpu", "weak")] = cpu.weak(weak_chars, WEAK_PER_NODE, NODES, steps=2)
+        out[(app_name, "gpu", "weak")] = gpu.weak(weak_chars, WEAK_PER_NODE, NODES, steps=2)
+    return out
+
+
+def test_fig4_scaling_curves(benchmark, curves):
+    benchmark.pedantic(measure_airfoil_comm, rounds=2, iterations=1)
+
+    rows = [f"{'nodes':>6}" + "".join(f"{n:>10}" for n in NODES)]
+    for key, pts in curves.items():
+        label = f"{key[0]} {key[1].upper()} {key[2]}"
+        rows.append(f"{label:<24}" + "".join(f"{p.seconds:10.3f}" for p in pts))
+    emit("fig4_op2_scaling", rows)
+
+    eff = {k: ScalingModel.parallel_efficiency(v, weak=(k[2] == "weak")) for k, v in curves.items()}
+
+    for app_name in ("airfoil", "hydra"):
+        # strong scaling: runtime keeps dropping but efficiency decays
+        for plat in ("cpu", "gpu"):
+            times = [p.seconds for p in curves[(app_name, plat, "strong")]]
+            assert times[0] > times[-1]
+            assert eff[(app_name, plat, "strong")][-1] < 1.0
+        # GPUs tail off much sooner than CPUs
+        assert (
+            eff[(app_name, "gpu", "strong")][-1]
+            < eff[(app_name, "cpu", "strong")][-1]
+        )
+        # weak scaling: <5% degradation on the CPU cluster (paper claim)
+        assert eff[(app_name, "cpu", "weak")][-1] > 0.95
+        # GPU weak scaling holds within ~10%
+        assert eff[(app_name, "gpu", "weak")][-1] > 0.85
+
+    # transferability: the proxy's trends match the industrial app's ---------
+    for plat in ("cpu", "gpu"):
+        # strong-scaling efficiency declines monotonically for both apps
+        ea = np.asarray(eff[("airfoil", plat, "strong")])
+        eh = np.asarray(eff[("hydra", plat, "strong")])
+        assert np.all(np.diff(ea) <= 1e-9) and np.all(np.diff(eh) <= 1e-9), plat
+        # weak-scaling efficiency stays flat for both, within a few points
+        wa = np.asarray(eff[("airfoil", plat, "weak")])
+        wh = np.asarray(eff[("hydra", plat, "weak")])
+        assert np.max(np.abs(wa - wh)) < 0.15, plat

@@ -1,0 +1,73 @@
+"""Table I: per-loop time and bandwidth breakdown for Airfoil.
+
+Paper rows: save_soln, adt_calc, res_calc, update on the E5-2697, the Xeon
+Phi and the K40.  Expected shape: the direct loops (save_soln, update) run
+near each machine's achievable bandwidth; adt_calc needs vectorisation;
+res_calc's gathers/scatters collapse the Phi's effective bandwidth (25 GB/s
+class in the paper) and hold the K40 to a fraction of its streaming rate.
+"""
+
+import pytest
+
+from _support import AIRFOIL_KERNEL_INFO, characters_for, emit, scale_characters
+from repro.apps.airfoil import AirfoilApp
+from repro.machine import NVIDIA_K40, XEON_E5_2697V2, XEON_PHI_5110P
+from repro.perfmodel import PlatformConfig, predict_loop
+
+LOOPS = ["save_soln", "adt_calc", "res_calc", "update"]
+
+PLATFORMS = [
+    PlatformConfig("E5-2697", XEON_E5_2697V2, vectorised=True),
+    PlatformConfig("Xeon Phi", XEON_PHI_5110P, vectorised=True),
+    PlatformConfig("NVIDIA K40", NVIDIA_K40, gpu=True),
+]
+
+
+@pytest.fixture(scope="module")
+def chars():
+    app = AirfoilApp(nx=600, ny=360, jitter=0.1)
+    chars = characters_for(lambda: app.run(2), AIRFOIL_KERNEL_INFO)
+    return scale_characters(chars, 720_000 / (600 * 360))
+
+
+def test_table1_breakdown(benchmark, chars):
+    benchmark.pedantic(lambda: [predict_loop(p, chars[l]) for p in PLATFORMS for l in LOOPS],
+                       rounds=5, iterations=1)
+
+    table = {}
+    rows = [f"{'Kernel':<12}" + "".join(f"{p.label:>22}" for p in PLATFORMS)]
+    rows.append(f"{'':<12}" + "".join(f"{'time(s)   BW(GB/s)':>22}" for _ in PLATFORMS))
+    for loop in LOOPS:
+        cells = []
+        for p in PLATFORMS:
+            pred = predict_loop(p, chars[loop])
+            table[(loop, p.label)] = pred
+            cells.append(f"{pred.seconds:9.4f} {pred.bandwidth_gbs:9.1f}")
+        rows.append(f"{loop:<12}" + "".join(f"{c:>22}" for c in cells))
+    emit("tab1_airfoil_breakdown", rows)
+
+    # direct loops: near-peak bandwidth on the CPU -----------------------------
+    for loop in ("save_soln", "update"):
+        bw = table[(loop, "E5-2697")].bandwidth_gbs
+        assert bw > 0.8 * XEON_E5_2697V2.stream_bw_gbs
+
+    # res_calc on the Phi collapses (paper: 25 GB/s vs 140 GB/s STREAM) -------
+    bw_phi_res = table[("res_calc", "Xeon Phi")].bandwidth_gbs
+    assert bw_phi_res < 0.35 * XEON_PHI_5110P.stream_bw_gbs
+
+    # res_calc is each platform's slowest of the four loops --------------------
+    for p in PLATFORMS:
+        res_t = table[("res_calc", p.label)].seconds
+        assert res_t == max(table[(l, p.label)].seconds for l in LOOPS)
+
+    # K40 direct loops beat the CPU's by the bandwidth ratio class -------------
+    k40_up = table[("update", "NVIDIA K40")]
+    cpu_up = table[("update", "E5-2697")]
+    assert k40_up.seconds < cpu_up.seconds
+    assert k40_up.bandwidth_gbs > 1.5 * cpu_up.bandwidth_gbs
+
+    # the Phi's direct-loop bandwidth exceeds the CPU's (update row: 89 vs 79)
+    assert (
+        table[("update", "Xeon Phi")].bandwidth_gbs
+        > table[("update", "E5-2697")].bandwidth_gbs * 0.9
+    )

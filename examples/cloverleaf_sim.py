@@ -1,0 +1,69 @@
+"""CloverLeaf 2D: the OPS proxy hydrodynamics application.
+
+Runs the clover_bm energy-source problem and prints the field_summary
+conservation table every few steps, exactly like the original mini-app's
+output, then cross-checks the OPS execution against the hand-coded NumPy
+"original" (the paper Fig 5 comparison) and a 4-rank distributed run.
+
+Run:  python examples/cloverleaf_sim.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.apps.cloverleaf import CloverLeafApp, CloverLeafReference, clover_bm_state
+from repro.apps.cloverleaf.app import DistributedCloverLeafApp
+from repro.ops.decomp import DecomposedBlock
+from repro.simmpi import run_spmd
+
+NX = NY = 48
+STEPS = 20
+
+print(f"clover_bm problem, {NX}x{NY} cells, {STEPS} steps")
+app = CloverLeafApp(nx=NX, ny=NY)
+
+header = f"{'step':>5} {'dt':>10} {'volume':>10} {'mass':>10} {'ie':>10} {'ke':>10} {'pressure':>10}"
+print(header)
+t0 = time.perf_counter()
+for step in range(1, STEPS + 1):
+    dt = app.step()
+    if step % 5 == 0 or step == 1:
+        s = app.field_summary()
+        print(
+            f"{step:>5} {dt:10.4f} {s['volume']:10.3f} {s['mass']:10.4f} "
+            f"{s['ie']:10.4f} {s['ke']:10.4f} {s['pressure']:10.4f}"
+        )
+t_ops = time.perf_counter() - t0
+
+s0_mass = 0.2 * (NX * NY - (NX // 2) * (NY // 2)) + 1.0 * (NX // 2) * (NY // 2)
+s0_mass *= (10.0 / NX) * (10.0 / NY)
+print(f"\nmass conservation: initial {s0_mass:.6f}, final {app.field_summary()['mass']:.6f}")
+
+# -- Original (hand-coded NumPy) vs OPS: the Fig 5 methodology ----------------------
+print("\nrunning the hand-coded original for comparison...")
+ref = CloverLeafReference(NX, NY)
+t0 = time.perf_counter()
+ref.run(STEPS)
+t_orig = time.perf_counter() - t0
+identical = np.array_equal(app.st.density0.interior, ref._int(ref.density0, (NX, NY)))
+print(f"bitwise identical results: {identical}")
+print(f"wall-clock: original {t_orig:.3f}s, OPS {t_ops:.3f}s (ratio {t_ops / t_orig:.2f})")
+assert identical
+
+# -- distributed over 4 simulated ranks -----------------------------------------------
+print("\nre-running on 4 simulated MPI ranks...")
+gstate = clover_bm_state(NX, NY)
+dec = DecomposedBlock(4, gstate.block, gstate.all_dats, global_size=(NX, NY))
+
+
+def rank_main(comm):
+    dist = DistributedCloverLeafApp(comm, dec, gstate)
+    dist.run(STEPS)
+    return dist.gather_field("density0")
+
+
+density = run_spmd(4, rank_main)[0]
+match = np.allclose(density, app.st.density0.interior, atol=1e-14)
+print(f"distributed density field matches serial: {match}")
+assert match

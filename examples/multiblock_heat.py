@@ -1,0 +1,38 @@
+"""Multi-block OPS: two coupled blocks with explicit inter-block halos.
+
+Solves diffusion on a domain split into two blocks (paper Section II-A:
+"Halos between datasets defined on different blocks are ... explicitly
+defined by the user ... inter-block halo exchanges are triggered explicitly
+by the user and serve as synchronization points").  Verifies the two-block
+answer is bitwise identical to the single-block oracle.
+
+Run:  python examples/multiblock_heat.py
+"""
+
+import numpy as np
+
+from repro.apps.multiblock import MultiBlockDiffusion, SingleBlockDiffusion
+
+N, M, STEPS = 16, 12, 40
+
+rng = np.random.default_rng(0)
+initial = np.zeros((2 * N, M))
+initial[N - 4 : N + 4, M // 2 - 2 : M // 2 + 2] = 1.0  # hot spot on the seam
+
+multi = MultiBlockDiffusion(N, M, initial=initial)
+single = SingleBlockDiffusion(N, M, initial=initial)
+
+print(f"two {N}x{M} blocks coupled through a declared halo group "
+      f"({len(multi.interface)} inter-block copies)")
+print(f"{'step':>5} {'total (conserved)':>18} {'max':>8} {'seam jump':>10}")
+for step in range(1, STEPS + 1):
+    multi.step()
+    single.step()
+    if step % 10 == 0 or step == 1:
+        sol = multi.solution()
+        seam_jump = np.abs(sol[N - 1] - sol[N]).max()
+        print(f"{step:>5} {multi.total():>18.12f} {sol.max():>8.4f} {seam_jump:>10.2e}")
+
+a, b = multi.solution(), single.u.interior
+print(f"\ntwo-block result identical to single-block oracle: {np.array_equal(a, b)}")
+assert np.array_equal(a, b)

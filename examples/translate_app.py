@@ -1,0 +1,42 @@
+"""The source-to-source translator in action (paper Fig 1 and Fig 7).
+
+Parses the Airfoil application source, lifts every par_loop call site, and
+emits per-loop implementation files for the python/OpenMP/CUDA targets —
+including the three CUDA memory strategies of paper Figure 7.
+
+Run:  python examples/translate_app.py
+"""
+
+import inspect
+import tempfile
+from pathlib import Path
+
+import repro.apps.airfoil.app as airfoil_app
+from repro.translator import parse_app_source, translate_app
+from repro.translator.codegen.cuda_c import CudaDatSpec, MemoryStrategy, generate_cuda
+
+# -- lift the loop sites from the real application ----------------------------------
+source = inspect.getsource(airfoil_app)
+sites = parse_app_source(source, filename="repro/apps/airfoil/app.py")
+print(f"found {len(sites)} parallel loop call sites in the Airfoil application:")
+for site in sites:
+    kind = "indirect" if site.has_indirection else "direct"
+    print(f"  line {site.lineno:>4}: {site.kernel:<14} over {site.iterset:<12} "
+          f"({len(site.args)} args, {kind})")
+
+# -- translate: one implementation file per loop per target ---------------------------
+out_dir = Path(tempfile.mkdtemp()) / "generated"
+src_path = Path(tempfile.mkdtemp()) / "airfoil_app.py"
+src_path.write_text(source)
+result = translate_app(src_path, out_dir)
+print(f"\ngenerated {len(result.files)} files into {out_dir}:")
+for f in sorted(result.files):
+    print("  ", f.name)
+
+# -- Figure 7: the three CUDA memory strategies for a coords-style dat ------------------
+res_calc = next(s for s in sites if "RES_CALC" in s.kernel)
+print("\nFigure 7 — generated CUDA, memory strategy variants for `coords`:")
+for strategy in MemoryStrategy:
+    code = generate_cuda(res_calc, [CudaDatSpec("coords", 2)], strategy)
+    print(f"\n// ================== {strategy.value} ==================")
+    print(code)

@@ -1,0 +1,27 @@
+"""repro — reproduction of the CLUSTER 2015 OP2/OPS active-libraries paper.
+
+The package provides:
+
+* :mod:`repro.op2` — an OP2-style unstructured-mesh active library
+  (sets, maps, dats, ``op_par_loop`` with access descriptors, two-level
+  colouring, partitioning, renumbering, halo exchanges).
+* :mod:`repro.ops` — an OPS-style multi-block structured-mesh library
+  (blocks, dats, stencils, ``ops_par_loop``, inter-block halos, runtime
+  stencil checking).
+* :mod:`repro.translator` — a Python source-to-source translator that
+  generates human-readable backend implementations from the high-level API,
+  including CUDA-C text with AoS/SoA/staging memory strategies (paper Fig 7).
+* :mod:`repro.checkpoint` — the access-execute driven checkpointing planner
+  and speculative periodic-sequence detector (paper Fig 8).
+* :mod:`repro.simmpi` — a deterministic in-process MPI simulator used as the
+  distributed-memory substrate.
+* :mod:`repro.machine` / :mod:`repro.perfmodel` — machine catalog and
+  roofline/scaling models used to regenerate the paper's evaluation figures.
+* :mod:`repro.apps` — the proxy applications: Airfoil (OP2), CloverLeaf 2D
+  (OPS) and a synthetic Hydra-like industrial proxy (OP2), each with a
+  hand-coded reference implementation for original-vs-generated comparisons.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,12 @@
+"""Proxy applications.
+
+* :mod:`repro.apps.airfoil` — the non-linear 2D inviscid Airfoil CFD
+  mini-app written against the OP2 API, "a experimentation forerunner
+  representative of the Rolls-Royce Hydra CFD code" (paper Section IV).
+* :mod:`repro.apps.cloverleaf` — the 2D CloverLeaf hydrodynamics mini-app
+  written against the OPS API, with the hand-coded "original"
+  implementation it is compared to in paper Fig 5.
+* :mod:`repro.apps.hydra` — a synthetic industrial-scale proxy with
+  Hydra's performance-relevant characteristics: many more loops, more
+  indirect accesses and more bytes per grid point than Airfoil.
+"""

@@ -1,0 +1,23 @@
+"""Airfoil: non-linear 2D inviscid CFD on an unstructured quad mesh (OP2).
+
+The paper's original Airfoil operates on a mesh around an aerofoil; offline
+we generate a synthetic channel mesh with the same sets/maps/dats structure
+and the original kernels (save_soln, adt_calc, res_calc, bres_calc, update).
+A hand-coded NumPy reference (:mod:`repro.apps.airfoil.reference`)
+implements the same numerics directly for original-vs-DSL comparisons.
+"""
+
+from repro.apps.airfoil.mesh import AirfoilMesh, generate_mesh
+from repro.apps.airfoil.app import AirfoilApp, GAM, GM1, CFL, EPS
+from repro.apps.airfoil.reference import AirfoilReference
+
+__all__ = [
+    "AirfoilMesh",
+    "generate_mesh",
+    "AirfoilApp",
+    "AirfoilReference",
+    "GAM",
+    "GM1",
+    "CFL",
+    "EPS",
+]

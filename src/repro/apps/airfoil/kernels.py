@@ -1,0 +1,145 @@
+"""The five Airfoil user kernels, as in the original OP2 distribution.
+
+Written elementwise (paper Section II-A: "from the perspective of a
+single-threaded implementation"); the translator vectorises them for the
+production backends.  Branching is expressed with conditional expressions,
+matching the DSL restriction discussed in Section IV.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import op2
+
+# -- flow constants (op_decl_const) -----------------------------------------------
+
+GAM = 1.4
+GM1 = GAM - 1.0
+CFL = 0.9
+EPS = 0.05
+
+# free stream: Mach 0.4 flow along +x at unit density / pressure
+MACH = 0.4
+_P_INF = 1.0
+_R_INF = 1.0
+_C_INF = math.sqrt(GAM * _P_INF / _R_INF)
+_U_INF = MACH * _C_INF
+
+QINF0 = _R_INF
+QINF1 = _R_INF * _U_INF
+QINF2 = 0.0
+QINF3 = _P_INF / GM1 + 0.5 * _R_INF * _U_INF * _U_INF
+
+
+def save_soln(q, qold):
+    for n in range(4):
+        qold[n] = q[n]
+
+
+def adt_calc(x1, x2, x3, x4, q, adt):
+    ri = 1.0 / q[0]
+    u = ri * q[1]
+    v = ri * q[2]
+    c = math.sqrt(GAM * GM1 * (ri * q[3] - 0.5 * (u * u + v * v)))
+
+    dx = x2[0] - x1[0]
+    dy = x2[1] - x1[1]
+    val = abs(u * dy - v * dx) + c * math.sqrt(dx * dx + dy * dy)
+
+    dx = x3[0] - x2[0]
+    dy = x3[1] - x2[1]
+    val = val + abs(u * dy - v * dx) + c * math.sqrt(dx * dx + dy * dy)
+
+    dx = x4[0] - x3[0]
+    dy = x4[1] - x3[1]
+    val = val + abs(u * dy - v * dx) + c * math.sqrt(dx * dx + dy * dy)
+
+    dx = x1[0] - x4[0]
+    dy = x1[1] - x4[1]
+    val = val + abs(u * dy - v * dx) + c * math.sqrt(dx * dx + dy * dy)
+
+    adt[0] = val / CFL
+
+
+def res_calc(x1, x2, q1, q2, adt1, adt2, res1, res2):
+    dx = x1[0] - x2[0]
+    dy = x1[1] - x2[1]
+
+    ri1 = 1.0 / q1[0]
+    p1 = GM1 * (q1[3] - 0.5 * ri1 * (q1[1] * q1[1] + q1[2] * q1[2]))
+    vol1 = ri1 * (q1[1] * dy - q1[2] * dx)
+
+    ri2 = 1.0 / q2[0]
+    p2 = GM1 * (q2[3] - 0.5 * ri2 * (q2[1] * q2[1] + q2[2] * q2[2]))
+    vol2 = ri2 * (q2[1] * dy - q2[2] * dx)
+
+    mu = 0.5 * (adt1[0] + adt2[0]) * EPS
+
+    f = 0.5 * (vol1 * q1[0] + vol2 * q2[0]) + mu * (q1[0] - q2[0])
+    res1[0] += f
+    res2[0] -= f
+    f = 0.5 * (vol1 * q1[1] + p1 * dy + vol2 * q2[1] + p2 * dy) + mu * (q1[1] - q2[1])
+    res1[1] += f
+    res2[1] -= f
+    f = 0.5 * (vol1 * q1[2] - p1 * dx + vol2 * q2[2] - p2 * dx) + mu * (q1[2] - q2[2])
+    res1[2] += f
+    res2[2] -= f
+    f = 0.5 * (vol1 * (q1[3] + p1) + vol2 * (q2[3] + p2)) + mu * (q1[3] - q2[3])
+    res1[3] += f
+    res2[3] -= f
+
+
+def bres_calc(x1, x2, q1, adt1, res1, bound):
+    dx = x1[0] - x2[0]
+    dy = x1[1] - x2[1]
+
+    ri1 = 1.0 / q1[0]
+    p1 = GM1 * (q1[3] - 0.5 * ri1 * (q1[1] * q1[1] + q1[2] * q1[2]))
+    vol1 = ri1 * (q1[1] * dy - q1[2] * dx)
+
+    ri2 = 1.0 / QINF0
+    p2 = GM1 * (QINF3 - 0.5 * ri2 * (QINF1 * QINF1 + QINF2 * QINF2))
+    vol2 = ri2 * (QINF1 * dy - QINF2 * dx)
+
+    mu = adt1[0] * EPS
+    wall = bound[0]
+
+    f0 = 0.5 * (vol1 * q1[0] + vol2 * QINF0) + mu * (q1[0] - QINF0)
+    f1 = 0.5 * (vol1 * q1[1] + p1 * dy + vol2 * QINF1 + p2 * dy) + mu * (q1[1] - QINF1)
+    f2 = 0.5 * (vol1 * q1[2] - p1 * dx + vol2 * QINF2 - p2 * dx) + mu * (q1[2] - QINF2)
+    f3 = 0.5 * (vol1 * (q1[3] + p1) + vol2 * (QINF3 + p2)) + mu * (q1[3] - QINF3)
+
+    # wall (bound == 1): only the pressure force acts; else far-field flux
+    res1[0] += 0.0 if wall == 1.0 else f0
+    res1[1] += p1 * dy if wall == 1.0 else f1
+    res1[2] += -p1 * dx if wall == 1.0 else f2
+    res1[3] += 0.0 if wall == 1.0 else f3
+
+
+def update(qold, q, res, adt, rms):
+    adti = 1.0 / adt[0]
+    for n in range(4):
+        delta = adti * res[n]
+        q[n] = qold[n] - delta
+        res[n] = 0.0
+        rms[0] += delta * delta
+
+
+# -- kernel objects with arithmetic-cost annotations ----------------------------------
+# flops from the original kernels; sqrt counted as several flops, as the
+# paper's Table I discussion does for adt_calc's "expensive square root
+# instructions".
+
+K_SAVE_SOLN = op2.Kernel(save_soln, "save_soln", flops_per_elem=0)
+# adt_calc's five square roots dominate its arithmetic; counted at the
+# ~30-flop cost class of a scalar sqrt, which is what makes vectorisation
+# "necessary" for this loop (paper Table I discussion)
+K_ADT_CALC = op2.Kernel(adt_calc, "adt_calc", flops_per_elem=190, divergence=0.1)
+K_RES_CALC = op2.Kernel(
+    res_calc, "res_calc", flops_per_elem=70, vectorisable=False, divergence=0.3
+)
+K_BRES_CALC = op2.Kernel(
+    bres_calc, "bres_calc", flops_per_elem=60, vectorisable=False, divergence=0.5
+)
+K_UPDATE = op2.Kernel(update, "update", flops_per_elem=17)

@@ -1,0 +1,164 @@
+"""Hand-coded NumPy Airfoil: the "original" implementation.
+
+Implements exactly the same numerics as :mod:`repro.apps.airfoil.app`, but
+directly over arrays with no DSL — the hand-tuned counterpart used to show
+"the high-level programming approach introduces no overhead" (paper
+Sections IV/V).  Bit-level agreement with the OP2 version is asserted in
+the integration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.airfoil.kernels import (
+    CFL,
+    EPS,
+    GAM,
+    GM1,
+    QINF0,
+    QINF1,
+    QINF2,
+    QINF3,
+)
+from repro.apps.airfoil.mesh import AirfoilMesh
+
+
+class AirfoilReference:
+    """Direct-array Airfoil on the same mesh arrays."""
+
+    RK_STEPS = 2
+
+    def __init__(self, mesh: AirfoilMesh):
+        # private copies: running the reference never disturbs the OP2 state
+        self.x = mesh.x.data.copy()
+        self.q = mesh.q.data.copy()
+        self.qold = np.zeros_like(self.q)
+        self.adt = np.zeros(mesh.cells.size)
+        self.res = np.zeros_like(self.q)
+        self.bound = mesh.bound.data[:, 0].copy()
+        self.e2n = mesh.edge2node.values.copy()
+        self.e2c = mesh.edge2cell.values.copy()
+        self.b2n = mesh.bedge2node.values.copy()
+        self.b2c = mesh.bedge2cell.values[:, 0].copy()
+        self.c2n = mesh.cell2node.values.copy()
+        self.ncells = mesh.cells.size
+        self.rms = 0.0
+
+    # -- kernels, hand-vectorised -------------------------------------------------
+
+    def _save_soln(self) -> None:
+        self.qold[...] = self.q
+
+    def _adt_calc(self) -> None:
+        q = self.q
+        ri = 1.0 / q[:, 0]
+        u = ri * q[:, 1]
+        v = ri * q[:, 2]
+        c = np.sqrt(GAM * GM1 * (ri * q[:, 3] - 0.5 * (u * u + v * v)))
+        corners = self.x[self.c2n]  # (ncells, 4, 2)
+        val = None
+        for a, b in ((0, 1), (1, 2), (2, 3), (3, 0)):
+            dx = corners[:, b, 0] - corners[:, a, 0]
+            dy = corners[:, b, 1] - corners[:, a, 1]
+            if val is None:
+                val = np.abs(u * dy - v * dx) + c * np.sqrt(dx * dx + dy * dy)
+            else:
+                # left-associated like the kernel, for bitwise agreement
+                val = val + np.abs(u * dy - v * dx) + c * np.sqrt(dx * dx + dy * dy)
+        self.adt[...] = val / CFL
+
+    def _res_calc(self) -> None:
+        x1 = self.x[self.e2n[:, 0]]
+        x2 = self.x[self.e2n[:, 1]]
+        q1 = self.q[self.e2c[:, 0]]
+        q2 = self.q[self.e2c[:, 1]]
+        adt1 = self.adt[self.e2c[:, 0]]
+        adt2 = self.adt[self.e2c[:, 1]]
+
+        dx = x1[:, 0] - x2[:, 0]
+        dy = x1[:, 1] - x2[:, 1]
+        ri1 = 1.0 / q1[:, 0]
+        p1 = GM1 * (q1[:, 3] - 0.5 * ri1 * (q1[:, 1] ** 2 + q1[:, 2] ** 2))
+        vol1 = ri1 * (q1[:, 1] * dy - q1[:, 2] * dx)
+        ri2 = 1.0 / q2[:, 0]
+        p2 = GM1 * (q2[:, 3] - 0.5 * ri2 * (q2[:, 1] ** 2 + q2[:, 2] ** 2))
+        vol2 = ri2 * (q2[:, 1] * dy - q2[:, 2] * dx)
+        mu = 0.5 * (adt1 + adt2) * EPS
+
+        f = np.empty((len(dx), 4))
+        f[:, 0] = 0.5 * (vol1 * q1[:, 0] + vol2 * q2[:, 0]) + mu * (q1[:, 0] - q2[:, 0])
+        f[:, 1] = (
+            0.5 * (vol1 * q1[:, 1] + p1 * dy + vol2 * q2[:, 1] + p2 * dy)
+            + mu * (q1[:, 1] - q2[:, 1])
+        )
+        f[:, 2] = (
+            0.5 * (vol1 * q1[:, 2] - p1 * dx + vol2 * q2[:, 2] - p2 * dx)
+            + mu * (q1[:, 2] - q2[:, 2])
+        )
+        f[:, 3] = (
+            0.5 * (vol1 * (q1[:, 3] + p1) + vol2 * (q2[:, 3] + p2))
+            + mu * (q1[:, 3] - q2[:, 3])
+        )
+        np.add.at(self.res, self.e2c[:, 0], f)
+        np.add.at(self.res, self.e2c[:, 1], -f)
+
+    def _bres_calc(self) -> None:
+        x1 = self.x[self.b2n[:, 0]]
+        x2 = self.x[self.b2n[:, 1]]
+        q1 = self.q[self.b2c]
+        adt1 = self.adt[self.b2c]
+
+        dx = x1[:, 0] - x2[:, 0]
+        dy = x1[:, 1] - x2[:, 1]
+        ri1 = 1.0 / q1[:, 0]
+        p1 = GM1 * (q1[:, 3] - 0.5 * ri1 * (q1[:, 1] ** 2 + q1[:, 2] ** 2))
+        vol1 = ri1 * (q1[:, 1] * dy - q1[:, 2] * dx)
+        ri2 = 1.0 / QINF0
+        p2 = GM1 * (QINF3 - 0.5 * ri2 * (QINF1 * QINF1 + QINF2 * QINF2))
+        vol2 = ri2 * (QINF1 * dy - QINF2 * dx)
+        mu = adt1 * EPS
+        wall = self.bound == 1.0
+
+        f = np.empty((len(dx), 4))
+        f[:, 0] = 0.5 * (vol1 * q1[:, 0] + vol2 * QINF0) + mu * (q1[:, 0] - QINF0)
+        f[:, 1] = (
+            0.5 * (vol1 * q1[:, 1] + p1 * dy + vol2 * QINF1 + p2 * dy)
+            + mu * (q1[:, 1] - QINF1)
+        )
+        f[:, 2] = (
+            0.5 * (vol1 * q1[:, 2] - p1 * dx + vol2 * QINF2 - p2 * dx)
+            + mu * (q1[:, 2] - QINF2)
+        )
+        f[:, 3] = (
+            0.5 * (vol1 * (q1[:, 3] + p1) + vol2 * (QINF3 + p2))
+            + mu * (q1[:, 3] - QINF3)
+        )
+        f[wall, 0] = 0.0
+        f[wall, 1] = (p1 * dy)[wall]
+        f[wall, 2] = (-p1 * dx)[wall]
+        f[wall, 3] = 0.0
+        np.add.at(self.res, self.b2c, f)
+
+    def _update(self) -> None:
+        adti = (1.0 / self.adt)[:, None]
+        delta = adti * self.res
+        self.q[...] = self.qold - delta
+        self.res[...] = 0.0
+        self.rms += float(np.sum(delta * delta))
+
+    # -- driver ----------------------------------------------------------------------
+
+    def iteration(self) -> None:
+        self._save_soln()
+        for _ in range(self.RK_STEPS):
+            self._adt_calc()
+            self._res_calc()
+            self._bres_calc()
+            self.rms = 0.0
+            self._update()
+
+    def run(self, iterations: int) -> float:
+        for _ in range(iterations):
+            self.iteration()
+        return float(np.sqrt(self.rms / self.ncells))

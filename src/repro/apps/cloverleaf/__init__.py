@@ -1,0 +1,23 @@
+"""CloverLeaf 2D: explicit compressible-Euler hydrodynamics (OPS).
+
+"CloverLeaf ... involves the solution of the compressible Euler equations,
+which form a system of four partial differential equations ... solved using
+a finite volume method on a structured staggered grid" (paper Section V).
+
+This package contains the OPS-API implementation (:mod:`app`) with the
+full kernel families of the original (ideal_gas, viscosity, timestep
+control, PdV, revert, accelerate, flux_calc, cell and momentum advection,
+reset, field_summary) and the hand-coded NumPy "original"
+(:mod:`reference`) the paper's Fig 5 compares against.
+
+Simplifications vs. the Fortran original (documented in DESIGN.md):
+uniform rectangular cells, fixed cell volumes during advection, simplified
+(but conservative) donor-cell momentum advection, reflective boundaries
+applied by a halo helper instead of generated update_halo kernels.
+"""
+
+from repro.apps.cloverleaf.state import CloverState, clover_bm_state
+from repro.apps.cloverleaf.app import CloverLeafApp
+from repro.apps.cloverleaf.reference import CloverLeafReference
+
+__all__ = ["CloverState", "clover_bm_state", "CloverLeafApp", "CloverLeafReference"]

@@ -1,0 +1,389 @@
+"""Hand-coded NumPy CloverLeaf: the "Original" of paper Fig 5.
+
+Direct array-slice implementation of the same hydro cycle, written the way
+a performance programmer would port the Fortran original to NumPy: padded
+arrays, explicit shifted views, no DSL.  Bitwise agreement with the OPS
+version is asserted in the integration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.cloverleaf.state import (
+    DT_INIT,
+    DT_MAX,
+    DTC_SAFE,
+    G_BIG,
+    G_SMALL,
+    GAMMA,
+)
+
+H = 2  # ghost layers
+
+
+def _padded(nx: int, ny: int) -> np.ndarray:
+    return np.zeros((nx + 2 * H, ny + 2 * H))
+
+
+class CloverLeafReference:
+    """Direct-array CloverLeaf on the clover_bm problem."""
+
+    def __init__(self, nx: int, ny: int, *, extent: tuple[float, float] = (10.0, 10.0)):
+        self.nx, self.ny = nx, ny
+        self.dx, self.dy = extent[0] / nx, extent[1] / ny
+        self.volume = self.dx * self.dy
+        self.dt = DT_INIT
+        self.step_count = 0
+
+        c, n = (nx, ny), (nx + 1, ny + 1)
+        fx, fy = (nx + 1, ny), (nx, ny + 1)
+        self.density0 = _padded(*c)
+        self.density1 = _padded(*c)
+        self.energy0 = _padded(*c)
+        self.energy1 = _padded(*c)
+        self.pressure = _padded(*c)
+        self.viscosity = _padded(*c)
+        self.soundspeed = _padded(*c)
+        self.xvel0 = _padded(*n)
+        self.xvel1 = _padded(*n)
+        self.yvel0 = _padded(*n)
+        self.yvel1 = _padded(*n)
+        self.node_mass = _padded(*n)
+        self.mom_flux = _padded(*n)
+        self.node_flux = _padded(*n)
+        self.vol_flux_x = _padded(*fx)
+        self.mass_flux_x = _padded(*fx)
+        self.ener_flux_x = _padded(*fx)
+        self.vol_flux_y = _padded(*fy)
+        self.mass_flux_y = _padded(*fy)
+        self.ener_flux_y = _padded(*fy)
+
+        # clover_bm setup
+        self._int(self.density0, c)[...] = 0.2
+        self._int(self.energy0, c)[...] = 1.0
+        ix, iy = max(nx // 2, 1), max(ny // 2, 1)
+        self._int(self.density0, c)[:ix, :iy] = 1.0
+        self._int(self.energy0, c)[:ix, :iy] = 2.5
+
+        self._sizes = {
+            id(self.density0): c, id(self.density1): c, id(self.energy0): c,
+            id(self.energy1): c, id(self.pressure): c, id(self.viscosity): c,
+            id(self.soundspeed): c,
+            id(self.xvel0): n, id(self.xvel1): n, id(self.yvel0): n,
+            id(self.yvel1): n, id(self.node_mass): n, id(self.mom_flux): n,
+            id(self.node_flux): n,
+            id(self.vol_flux_x): fx, id(self.mass_flux_x): fx, id(self.ener_flux_x): fx,
+            id(self.vol_flux_y): fy, id(self.mass_flux_y): fy, id(self.ener_flux_y): fy,
+        }
+
+    # -- view helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _int(a: np.ndarray, size: tuple[int, int]) -> np.ndarray:
+        return a[H : H + size[0], H : H + size[1]]
+
+    def v(self, a: np.ndarray, ranges, off=(0, 0)) -> np.ndarray:
+        """Shifted view of ``a`` over interior ``ranges`` (like Dat.region)."""
+        (xlo, xhi), (ylo, yhi) = ranges
+        return a[H + xlo + off[0] : H + xhi + off[0], H + ylo + off[1] : H + yhi + off[1]]
+
+    def _reflect(self, a: np.ndarray, centering: str, flip_x: float, flip_y: float) -> None:
+        sx, sy = self._sizes[id(a)]
+        node_x = centering[0] == "n"
+        node_y = centering[1] == "n"
+        for k in range(1, H + 1):
+            a[H - k, :] = flip_x * a[H + k if node_x else H + k - 1, :]
+            a[H + sx - 1 + k, :] = flip_x * a[H + sx - 1 - k if node_x else H + sx - k, :]
+        for k in range(1, H + 1):
+            a[:, H - k] = flip_y * a[:, H + k if node_y else H + k - 1]
+            a[:, H + sy - 1 + k] = flip_y * a[:, H + sy - 1 - k if node_y else H + sy - k]
+
+    def _bc_cells(self, *arrays: np.ndarray) -> None:
+        for a in arrays:
+            self._reflect(a, "cc", 1.0, 1.0)
+
+    # -- phases -----------------------------------------------------------------------
+
+    def _ideal_gas(self, d: np.ndarray, e: np.ndarray) -> None:
+        c = (self.nx, self.ny)
+        dv, ev = self._int(d, c), self._int(e, c)
+        self._int(self.pressure, c)[...] = (GAMMA - 1.0) * dv * ev
+        self._int(self.soundspeed, c)[...] = np.sqrt(GAMMA * (GAMMA - 1.0) * ev)
+
+    def _viscosity(self) -> None:
+        r = [(0, self.nx), (0, self.ny)]
+        xv, yv = self.xvel0, self.yvel0
+        ugrad = 0.5 * (
+            (self.v(xv, r, (1, 0)) + self.v(xv, r, (1, 1)))
+            - (self.v(xv, r, (0, 0)) + self.v(xv, r, (0, 1)))
+        )
+        vgrad = 0.5 * (
+            (self.v(yv, r, (0, 1)) + self.v(yv, r, (1, 1)))
+            - (self.v(yv, r, (0, 0)) + self.v(yv, r, (1, 0)))
+        )
+        div = ugrad / self.dx + vgrad / self.dy
+        strain = (ugrad / self.dx) ** 2 + (vgrad / self.dy) ** 2
+        self.v(self.viscosity, r)[...] = np.where(
+            div < 0.0, 2.0 * self.v(self.density0, r) * strain * self.dx * self.dy, 0.0
+        )
+
+    def _calc_dt(self) -> float:
+        r = [(0, self.nx), (0, self.ny)]
+        cc = self.v(self.soundspeed, r) ** 2 + 2.0 * self.v(self.viscosity, r) / (
+            self.v(self.density0, r) + G_SMALL
+        )
+        cc = np.sqrt(cc) + G_SMALL
+        xv, yv = self.xvel0, self.yvel0
+        u = 0.25 * np.abs(
+            self.v(xv, r, (0, 0)) + self.v(xv, r, (1, 0))
+            + self.v(xv, r, (0, 1)) + self.v(xv, r, (1, 1))
+        )
+        v = 0.25 * np.abs(
+            self.v(yv, r, (0, 0)) + self.v(yv, r, (1, 0))
+            + self.v(yv, r, (0, 1)) + self.v(yv, r, (1, 1))
+        )
+        dtc = DTC_SAFE * np.minimum(
+            self.dx / (cc + u + G_SMALL), self.dy / (cc + v + G_SMALL)
+        )
+        return float(min(np.minimum(dtc, G_BIG).min(), DT_MAX))
+
+    def _pdv(self, corrector: bool) -> None:
+        r = [(0, self.nx), (0, self.ny)]
+        frac = self.dt if corrector else 0.5 * self.dt
+        xv, yv = self.xvel0, self.yvel0
+        if corrector:
+            x1, y1 = self.xvel1, self.yvel1
+            left = 0.25 * (
+                self.v(xv, r, (0, 0)) + self.v(xv, r, (0, 1))
+                + self.v(x1, r, (0, 0)) + self.v(x1, r, (0, 1))
+            ) * frac * self.dy
+            right = 0.25 * (
+                self.v(xv, r, (1, 0)) + self.v(xv, r, (1, 1))
+                + self.v(x1, r, (1, 0)) + self.v(x1, r, (1, 1))
+            ) * frac * self.dy
+            bottom = 0.25 * (
+                self.v(yv, r, (0, 0)) + self.v(yv, r, (1, 0))
+                + self.v(y1, r, (0, 0)) + self.v(y1, r, (1, 0))
+            ) * frac * self.dx
+            top = 0.25 * (
+                self.v(yv, r, (0, 1)) + self.v(yv, r, (1, 1))
+                + self.v(y1, r, (0, 1)) + self.v(y1, r, (1, 1))
+            ) * frac * self.dx
+        else:
+            left = 0.5 * (self.v(xv, r, (0, 0)) + self.v(xv, r, (0, 1))) * frac * self.dy
+            right = 0.5 * (self.v(xv, r, (1, 0)) + self.v(xv, r, (1, 1))) * frac * self.dy
+            bottom = 0.5 * (self.v(yv, r, (0, 0)) + self.v(yv, r, (1, 0))) * frac * self.dx
+            top = 0.5 * (self.v(yv, r, (0, 1)) + self.v(yv, r, (1, 1))) * frac * self.dx
+        total = (right - left) + (top - bottom)
+        vol_change = total / self.volume
+        d0, e0 = self.v(self.density0, r), self.v(self.energy0, r)
+        self.v(self.density1, r)[...] = d0 / (1.0 + vol_change)
+        self.v(self.energy1, r)[...] = e0 - (
+            (self.v(self.pressure, r) + self.v(self.viscosity, r)) / (d0 + G_SMALL)
+        ) * vol_change
+
+    def _revert(self) -> None:
+        self.density1[...] = self.density0
+        self.energy1[...] = self.energy0
+
+    def _accelerate(self) -> None:
+        r = [(0, self.nx + 1), (0, self.ny + 1)]
+        d, p, q = self.density0, self.pressure, self.viscosity
+        nodal_mass = 0.25 * (
+            self.v(d, r, (0, 0)) + self.v(d, r, (-1, 0))
+            + self.v(d, r, (0, -1)) + self.v(d, r, (-1, -1))
+        ) * self.volume
+        stepbymass = self.dt / (nodal_mass + G_SMALL)
+        dpx = 0.5 * self.dy * (
+            (self.v(p, r, (0, 0)) + self.v(p, r, (0, -1)))
+            - (self.v(p, r, (-1, 0)) + self.v(p, r, (-1, -1)))
+        )
+        dpy = 0.5 * self.dx * (
+            (self.v(p, r, (0, 0)) + self.v(p, r, (-1, 0)))
+            - (self.v(p, r, (0, -1)) + self.v(p, r, (-1, -1)))
+        )
+        dvx = 0.5 * self.dy * (
+            (self.v(q, r, (0, 0)) + self.v(q, r, (0, -1)))
+            - (self.v(q, r, (-1, 0)) + self.v(q, r, (-1, -1)))
+        )
+        dvy = 0.5 * self.dx * (
+            (self.v(q, r, (0, 0)) + self.v(q, r, (-1, 0)))
+            - (self.v(q, r, (0, -1)) + self.v(q, r, (-1, -1)))
+        )
+        self.v(self.xvel1, r)[...] = self.v(self.xvel0, r) - stepbymass * (dpx + dvx)
+        self.v(self.yvel1, r)[...] = self.v(self.yvel0, r) - stepbymass * (dpy + dvy)
+
+    def _flux_calc(self) -> None:
+        rx = [(0, self.nx + 1), (0, self.ny)]
+        self.v(self.vol_flux_x, rx)[...] = 0.25 * self.dt * self.dy * (
+            self.v(self.xvel0, rx, (0, 0)) + self.v(self.xvel0, rx, (0, 1))
+            + self.v(self.xvel1, rx, (0, 0)) + self.v(self.xvel1, rx, (0, 1))
+        )
+        ry = [(0, self.nx), (0, self.ny + 1)]
+        self.v(self.vol_flux_y, ry)[...] = 0.25 * self.dt * self.dx * (
+            self.v(self.yvel0, ry, (0, 0)) + self.v(self.yvel0, ry, (1, 0))
+            + self.v(self.yvel1, ry, (0, 0)) + self.v(self.yvel1, ry, (1, 0))
+        )
+
+    def _advec_cell(self, direction: str, first: bool) -> None:
+        if direction == "x":
+            rf = [(0, self.nx + 1), (0, self.ny)]
+            vf = self.v(self.vol_flux_x, rf)
+            donor_d = np.where(
+                vf > 0.0, self.v(self.density1, rf, (-1, 0)), self.v(self.density1, rf)
+            )
+            donor_e = np.where(
+                vf > 0.0, self.v(self.energy1, rf, (-1, 0)), self.v(self.energy1, rf)
+            )
+            self.v(self.mass_flux_x, rf)[...] = vf * donor_d
+            self.v(self.ener_flux_x, rf)[...] = vf * donor_d * donor_e
+            rc = [(0, self.nx), (0, self.ny)]
+            dvx = self.v(self.vol_flux_x, rc, (1, 0)) - self.v(self.vol_flux_x, rc)
+            dvy = self.v(self.vol_flux_y, rc, (0, 1)) - self.v(self.vol_flux_y, rc)
+            pre_vol = self.volume + dvx + dvy if first else self.volume + dvx
+            post_vol = pre_vol - dvx
+            pre = self.v(self.density1, rc) * pre_vol
+            post = pre + self.v(self.mass_flux_x, rc) - self.v(self.mass_flux_x, rc, (1, 0))
+            post_e = (
+                self.v(self.energy1, rc) * pre
+                + self.v(self.ener_flux_x, rc)
+                - self.v(self.ener_flux_x, rc, (1, 0))
+            ) / (post + G_SMALL)
+            self.v(self.density1, rc)[...] = post / post_vol
+            self.v(self.energy1, rc)[...] = post_e
+        else:
+            rf = [(0, self.nx), (0, self.ny + 1)]
+            vf = self.v(self.vol_flux_y, rf)
+            donor_d = np.where(
+                vf > 0.0, self.v(self.density1, rf, (0, -1)), self.v(self.density1, rf)
+            )
+            donor_e = np.where(
+                vf > 0.0, self.v(self.energy1, rf, (0, -1)), self.v(self.energy1, rf)
+            )
+            self.v(self.mass_flux_y, rf)[...] = vf * donor_d
+            self.v(self.ener_flux_y, rf)[...] = vf * donor_d * donor_e
+            rc = [(0, self.nx), (0, self.ny)]
+            dvx = self.v(self.vol_flux_x, rc, (1, 0)) - self.v(self.vol_flux_x, rc)
+            dvy = self.v(self.vol_flux_y, rc, (0, 1)) - self.v(self.vol_flux_y, rc)
+            pre_vol = self.volume + dvx + dvy if first else self.volume + dvy
+            post_vol = pre_vol - dvy
+            pre = self.v(self.density1, rc) * pre_vol
+            post = pre + self.v(self.mass_flux_y, rc) - self.v(self.mass_flux_y, rc, (0, 1))
+            post_e = (
+                self.v(self.energy1, rc) * pre
+                + self.v(self.ener_flux_y, rc)
+                - self.v(self.ener_flux_y, rc, (0, 1))
+            ) / (post + G_SMALL)
+            self.v(self.density1, rc)[...] = post / post_vol
+            self.v(self.energy1, rc)[...] = post_e
+
+    def _advec_mom(self, direction: str) -> None:
+        rn = [(0, self.nx + 1), (0, self.ny + 1)]
+        self._reflect(self.density1, "cc", 1.0, 1.0)
+        if direction == "x":
+            self._reflect(self.mass_flux_x, "nc", -1.0, 1.0)
+        else:
+            self._reflect(self.mass_flux_y, "cn", 1.0, -1.0)
+        self.v(self.node_mass, rn)[...] = 0.25 * (
+            self.v(self.density1, rn, (0, 0)) + self.v(self.density1, rn, (-1, 0))
+            + self.v(self.density1, rn, (0, -1)) + self.v(self.density1, rn, (-1, -1))
+        ) * self.volume
+        for vel, (cent, fx, fy) in (
+            (self.xvel1, ("nn", -1.0, 1.0)),
+            (self.yvel1, ("nn", 1.0, -1.0)),
+        ):
+            self._reflect(vel, cent, fx, fy)
+            if direction == "x":
+                node_flux = 0.5 * (
+                    self.v(self.mass_flux_x, rn, (0, -1)) + self.v(self.mass_flux_x, rn, (0, 0))
+                )
+                donor = np.where(node_flux > 0.0, self.v(vel, rn, (-1, 0)), self.v(vel, rn))
+                self.v(self.mom_flux, rn)[...] = node_flux * donor
+                self.v(self.node_flux, rn)[...] = node_flux
+                ru = [(1, self.nx), (0, self.ny + 1)]
+                post = self.v(self.node_mass, ru) + G_SMALL
+                pre = (
+                    self.v(self.node_mass, ru)
+                    - self.v(self.node_flux, ru)
+                    + self.v(self.node_flux, ru, (1, 0))
+                )
+                self.v(vel, ru)[...] = (
+                    self.v(vel, ru) * pre
+                    + self.v(self.mom_flux, ru)
+                    - self.v(self.mom_flux, ru, (1, 0))
+                ) / post
+            else:
+                node_flux = 0.5 * (
+                    self.v(self.mass_flux_y, rn, (-1, 0)) + self.v(self.mass_flux_y, rn, (0, 0))
+                )
+                donor = np.where(node_flux > 0.0, self.v(vel, rn, (0, -1)), self.v(vel, rn))
+                self.v(self.mom_flux, rn)[...] = node_flux * donor
+                self.v(self.node_flux, rn)[...] = node_flux
+                ru = [(0, self.nx + 1), (1, self.ny)]
+                post = self.v(self.node_mass, ru) + G_SMALL
+                pre = (
+                    self.v(self.node_mass, ru)
+                    - self.v(self.node_flux, ru)
+                    + self.v(self.node_flux, ru, (0, 1))
+                )
+                self.v(vel, ru)[...] = (
+                    self.v(vel, ru) * pre
+                    + self.v(self.mom_flux, ru)
+                    - self.v(self.mom_flux, ru, (0, 1))
+                ) / post
+
+    # -- cycle ------------------------------------------------------------------------
+
+    def step(self) -> float:
+        self._reflect(self.density0, "cc", 1.0, 1.0)
+        self._reflect(self.energy0, "cc", 1.0, 1.0)
+        self._reflect(self.xvel0, "nn", -1.0, 1.0)
+        self._reflect(self.yvel0, "nn", 1.0, -1.0)
+        self._ideal_gas(self.density0, self.energy0)
+        self._viscosity()
+        self._bc_cells(self.pressure, self.viscosity)
+        self.dt = self._calc_dt()
+        self._pdv(corrector=False)
+        self._ideal_gas(self.density1, self.energy1)
+        self._revert()
+        self._bc_cells(self.pressure, self.viscosity, self.density0)
+        self._accelerate()
+        self._reflect(self.xvel1, "nn", -1.0, 1.0)
+        self._reflect(self.yvel1, "nn", 1.0, -1.0)
+        self._pdv(corrector=True)
+        self._flux_calc()
+        order = ("x", "y") if self.step_count % 2 == 0 else ("y", "x")
+        for i, direction in enumerate(order):
+            self._bc_cells(self.density1, self.energy1)
+            self._advec_cell(direction, first=(i == 0))
+            self._advec_mom(direction)
+        self.step_count += 1
+        # reset
+        self.density0[...] = self.density1
+        self.energy0[...] = self.energy1
+        self.xvel0[...] = self.xvel1
+        self.yvel0[...] = self.yvel1
+        return self.dt
+
+    def run(self, steps: int) -> dict[str, float]:
+        for _ in range(steps):
+            self.step()
+        return self.field_summary()
+
+    def field_summary(self) -> dict[str, float]:
+        r = [(0, self.nx), (0, self.ny)]
+        vsq = 0.25 * (
+            (self.v(self.xvel0, r, (0, 0)) ** 2 + self.v(self.yvel0, r, (0, 0)) ** 2)
+            + (self.v(self.xvel0, r, (1, 0)) ** 2 + self.v(self.yvel0, r, (1, 0)) ** 2)
+            + (self.v(self.xvel0, r, (0, 1)) ** 2 + self.v(self.yvel0, r, (0, 1)) ** 2)
+            + (self.v(self.xvel0, r, (1, 1)) ** 2 + self.v(self.yvel0, r, (1, 1)) ** 2)
+        )
+        cell_mass = self.v(self.density0, r) * self.volume
+        return {
+            "volume": float(self.volume * self.nx * self.ny),
+            "mass": float(cell_mass.sum()),
+            "ie": float((cell_mass * self.v(self.energy0, r)).sum()),
+            "ke": float((cell_mass * 0.5 * vsq).sum()),
+            "pressure": float((self.volume * self.v(self.pressure, r)).sum()),
+        }

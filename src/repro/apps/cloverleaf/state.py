@@ -1,0 +1,218 @@
+"""CloverLeaf field state and problem setup.
+
+The field set mirrors the original's staggered layout:
+
+* cell-centred  ``(nx, ny)``:     density0/1, energy0/1, pressure,
+  viscosity, soundspeed
+* node-centred  ``(nx+1, ny+1)``: xvel0/1, yvel0/1, node_mass, mom_flux
+* x-face        ``(nx+1, ny)``:   vol_flux_x, mass_flux_x, ener_flux_x
+* y-face        ``(nx, ny+1)``:   vol_flux_y, mass_flux_y, ener_flux_y
+
+The standard setup is the clover_bm energy source: quiescent background
+(density 0.2, energy 1.0) with a dense energetic region in the lower-left
+quadrant (density 1.0, energy 2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import ops
+
+GAMMA = 1.4
+G_SMALL = 1.0e-16
+G_BIG = 1.0e21
+DTC_SAFE = 0.7
+DT_INIT = 0.04
+DT_MAX = 0.04
+
+
+@dataclass
+class CloverState:
+    """All CloverLeaf fields on one OPS block."""
+
+    block: ops.Block
+    nx: int
+    ny: int
+    dx: float
+    dy: float
+    # cell-centred
+    density0: ops.Dat = field(default=None)
+    density1: ops.Dat = field(default=None)
+    energy0: ops.Dat = field(default=None)
+    energy1: ops.Dat = field(default=None)
+    pressure: ops.Dat = field(default=None)
+    viscosity: ops.Dat = field(default=None)
+    soundspeed: ops.Dat = field(default=None)
+    # node-centred
+    xvel0: ops.Dat = field(default=None)
+    xvel1: ops.Dat = field(default=None)
+    yvel0: ops.Dat = field(default=None)
+    yvel1: ops.Dat = field(default=None)
+    node_mass: ops.Dat = field(default=None)
+    mom_flux: ops.Dat = field(default=None)
+    node_flux: ops.Dat = field(default=None)
+    # x-faces
+    vol_flux_x: ops.Dat = field(default=None)
+    mass_flux_x: ops.Dat = field(default=None)
+    ener_flux_x: ops.Dat = field(default=None)
+    # y-faces
+    vol_flux_y: ops.Dat = field(default=None)
+    mass_flux_y: ops.Dat = field(default=None)
+    ener_flux_y: ops.Dat = field(default=None)
+
+    @property
+    def volume(self) -> float:
+        """Uniform cell volume (area in 2D)."""
+        return self.dx * self.dy
+
+    @property
+    def cell_dats(self) -> list[ops.Dat]:
+        return [
+            self.density0,
+            self.density1,
+            self.energy0,
+            self.energy1,
+            self.pressure,
+            self.viscosity,
+            self.soundspeed,
+        ]
+
+    @property
+    def all_dats(self) -> list[ops.Dat]:
+        return self.cell_dats + [
+            self.xvel0,
+            self.xvel1,
+            self.yvel0,
+            self.yvel1,
+            self.node_mass,
+            self.mom_flux,
+            self.node_flux,
+            self.vol_flux_x,
+            self.mass_flux_x,
+            self.ener_flux_x,
+            self.vol_flux_y,
+            self.mass_flux_y,
+            self.ener_flux_y,
+        ]
+
+
+def clover_bm_state(nx: int, ny: int, *, extent: tuple[float, float] = (10.0, 10.0)) -> CloverState:
+    """Build the clover_bm-style problem on an ``nx`` x ``ny`` grid."""
+    blk = ops.Block(2, "clover")
+    st = CloverState(block=blk, nx=nx, ny=ny, dx=extent[0] / nx, dy=extent[1] / ny)
+
+    def cell(name: str) -> ops.Dat:
+        return ops.Dat(blk, (nx, ny), halo_depth=2, name=name)
+
+    def node(name: str) -> ops.Dat:
+        return ops.Dat(blk, (nx + 1, ny + 1), halo_depth=2, name=name)
+
+    def xface(name: str) -> ops.Dat:
+        return ops.Dat(blk, (nx + 1, ny), halo_depth=2, name=name)
+
+    def yface(name: str) -> ops.Dat:
+        return ops.Dat(blk, (nx, ny + 1), halo_depth=2, name=name)
+
+    st.density0 = cell("density0")
+    st.density1 = cell("density1")
+    st.energy0 = cell("energy0")
+    st.energy1 = cell("energy1")
+    st.pressure = cell("pressure")
+    st.viscosity = cell("viscosity")
+    st.soundspeed = cell("soundspeed")
+    st.xvel0 = node("xvel0")
+    st.xvel1 = node("xvel1")
+    st.yvel0 = node("yvel0")
+    st.yvel1 = node("yvel1")
+    st.node_mass = node("node_mass")
+    st.mom_flux = node("mom_flux")
+    st.node_flux = node("node_flux")
+    st.vol_flux_x = xface("vol_flux_x")
+    st.mass_flux_x = xface("mass_flux_x")
+    st.ener_flux_x = xface("ener_flux_x")
+    st.vol_flux_y = yface("vol_flux_y")
+    st.mass_flux_y = yface("mass_flux_y")
+    st.ener_flux_y = yface("ener_flux_y")
+
+    # clover_bm energy source: dense hot region in the lower-left quadrant
+    st.density0.interior[...] = 0.2
+    st.energy0.interior[...] = 1.0
+    ix = max(nx // 2, 1)
+    iy = max(ny // 2, 1)
+    st.density0.interior[:ix, :iy] = 1.0
+    st.energy0.interior[:ix, :iy] = 2.5
+    return st
+
+
+#: field name -> (centering, flip_x, flip_y); centering axes are
+#: 'n' (node-like, extent n+1, mirror about the boundary node) or
+#: 'c' (cell-like, extent n, mirror about the boundary face)
+FIELD_INFO: dict[str, tuple[str, float, float]] = {
+    "density0": ("cc", 1.0, 1.0),
+    "density1": ("cc", 1.0, 1.0),
+    "energy0": ("cc", 1.0, 1.0),
+    "energy1": ("cc", 1.0, 1.0),
+    "pressure": ("cc", 1.0, 1.0),
+    "viscosity": ("cc", 1.0, 1.0),
+    "soundspeed": ("cc", 1.0, 1.0),
+    "xvel0": ("nn", -1.0, 1.0),
+    "xvel1": ("nn", -1.0, 1.0),
+    "yvel0": ("nn", 1.0, -1.0),
+    "yvel1": ("nn", 1.0, -1.0),
+    "node_mass": ("nn", 1.0, 1.0),
+    "mom_flux": ("nn", 1.0, 1.0),
+    "node_flux": ("nn", 1.0, 1.0),
+    "vol_flux_x": ("nc", -1.0, 1.0),
+    "mass_flux_x": ("nc", -1.0, 1.0),
+    "ener_flux_x": ("nc", -1.0, 1.0),
+    "vol_flux_y": ("cn", 1.0, -1.0),
+    "mass_flux_y": ("cn", 1.0, -1.0),
+    "ener_flux_y": ("cn", 1.0, -1.0),
+}
+
+
+def reflect_dat(
+    dat: ops.Dat,
+    centering: str,
+    flip_x: float,
+    flip_y: float,
+    *,
+    depth: int = 2,
+    lo_x: bool = True,
+    hi_x: bool = True,
+    lo_y: bool = True,
+    hi_y: bool = True,
+) -> None:
+    """Fill ghost layers of one dat with reflective (free-slip) values.
+
+    The four boolean flags select which physical boundaries this dat's
+    storage actually touches — under MPI only edge ranks reflect, interior
+    partition boundaries are filled by halo exchange instead.
+    """
+    h = dat.halo_depth
+    d = min(depth, h)
+    a = dat.data
+    sx, sy = dat.size
+    node_x = centering[0] == "n"
+    node_y = centering[1] == "n"
+    for k in range(1, d + 1):
+        if lo_x:
+            a[h - k, :] = flip_x * a[h + k if node_x else h + k - 1, :]
+        if hi_x:
+            a[h + sx - 1 + k, :] = flip_x * a[h + sx - 1 - k if node_x else h + sx - k, :]
+    for k in range(1, d + 1):
+        if lo_y:
+            a[:, h - k] = flip_y * a[:, h + k if node_y else h + k - 1]
+        if hi_y:
+            a[:, h + sy - 1 + k] = flip_y * a[:, h + sy - 1 - k if node_y else h + sy - k]
+    dat.halo_dirty = True
+
+
+def apply_reflective_bcs(st: CloverState, fields: list[str], depth: int = 2) -> None:
+    """Reflective boundaries on the serial (undecomposed) state."""
+    for name in fields:
+        centering, fx, fy = FIELD_INFO[name]
+        reflect_dat(getattr(st, name), centering, fx, fy, depth=depth)

@@ -1,0 +1,16 @@
+"""CloverLeaf 3D: the same hydro scheme in three dimensions (OPS).
+
+The UK mini-app consortium ships CloverLeaf 2D and 3D; the paper evaluates
+the 2D code, but a credible OPS release carries both.  This is the 2D
+scheme (EOS, artificial viscosity, CFL control, PdV predictor/corrector,
+nodal acceleration, direction-split donor-cell advection with conservative
+momentum remap) extended to three dimensions, with rotating sweep orders.
+
+Validation (tests): a z-uniform 3D problem must reproduce the 2D solver's
+solution exactly, z-velocities staying identically zero; mass is conserved
+to round-off; the symmetric blast stays symmetric under axis permutation.
+"""
+
+from repro.apps.cloverleaf3d.app import CloverLeaf3DApp, clover_bm3_state
+
+__all__ = ["CloverLeaf3DApp", "clover_bm3_state"]

@@ -1,0 +1,549 @@
+"""CloverLeaf 3D driver and kernels.
+
+Formulas are the 2D scheme's with the third dimension added symmetrically;
+every per-direction phase is written once and driven by a direction index.
+The artificial-viscosity length scale is kept at ``dx*dy`` so a z-uniform
+problem reproduces the 2D solver *exactly* (the validation oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+import numpy as np
+
+from repro import ops
+from repro.apps.cloverleaf.state import DT_INIT, DT_MAX, DTC_SAFE, G_BIG, G_SMALL, GAMMA
+
+# direction metadata: unit offsets
+_DIRS = ((1, 0, 0), (0, 1, 0), (0, 0, 1))
+
+
+def _stencil(points) -> ops.Stencil:
+    return ops.Stencil(3, points)
+
+
+S3_SELF = _stencil([(0, 0, 0)])
+#: the 8 nodes of a cell (cell loops reading node data)
+S3_NODE8 = _stencil(list(product((0, 1), repeat=3)))
+#: the 8 cells of a node (node loops reading cell data)
+S3_CELL8 = _stencil(list(product((0, -1), repeat=3)))
+S3_FACE = [_stencil([(0, 0, 0), d]) for d in _DIRS]
+S3_DONOR = [_stencil([(0, 0, 0), tuple(-c for c in d)]) for d in _DIRS]
+S3_VEL = [
+    _stencil([(0, 0, 0), tuple(-c for c in d), d]) for d in _DIRS
+]
+#: the 4 faces of direction d adjacent to a node (offsets in the other dims)
+S3_NODE_FACES = [
+    _stencil(
+        [
+            tuple(-o if k != d and o else 0 for k, o in enumerate(offs))
+            for offs in product((0, 1), repeat=3)
+            if offs[d] == 0
+        ]
+    )
+    for d in range(3)
+]
+
+
+@dataclass
+class Clover3DState:
+    block: ops.Block
+    nx: int
+    ny: int
+    nz: int
+    dx: float
+    dy: float
+    dz: float
+    dats: dict[str, ops.Dat] = field(default_factory=dict)
+
+    @property
+    def volume(self) -> float:
+        return self.dx * self.dy * self.dz
+
+    def __getattr__(self, name):
+        if name == "dats":
+            raise AttributeError(name)
+        try:
+            return self.dats[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+#: field -> (centering per axis, flips per axis); 'n' node-like, 'c' cell-like
+FIELD_INFO_3D: dict[str, tuple[str, tuple[float, float, float]]] = {
+    "density0": ("ccc", (1, 1, 1)),
+    "density1": ("ccc", (1, 1, 1)),
+    "energy0": ("ccc", (1, 1, 1)),
+    "energy1": ("ccc", (1, 1, 1)),
+    "pressure": ("ccc", (1, 1, 1)),
+    "viscosity": ("ccc", (1, 1, 1)),
+    "soundspeed": ("ccc", (1, 1, 1)),
+    "xvel0": ("nnn", (-1, 1, 1)),
+    "xvel1": ("nnn", (-1, 1, 1)),
+    "yvel0": ("nnn", (1, -1, 1)),
+    "yvel1": ("nnn", (1, -1, 1)),
+    "zvel0": ("nnn", (1, 1, -1)),
+    "zvel1": ("nnn", (1, 1, -1)),
+    "node_mass": ("nnn", (1, 1, 1)),
+    "mom_flux": ("nnn", (1, 1, 1)),
+    "node_flux": ("nnn", (1, 1, 1)),
+    "vol_flux_x": ("ncc", (-1, 1, 1)),
+    "mass_flux_x": ("ncc", (-1, 1, 1)),
+    "ener_flux_x": ("ncc", (-1, 1, 1)),
+    "vol_flux_y": ("cnc", (1, -1, 1)),
+    "mass_flux_y": ("cnc", (1, -1, 1)),
+    "ener_flux_y": ("cnc", (1, -1, 1)),
+    "vol_flux_z": ("ccn", (1, 1, -1)),
+    "mass_flux_z": ("ccn", (1, 1, -1)),
+    "ener_flux_z": ("ccn", (1, 1, -1)),
+}
+
+
+def clover_bm3_state(
+    nx: int, ny: int, nz: int, *, extent: tuple[float, float, float] = (10.0, 10.0, 10.0)
+) -> Clover3DState:
+    """clover_bm-style setup: a dense energetic region in the low corner.
+
+    The source spans the full z extent, so small-``nz`` problems are
+    z-uniform (the 2D-equivalence oracle).
+    """
+    blk = ops.Block(3, "clover3d")
+    st = Clover3DState(
+        block=blk, nx=nx, ny=ny, nz=nz,
+        dx=extent[0] / nx, dy=extent[1] / ny, dz=extent[2] / nz,
+    )
+    sizes = {
+        "ccc": (nx, ny, nz),
+        "nnn": (nx + 1, ny + 1, nz + 1),
+        "ncc": (nx + 1, ny, nz),
+        "cnc": (nx, ny + 1, nz),
+        "ccn": (nx, ny, nz + 1),
+    }
+    for name, (centering, _) in FIELD_INFO_3D.items():
+        st.dats[name] = ops.Dat(blk, sizes[centering], halo_depth=2, name=name)
+
+    st.density0.interior[...] = 0.2
+    st.energy0.interior[...] = 1.0
+    ix, iy = max(nx // 2, 1), max(ny // 2, 1)
+    st.density0.interior[:ix, :iy, :] = 1.0
+    st.energy0.interior[:ix, :iy, :] = 2.5
+    return st
+
+
+def reflect3(dat: ops.Dat, centering: str, flips) -> None:
+    """Reflective boundaries on all six sides (mirror per centering)."""
+    h = dat.halo_depth
+    a = dat.data
+    for ax in range(3):
+        s = dat.size[ax]
+        node = centering[ax] == "n"
+        f = flips[ax]
+        for k in range(1, h + 1):
+            lo = [slice(None)] * 3
+            lo_src = [slice(None)] * 3
+            hi = [slice(None)] * 3
+            hi_src = [slice(None)] * 3
+            lo[ax] = h - k
+            lo_src[ax] = h + k if node else h + k - 1
+            hi[ax] = h + s - 1 + k
+            hi_src[ax] = h + s - 1 - k if node else h + s - k
+            a[tuple(lo)] = f * a[tuple(lo_src)]
+            a[tuple(hi)] = f * a[tuple(hi_src)]
+    dat.halo_dirty = True
+
+
+class CloverLeaf3DApp:
+    """CloverLeaf 3D on the OPS API."""
+
+    #: sweep orders rotated per step (z last on even steps matches the 2D
+    #: solver's x-then-y / y-then-x alternation when the state is z-uniform)
+    ORDERS = ((0, 1, 2), (1, 0, 2), (2, 1, 0))
+
+    def __init__(self, nx: int = 16, ny: int = 16, nz: int = 16,
+                 state: Clover3DState | None = None, backend: str = "vec"):
+        self.st = state if state is not None else clover_bm3_state(nx, ny, nz)
+        self.backend = backend
+        self.dt = DT_INIT
+        self.step_count = 0
+        #: only alternate between the first two orders when the problem is
+        #: run as a 2D-equivalence oracle; full runs rotate all three
+        self.rotate_all = True
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _bcs(self, names) -> None:
+        for name in names:
+            centering, flips = FIELD_INFO_3D[name]
+            reflect3(self.st.dats[name], centering, flips)
+
+    def _loop(self, kernel, ranges, *args, name) -> None:
+        ops.par_loop(kernel, self.st.block, ranges, *args, backend=self.backend, name=name)
+
+    def _cells(self):
+        return [(0, self.st.nx), (0, self.st.ny), (0, self.st.nz)]
+
+    def _nodes(self):
+        return [(0, self.st.nx + 1), (0, self.st.ny + 1), (0, self.st.nz + 1)]
+
+    def _d(self, axis: int) -> float:
+        return (self.st.dx, self.st.dy, self.st.dz)[axis]
+
+    def _vel(self, axis: int, level: int) -> ops.Dat:
+        return self.st.dats[f"{'xyz'[axis]}vel{level}"]
+
+    def _flux(self, kind: str, axis: int) -> ops.Dat:
+        return self.st.dats[f"{kind}_flux_{'xyz'[axis]}"]
+
+    # -- phases ----------------------------------------------------------------------
+
+    def timestep(self) -> float:
+        st = self.st
+        self._bcs(["density0", "energy0", "xvel0", "yvel0", "zvel0"])
+
+        def ideal_gas(d, e, p, c):
+            p[0, 0, 0] = (GAMMA - 1.0) * d[0, 0, 0] * e[0, 0, 0]
+            c[0, 0, 0] = np.sqrt(GAMMA * (GAMMA - 1.0) * e[0, 0, 0])
+
+        self._loop(ideal_gas, self._cells(),
+                   st.density0(ops.READ), st.energy0(ops.READ),
+                   st.pressure(ops.WRITE), st.soundspeed(ops.WRITE), name="ideal_gas3")
+
+        dx, dy, dz = st.dx, st.dy, st.dz
+        lc2 = dx * dy  # matches the 2D coefficient (z-uniform oracle)
+
+        def face_mean(v, axis):
+            """Mean of a node dat over the 4 nodes of the cell's +axis face
+            minus its -axis face (the velocity jump across the cell)."""
+            plus = 0.0
+            minus = 0.0
+            for offs in product((0, 1), repeat=3):
+                if offs[axis] == 1:
+                    plus = plus + v[offs]
+                else:
+                    minus = minus + v[offs]
+            return 0.25 * (plus - minus)
+
+        def viscosity_k(xv, yv, zv, d0, q):
+            ug = face_mean(xv, 0)
+            vg = face_mean(yv, 1)
+            wg = face_mean(zv, 2)
+            div = ug / dx + vg / dy + wg / dz
+            strain = (ug / dx) ** 2 + (vg / dy) ** 2 + (wg / dz) ** 2
+            q[0, 0, 0] = np.where(div < 0.0, 2.0 * d0[0, 0, 0] * strain * lc2, 0.0)
+
+        self._loop(viscosity_k, self._cells(),
+                   st.xvel0(ops.READ, S3_NODE8), st.yvel0(ops.READ, S3_NODE8),
+                   st.zvel0(ops.READ, S3_NODE8), st.density0(ops.READ),
+                   st.viscosity(ops.WRITE), name="viscosity3")
+        self._bcs(["pressure", "viscosity"])
+
+        dt_min = ops.Reduction("min", name="dt3")
+
+        def calc_dt(d0, c0, q, xv, yv, zv, t):
+            cc = np.sqrt(c0[0, 0, 0] ** 2 + 2.0 * q[0, 0, 0] / (d0[0, 0, 0] + G_SMALL)) + G_SMALL
+            vels = (xv, yv, zv)
+            val = G_BIG
+            for axis, dd in enumerate((dx, dy, dz)):
+                u = 0.0
+                for offs in product((0, 1), repeat=3):
+                    u = u + vels[axis][offs]
+                u = 0.125 * np.abs(u)
+                val = np.minimum(val, DTC_SAFE * dd / (cc + u + G_SMALL))
+            t.min(val)
+
+        self._loop(calc_dt, self._cells(),
+                   st.density0(ops.READ), st.soundspeed(ops.READ), st.viscosity(ops.READ),
+                   st.xvel0(ops.READ, S3_NODE8), st.yvel0(ops.READ, S3_NODE8),
+                   st.zvel0(ops.READ, S3_NODE8), dt_min, name="calc_dt3")
+        self.dt = float(min(dt_min.value, DT_MAX))
+        return self.dt
+
+    def _pdv(self, corrector: bool) -> None:
+        st = self.st
+        dt = self.dt
+        dx, dy, dz = st.dx, st.dy, st.dz
+        volume = st.volume
+        frac = dt if corrector else 0.5 * dt
+        areas = (dy * dz, dx * dz, dx * dy)
+
+        def face_flux(v0, v1, axis):
+            plus = 0.0
+            minus = 0.0
+            for offs in product((0, 1), repeat=3):
+                val = v0[offs] if v1 is None else 0.5 * (v0[offs] + v1[offs])
+                if offs[axis] == 1:
+                    plus = plus + val
+                else:
+                    minus = minus + val
+            return 0.25 * (plus - minus) * frac * areas[axis]
+
+        if corrector:
+
+            def pdv_k(xv0, yv0, zv0, xv1, yv1, zv1, d0, e0, p, q, d1, e1):
+                total = (
+                    face_flux(xv0, xv1, 0) + face_flux(yv0, yv1, 1) + face_flux(zv0, zv1, 2)
+                )
+                vc = total / volume
+                d1[0, 0, 0] = d0[0, 0, 0] / (1.0 + vc)
+                e1[0, 0, 0] = e0[0, 0, 0] - (
+                    (p[0, 0, 0] + q[0, 0, 0]) / (d0[0, 0, 0] + G_SMALL)
+                ) * vc
+
+            self._loop(pdv_k, self._cells(),
+                       st.xvel0(ops.READ, S3_NODE8), st.yvel0(ops.READ, S3_NODE8),
+                       st.zvel0(ops.READ, S3_NODE8), st.xvel1(ops.READ, S3_NODE8),
+                       st.yvel1(ops.READ, S3_NODE8), st.zvel1(ops.READ, S3_NODE8),
+                       st.density0(ops.READ), st.energy0(ops.READ),
+                       st.pressure(ops.READ), st.viscosity(ops.READ),
+                       st.density1(ops.WRITE), st.energy1(ops.WRITE), name="pdv_correct3")
+        else:
+
+            def pdv_k(xv0, yv0, zv0, d0, e0, p, q, d1, e1):
+                total = (
+                    face_flux(xv0, None, 0) + face_flux(yv0, None, 1) + face_flux(zv0, None, 2)
+                )
+                vc = total / volume
+                d1[0, 0, 0] = d0[0, 0, 0] / (1.0 + vc)
+                e1[0, 0, 0] = e0[0, 0, 0] - (
+                    (p[0, 0, 0] + q[0, 0, 0]) / (d0[0, 0, 0] + G_SMALL)
+                ) * vc
+
+            self._loop(pdv_k, self._cells(),
+                       st.xvel0(ops.READ, S3_NODE8), st.yvel0(ops.READ, S3_NODE8),
+                       st.zvel0(ops.READ, S3_NODE8),
+                       st.density0(ops.READ), st.energy0(ops.READ),
+                       st.pressure(ops.READ), st.viscosity(ops.READ),
+                       st.density1(ops.WRITE), st.energy1(ops.WRITE), name="pdv_predict3")
+
+    def lagrangian(self) -> None:
+        st = self.st
+        self._pdv(corrector=False)
+
+        def ideal_gas(d, e, p, c):
+            p[0, 0, 0] = (GAMMA - 1.0) * d[0, 0, 0] * e[0, 0, 0]
+            c[0, 0, 0] = np.sqrt(GAMMA * (GAMMA - 1.0) * e[0, 0, 0])
+
+        self._loop(ideal_gas, self._cells(),
+                   st.density1(ops.READ), st.energy1(ops.READ),
+                   st.pressure(ops.WRITE), st.soundspeed(ops.WRITE), name="ideal_gas3")
+
+        def revert(d0, e0, d1, e1):
+            d1[0, 0, 0] = d0[0, 0, 0]
+            e1[0, 0, 0] = e0[0, 0, 0]
+
+        self._loop(revert, self._cells(),
+                   st.density0(ops.READ), st.energy0(ops.READ),
+                   st.density1(ops.WRITE), st.energy1(ops.WRITE), name="revert3")
+        self._bcs(["pressure", "viscosity", "density0"])
+
+        dt = self.dt
+        dx, dy, dz = st.dx, st.dy, st.dz
+        volume = st.volume
+        areas = (dy * dz, dx * dz, dx * dy)
+
+        def grad(p, axis):
+            """0.25 * sum over the 4 cell-pairs adjacent to the node."""
+            total = 0.0
+            for offs in product((0, -1), repeat=3):
+                if offs[axis] == 0:
+                    lo = tuple(-1 if k == axis else offs[k] for k in range(3))
+                    total = total + (p[offs] - p[lo])
+            return 0.25 * total
+
+        def accelerate(d0, p, q, xv0, yv0, zv0, xv1, yv1, zv1):
+            nodal_mass = 0.0
+            for offs in product((0, -1), repeat=3):
+                nodal_mass = nodal_mass + d0[offs]
+            nodal_mass = 0.125 * nodal_mass * volume
+            step = dt / (nodal_mass + G_SMALL)
+            xv1[0, 0, 0] = xv0[0, 0, 0] - step * areas[0] * (grad(p, 0) + grad(q, 0))
+            yv1[0, 0, 0] = yv0[0, 0, 0] - step * areas[1] * (grad(p, 1) + grad(q, 1))
+            zv1[0, 0, 0] = zv0[0, 0, 0] - step * areas[2] * (grad(p, 2) + grad(q, 2))
+
+        self._loop(accelerate, self._nodes(),
+                   st.density0(ops.READ, S3_CELL8), st.pressure(ops.READ, S3_CELL8),
+                   st.viscosity(ops.READ, S3_CELL8),
+                   st.xvel0(ops.READ), st.yvel0(ops.READ), st.zvel0(ops.READ),
+                   st.xvel1(ops.WRITE), st.yvel1(ops.WRITE), st.zvel1(ops.WRITE),
+                   name="accelerate3")
+        self._bcs(["xvel1", "yvel1", "zvel1"])
+        self._pdv(corrector=True)
+
+    def advection(self) -> None:
+        st = self.st
+        dt = self.dt
+        dx, dy, dz = st.dx, st.dy, st.dz
+        areas = (dy * dz, dx * dz, dx * dy)
+        volume = st.volume
+
+        # volume fluxes in all three directions -------------------------------------
+        for axis in range(3):
+            v0 = self._vel(axis, 0)
+            v1 = self._vel(axis, 1)
+            vf = self._flux("vol", axis)
+            area = areas[axis]
+
+            def flux_calc(a0, a1, out, area=area, axis=axis):
+                total = 0.0
+                for offs in product((0, 1), repeat=3):
+                    if offs[axis] == 0:
+                        total = total + a0[offs] + a1[offs]
+                out[0, 0, 0] = 0.125 * dt * area * total
+
+            ranges = self._cells()
+            ranges[axis] = (0, ranges[axis][1] + 1)
+            self._loop(flux_calc, ranges,
+                       v0(ops.READ, S3_NODE_FACES[axis]), v1(ops.READ, S3_NODE_FACES[axis]),
+                       vf(ops.WRITE), name=f"flux_calc3_{'xyz'[axis]}")
+
+        order = self.ORDERS[self.step_count % (3 if self.rotate_all else 2)]
+        for sweep, axis in enumerate(order):
+            self._sweep(axis, order[sweep:], volume)
+
+    def _sweep(self, axis: int, remaining, volume: float) -> None:
+        st = self.st
+        self._bcs(["density1", "energy1"])
+        vf = self._flux("vol", axis)
+        mf = self._flux("mass", axis)
+        ef = self._flux("ener", axis)
+        back = tuple(-c for c in _DIRS[axis])
+        fwd = _DIRS[axis]
+
+        def mass_ener_flux(v, d1, e1, m, e):
+            donor_d = np.where(v[0, 0, 0] > 0.0, d1[back], d1[0, 0, 0])
+            donor_e = np.where(v[0, 0, 0] > 0.0, e1[back], e1[0, 0, 0])
+            m[0, 0, 0] = v[0, 0, 0] * donor_d
+            e[0, 0, 0] = v[0, 0, 0] * donor_d * donor_e
+
+        ranges = self._cells()
+        ranges[axis] = (0, ranges[axis][1] + 1)
+        self._loop(mass_ener_flux, ranges,
+                   vf(ops.READ), st.density1(ops.READ, S3_DONOR[axis]),
+                   st.energy1(ops.READ, S3_DONOR[axis]),
+                   mf(ops.WRITE), ef(ops.WRITE), name=f"mass_ener_flux3_{'xyz'[axis]}")
+
+        rem_fluxes = [self._flux("vol", a) for a in remaining]
+        rem_dirs = [(_DIRS[a]) for a in remaining]
+
+        def advec_cell(*args):
+            # args: one vol-flux accessor per remaining dir, then mf, ef, d1, e1
+            vols = args[: len(rem_dirs)]
+            m, e, d1, e1 = args[len(rem_dirs):]
+            pre_vol = volume
+            dv_this = None
+            for v, dirc in zip(vols, rem_dirs):
+                dv = v[dirc] - v[0, 0, 0]
+                pre_vol = pre_vol + dv
+                if dirc == fwd and dv_this is None:
+                    dv_this = dv
+            post_vol = pre_vol - dv_this
+            pre_mass = d1[0, 0, 0] * pre_vol
+            post_mass = pre_mass + m[0, 0, 0] - m[fwd]
+            post_e = (e1[0, 0, 0] * pre_mass + e[0, 0, 0] - e[fwd]) / (post_mass + G_SMALL)
+            d1[0, 0, 0] = post_mass / post_vol
+            e1[0, 0, 0] = post_e
+
+        vol_args = [
+            self._flux("vol", a)(ops.READ, S3_FACE[a]) for a in remaining
+        ]
+        self._loop(advec_cell, self._cells(),
+                   *vol_args,
+                   mf(ops.READ, S3_FACE[axis]), ef(ops.READ, S3_FACE[axis]),
+                   st.density1(ops.RW), st.energy1(ops.RW),
+                   name=f"advec_cell3_{'xyz'[axis]}")
+
+        # momentum remap -----------------------------------------------------------
+        self._bcs(["density1", f"mass_flux_{'xyz'[axis]}"])
+
+        def node_mass_k(d1, nm):
+            total = 0.0
+            for offs in product((0, -1), repeat=3):
+                total = total + d1[offs]
+            nm[0, 0, 0] = 0.125 * total * volume
+
+        self._loop(node_mass_k, self._nodes(),
+                   st.density1(ops.READ, S3_CELL8), st.node_mass(ops.WRITE),
+                   name="advec_mom_node_mass3")
+
+        node_face_offs = [
+            tuple(-o if k != axis and o else 0 for k, o in enumerate(offs))
+            for offs in product((0, 1), repeat=3)
+            if offs[axis] == 0
+        ]
+
+        for vaxis in range(3):
+            vel = self._vel(vaxis, 1)
+            self._bcs([f"{'xyz'[vaxis]}vel1"])
+
+            def mom_flux_k(m, xv, out, nf):
+                flux = 0.0
+                for offs in node_face_offs:
+                    flux = flux + m[offs]
+                flux = 0.25 * flux
+                donor = np.where(flux > 0.0, xv[back], xv[0, 0, 0])
+                out[0, 0, 0] = flux * donor
+                nf[0, 0, 0] = flux
+
+            self._loop(mom_flux_k, self._nodes(),
+                       mf(ops.READ, S3_NODE_FACES[axis]), vel(ops.READ, S3_VEL[axis]),
+                       st.mom_flux(ops.WRITE), st.node_flux(ops.WRITE),
+                       name=f"advec_mom_flux3_{'xyz'[axis]}")
+
+            def mom_update(out, nf, nm, xv):
+                post = nm[0, 0, 0] + G_SMALL
+                pre = nm[0, 0, 0] - nf[0, 0, 0] + nf[fwd]
+                xv[0, 0, 0] = (xv[0, 0, 0] * pre + out[0, 0, 0] - out[fwd]) / post
+
+            ranges = self._nodes()
+            ranges[axis] = (1, ranges[axis][1] - 1)
+            self._loop(mom_update, ranges,
+                       st.mom_flux(ops.READ, S3_FACE[axis]),
+                       st.node_flux(ops.READ, S3_FACE[axis]),
+                       st.node_mass(ops.READ), vel(ops.RW),
+                       name=f"advec_mom_update3_{'xyz'[axis]}")
+
+    def reset(self) -> None:
+        st = self.st
+
+        def reset_c(d0, e0, d1, e1):
+            d0[0, 0, 0] = d1[0, 0, 0]
+            e0[0, 0, 0] = e1[0, 0, 0]
+
+        def reset_n(x0, y0, z0, x1, y1, z1):
+            x0[0, 0, 0] = x1[0, 0, 0]
+            y0[0, 0, 0] = y1[0, 0, 0]
+            z0[0, 0, 0] = z1[0, 0, 0]
+
+        self._loop(reset_c, self._cells(),
+                   st.density0(ops.WRITE), st.energy0(ops.WRITE),
+                   st.density1(ops.READ), st.energy1(ops.READ), name="reset_cell3")
+        self._loop(reset_n, self._nodes(),
+                   st.xvel0(ops.WRITE), st.yvel0(ops.WRITE), st.zvel0(ops.WRITE),
+                   st.xvel1(ops.READ), st.yvel1(ops.READ), st.zvel1(ops.READ),
+                   name="reset_node3")
+
+    def step(self) -> float:
+        dt = self.timestep()
+        self.lagrangian()
+        self.advection()
+        self.reset()
+        self.step_count += 1
+        return dt
+
+    def run(self, steps: int) -> dict[str, float]:
+        for _ in range(steps):
+            self.step()
+        return self.field_summary()
+
+    def field_summary(self) -> dict[str, float]:
+        st = self.st
+        volume = st.volume
+        cell_mass = st.density0.interior * volume
+        return {
+            "volume": volume * st.nx * st.ny * st.nz,
+            "mass": float(cell_mass.sum()),
+            "ie": float((cell_mass * st.energy0.interior).sum()),
+            "pressure": float((volume * st.pressure.interior).sum()),
+        }

@@ -1,0 +1,25 @@
+"""Hydra proxy: a synthetic industrial-scale unstructured CFD app (OP2).
+
+Rolls-Royce Hydra is proprietary (Fortran 77, ~300 loops, ~50k lines); this
+proxy reproduces the *performance-relevant characteristics* the paper
+attributes to it relative to Airfoil (Section IV):
+
+* a larger state: 6 conserved variables plus a 12-component gradient field,
+  so it "moves many times more data per grid point than Airfoil does",
+* "a large number of indirect loops": gradient accumulation, inviscid and
+  viscous edge fluxes, multigrid restriction — per Runge-Kutta stage,
+* a 5-step Runge-Kutta time-march accelerated by a two-level multigrid
+  cycle, matching Hydra's described solver structure,
+* heavier kernels with more arithmetic and branching, which on GPUs
+  "achieve lower occupancy and have higher branch divergence".
+
+The numerics are synthetic (documented in DESIGN.md) but conservative and
+deterministic, with a hand-coded NumPy reference for original-vs-OP2
+comparisons (paper Fig 3's "Original" bar).
+"""
+
+from repro.apps.hydra.mesh import HydraMesh, generate_hydra_mesh
+from repro.apps.hydra.app import HydraApp
+from repro.apps.hydra.reference import HydraReference
+
+__all__ = ["HydraMesh", "generate_hydra_mesh", "HydraApp", "HydraReference"]

@@ -1,0 +1,176 @@
+"""Hydra-proxy user kernels.
+
+Synthetic RANS-flavoured numerics: conservative central fluxes with scalar
+dissipation over 6 variables, gradient accumulation over edges, a viscous
+flux consuming the gradients (the data-heavy indirect loop that dominates
+Hydra's profile), source terms for the turbulence variables, a 5-stage
+Runge-Kutta update and 2-level multigrid transfer operators.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import op2
+
+GAM = 1.4
+GM1 = GAM - 1.0
+CFL = 0.6
+EPS = 0.08
+PRT = 0.9  # turbulent Prandtl-like coefficient
+SRC = 0.02  # turbulence source coefficient
+
+#: classic 5-stage Runge-Kutta coefficients (Jameson)
+RK_ALPHA = (0.25, 0.1667, 0.375, 0.5, 1.0)
+
+
+def save_soln6(q, qold):
+    for n in range(6):
+        qold[n] = q[n]
+
+
+def vflux_prep(q, visc):
+    # turbulent viscosity proxy: mu_t ~ rho * k / omega (positive by state)
+    visc[0] = q[0] * q[4] / q[5]
+
+
+def grad_zero(grad):
+    for n in range(12):
+        grad[n] = 0.0
+
+
+def grad_calc(x1, x2, q1, q2, grad1, grad2):
+    # edge-difference gradient accumulation: grad[2n] ~ d/dx, grad[2n+1] ~ d/dy
+    dx = x1[0] - x2[0]
+    dy = x1[1] - x2[1]
+    for n in range(6):
+        d = 0.5 * (q2[n] - q1[n])
+        grad1[2 * n] += d * dy
+        grad1[2 * n + 1] -= d * dx
+        grad2[2 * n] += d * dy
+        grad2[2 * n + 1] -= d * dx
+
+
+def adt_calc6(x1, x2, x3, x4, q, adt):
+    ri = 1.0 / q[0]
+    u = ri * q[1]
+    v = ri * q[2]
+    c = math.sqrt(abs(GAM * GM1 * (ri * q[3] - 0.5 * (u * u + v * v))))
+    val = 0.0
+    dx = x2[0] - x1[0]
+    dy = x2[1] - x1[1]
+    val = val + abs(u * dy - v * dx) + c * math.sqrt(dx * dx + dy * dy)
+    dx = x3[0] - x2[0]
+    dy = x3[1] - x2[1]
+    val = val + abs(u * dy - v * dx) + c * math.sqrt(dx * dx + dy * dy)
+    dx = x4[0] - x3[0]
+    dy = x4[1] - x3[1]
+    val = val + abs(u * dy - v * dx) + c * math.sqrt(dx * dx + dy * dy)
+    dx = x1[0] - x4[0]
+    dy = x1[1] - x4[1]
+    val = val + abs(u * dy - v * dx) + c * math.sqrt(dx * dx + dy * dy)
+    adt[0] = val / CFL
+
+
+def inv_flux(x1, x2, q1, q2, adt1, adt2, res1, res2):
+    # central flux + scalar dissipation over all 6 variables
+    dx = x1[0] - x2[0]
+    dy = x1[1] - x2[1]
+    ri1 = 1.0 / q1[0]
+    p1 = GM1 * (q1[3] - 0.5 * ri1 * (q1[1] * q1[1] + q1[2] * q1[2]))
+    vol1 = ri1 * (q1[1] * dy - q1[2] * dx)
+    ri2 = 1.0 / q2[0]
+    p2 = GM1 * (q2[3] - 0.5 * ri2 * (q2[1] * q2[1] + q2[2] * q2[2]))
+    vol2 = ri2 * (q2[1] * dy - q2[2] * dx)
+    mu = 0.5 * (adt1[0] + adt2[0]) * EPS
+
+    f = 0.5 * (vol1 * q1[0] + vol2 * q2[0]) + mu * (q1[0] - q2[0])
+    res1[0] += f
+    res2[0] -= f
+    f = 0.5 * (vol1 * q1[1] + p1 * dy + vol2 * q2[1] + p2 * dy) + mu * (q1[1] - q2[1])
+    res1[1] += f
+    res2[1] -= f
+    f = 0.5 * (vol1 * q1[2] - p1 * dx + vol2 * q2[2] - p2 * dx) + mu * (q1[2] - q2[2])
+    res1[2] += f
+    res2[2] -= f
+    f = 0.5 * (vol1 * (q1[3] + p1) + vol2 * (q2[3] + p2)) + mu * (q1[3] - q2[3])
+    res1[3] += f
+    res2[3] -= f
+    # passive transport of the turbulence variables
+    f = 0.5 * (vol1 * q1[4] + vol2 * q2[4]) + mu * (q1[4] - q2[4])
+    res1[4] += f
+    res2[4] -= f
+    f = 0.5 * (vol1 * q1[5] + vol2 * q2[5]) + mu * (q1[5] - q2[5])
+    res1[5] += f
+    res2[5] -= f
+
+
+def visc_flux(x1, x2, grad1, grad2, visc1, visc2, res1, res2):
+    # gradient-consuming diffusive flux: the data-heavy indirect loop
+    dx = x1[0] - x2[0]
+    dy = x1[1] - x2[1]
+    mu = 0.5 * (visc1[0] + visc2[0]) / PRT
+    for n in range(6):
+        gx = 0.5 * (grad1[2 * n] + grad2[2 * n])
+        gy = 0.5 * (grad1[2 * n + 1] + grad2[2 * n + 1])
+        f = mu * (gx * dy - gy * dx)
+        res1[n] -= f
+        res2[n] += f
+
+
+def src_calc(q, visc, res):
+    # production/dissipation source for the turbulence variables
+    res[4] += SRC * (visc[0] - q[4])
+    res[5] += SRC * (q[4] - 0.01 * q[5])
+
+
+def rk_update(qold, q, res, adt, alpha, rms):
+    adti = alpha[0] / adt[0]
+    for n in range(6):
+        delta = adti * res[n]
+        q[n] = qold[n] - delta
+        res[n] = 0.0
+        rms[0] += delta * delta
+
+
+def mg_restrict(q, res, qc, resc):
+    # fine -> coarse: accumulate state and residual
+    for n in range(6):
+        qc[n] += 0.25 * q[n]
+        resc[n] += 0.25 * res[n]
+
+
+def mg_zero(qc, resc):
+    for n in range(6):
+        qc[n] = 0.0
+        resc[n] = 0.0
+
+
+def mg_smooth(qc, resc):
+    # one Jacobi-like smoothing of the coarse correction
+    for n in range(6):
+        qc[n] = qc[n] - 0.5 * resc[n]
+        resc[n] = 0.5 * resc[n]
+
+
+def mg_prolong(qc, q):
+    # coarse -> fine correction (read coarse through the map)
+    for n in range(6):
+        q[n] = q[n] + 0.05 * (qc[n] - q[n])
+
+
+# -- kernel objects -------------------------------------------------------------------
+
+K_SAVE = op2.Kernel(save_soln6, "h_save_soln", flops_per_elem=0)
+K_VPREP = op2.Kernel(vflux_prep, "h_vflux_prep", flops_per_elem=2)
+K_GRAD_ZERO = op2.Kernel(grad_zero, "h_grad_zero", flops_per_elem=0)
+K_GRAD = op2.Kernel(grad_calc, "h_grad_calc", flops_per_elem=40, vectorisable=False, divergence=0.2)
+K_ADT = op2.Kernel(adt_calc6, "h_adt_calc", flops_per_elem=60, divergence=0.1)
+K_IFLUX = op2.Kernel(inv_flux, "h_inv_flux", flops_per_elem=110, vectorisable=False, divergence=0.35)
+K_VFLUX = op2.Kernel(visc_flux, "h_visc_flux", flops_per_elem=80, vectorisable=False, divergence=0.35)
+K_SRC = op2.Kernel(src_calc, "h_src_calc", flops_per_elem=6)
+K_RK = op2.Kernel(rk_update, "h_rk_update", flops_per_elem=26)
+K_MG_RESTRICT = op2.Kernel(mg_restrict, "h_mg_restrict", flops_per_elem=24, vectorisable=False)
+K_MG_ZERO = op2.Kernel(mg_zero, "h_mg_zero", flops_per_elem=0)
+K_MG_SMOOTH = op2.Kernel(mg_smooth, "h_mg_smooth", flops_per_elem=24)
+K_MG_PROLONG = op2.Kernel(mg_prolong, "h_mg_prolong", flops_per_elem=18, vectorisable=False)

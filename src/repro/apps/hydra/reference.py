@@ -1,0 +1,160 @@
+"""Hand-coded NumPy Hydra proxy: the "Original (MPI)" baseline of Fig 3."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.hydra.kernels import CFL, EPS, GAM, GM1, PRT, RK_ALPHA, SRC
+from repro.apps.hydra.mesh import HydraMesh
+
+
+class HydraReference:
+    """Direct-array implementation of the same numerics."""
+
+    def __init__(self, mesh: HydraMesh):
+        f = mesh.fine
+        self.x = f.x.data.copy()
+        self.q = mesh.q.data.copy()
+        self.qold = np.zeros_like(self.q)
+        self.grad = np.zeros((f.cells.size, 12))
+        self.visc = np.zeros(f.cells.size)
+        self.adt = np.zeros(f.cells.size)
+        self.res = np.zeros_like(self.q)
+        self.qc = np.zeros((mesh.coarse_cells.size, 6))
+        self.resc = np.zeros_like(self.qc)
+        self.e2n = f.edge2node.values.copy()
+        self.e2c = f.edge2cell.values.copy()
+        self.c2n = f.cell2node.values.copy()
+        self.f2c = mesh.fine2coarse.values[:, 0].copy()
+        self.ncells = f.cells.size
+        self.rms = 0.0
+
+    def _save(self) -> None:
+        self.qold[...] = self.q
+
+    def _vprep(self) -> None:
+        self.visc[...] = self.q[:, 0] * self.q[:, 4] / self.q[:, 5]
+
+    def _grad(self) -> None:
+        self.grad[...] = 0.0
+        x1 = self.x[self.e2n[:, 0]]
+        x2 = self.x[self.e2n[:, 1]]
+        dx = x1[:, 0] - x2[:, 0]
+        dy = x1[:, 1] - x2[:, 1]
+        q1 = self.q[self.e2c[:, 0]]
+        q2 = self.q[self.e2c[:, 1]]
+        g = np.empty((len(dx), 12))
+        for n in range(6):
+            d = 0.5 * (q2[:, n] - q1[:, n])
+            g[:, 2 * n] = d * dy
+            g[:, 2 * n + 1] = -d * dx
+        np.add.at(self.grad, self.e2c[:, 0], g)
+        np.add.at(self.grad, self.e2c[:, 1], g)
+
+    def _adt(self) -> None:
+        q = self.q
+        ri = 1.0 / q[:, 0]
+        u = ri * q[:, 1]
+        v = ri * q[:, 2]
+        c = np.sqrt(np.abs(GAM * GM1 * (ri * q[:, 3] - 0.5 * (u * u + v * v))))
+        corners = self.x[self.c2n]
+        val = np.zeros(self.ncells)
+        for a, b in ((0, 1), (1, 2), (2, 3), (3, 0)):
+            dx = corners[:, b, 0] - corners[:, a, 0]
+            dy = corners[:, b, 1] - corners[:, a, 1]
+            # left-associated like the kernel, for bitwise agreement
+            val = val + np.abs(u * dy - v * dx) + c * np.sqrt(dx * dx + dy * dy)
+        self.adt[...] = val / CFL
+
+    def _iflux(self) -> None:
+        x1 = self.x[self.e2n[:, 0]]
+        x2 = self.x[self.e2n[:, 1]]
+        dx = x1[:, 0] - x2[:, 0]
+        dy = x1[:, 1] - x2[:, 1]
+        q1 = self.q[self.e2c[:, 0]]
+        q2 = self.q[self.e2c[:, 1]]
+        adt1 = self.adt[self.e2c[:, 0]]
+        adt2 = self.adt[self.e2c[:, 1]]
+        ri1 = 1.0 / q1[:, 0]
+        p1 = GM1 * (q1[:, 3] - 0.5 * ri1 * (q1[:, 1] ** 2 + q1[:, 2] ** 2))
+        vol1 = ri1 * (q1[:, 1] * dy - q1[:, 2] * dx)
+        ri2 = 1.0 / q2[:, 0]
+        p2 = GM1 * (q2[:, 3] - 0.5 * ri2 * (q2[:, 1] ** 2 + q2[:, 2] ** 2))
+        vol2 = ri2 * (q2[:, 1] * dy - q2[:, 2] * dx)
+        mu = 0.5 * (adt1 + adt2) * EPS
+
+        f = np.empty((len(dx), 6))
+        f[:, 0] = 0.5 * (vol1 * q1[:, 0] + vol2 * q2[:, 0]) + mu * (q1[:, 0] - q2[:, 0])
+        f[:, 1] = (
+            0.5 * (vol1 * q1[:, 1] + p1 * dy + vol2 * q2[:, 1] + p2 * dy)
+            + mu * (q1[:, 1] - q2[:, 1])
+        )
+        f[:, 2] = (
+            0.5 * (vol1 * q1[:, 2] - p1 * dx + vol2 * q2[:, 2] - p2 * dx)
+            + mu * (q1[:, 2] - q2[:, 2])
+        )
+        f[:, 3] = (
+            0.5 * (vol1 * (q1[:, 3] + p1) + vol2 * (q2[:, 3] + p2))
+            + mu * (q1[:, 3] - q2[:, 3])
+        )
+        f[:, 4] = 0.5 * (vol1 * q1[:, 4] + vol2 * q2[:, 4]) + mu * (q1[:, 4] - q2[:, 4])
+        f[:, 5] = 0.5 * (vol1 * q1[:, 5] + vol2 * q2[:, 5]) + mu * (q1[:, 5] - q2[:, 5])
+        np.add.at(self.res, self.e2c[:, 0], f)
+        np.add.at(self.res, self.e2c[:, 1], -f)
+
+    def _vflux(self) -> None:
+        x1 = self.x[self.e2n[:, 0]]
+        x2 = self.x[self.e2n[:, 1]]
+        dx = x1[:, 0] - x2[:, 0]
+        dy = x1[:, 1] - x2[:, 1]
+        g1 = self.grad[self.e2c[:, 0]]
+        g2 = self.grad[self.e2c[:, 1]]
+        mu = 0.5 * (self.visc[self.e2c[:, 0]] + self.visc[self.e2c[:, 1]]) / PRT
+        f = np.empty((len(dx), 6))
+        for n in range(6):
+            gx = 0.5 * (g1[:, 2 * n] + g2[:, 2 * n])
+            gy = 0.5 * (g1[:, 2 * n + 1] + g2[:, 2 * n + 1])
+            f[:, n] = mu * (gx * dy - gy * dx)
+        np.add.at(self.res, self.e2c[:, 0], -f)
+        np.add.at(self.res, self.e2c[:, 1], f)
+
+    def _src(self) -> None:
+        self.res[:, 4] += SRC * (self.visc - self.q[:, 4])
+        self.res[:, 5] += SRC * (self.q[:, 4] - 0.01 * self.q[:, 5])
+
+    def _rk(self, alpha: float, accumulate_rms: bool) -> None:
+        adti = (alpha / self.adt)[:, None]
+        delta = adti * self.res
+        self.q[...] = self.qold - delta
+        self.res[...] = 0.0
+        if accumulate_rms:
+            self.rms += float(np.sum(delta * delta))
+
+    def _multigrid(self) -> None:
+        self.qc[...] = 0.0
+        self.resc[...] = 0.0
+        np.add.at(self.qc, self.f2c, 0.25 * self.q)
+        np.add.at(self.resc, self.f2c, 0.25 * self.res)
+        self.qc -= 0.5 * self.resc
+        self.resc *= 0.5
+        self.q += 0.05 * (self.qc[self.f2c] - self.q)
+
+    def iteration(self) -> None:
+        self._save()
+        self._vprep()
+        for stage, alpha in enumerate(RK_ALPHA):
+            last = stage == len(RK_ALPHA) - 1
+            self._grad()
+            self._adt()
+            self._iflux()
+            self._vflux()
+            self._src()
+            if last:
+                self.rms = 0.0
+            self._rk(alpha, True)
+        self._multigrid()
+
+    def run(self, iterations: int) -> float:
+        for _ in range(iterations):
+            self.iteration()
+        return float(np.sqrt(self.rms / self.ncells))

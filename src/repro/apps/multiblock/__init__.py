@@ -1,0 +1,14 @@
+"""Multi-block structured demo: the OPS feature CloverLeaf doesn't exercise.
+
+OPS "targets multi-block structured mesh computations that often occur in
+complex CFD simulations" with user-declared halos between blocks whose
+exchange "serve[s] as synchronization points between the execution of
+different blocks" (paper Section II-A).  This app solves scalar diffusion
+on a domain split into two abutting blocks, coupled through explicit
+:class:`~repro.ops.halo.Halo` transfers — and validates against a
+single-block solve of the union domain, which must match bitwise.
+"""
+
+from repro.apps.multiblock.app import MultiBlockDiffusion, SingleBlockDiffusion
+
+__all__ = ["MultiBlockDiffusion", "SingleBlockDiffusion"]

@@ -1,0 +1,13 @@
+"""Sod shock tube: 1-D hydrodynamics on OPS with an analytic oracle.
+
+The same Lagrangian + donor-cell-remap scheme as the CloverLeaf proxy,
+reduced to one dimension and validated against the *exact* Riemann solution
+(:mod:`repro.apps.sod.exact_riemann`) — the classic verification problem
+for compressible-flow codes.  Convergence of the L1 error with resolution
+is asserted in the tests.
+"""
+
+from repro.apps.sod.app import SodApp
+from repro.apps.sod.exact_riemann import exact_sod_solution, riemann_star_state
+
+__all__ = ["SodApp", "exact_sod_solution", "riemann_star_state"]

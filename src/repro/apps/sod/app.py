@@ -1,0 +1,262 @@
+"""1-D Sod shock tube on the OPS API (CloverLeaf's scheme, one dimension)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ops
+
+GAMMA = 1.4
+G_SMALL = 1.0e-16
+DTC_SAFE = 0.5
+
+S1D_SELF = ops.Stencil(1, [(0,)], "S1D_SELF")
+S1D_FACE = ops.Stencil(1, [(0,), (1,)], "S1D_FACE")
+S1D_DONOR = ops.Stencil(1, [(0,), (-1,)], "S1D_DONOR")
+S1D_VEL = ops.Stencil(1, [(0,), (-1,), (1,)], "S1D_VEL")
+
+
+class SodApp:
+    """Sod's problem on [0, 1]: (1, 0, 1) left of x0, (0.125, 0, 0.1) right."""
+
+    def __init__(self, n: int = 400, *, x0: float = 0.5, backend: str = "vec"):
+        self.n = n
+        self.dx = 1.0 / n
+        self.x0 = x0
+        self.backend = backend
+        self.time = 0.0
+        blk = ops.Block(1, "tube")
+        self.block = blk
+
+        def cell(name):
+            return ops.Dat(blk, n, halo_depth=2, name=name)
+
+        def node(name):
+            return ops.Dat(blk, n + 1, halo_depth=2, name=name)
+
+        self.density0, self.density1 = cell("density0"), cell("density1")
+        self.energy0, self.energy1 = cell("energy0"), cell("energy1")
+        self.pressure, self.soundspeed, self.viscosity = (
+            cell("pressure"), cell("soundspeed"), cell("viscosity"),
+        )
+        self.xvel0, self.xvel1 = node("xvel0"), node("xvel1")
+        self.node_mass, self.mom_flux = node("node_mass"), node("mom_flux")
+        self.node_flux = node("node_flux")
+        self.vol_flux = node("vol_flux")
+        self.mass_flux = node("mass_flux")
+        self.ener_flux = node("ener_flux")
+
+        centres = (np.arange(n) + 0.5) * self.dx
+        left = centres < x0
+        self.density0.interior[...] = np.where(left, 1.0, 0.125)
+        p = np.where(left, 1.0, 0.1)
+        self.energy0.interior[...] = p / ((GAMMA - 1.0) * self.density0.interior)
+
+    # -- boundary conditions ---------------------------------------------------------
+
+    def _bcs(self) -> None:
+        """Transmissive (outflow) boundaries: copy the edge values outward."""
+        for dat, node_like in (
+            (self.density0, False), (self.energy0, False), (self.pressure, False),
+            (self.viscosity, False), (self.density1, False), (self.energy1, False),
+            (self.xvel0, True), (self.xvel1, True),
+            (self.mass_flux, True), (self.vol_flux, True), (self.ener_flux, True),
+        ):
+            h = dat.halo_depth
+            a = dat.data
+            s = dat.size[0]
+            for k in range(1, h + 1):
+                a[h - k] = a[h]
+                a[h + s - 1 + k] = a[h + s - 1]
+
+    # -- one step -------------------------------------------------------------------
+
+    def step(self) -> float:
+        n, dx = self.n, self.dx
+        be = self.backend
+        cells = [(0, n)]
+        nodes = [(0, n + 1)]
+        self._bcs()
+
+        def ideal_gas(d, e, p, c):
+            p[0] = (GAMMA - 1.0) * d[0] * e[0]
+            c[0] = np.sqrt(GAMMA * (GAMMA - 1.0) * e[0])
+
+        ops.par_loop(ideal_gas, self.block, cells,
+                     self.density0(ops.READ), self.energy0(ops.READ),
+                     self.pressure(ops.WRITE), self.soundspeed(ops.WRITE),
+                     backend=be, name="sod_ideal_gas")
+
+        def viscosity_k(xv, d, q):
+            du = xv[1] - xv[0]
+            q[0] = np.where(du < 0.0, 2.0 * d[0] * du * du, 0.0)
+
+        ops.par_loop(viscosity_k, self.block, cells,
+                     self.xvel0(ops.READ, S1D_FACE), self.density0(ops.READ),
+                     self.viscosity(ops.WRITE), backend=be, name="sod_viscosity")
+        self._bcs()
+
+        dt_min = ops.Reduction("min", name="sod_dt")
+
+        def calc_dt(d, c, q, xv, t):
+            cc = np.sqrt(c[0] * c[0] + 2.0 * q[0] / (d[0] + G_SMALL)) + G_SMALL
+            u = 0.5 * np.abs(xv[0] + xv[1])
+            t.min(DTC_SAFE * dx / (cc + u + G_SMALL))
+
+        ops.par_loop(calc_dt, self.block, cells,
+                     self.density0(ops.READ), self.soundspeed(ops.READ),
+                     self.viscosity(ops.READ), self.xvel0(ops.READ, S1D_FACE),
+                     dt_min, backend=be, name="sod_calc_dt")
+        dt = float(dt_min.value)
+
+        # Lagrangian phase -----------------------------------------------------------
+        def pdv(xv, d0, e0, p, q, d1, e1, frac=0.5 * dt):
+            total = (xv[1] - xv[0]) * frac
+            vc = total / dx
+            d1[0] = d0[0] / (1.0 + vc)
+            e1[0] = e0[0] - (p[0] + q[0]) / (d0[0] + G_SMALL) * vc
+
+        ops.par_loop(pdv, self.block, cells,
+                     self.xvel0(ops.READ, S1D_FACE), self.density0(ops.READ),
+                     self.energy0(ops.READ), self.pressure(ops.READ),
+                     self.viscosity(ops.READ), self.density1(ops.WRITE),
+                     self.energy1(ops.WRITE), backend=be, name="sod_pdv_predict")
+        ops.par_loop(ideal_gas, self.block, cells,
+                     self.density1(ops.READ), self.energy1(ops.READ),
+                     self.pressure(ops.WRITE), self.soundspeed(ops.WRITE),
+                     backend=be, name="sod_ideal_gas")
+        self._bcs()
+
+        def accelerate(d, p, q, xv0, xv1):
+            nodal_mass = 0.5 * (d[0] + d[-1]) * dx
+            step = dt / (nodal_mass + G_SMALL)
+            xv1[0] = xv0[0] - step * ((p[0] - p[-1]) + (q[0] - q[-1]))
+
+        ops.par_loop(accelerate, self.block, nodes,
+                     self.density0(ops.READ, S1D_DONOR), self.pressure(ops.READ, S1D_DONOR),
+                     self.viscosity(ops.READ, S1D_DONOR), self.xvel0(ops.READ),
+                     self.xvel1(ops.WRITE), backend=be, name="sod_accelerate")
+        self._bcs()
+
+        def pdv_correct(xv0, xv1, d0, e0, p, q, d1, e1):
+            total = 0.5 * ((xv0[1] + xv1[1]) - (xv0[0] + xv1[0])) * dt
+            vc = total / dx
+            d1[0] = d0[0] / (1.0 + vc)
+            e1[0] = e0[0] - (p[0] + q[0]) / (d0[0] + G_SMALL) * vc
+
+        ops.par_loop(pdv_correct, self.block, cells,
+                     self.xvel0(ops.READ, S1D_FACE), self.xvel1(ops.READ, S1D_FACE),
+                     self.density0(ops.READ), self.energy0(ops.READ),
+                     self.pressure(ops.READ), self.viscosity(ops.READ),
+                     self.density1(ops.WRITE), self.energy1(ops.WRITE),
+                     backend=be, name="sod_pdv_correct")
+
+        # remap phase ------------------------------------------------------------------
+        def flux_calc(xv0, xv1, vf):
+            vf[0] = 0.5 * dt * (xv0[0] + xv1[0])
+
+        ops.par_loop(flux_calc, self.block, nodes,
+                     self.xvel0(ops.READ), self.xvel1(ops.READ),
+                     self.vol_flux(ops.WRITE), backend=be, name="sod_flux_calc")
+        self._bcs()
+
+        def mass_ener_flux(vf, d1, e1, mf, ef):
+            donor_d = np.where(vf[0] > 0.0, d1[-1], d1[0])
+            donor_e = np.where(vf[0] > 0.0, e1[-1], e1[0])
+            mf[0] = vf[0] * donor_d
+            ef[0] = vf[0] * donor_d * donor_e
+
+        ops.par_loop(mass_ener_flux, self.block, nodes,
+                     self.vol_flux(ops.READ), self.density1(ops.READ, S1D_DONOR),
+                     self.energy1(ops.READ, S1D_DONOR), self.mass_flux(ops.WRITE),
+                     self.ener_flux(ops.WRITE), backend=be, name="sod_mass_ener_flux")
+
+        def advec_cell(vf, mf, ef, d1, e1):
+            dv = vf[1] - vf[0]
+            pre_vol = dx + dv
+            post_vol = dx
+            pre_mass = d1[0] * pre_vol
+            post_mass = pre_mass + mf[0] - mf[1]
+            post_e = (e1[0] * pre_mass + ef[0] - ef[1]) / (post_mass + G_SMALL)
+            d1[0] = post_mass / post_vol
+            e1[0] = post_e
+
+        ops.par_loop(advec_cell, self.block, cells,
+                     self.vol_flux(ops.READ, S1D_FACE), self.mass_flux(ops.READ, S1D_FACE),
+                     self.ener_flux(ops.READ, S1D_FACE), self.density1(ops.RW),
+                     self.energy1(ops.RW), backend=be, name="sod_advec_cell")
+
+        # momentum remap ------------------------------------------------------------------
+        def node_mass_k(d1, nm):
+            nm[0] = 0.5 * (d1[0] + d1[-1]) * dx
+
+        self._bcs()
+        ops.par_loop(node_mass_k, self.block, nodes,
+                     self.density1(ops.READ, S1D_DONOR), self.node_mass(ops.WRITE),
+                     backend=be, name="sod_node_mass")
+
+        def mom_flux_k(mf, xv, out, nf):
+            flux = 0.5 * (mf[-1] + mf[0])
+            donor = np.where(flux > 0.0, xv[-1], xv[0])
+            out[0] = flux * donor
+            nf[0] = flux
+
+        ops.par_loop(mom_flux_k, self.block, nodes,
+                     self.mass_flux(ops.READ, S1D_DONOR), self.xvel1(ops.READ, S1D_VEL),
+                     self.mom_flux(ops.WRITE), self.node_flux(ops.WRITE),
+                     backend=be, name="sod_mom_flux")
+
+        def mom_update(out, nf, nm, xv):
+            # conservative remap: (u * pre_mass + flux_in - flux_out) / post_mass
+            post = nm[0] + G_SMALL
+            pre = nm[0] - nf[0] + nf[1]
+            xv[0] = (xv[0] * pre + out[0] - out[1]) / post
+
+        ops.par_loop(mom_update, self.block, [(1, n)],
+                     self.mom_flux(ops.READ, S1D_FACE), self.node_flux(ops.READ, S1D_FACE),
+                     self.node_mass(ops.READ), self.xvel1(ops.RW),
+                     backend=be, name="sod_mom_update")
+
+        # reset -------------------------------------------------------------------------
+        def reset_c(d0, e0, d1, e1):
+            d0[0] = d1[0]
+            e0[0] = e1[0]
+
+        def reset_n(x0v, x1v):
+            x0v[0] = x1v[0]
+
+        ops.par_loop(reset_c, self.block, cells,
+                     self.density0(ops.WRITE), self.energy0(ops.WRITE),
+                     self.density1(ops.READ), self.energy1(ops.READ),
+                     backend=be, name="sod_reset_cell")
+        ops.par_loop(reset_n, self.block, nodes,
+                     self.xvel0(ops.WRITE), self.xvel1(ops.READ),
+                     backend=be, name="sod_reset_node")
+
+        self.time += dt
+        return dt
+
+    def run_until(self, t_end: float, max_steps: int = 100_000) -> float:
+        steps = 0
+        while self.time < t_end and steps < max_steps:
+            dt = self.step()
+            if self.time + dt > t_end:
+                pass  # last partial step overshoot is acceptable at CFL size
+            steps += 1
+        return self.time
+
+    # -- observables -----------------------------------------------------------------------
+
+    def centres(self) -> np.ndarray:
+        return (np.arange(self.n) + 0.5) * self.dx
+
+    def profiles(self) -> dict[str, np.ndarray]:
+        return {
+            "rho": self.density0.interior.copy(),
+            "e": self.energy0.interior.copy(),
+            "p": self.pressure.interior.copy(),
+            "u": 0.5 * (self.xvel0.interior[:-1] + self.xvel0.interior[1:]),
+        }
+
+    def total_mass(self) -> float:
+        return float(self.density0.interior.sum() * self.dx)

@@ -1,0 +1,152 @@
+"""Exact Riemann solver for the 1-D Euler equations (Toro's method).
+
+Given left/right states (rho, u, p), solves the star-region pressure with
+Newton iteration and samples the self-similar solution at x/t — the
+analytic oracle for the Sod problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+GAMMA = 1.4
+
+
+def _fK(p: float, rho: float, pK: float) -> tuple[float, float]:
+    """Toro's f_K(p) and its derivative for one side of the discontinuity."""
+    g = GAMMA
+    cK = np.sqrt(g * pK / rho)
+    if p > pK:  # shock
+        aK = 2.0 / ((g + 1.0) * rho)
+        bK = (g - 1.0) / (g + 1.0) * pK
+        f = (p - pK) * np.sqrt(aK / (p + bK))
+        df = np.sqrt(aK / (bK + p)) * (1.0 - 0.5 * (p - pK) / (bK + p))
+    else:  # rarefaction
+        f = 2.0 * cK / (g - 1.0) * ((p / pK) ** ((g - 1.0) / (2.0 * g)) - 1.0)
+        df = 1.0 / (rho * cK) * (p / pK) ** (-(g + 1.0) / (2.0 * g))
+    return f, df
+
+
+def riemann_star_state(
+    left: tuple[float, float, float],
+    right: tuple[float, float, float],
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 100,
+) -> tuple[float, float]:
+    """Star-region pressure and velocity for states (rho, u, p)."""
+    rhoL, uL, pL = left
+    rhoR, uR, pR = right
+    du = uR - uL
+    # initial guess: two-rarefaction approximation
+    g = GAMMA
+    cL = np.sqrt(g * pL / rhoL)
+    cR = np.sqrt(g * pR / rhoR)
+    z = (g - 1.0) / (2.0 * g)
+    p = ((cL + cR - 0.5 * (g - 1.0) * du) / (cL / pL**z + cR / pR**z)) ** (1.0 / z)
+    p = max(p, tol)
+    for _ in range(max_iter):
+        fL, dfL = _fK(p, rhoL, pL)
+        fR, dfR = _fK(p, rhoR, pR)
+        change = (fL + fR + du) / (dfL + dfR)
+        p_new = p - change
+        if p_new <= 0:
+            p_new = tol
+        if abs(p_new - p) < tol * 0.5 * (p_new + p):
+            p = p_new
+            break
+        p = p_new
+    fL, _ = _fK(p, rhoL, pL)
+    fR, _ = _fK(p, rhoR, pR)
+    u = 0.5 * (uL + uR) + 0.5 * (fR - fL)
+    return float(p), float(u)
+
+
+def _sample(
+    xi: np.ndarray,
+    left: tuple[float, float, float],
+    right: tuple[float, float, float],
+    p_star: float,
+    u_star: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample (rho, u, p) at the similarity coordinates ``xi = x/t``."""
+    g = GAMMA
+    rhoL, uL, pL = left
+    rhoR, uR, pR = right
+    cL = np.sqrt(g * pL / rhoL)
+    cR = np.sqrt(g * pR / rhoR)
+
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+
+    left_side = xi <= u_star
+    # -- left of the contact ---------------------------------------------------
+    if p_star > pL:  # left shock
+        rho_starL = rhoL * (
+            (p_star / pL + (g - 1.0) / (g + 1.0))
+            / ((g - 1.0) / (g + 1.0) * p_star / pL + 1.0)
+        )
+        sL = uL - cL * np.sqrt((g + 1.0) / (2.0 * g) * p_star / pL + (g - 1.0) / (2.0 * g))
+        pre = xi < sL
+        rho[left_side] = np.where(pre[left_side], rhoL, rho_starL)
+        u[left_side] = np.where(pre[left_side], uL, u_star)
+        p[left_side] = np.where(pre[left_side], pL, p_star)
+    else:  # left rarefaction
+        rho_starL = rhoL * (p_star / pL) ** (1.0 / g)
+        c_starL = cL * (p_star / pL) ** ((g - 1.0) / (2.0 * g))
+        head = uL - cL
+        tail = u_star - c_starL
+        in_fan = (xi >= head) & (xi <= tail)
+        fan_u = 2.0 / (g + 1.0) * (cL + (g - 1.0) / 2.0 * uL + xi)
+        fan_c = 2.0 / (g + 1.0) * (cL + (g - 1.0) / 2.0 * (uL - xi))
+        fan_rho = rhoL * (fan_c / cL) ** (2.0 / (g - 1.0))
+        fan_p = pL * (fan_c / cL) ** (2.0 * g / (g - 1.0))
+        m = left_side
+        rho[m] = np.where(xi[m] < head, rhoL, np.where(in_fan[m], fan_rho[m], rho_starL))
+        u[m] = np.where(xi[m] < head, uL, np.where(in_fan[m], fan_u[m], u_star))
+        p[m] = np.where(xi[m] < head, pL, np.where(in_fan[m], fan_p[m], p_star))
+
+    # -- right of the contact --------------------------------------------------
+    m = ~left_side
+    if p_star > pR:  # right shock
+        rho_starR = rhoR * (
+            (p_star / pR + (g - 1.0) / (g + 1.0))
+            / ((g - 1.0) / (g + 1.0) * p_star / pR + 1.0)
+        )
+        sR = uR + cR * np.sqrt((g + 1.0) / (2.0 * g) * p_star / pR + (g - 1.0) / (2.0 * g))
+        post = xi > sR
+        rho[m] = np.where(post[m], rhoR, rho_starR)
+        u[m] = np.where(post[m], uR, u_star)
+        p[m] = np.where(post[m], pR, p_star)
+    else:  # right rarefaction
+        rho_starR = rhoR * (p_star / pR) ** (1.0 / g)
+        c_starR = cR * (p_star / pR) ** ((g - 1.0) / (2.0 * g))
+        head = uR + cR
+        tail = u_star + c_starR
+        in_fan = (xi >= tail) & (xi <= head)
+        fan_u = 2.0 / (g + 1.0) * (-cR + (g - 1.0) / 2.0 * uR + xi)
+        fan_c = 2.0 / (g + 1.0) * (cR - (g - 1.0) / 2.0 * (uR - xi))
+        fan_rho = rhoR * (fan_c / cR) ** (2.0 / (g - 1.0))
+        fan_p = pR * (fan_c / cR) ** (2.0 * g / (g - 1.0))
+        rho[m] = np.where(xi[m] > head, rhoR, np.where(in_fan[m], fan_rho[m], rho_starR))
+        u[m] = np.where(xi[m] > head, uR, np.where(in_fan[m], fan_u[m], u_star))
+        p[m] = np.where(xi[m] > head, pR, np.where(in_fan[m], fan_p[m], p_star))
+
+    return rho, u, p
+
+
+def exact_sod_solution(
+    x: np.ndarray,
+    t: float,
+    *,
+    x0: float = 0.5,
+    left: tuple[float, float, float] = (1.0, 0.0, 1.0),
+    right: tuple[float, float, float] = (0.125, 0.0, 0.1),
+) -> dict[str, np.ndarray]:
+    """Exact (rho, u, p, e) profiles of the Sod problem at time ``t``."""
+    p_star, u_star = riemann_star_state(left, right)
+    xi = (np.asarray(x, dtype=float) - x0) / max(t, 1e-300)
+    rho, u, p = _sample(xi, left, right, p_star, u_star)
+    e = p / ((GAMMA - 1.0) * rho)
+    return {"rho": rho, "u": u, "p": p, "e": e}

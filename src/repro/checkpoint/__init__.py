@@ -1,0 +1,45 @@
+"""Checkpointing driven by the access-execute description (paper Section VI).
+
+Because every loop declares how it accesses every dataset, the library can
+"reason about the state of all the datasets at any particular point during
+execution": datasets that are immediately overwritten need not be saved.
+This package provides
+
+* :mod:`repro.checkpoint.analysis` — the Figure-8 decision table: for every
+  potential entry point in a loop chain, which datasets get saved, dropped
+  or deferred, and how many units of data the checkpoint costs;
+* :mod:`repro.checkpoint.speculative` — periodic-sequence detection: when
+  the kernel sequence repeats, wait for the cheapest entry point instead of
+  checkpointing immediately;
+* :mod:`repro.checkpoint.manager` — the runtime: a loop observer that
+  triggers checkpoints, saves datasets lazily as their fate is decided,
+  records reduction/global values, and fast-forwards on recovery (loops are
+  skipped, only global-argument values are replayed, until the checkpoint
+  location is reached and state is restored);
+* :mod:`repro.checkpoint.store` — in-memory and npz-file checkpoint stores.
+"""
+
+from repro.checkpoint.analysis import (
+    ChainLoop,
+    DatasetFate,
+    decision_table,
+    units_saved_if_entering,
+    chain_from_events,
+)
+from repro.checkpoint.speculative import detect_period, best_entry_points
+from repro.checkpoint.manager import CheckpointManager, RecoveryReplayer
+from repro.checkpoint.store import MemoryStore, FileStore
+
+__all__ = [
+    "ChainLoop",
+    "DatasetFate",
+    "decision_table",
+    "units_saved_if_entering",
+    "chain_from_events",
+    "detect_period",
+    "best_entry_points",
+    "CheckpointManager",
+    "RecoveryReplayer",
+    "MemoryStore",
+    "FileStore",
+]

@@ -1,0 +1,177 @@
+"""The Figure-8 decision analysis.
+
+Given a loop chain (sequence of loops with per-dataset access modes), decide
+for each potential checkpoint entry point:
+
+* which datasets must be **saved** — their first access at or after the
+  entry point observes the old value (READ, RW, or INC, since an increment's
+  result depends on the prior contents);
+* which are **dropped** — first access is a pure WRITE, so the value is
+  regenerated before anyone reads it;
+* which are **never saved** — never modified during the chain at all
+  (inputs like coordinates and bounds, restorable from the original files);
+* globals/reductions are excluded from the units count — their values are
+  recorded "whenever [the producing loop] has executed".
+
+The chain is treated as periodic (the paper's speculative analysis detects
+the period), so datasets whose next access lies in the following iteration
+are still classified; with a non-periodic finite chain, unreached datasets
+are reported as pending ("unknown yet" in the figure).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.access import Access
+from repro.common.profiling import LoopEvent
+
+
+@dataclass(frozen=True)
+class ChainAccess:
+    """One dataset access inside one loop of the chain."""
+
+    dataset: str
+    dim: int
+    access: Access
+    is_global: bool = False
+
+
+@dataclass
+class ChainLoop:
+    """One loop of the chain: its name and dataset accesses."""
+
+    name: str
+    accesses: list[ChainAccess] = field(default_factory=list)
+
+    def access_of(self, dataset: str) -> ChainAccess | None:
+        for a in self.accesses:
+            if a.dataset == dataset:
+                return a
+        return None
+
+
+class DatasetFate(enum.Enum):
+    """Classification of one dataset for one checkpoint entry point."""
+
+    SAVED = "saved"
+    DROPPED = "dropped"
+    NEVER_SAVED = "never_saved"  # not modified anywhere in the chain
+    GLOBAL = "global"  # reduction value, recorded separately
+    PENDING = "pending"  # no access observed before the chain ended
+
+
+def chain_from_events(events: list[LoopEvent]) -> list[ChainLoop]:
+    """Build a chain description from recorded loop events."""
+    chain = []
+    for ev in events:
+        accesses = [
+            ChainAccess(a.name, a.dim, a.access, a.is_global) for a in ev.args
+        ]
+        chain.append(ChainLoop(ev.name, accesses))
+    return chain
+
+
+def datasets_in_chain(chain: list[ChainLoop]) -> dict[str, ChainAccess]:
+    """All distinct datasets (first occurrence), name -> representative access."""
+    out: dict[str, ChainAccess] = {}
+    for loop in chain:
+        for a in loop.accesses:
+            out.setdefault(a.dataset, a)
+    return out
+
+
+def _modified_datasets(chain: list[ChainLoop]) -> set[str]:
+    return {
+        a.dataset
+        for loop in chain
+        for a in loop.accesses
+        if not a.is_global and a.access.writes
+    }
+
+
+def classify_entry(
+    chain: list[ChainLoop], entry: int, *, periodic: bool = True
+) -> dict[str, DatasetFate]:
+    """Classify every dataset for a checkpoint entered right before loop ``entry``."""
+    datasets = datasets_in_chain(chain)
+    modified = _modified_datasets(chain)
+    n = len(chain)
+    fates: dict[str, DatasetFate] = {}
+    for name, rep in datasets.items():
+        if rep.is_global:
+            fates[name] = DatasetFate.GLOBAL
+            continue
+        if name not in modified:
+            fates[name] = DatasetFate.NEVER_SAVED
+            continue
+        horizon = n if periodic else n - entry
+        fate = DatasetFate.PENDING
+        for k in range(horizon):
+            loop = chain[(entry + k) % n]
+            acc = loop.access_of(name)
+            if acc is None:
+                continue
+            if acc.access is Access.WRITE:
+                fate = DatasetFate.DROPPED
+            else:  # READ / RW / INC observe the old value
+                fate = DatasetFate.SAVED
+            break
+        fates[name] = fate
+    return fates
+
+
+def units_saved_if_entering(
+    chain: list[ChainLoop], entry: int, *, periodic: bool = True
+) -> int:
+    """The figure's "units of data saved" column for one entry point.
+
+    A unit is one component of one dataset (the dataset's ``dim``); pending
+    datasets are counted conservatively as saved.
+    """
+    datasets = datasets_in_chain(chain)
+    fates = classify_entry(chain, entry, periodic=periodic)
+    return sum(
+        datasets[name].dim
+        for name, fate in fates.items()
+        if fate in (DatasetFate.SAVED, DatasetFate.PENDING)
+    )
+
+
+@dataclass
+class DecisionRow:
+    """One row of the Figure-8 table."""
+
+    index: int
+    loop: str
+    accesses: dict[str, str]  # dataset -> R/W/I/RW short code
+    units: int
+
+
+def decision_table(chain: list[ChainLoop], *, periodic: bool = True) -> list[DecisionRow]:
+    """The full Figure-8 table: per loop, accesses and units-if-entering-here."""
+    rows = []
+    for i, loop in enumerate(chain):
+        accesses = {a.dataset: a.access.short for a in loop.accesses}
+        rows.append(
+            DecisionRow(
+                index=i + 1,
+                loop=loop.name,
+                accesses=accesses,
+                units=units_saved_if_entering(chain, i, periodic=periodic),
+            )
+        )
+    return rows
+
+
+def format_table(chain: list[ChainLoop], *, periodic: bool = True) -> str:
+    """Render the decision table as text (the benchmark prints this)."""
+    datasets = list(datasets_in_chain(chain))
+    rows = decision_table(chain, periodic=periodic)
+    header = f"{'#':>3} {'loop':<12}" + "".join(f"{d:>10}" for d in datasets) + f"{'units':>8}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        cells = "".join(f"{r.accesses.get(d, ''):>10}" for d in datasets)
+        lines.append(f"{r.index:>3} {r.loop:<12}{cells}{r.units:>8}")
+    return "\n".join(lines)

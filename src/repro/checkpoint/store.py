@@ -1,0 +1,88 @@
+"""Checkpoint stores: where saved datasets and global values live."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import CheckpointError
+
+
+class MemoryStore:
+    """In-memory checkpoint store (tests, single-process runs)."""
+
+    def __init__(self) -> None:
+        self.datasets: dict[str, np.ndarray] = {}
+        self.globals: dict[str, list[tuple[int, np.ndarray]]] = {}
+        self.entry_index: int | None = None
+        self.dropped: list[str] = []
+
+    def save_dataset(self, name: str, values: np.ndarray) -> None:
+        self.datasets[name] = np.array(values, copy=True)
+
+    def drop_dataset(self, name: str) -> None:
+        if name not in self.dropped:
+            self.dropped.append(name)
+
+    def record_global(self, name: str, loop_index: int, value: np.ndarray) -> None:
+        self.globals.setdefault(name, []).append((loop_index, np.array(value, copy=True)))
+
+    def set_entry(self, loop_index: int) -> None:
+        self.entry_index = loop_index
+
+    @property
+    def saved_units(self) -> int:
+        """Total components saved (the figure's cost metric)."""
+        return sum(int(v.shape[-1]) if v.ndim > 1 else 1 for v in self.datasets.values())
+
+    @property
+    def saved_bytes(self) -> int:
+        return sum(v.nbytes for v in self.datasets.values())
+
+    def global_at(self, name: str, loop_index: int) -> np.ndarray | None:
+        """Latest recorded value of a global at or before ``loop_index``."""
+        best = None
+        for idx, val in self.globals.get(name, []):
+            if idx <= loop_index:
+                best = val
+        return best
+
+
+class FileStore(MemoryStore):
+    """Checkpoint store persisted to an npz file (the HDF5 stand-in)."""
+
+    def __init__(self, path: str | Path):
+        super().__init__()
+        self.path = Path(path)
+
+    def flush(self) -> None:
+        """Write the checkpoint to disk."""
+        if self.entry_index is None:
+            raise CheckpointError("no checkpoint entry recorded; nothing to flush")
+        payload: dict[str, np.ndarray] = {
+            f"dat/{k}": v for k, v in self.datasets.items()
+        }
+        for name, series in self.globals.items():
+            for idx, val in series:
+                payload[f"gbl/{name}/{idx}"] = val
+        payload["entry"] = np.asarray([self.entry_index], dtype=np.int64)
+        payload["dropped"] = np.asarray(self.dropped, dtype=object)
+        np.savez(self.path, **payload, allow_pickle=True)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FileStore":
+        """Read a checkpoint back from disk."""
+        store = cls(path)
+        with np.load(Path(path), allow_pickle=True) as npz:
+            store.entry_index = int(npz["entry"][0])
+            store.dropped = [str(d) for d in npz["dropped"]]
+            for key in npz.files:
+                if key.startswith("dat/"):
+                    store.datasets[key[4:]] = npz[key]
+                elif key.startswith("gbl/"):
+                    _, name, idx = key.split("/")
+                    store.globals.setdefault(name, []).append((int(idx), npz[key]))
+        for series in store.globals.values():
+            series.sort(key=lambda t: t[0])
+        return store

@@ -1,0 +1,61 @@
+"""Access descriptors shared by OP2 and OPS.
+
+The access mode of every argument is the heart of the access-execute
+abstraction: the library uses it to derive halo exchanges, race-avoidance
+colouring, reduction handling and checkpoint save/drop decisions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Access(enum.Enum):
+    """How a parallel-loop argument accesses its dataset.
+
+    Mirrors OP2's ``OP_READ`` / ``OP_WRITE`` / ``OP_RW`` / ``OP_INC`` and the
+    global-reduction modes ``OP_MIN`` / ``OP_MAX``.
+    """
+
+    READ = "read"
+    WRITE = "write"
+    RW = "rw"
+    INC = "inc"
+    MIN = "min"
+    MAX = "max"
+
+    @property
+    def reads(self) -> bool:
+        """True if the old value of the data is observed by the kernel."""
+        return self in (Access.READ, Access.RW, Access.INC, Access.MIN, Access.MAX)
+
+    @property
+    def writes(self) -> bool:
+        """True if the kernel may modify the data."""
+        return self is not Access.READ
+
+    @property
+    def is_reduction(self) -> bool:
+        """True for modes that combine contributions (INC/MIN/MAX)."""
+        return self in (Access.INC, Access.MIN, Access.MAX)
+
+    @property
+    def short(self) -> str:
+        """One/two-letter code used in Figure-8-style tables (R/W/I/RW/MIN/MAX)."""
+        return {
+            Access.READ: "R",
+            Access.WRITE: "W",
+            Access.RW: "RW",
+            Access.INC: "I",
+            Access.MIN: "MIN",
+            Access.MAX: "MAX",
+        }[self]
+
+
+# OP2/OPS-style module-level aliases, so application code reads like the paper.
+OP_READ = Access.READ
+OP_WRITE = Access.WRITE
+OP_RW = Access.RW
+OP_INC = Access.INC
+OP_MIN = Access.MIN
+OP_MAX = Access.MAX

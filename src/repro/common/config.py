@@ -1,0 +1,51 @@
+"""Global runtime configuration knobs.
+
+Kept intentionally tiny: a plain dataclass instance that subsystems read at
+call time, so tests can flip flags with ``swap()``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+
+@dataclass
+class Config:
+    """Runtime options shared across subsystems."""
+
+    #: run OPS runtime stencil verification on every loop (slow; for debugging)
+    check_stencils: bool = False
+    #: default block size for OP2 colouring plans (elements per mini-block)
+    plan_block_size: int = 256
+    #: default CUDA-sim thread-block size
+    cuda_block_size: int = 128
+    #: collect per-loop performance counters
+    profiling: bool = True
+    #: verbose diagnostics to stdout
+    verbose: bool = False
+
+
+_config = Config()
+
+
+def get_config() -> Config:
+    """Return the live configuration object."""
+    return _config
+
+
+@contextlib.contextmanager
+def swap(**overrides) -> Iterator[Config]:
+    """Temporarily override configuration fields.
+
+    >>> with swap(check_stencils=True):
+    ...     ...
+    """
+    global _config
+    old = _config
+    _config = replace(old, **overrides)
+    try:
+        yield _config
+    finally:
+        _config = old

@@ -1,0 +1,126 @@
+"""Performance counters.
+
+Every parallel-loop execution records how much data it moved and how much
+arithmetic it performed.  The counters are *measured* from the access
+descriptors and set/range sizes — they are exact for the abstract machine —
+and are the input to :mod:`repro.perfmodel`, which converts them into
+predicted runtimes on catalogued hardware.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LoopRecord:
+    """Aggregated statistics for one named parallel loop."""
+
+    name: str
+    invocations: int = 0
+    iterations: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    flops: int = 0
+    indirect_reads: int = 0
+    indirect_writes: int = 0
+    #: unique-location portion of the indirect traffic: what reaches DRAM
+    #: when caches capture all re-references (res_calc reads each cell's q
+    #: once from memory even though ~4 edges reference it)
+    indirect_reads_unique: int = 0
+    indirect_writes_unique: int = 0
+    colours: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total off-chip traffic (read + written)."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def is_indirect(self) -> bool:
+        """True if the loop ever touched data through a mapping."""
+        return (self.indirect_reads + self.indirect_writes) > 0
+
+    def merge(self, other: "LoopRecord") -> None:
+        """Fold another record (same loop, e.g. another rank) into this one."""
+        self.invocations += other.invocations
+        self.iterations += other.iterations
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.flops += other.flops
+        self.indirect_reads += other.indirect_reads
+        self.indirect_writes += other.indirect_writes
+        self.indirect_reads_unique += other.indirect_reads_unique
+        self.indirect_writes_unique += other.indirect_writes_unique
+        self.colours = max(self.colours, other.colours)
+        self.wall_seconds += other.wall_seconds
+
+
+@dataclass
+class PerfCounters:
+    """Per-run registry of loop records and communication counters."""
+
+    loops: dict[str, LoopRecord] = field(default_factory=dict)
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    reductions: int = 0
+    halo_exchanges: int = 0
+
+    def loop(self, name: str) -> LoopRecord:
+        """Return (creating if needed) the record for loop ``name``."""
+        rec = self.loops.get(name)
+        if rec is None:
+            rec = self.loops[name] = LoopRecord(name)
+        return rec
+
+    def record_message(self, nbytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += int(nbytes)
+
+    def record_halo_exchange(self, nmessages: int, nbytes: int) -> None:
+        self.halo_exchanges += 1
+        self.messages_sent += int(nmessages)
+        self.bytes_sent += int(nbytes)
+
+    def record_reduction(self) -> None:
+        self.reductions += 1
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Fold another counter set (e.g. from another simulated rank) in."""
+        for name, rec in other.loops.items():
+            self.loop(name).merge(rec)
+        self.messages_sent += other.messages_sent
+        self.bytes_sent += other.bytes_sent
+        self.reductions += other.reductions
+        self.halo_exchanges += other.halo_exchanges
+
+    def reset(self) -> None:
+        self.loops.clear()
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.reductions = 0
+        self.halo_exchanges = 0
+
+    def summary_rows(self) -> list[tuple[str, int, int, int, float]]:
+        """Rows of (loop, iterations, bytes, flops, seconds), insertion order."""
+        return [
+            (r.name, r.iterations, r.bytes_moved, r.flops, r.wall_seconds)
+            for r in self.loops.values()
+        ]
+
+
+class Timer:
+    """Context manager accumulating wall time onto a :class:`LoopRecord`."""
+
+    def __init__(self, record: LoopRecord):
+        self._record = record
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._record.wall_seconds += time.perf_counter() - self._t0

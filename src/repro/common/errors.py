@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class APIError(ReproError):
+    """Invalid use of the OP2/OPS public API (bad arguments, wrong sets...)."""
+
+
+class PlanError(ReproError):
+    """Failure while constructing or validating a colouring execution plan."""
+
+
+class StencilMismatchError(ReproError):
+    """A kernel accessed a point outside its declared stencil (OPS runtime check)."""
+
+
+class PartitionError(ReproError):
+    """Failure while partitioning a mesh across MPI ranks."""
+
+
+class CheckpointError(ReproError):
+    """Failure while planning, writing or restoring a checkpoint."""
+
+
+class TranslatorError(ReproError):
+    """Failure while parsing an application or generating backend code."""

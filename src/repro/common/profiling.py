@@ -1,0 +1,94 @@
+"""Shared profiling and loop-observation scaffolding.
+
+Both libraries route loop statistics into the *active* counters (a global
+default, overridable with :func:`counters_scope`) and announce every loop
+execution to registered observers — the hook the checkpointing subsystem
+uses to watch the loop chain.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.common.access import Access
+from repro.common.counters import PerfCounters
+
+_global_counters = PerfCounters()
+_counters_stack: list[PerfCounters] = []
+_observers: list[Callable[["LoopEvent"], None]] = []
+
+
+@dataclass
+class ArgEvent:
+    """Access descriptor of one loop argument, library-agnostic."""
+
+    name: str
+    access: Access
+    dim: int
+    indirect: bool = False
+    is_global: bool = False
+    data_ref: Any = None  # the Dat/Global object, for checkpoint saves
+
+
+@dataclass
+class LoopEvent:
+    """What observers see: loop name plus its argument descriptors.
+
+    An observer may set ``skip`` to suppress the loop body — the mechanism
+    behind checkpoint-recovery fast-forwarding, where "the op_par_loops do
+    not carry out any computations, only set the value of op_arg_gbl
+    arguments" (paper Section VI).
+    """
+
+    name: str
+    args: list[ArgEvent] = field(default_factory=list)
+    api: str = "op2"
+    skip: bool = False
+
+
+def active_counters() -> PerfCounters:
+    """The counters currently receiving loop statistics."""
+    return _counters_stack[-1] if _counters_stack else _global_counters
+
+
+def global_counters() -> PerfCounters:
+    """The process-default counters."""
+    return _global_counters
+
+
+@contextlib.contextmanager
+def counters_scope(counters: PerfCounters) -> Iterator[PerfCounters]:
+    """Route loop statistics to ``counters`` within the scope."""
+    _counters_stack.append(counters)
+    try:
+        yield counters
+    finally:
+        _counters_stack.pop()
+
+
+def add_loop_observer(fn: Callable[[LoopEvent], None]) -> None:
+    """Register a callback invoked before every loop execution."""
+    _observers.append(fn)
+
+
+def remove_loop_observer(fn: Callable[[LoopEvent], None]) -> None:
+    _observers.remove(fn)
+
+
+def notify_loop(event: LoopEvent) -> None:
+    """Announce a loop execution to all observers."""
+    for obs in list(_observers):
+        obs(event)
+
+
+@contextlib.contextmanager
+def loop_chain_record() -> Iterator[list[LoopEvent]]:
+    """Record the sequence of loops executed inside the scope."""
+    events: list[LoopEvent] = []
+    _observers.append(events.append)
+    try:
+        yield events
+    finally:
+        _observers.remove(events.append)

@@ -1,0 +1,46 @@
+"""Human-readable diagnostics, in the spirit of OP2's op_timing_output.
+
+The paper (Section II-C) highlights the built-in development aids: per-loop
+timing breakdowns and consistency checks.  :func:`timing_report` renders
+the active counters the way OP2 prints its loop table.
+"""
+
+from __future__ import annotations
+
+from repro.common.counters import PerfCounters
+
+
+def timing_report(counters: PerfCounters, *, top: int | None = None) -> str:
+    """Per-loop table: count, time, bandwidth, arithmetic intensity."""
+    rows = []
+    for rec in counters.loops.values():
+        gb = rec.bytes_moved / 1e9
+        bw = gb / rec.wall_seconds if rec.wall_seconds > 0 else 0.0
+        ai = rec.flops / rec.bytes_moved if rec.bytes_moved else 0.0
+        rows.append((rec.wall_seconds, rec.name, rec.invocations, rec.iterations, gb, bw, ai, rec.colours))
+    rows.sort(reverse=True)
+    if top is not None:
+        rows = rows[:top]
+
+    header = (
+        f"{'loop':<24}{'calls':>7}{'iterations':>12}{'GB moved':>10}"
+        f"{'time(s)':>9}{'GB/s':>8}{'flop/B':>8}{'colours':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for secs, name, calls, iters, gb, bw, ai, colours in rows:
+        lines.append(
+            f"{name:<24}{calls:>7}{iters:>12}{gb:>10.3f}"
+            f"{secs:>9.3f}{bw:>8.1f}{ai:>8.2f}{colours:>8}"
+        )
+    lines.append("-" * len(header))
+    total_t = sum(r[0] for r in rows)
+    total_gb = sum(r[4] for r in rows)
+    lines.append(f"{'total':<24}{'':>7}{'':>12}{total_gb:>10.3f}{total_t:>9.3f}")
+    if counters.halo_exchanges or counters.messages_sent:
+        lines.append(
+            f"comm: {counters.halo_exchanges} halo exchanges, "
+            f"{counters.messages_sent} messages, "
+            f"{counters.bytes_sent / 1e6:.2f} MB sent, "
+            f"{counters.reductions} reductions"
+        )
+    return "\n".join(lines)

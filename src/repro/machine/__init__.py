@@ -1,0 +1,47 @@
+"""Machine catalog and analytic performance models.
+
+The paper's evaluation runs on hardware we do not have (Xeon E5-2697v2,
+Xeon Phi 5110P, NVIDIA K40, HECToR XE6 nodes, Titan XK7 nodes, M2090/K20m
+GPU clusters).  This package holds their published parameters and the
+roofline-style models that convert *measured* per-loop byte/flop counts
+(from :mod:`repro.common.counters`) into predicted runtimes, so the shape of
+every figure can be regenerated.
+"""
+
+from repro.machine.spec import MachineSpec, InterconnectSpec
+from repro.machine.catalog import (
+    CATALOG,
+    get_machine,
+    XEON_E5_2697V2,
+    XEON_E5_2640,
+    XEON_PHI_5110P,
+    NVIDIA_K40,
+    NVIDIA_K20X,
+    NVIDIA_K20M,
+    NVIDIA_M2090,
+    HECTOR_XE6_NODE,
+    TITAN_XK7_CPU,
+)
+from repro.machine.roofline import RooflineModel, LoopTraffic
+from repro.machine.gpu import GpuExecutionModel
+from repro.machine.network import NetworkModel
+
+__all__ = [
+    "MachineSpec",
+    "InterconnectSpec",
+    "CATALOG",
+    "get_machine",
+    "XEON_E5_2697V2",
+    "XEON_E5_2640",
+    "XEON_PHI_5110P",
+    "NVIDIA_K40",
+    "NVIDIA_K20X",
+    "NVIDIA_K20M",
+    "NVIDIA_M2090",
+    "HECTOR_XE6_NODE",
+    "TITAN_XK7_CPU",
+    "RooflineModel",
+    "LoopTraffic",
+    "GpuExecutionModel",
+    "NetworkModel",
+]

@@ -1,0 +1,195 @@
+"""Catalog of the machines used in the paper's evaluation.
+
+All parameters are published figures for the parts (STREAM-class achievable
+bandwidth, peak DP GFLOP/s); the behavioural coefficients
+(``gather_efficiency``, ``divergence_efficiency``) are calibrated once
+against the paper's Table I bandwidth discussion — e.g. res_calc dropping to
+~25 GB/s on the Phi — and then reused unchanged for every experiment.
+"""
+
+from __future__ import annotations
+
+from repro.machine.spec import InterconnectSpec, MachineSpec
+
+# -- single-node processors (Figs 2, 3, 5; Table I) ---------------------------
+
+#: dual-socket Ivy Bridge node used for Airfoil (Fig 2, Table I)
+XEON_E5_2697V2 = MachineSpec(
+    name="Xeon E5-2697 v2 (2x12c)",
+    kind="cpu",
+    cores=24,
+    stream_bw_gbs=85.0,
+    peak_gflops=518.0,
+    scalar_gflops=130.0,
+    vector_width=4,
+    gather_efficiency=0.85,
+    cache_reuse=1.0,
+    divergence_efficiency=0.9,
+    llc_mib=2 * 30.0,
+    launch_overhead_us=2.0,
+)
+
+#: dual-socket Sandy Bridge node used for Hydra single-node runs (Fig 3)
+XEON_E5_2640 = MachineSpec(
+    name="Xeon E5-2640 (2x6c)",
+    kind="cpu",
+    cores=12,
+    stream_bw_gbs=55.0,
+    peak_gflops=240.0,
+    scalar_gflops=60.0,
+    vector_width=4,
+    gather_efficiency=0.85,
+    cache_reuse=1.0,
+    divergence_efficiency=0.9,
+    llc_mib=2 * 15.0,
+    launch_overhead_us=2.0,
+)
+
+#: Knights Corner coprocessor (Fig 2, Table I).  Wide vectors make gather /
+#: scatter very costly: indirect loops fall far below STREAM bandwidth.
+XEON_PHI_5110P = MachineSpec(
+    name="Xeon Phi 5110P",
+    kind="manycore",
+    cores=60,
+    stream_bw_gbs=110.0,
+    peak_gflops=1010.0,
+    scalar_gflops=60.0,
+    vector_width=8,
+    gather_efficiency=0.25,
+    cache_reuse=0.85,
+    divergence_efficiency=0.5,
+    llc_mib=30.0,
+    launch_overhead_us=10.0,
+)
+
+#: NVIDIA K40 (Figs 2, 3, 5; Table I)
+NVIDIA_K40 = MachineSpec(
+    name="NVIDIA K40",
+    kind="gpu",
+    cores=2880,
+    stream_bw_gbs=235.0,
+    peak_gflops=1430.0,
+    scalar_gflops=1430.0,
+    vector_width=32,
+    gather_efficiency=0.3,
+    cache_reuse=0.95,
+    divergence_efficiency=0.6,
+    llc_mib=1.5,
+    launch_overhead_us=8.0,
+)
+
+#: NVIDIA K20X as in Titan's XK7 nodes (Fig 6)
+NVIDIA_K20X = MachineSpec(
+    name="NVIDIA K20X",
+    kind="gpu",
+    cores=2688,
+    stream_bw_gbs=200.0,
+    peak_gflops=1310.0,
+    scalar_gflops=1310.0,
+    vector_width=32,
+    gather_efficiency=0.3,
+    cache_reuse=0.95,
+    divergence_efficiency=0.6,
+    llc_mib=1.5,
+    launch_overhead_us=8.0,
+)
+
+#: NVIDIA K20m in the Jade cluster (Hydra GPU scaling, Fig 4)
+NVIDIA_K20M = MachineSpec(
+    name="NVIDIA K20m",
+    kind="gpu",
+    cores=2496,
+    stream_bw_gbs=175.0,
+    peak_gflops=1170.0,
+    scalar_gflops=1170.0,
+    vector_width=32,
+    gather_efficiency=0.3,
+    cache_reuse=0.95,
+    divergence_efficiency=0.6,
+    llc_mib=1.25,
+    launch_overhead_us=8.0,
+)
+
+#: NVIDIA M2090 in the Emerald cluster (Airfoil GPU scaling, Fig 4)
+NVIDIA_M2090 = MachineSpec(
+    name="NVIDIA M2090",
+    kind="gpu",
+    cores=512,
+    stream_bw_gbs=140.0,
+    peak_gflops=665.0,
+    scalar_gflops=665.0,
+    vector_width=32,
+    gather_efficiency=0.3,
+    cache_reuse=0.85,
+    divergence_efficiency=0.6,
+    llc_mib=0.75,
+    launch_overhead_us=10.0,
+)
+
+#: HECToR phase-3 Cray XE6 node: dual AMD Interlagos 16-core (Fig 4)
+HECTOR_XE6_NODE = MachineSpec(
+    name="HECToR XE6 node (2x16c Interlagos)",
+    kind="cpu",
+    cores=32,
+    stream_bw_gbs=70.0,
+    peak_gflops=295.0,
+    scalar_gflops=74.0,
+    vector_width=4,
+    gather_efficiency=0.8,
+    cache_reuse=0.95,
+    divergence_efficiency=0.9,
+    llc_mib=2 * 16.0,
+    launch_overhead_us=2.0,
+)
+
+#: Titan XK7 CPU side: one AMD Interlagos 16-core per node (Fig 6)
+TITAN_XK7_CPU = MachineSpec(
+    name="Titan XK7 CPU (16c Interlagos)",
+    kind="cpu",
+    cores=16,
+    stream_bw_gbs=35.0,
+    peak_gflops=147.0,
+    scalar_gflops=37.0,
+    vector_width=4,
+    gather_efficiency=0.8,
+    cache_reuse=0.95,
+    divergence_efficiency=0.9,
+    llc_mib=16.0,
+    launch_overhead_us=2.0,
+)
+
+# -- interconnects -------------------------------------------------------------
+
+#: Cray Gemini (HECToR XE6 / Titan XK7)
+GEMINI = InterconnectSpec(name="Cray Gemini", latency_us=1.5, bandwidth_gbs=5.0)
+
+#: QDR InfiniBand (Emerald / Jade GPU clusters); GPU buffers staged via host
+QDR_IB = InterconnectSpec(
+    name="QDR InfiniBand", latency_us=2.0, bandwidth_gbs=3.2, gpu_staging_us=15.0
+)
+
+
+CATALOG: dict[str, MachineSpec] = {
+    spec.name: spec
+    for spec in (
+        XEON_E5_2697V2,
+        XEON_E5_2640,
+        XEON_PHI_5110P,
+        NVIDIA_K40,
+        NVIDIA_K20X,
+        NVIDIA_K20M,
+        NVIDIA_M2090,
+        HECTOR_XE6_NODE,
+        TITAN_XK7_CPU,
+    )
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look a machine up by its catalog name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {sorted(CATALOG)}"
+        ) from None

@@ -1,0 +1,74 @@
+"""GPU execution model refinements on top of the roofline.
+
+Captures the paper's qualitative GPU observations:
+
+* colored (indirect-increment) execution serialises colours inside a thread
+  block, costing a factor that grows with the number of colours;
+* kernels with many bytes of state per thread (Hydra-like) achieve lower
+  occupancy, degrading achievable bandwidth;
+* small per-GPU workloads cannot fill the device, which is why GPU strong
+  scaling trails off much faster than CPU (Figs 4 and 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.roofline import LoopTraffic, RooflineModel
+from repro.machine.spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class GpuLoopShape:
+    """Extra GPU-relevant shape of a loop."""
+
+    #: thread-block colours needed for indirect increments (1 = none)
+    colours: int = 1
+    #: bytes of live state per element (registers/shared-memory pressure)
+    state_bytes: int = 64
+    #: elements executed per launch (workload size on this device)
+    elements: int = 1_000_000
+
+
+class GpuExecutionModel(RooflineModel):
+    """Roofline plus occupancy/colouring/underfill corrections."""
+
+    #: elements needed to fill the device to full bandwidth efficiency
+    #: (several hundred per core: enough warps in flight to cover DRAM
+    #: latency — a K40 needs ~3/4M elements before streaming saturates)
+    SATURATION_ELEMENTS_PER_CORE = 256
+
+    #: register/shared-state budget per thread before occupancy degrades
+    STATE_BUDGET_BYTES = 160
+
+    def __init__(self, machine: MachineSpec):
+        if not machine.is_gpu:
+            raise ValueError(f"{machine.name} is not a GPU")
+        super().__init__(machine, vectorised=True)
+
+    def occupancy(self, shape: GpuLoopShape) -> float:
+        """Occupancy factor in (0, 1] from per-thread state pressure."""
+        if shape.state_bytes <= self.STATE_BUDGET_BYTES:
+            return 1.0
+        return max(self.STATE_BUDGET_BYTES / shape.state_bytes, 0.25)
+
+    def utilisation(self, shape: GpuLoopShape) -> float:
+        """Device-fill factor in (0, 1] for a given per-launch workload."""
+        saturation = self.machine.cores * self.SATURATION_ELEMENTS_PER_CORE
+        if shape.elements >= saturation:
+            return 1.0
+        return max(shape.elements / saturation, 0.02)
+
+    def colour_penalty(self, shape: GpuLoopShape) -> float:
+        """Multiplier >= 1 for colour-serialised execution within blocks."""
+        if shape.colours <= 1:
+            return 1.0
+        # each extra colour serialises a fraction of the block's work
+        return 1.0 + 0.08 * (shape.colours - 1)
+
+    def loop_seconds_shaped(self, loop: LoopTraffic, shape: GpuLoopShape) -> float:
+        """Per-invocation time including occupancy/underfill/colour effects."""
+        base = max(self.memory_seconds(loop), self.compute_seconds(loop))
+        eff = self.occupancy(shape) * self.utilisation(shape)
+        body = base * self.colour_penalty(shape) / eff
+        return body + self.machine.launch_overhead_us * 1e-6

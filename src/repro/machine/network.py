@@ -1,0 +1,54 @@
+"""Interconnect model: time for halo exchanges and reductions.
+
+Inputs are *measured* message counts and byte volumes from the simulated MPI
+layer (:mod:`repro.simmpi`); the model turns them into seconds on a
+catalogued interconnect using the standard latency + size/bandwidth form,
+plus a log(P) tree factor for collectives.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.spec import InterconnectSpec
+
+_GB = 1e9
+
+
+class NetworkModel:
+    """Predicts communication time on an :class:`InterconnectSpec`."""
+
+    def __init__(self, net: InterconnectSpec, *, gpu_buffers: bool = False):
+        self.net = net
+        self.gpu_buffers = gpu_buffers
+
+    def _per_message_latency(self) -> float:
+        lat = self.net.latency_us
+        if self.gpu_buffers:
+            lat += self.net.gpu_staging_us
+        return lat * 1e-6
+
+    def message_seconds(self, nbytes: float) -> float:
+        """Time for one point-to-point message."""
+        return self._per_message_latency() + nbytes / (self.net.bandwidth_gbs * _GB)
+
+    def exchange_seconds(self, nmessages: int, total_bytes: float) -> float:
+        """Time for one halo exchange phase on the critical rank.
+
+        Messages to distinct neighbours overlap on the NIC, so the cost is
+        one latency per message serialised on injection plus the byte volume
+        through one link.
+        """
+        if nmessages <= 0:
+            return 0.0
+        return (
+            nmessages * self._per_message_latency()
+            + total_bytes / (self.net.bandwidth_gbs * _GB)
+        )
+
+    def allreduce_seconds(self, nranks: int, nbytes: float = 8.0) -> float:
+        """Tree allreduce: 2*log2(P) latency-dominated steps."""
+        if nranks <= 1:
+            return 0.0
+        steps = 2.0 * math.ceil(math.log2(nranks))
+        return steps * self.message_seconds(nbytes)

@@ -1,0 +1,147 @@
+"""Roofline-style time prediction for a parallel loop on a machine.
+
+The model is the one the paper itself uses to reason about Table I: a loop's
+runtime is the maximum of its memory time (bytes / achievable bandwidth) and
+its compute time (flops / achievable flop rate), where "achievable" is
+degraded by the loop's access character:
+
+* indirect (gather/scatter) traffic is divided by the machine's
+  ``gather_efficiency``,
+* unvectorisable or divergent kernels only reach ``divergence_efficiency``
+  of peak (and scalar_gflops when not vectorised),
+* each invocation pays the machine's launch overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.counters import LoopRecord
+from repro.machine.spec import MachineSpec
+
+_GB = 1e9
+
+
+@dataclass(frozen=True)
+class LoopTraffic:
+    """Traffic characterisation of one loop, per invocation.
+
+    Usually derived from a measured :class:`LoopRecord` via
+    :meth:`from_record`, but benchmarks may also construct it analytically.
+    """
+
+    name: str
+    bytes_direct: float
+    bytes_indirect: float
+    flops: float
+    vectorisable: bool = True
+    #: branch-divergence / irregularity factor in [0, 1]; 0 = fully regular
+    divergence: float = 0.0
+    invocations: int = 1
+    #: unique-location portion of the indirect bytes (defaults to all of
+    #: them: no cache reuse assumed unless measured)
+    bytes_indirect_unique: float | None = None
+
+    @classmethod
+    def from_record(
+        cls,
+        rec: LoopRecord,
+        *,
+        vectorisable: bool = True,
+        divergence: float = 0.0,
+    ) -> "LoopTraffic":
+        """Build traffic numbers from a measured loop record."""
+        indirect = float(rec.indirect_reads + rec.indirect_writes)
+        unique = float(rec.indirect_reads_unique + rec.indirect_writes_unique)
+        direct = float(max(rec.bytes_moved - indirect, 0.0))
+        inv = max(rec.invocations, 1)
+        return cls(
+            name=rec.name,
+            bytes_direct=direct / inv,
+            bytes_indirect=indirect / inv,
+            flops=float(rec.flops) / inv,
+            vectorisable=vectorisable,
+            divergence=divergence,
+            invocations=inv,
+            bytes_indirect_unique=(unique / inv) if indirect else None,
+        )
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_direct + self.bytes_indirect
+
+
+class RooflineModel:
+    """Predicts loop and loop-chain runtimes on a :class:`MachineSpec`."""
+
+    def __init__(self, machine: MachineSpec, *, vectorised: bool = True):
+        self.machine = machine
+        #: whether generated code for this platform uses the vector units
+        self.vectorised = vectorised
+
+    # -- single loop ---------------------------------------------------------
+
+    def memory_seconds(self, loop: LoopTraffic) -> float:
+        """Time to move the loop's traffic through main memory, one invocation.
+
+        Re-referenced indirect bytes are served from cache at the machine's
+        ``cache_reuse`` rate; only the remainder pays the DRAM trip, at the
+        degraded gather bandwidth.
+        """
+        m = self.machine
+        direct_t = loop.bytes_direct / (m.stream_bw_gbs * _GB)
+        unique = (
+            loop.bytes_indirect
+            if loop.bytes_indirect_unique is None
+            else loop.bytes_indirect_unique
+        )
+        rereferenced = max(loop.bytes_indirect - unique, 0.0)
+        effective = unique + rereferenced * (1.0 - m.cache_reuse)
+        indirect_bw = m.stream_bw_gbs * m.gather_efficiency
+        indirect_t = effective / (indirect_bw * _GB)
+        return direct_t + indirect_t
+
+    def compute_seconds(self, loop: LoopTraffic) -> float:
+        """Time for the loop's arithmetic, one invocation."""
+        m = self.machine
+        if self.vectorised and loop.vectorisable:
+            rate = m.peak_gflops
+        else:
+            rate = m.scalar_gflops
+        if loop.divergence > 0:
+            eff = 1.0 - loop.divergence * (1.0 - m.divergence_efficiency)
+            rate *= eff
+        return loop.flops / (rate * _GB)
+
+    def loop_seconds(self, loop: LoopTraffic) -> float:
+        """Roofline time per invocation, including launch overhead."""
+        body = max(self.memory_seconds(loop), self.compute_seconds(loop))
+        return body + self.machine.launch_overhead_us * 1e-6
+
+    def loop_total_seconds(self, loop: LoopTraffic) -> float:
+        """Total time for all recorded invocations of the loop."""
+        return self.loop_seconds(loop) * loop.invocations
+
+    def effective_bytes(self, loop: LoopTraffic) -> float:
+        """DRAM bytes actually moved: direct + unique + uncached re-references."""
+        m = self.machine
+        unique = (
+            loop.bytes_indirect
+            if loop.bytes_indirect_unique is None
+            else loop.bytes_indirect_unique
+        )
+        rereferenced = max(loop.bytes_indirect - unique, 0.0)
+        return loop.bytes_direct + unique + rereferenced * (1.0 - m.cache_reuse)
+
+    def achieved_bandwidth_gbs(self, loop: LoopTraffic) -> float:
+        """Effective GB/s the loop sustains under the model (Table I column)."""
+        secs = self.loop_seconds(loop)
+        if secs <= 0:
+            return 0.0
+        return self.effective_bytes(loop) / secs / _GB
+
+    # -- loop chains ----------------------------------------------------------
+
+    def chain_seconds(self, loops: list[LoopTraffic]) -> float:
+        """Total runtime of a whole application loop chain."""
+        return sum(self.loop_total_seconds(loop) for loop in loops)

@@ -1,0 +1,59 @@
+"""Hardware specification dataclasses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Published parameters of one processor (CPU socket pair, GPU or Phi).
+
+    Bandwidth figures are *achievable* STREAM-class numbers, not theoretical
+    peaks, because the roofline model divides real traffic by them.
+    """
+
+    name: str
+    kind: str  # "cpu", "gpu" or "manycore"
+    cores: int
+    #: achievable main-memory bandwidth, GB/s
+    stream_bw_gbs: float
+    #: peak double-precision GFLOP/s (vectorised)
+    peak_gflops: float
+    #: scalar (non-vectorised) double-precision GFLOP/s
+    scalar_gflops: float
+    #: double-precision vector width in lanes (1 = scalar ISA)
+    vector_width: int = 1
+    #: effective bandwidth multiplier for gather/scatter (indirect) access;
+    #: 1.0 = indirections are free, smaller = costlier.  CPUs with big caches
+    #: tolerate indirection well; wide-vector machines (Phi) and GPUs without
+    #: staging suffer.
+    gather_efficiency: float = 1.0
+    #: fraction of *re-referenced* indirect bytes served from cache rather
+    #: than DRAM (a renumbered mesh re-reads each cell's data from cache for
+    #: its ~4 incident edges).  1.0 = only unique bytes reach memory.
+    cache_reuse: float = 1.0
+    #: fraction of peak usable when the kernel has heavy branch divergence
+    #: (GPUs) or unvectorisable bodies (wide-vector CPUs)
+    divergence_efficiency: float = 1.0
+    #: last-level cache per socket, MiB (locality model input)
+    llc_mib: float = 0.0
+    #: per-kernel-launch / per-loop fixed overhead, microseconds
+    launch_overhead_us: float = 0.0
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind == "gpu"
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Network parameters for a cluster."""
+
+    name: str
+    #: per-message latency, microseconds
+    latency_us: float
+    #: per-link bandwidth, GB/s
+    bandwidth_gbs: float
+    #: extra latency for GPU buffers (device-host staging), microseconds
+    gpu_staging_us: float = 0.0

@@ -1,0 +1,97 @@
+"""Loop arguments: the access-execute descriptors of a parallel loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.access import Access
+from repro.common.errors import APIError
+from repro.op2.dat import Dat, Global
+from repro.op2.map import Map
+from repro.op2.set import Set
+
+
+@dataclass
+class Arg:
+    """One argument of an ``op_par_loop``.
+
+    Either a dat argument (``dat`` set; direct when ``map`` is None, indirect
+    through ``map[idx]`` otherwise) or a global argument (``glob`` set).
+    """
+
+    access: Access
+    dat: Optional[Dat] = None
+    map: Optional[Map] = None
+    idx: Optional[int] = None
+    glob: Optional[Global] = None
+
+    @classmethod
+    def from_dat(cls, dat: Dat, access: Access, map_: Map | None, idx: int | None) -> "Arg":
+        if map_ is not None:
+            if idx is None:
+                raise APIError(f"indirect arg on {dat.name} needs an index into the map")
+            if not (0 <= idx < map_.arity):
+                raise APIError(
+                    f"map index {idx} out of range for arity-{map_.arity} map {map_.name}"
+                )
+            if map_.to_set is not dat.set:
+                raise APIError(
+                    f"map {map_.name} targets set {map_.to_set.name}, "
+                    f"but dat {dat.name} lives on {dat.set.name}"
+                )
+        elif idx is not None:
+            raise APIError("direct args take no map index")
+        if access in (Access.MIN, Access.MAX) and map_ is None and dat is not None:
+            raise APIError("MIN/MAX access is only meaningful for globals")
+        return cls(access=access, dat=dat, map=map_, idx=idx)
+
+    @classmethod
+    def from_global(cls, glob: Global, access: Access) -> "Arg":
+        if access is Access.RW:
+            raise APIError("globals cannot be OP_RW; use INC/MIN/MAX or READ")
+        return cls(access=access, glob=glob)
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def is_global(self) -> bool:
+        return self.glob is not None
+
+    @property
+    def is_direct(self) -> bool:
+        return self.dat is not None and self.map is None
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.dat is not None and self.map is not None
+
+    @property
+    def creates_race(self) -> bool:
+        """True if concurrent elements may write the same location."""
+        return self.is_indirect and self.access.writes
+
+    def validate_against(self, iterset: Set) -> None:
+        """Check the arg is executable over ``iterset``."""
+        if self.is_global:
+            return
+        if self.is_direct:
+            if self.dat.set is not iterset:
+                raise APIError(
+                    f"direct arg {self.dat.name} lives on {self.dat.set.name}, "
+                    f"loop iterates over {iterset.name}"
+                )
+        else:
+            if self.map.from_set is not iterset:
+                raise APIError(
+                    f"map {self.map.name} maps from {self.map.from_set.name}, "
+                    f"loop iterates over {iterset.name}"
+                )
+
+    def describe(self) -> str:
+        """Human-readable descriptor for diagnostics and generated code."""
+        if self.is_global:
+            return f"gbl:{self.glob.name}({self.access.short})"
+        if self.is_direct:
+            return f"{self.dat.name}({self.access.short})"
+        return f"{self.dat.name}[{self.map.name}:{self.idx}]({self.access.short})"

@@ -1,0 +1,32 @@
+"""OP2 execution backends.
+
+Each backend is a callable ``(kernel, iterset, args, n) -> n_colours`` that
+executes the loop body over the first ``n`` elements.  They mirror the
+paper's generated-code targets:
+
+* ``seq``     — single-threaded reference; per-element calls of the user
+  function, recommended for debugging (paper Section II-C),
+* ``vec``     — vectorised execution over gathered arrays (the
+  auto-vectorised CPU target); the production backend here,
+* ``openmp``  — block-coloured execution: same-coloured mini-blocks are
+  race-free and could run on distinct threads,
+* ``cuda``    — two-level coloured execution with staged increments,
+  emulating the CUDA target's semantics.
+
+Distributed memory (MPI) composes with all of these through
+:class:`repro.op2.halo.PartitionedMesh`.
+"""
+
+from repro.op2.backends.seq import execute_seq
+from repro.op2.backends.vec import execute_vec
+from repro.op2.backends.openmp import execute_openmp
+from repro.op2.backends.cuda import execute_cuda
+
+BACKENDS = {
+    "seq": execute_seq,
+    "vec": execute_vec,
+    "openmp": execute_openmp,
+    "cuda": execute_cuda,
+}
+
+__all__ = ["BACKENDS", "execute_seq", "execute_vec", "execute_openmp", "execute_cuda"]

@@ -1,0 +1,31 @@
+"""Sequential reference backend.
+
+Calls the elementwise user function once per element with direct views into
+the dats — a human-readable simple loop nest "recommended for debugging
+purposes" (paper Section II-C).  Slow, but the semantic baseline every other
+backend is tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.access import Access
+from repro.op2.args import Arg
+from repro.op2.kernel import Kernel
+from repro.op2.set import Set
+
+
+def execute_seq(kernel: Kernel, iterset: Set, args: Sequence[Arg], n: int) -> int:
+    """Run the loop elementwise; returns the colour count (always 1)."""
+    for e in range(n):
+        views = []
+        for arg in args:
+            if arg.is_global:
+                views.append(arg.glob.data)
+            elif arg.is_direct:
+                views.append(arg.dat.data[e])
+            else:
+                views.append(arg.dat.data[arg.map.values[e, arg.idx]])
+        kernel.func(*views)
+    return 1

@@ -1,0 +1,77 @@
+"""User kernels.
+
+An OP2 kernel is written once, elementwise, from the perspective of a
+single-threaded program (paper Section II-A).  Each dat argument arrives as
+a 1-D view of length ``dim``; the kernel reads and writes components by
+index::
+
+    def update(qold, q, res, adt, rms):
+        for n in range(4):
+            delta = adt[0] * res[n]
+            q[n] = qold[n] - delta
+            res[n] = 0.0
+            rms[0] += delta * delta
+
+The production backends do not call this function per element: the
+translator (:mod:`repro.translator.kernelvec`) generates a vectorised
+variant operating on whole gathered arrays, exactly like OP2's code
+generator emits specialised C.  The generated source is human-readable and
+kept on the kernel for inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class Kernel:
+    """A named elementwise user function plus its generated vector form.
+
+    ``flops_per_elem`` feeds the performance counters; it is the arithmetic
+    cost of one element's work (the apps state theirs explicitly, mirroring
+    how the paper reasons about loop arithmetic intensity).
+    """
+
+    def __init__(
+        self,
+        func: Callable,
+        name: str | None = None,
+        *,
+        flops_per_elem: int = 0,
+        vec_func: Optional[Callable] = None,
+        vectorisable: bool = True,
+        divergence: float = 0.0,
+    ):
+        self.func = func
+        self.name = name if name is not None else getattr(func, "__name__", "kernel")
+        self.flops_per_elem = int(flops_per_elem)
+        self._vec_func = vec_func
+        self._vec_source: str | None = None
+        #: whether the loop body vectorises on CPUs (perf model input)
+        self.vectorisable = vectorisable
+        #: branch-divergence factor in [0, 1] (perf model input)
+        self.divergence = float(divergence)
+
+    @property
+    def vec_func(self) -> Callable:
+        """The vectorised kernel, generating it on first use."""
+        if self._vec_func is None:
+            from repro.translator.kernelvec import vectorise_kernel
+
+            generated = vectorise_kernel(self.func, name=self.name)
+            self._vec_func = generated.func
+            self._vec_source = generated.source
+        return self._vec_func
+
+    @property
+    def vec_source(self) -> str | None:
+        """Source text of the generated vectorised kernel (None if hand-given)."""
+        if self._vec_func is None:
+            _ = self.vec_func  # trigger generation
+        return self._vec_source
+
+    def __call__(self, *args) -> None:
+        self.func(*args)
+
+    def __repr__(self) -> str:
+        return f"Kernel({self.name!r}, flops={self.flops_per_elem})"

@@ -1,0 +1,179 @@
+"""``op_par_loop``: the single entry point for computation over a set.
+
+Dispatches to a backend (``seq``, ``vec``, ``openmp``, ``cuda``) selected
+per call or process-wide; distributed-memory execution wraps rank-local
+``par_loop`` calls via :class:`repro.op2.halo.PartitionedMesh`.
+
+Every execution:
+
+* validates the arguments against the iteration set,
+* notifies loop observers (the checkpointing subsystem records the loop
+  chain through this hook),
+* accounts data movement and arithmetic into the active counters.
+"""
+
+from __future__ import annotations
+
+from repro.common.counters import PerfCounters, Timer
+from repro.common.errors import APIError
+from repro.common.profiling import (
+    ArgEvent,
+    LoopEvent,
+    active_counters,
+    add_loop_observer,
+    counters_scope,
+    loop_chain_record,
+    notify_loop,
+    remove_loop_observer,
+)
+from repro.op2.args import Arg
+from repro.op2.kernel import Kernel
+from repro.op2.set import Set
+
+__all__ = [
+    "par_loop",
+    "set_default_backend",
+    "get_default_backend",
+    "active_counters",
+    "counters_scope",
+    "loop_chain_record",
+    "add_loop_observer",
+    "remove_loop_observer",
+    "LoopEvent",
+    "ArgEvent",
+]
+
+_default_backend = "vec"
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide default backend for :func:`par_loop`."""
+    from repro.op2.backends import BACKENDS
+
+    if name not in BACKENDS:
+        raise APIError(f"unknown backend {name!r}; available: {sorted(BACKENDS)}")
+    global _default_backend
+    _default_backend = name
+
+
+def get_default_backend() -> str:
+    return _default_backend
+
+
+def _event_for(kernel: Kernel, args: list[Arg]) -> LoopEvent:
+    evs = []
+    for a in args:
+        if a.is_global:
+            evs.append(
+                ArgEvent(a.glob.name, a.access, a.glob.dim, is_global=True, data_ref=a.glob)
+            )
+        else:
+            evs.append(
+                ArgEvent(a.dat.name, a.access, a.dat.dim, indirect=a.is_indirect, data_ref=a.dat)
+            )
+    return LoopEvent(kernel.name, evs, api="op2")
+
+
+_unique_count_cache: dict[tuple, int] = {}
+
+
+def _unique_union(columns_key: tuple, columns, n: int) -> int:
+    """Distinct targets referenced by a group of map columns (cached)."""
+    key = (columns_key, n)
+    count = _unique_count_cache.get(key)
+    if count is None:
+        import numpy as np
+
+        stacked = np.concatenate([c[:n] for c in columns])
+        count = int(np.unique(stacked).size)
+        _unique_count_cache[key] = count
+    return count
+
+
+def _account(kernel: Kernel, n: int, args: list[Arg], counters: PerfCounters, colours: int) -> None:
+    rec = counters.loop(kernel.name)
+    rec.invocations += 1
+    rec.iterations += n
+    rec.flops += kernel.flops_per_elem * n
+    rec.colours = max(rec.colours, colours)
+    # group indirect args by dat: the same dat referenced through several
+    # map slots (e.g. the four corner nodes of a cell) is loaded from DRAM
+    # once and re-referenced from cache
+    groups: dict[int, dict] = {}
+    for arg in args:
+        if arg.is_global:
+            continue
+        nbytes = n * arg.dat.nbytes_per_elem
+        if arg.access.reads:
+            rec.bytes_read += nbytes
+            if arg.is_indirect:
+                rec.indirect_reads += nbytes
+        if arg.access.writes:
+            rec.bytes_written += nbytes
+            if arg.is_indirect:
+                rec.indirect_writes += nbytes
+        if arg.is_indirect:
+            g = groups.setdefault(
+                id(arg.dat),
+                {"dat": arg.dat, "cols": [], "key": [], "reads": False, "writes": False},
+            )
+            g["cols"].append(arg.map.column(arg.idx))
+            g["key"].append((id(arg.map), arg.idx))
+            g["reads"] = g["reads"] or arg.access.reads
+            g["writes"] = g["writes"] or arg.access.writes
+    for g in groups.values():
+        unique = _unique_union(tuple(g["key"]), g["cols"], n)
+        unique_bytes = unique * g["dat"].nbytes_per_elem
+        if g["reads"]:
+            rec.indirect_reads_unique += unique_bytes
+        if g["writes"]:
+            rec.indirect_writes_unique += unique_bytes
+
+
+def par_loop(
+    kernel: Kernel,
+    iterset: Set,
+    *args: Arg,
+    backend: str | None = None,
+    n_elements: int | None = None,
+) -> None:
+    """Execute ``kernel`` over every element of ``iterset``.
+
+    ``n_elements`` restricts execution to the first N elements (used by the
+    distributed runtime to iterate owned extents only).
+    """
+    from repro.op2.backends import BACKENDS
+
+    if not isinstance(kernel, Kernel):
+        raise APIError("first argument must be an op2.Kernel")
+    arg_list = list(args)
+    for arg in arg_list:
+        if not isinstance(arg, Arg):
+            raise APIError(f"loop arguments must be built from dats/globals, got {arg!r}")
+        arg.validate_against(iterset)
+
+    name = backend if backend is not None else _default_backend
+    try:
+        impl = BACKENDS[name]
+    except KeyError:
+        raise APIError(f"unknown backend {name!r}; available: {sorted(BACKENDS)}") from None
+
+    n = iterset.size if n_elements is None else min(n_elements, iterset.total_size)
+
+    event = _event_for(kernel, arg_list)
+    notify_loop(event)
+    if event.skip:
+        # recovery fast-forward: no computation, observers have already
+        # restored any recorded global-argument values
+        return
+
+    counters = active_counters()
+    rec = counters.loop(kernel.name)
+    with Timer(rec):
+        colours = impl(kernel, iterset, arg_list, n)
+    _account(kernel, n, arg_list, counters, colours)
+
+    # any dat written by this loop has stale halo copies on other ranks
+    for arg in arg_list:
+        if arg.dat is not None and arg.access.writes:
+            arg.dat.halo_dirty = True

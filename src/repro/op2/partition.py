@@ -1,0 +1,284 @@
+"""Mesh partitioning across MPI ranks.
+
+The paper credits "state-of-the-art partitioners, such as PT-Scotch or
+ParMetis" for part of Hydra's 30% single-node improvement.  Offline we
+provide four partitioners with the same interface:
+
+* ``block``    — contiguous index blocks (OP2's trivial default),
+* ``rcb``      — recursive coordinate bisection (geometric, quality),
+* ``greedy``   — BFS region growing over the element adjacency graph,
+* ``spectral`` — recursive spectral (Fiedler-vector) bisection, the
+  eigen-based stand-in for the PT-Scotch/ParMetis class.
+
+Quality is measured by :func:`edge_cut`, which the scaling model consumes:
+better partitions → fewer halo bytes → flatter strong-scaling curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import PartitionError
+from repro.op2.map import Map
+
+
+@dataclass
+class PartitionResult:
+    """Assignment of each element of a set to a rank."""
+
+    assignment: np.ndarray
+    nparts: int
+    method: str
+
+    def part_sizes(self) -> np.ndarray:
+        return np.bincount(self.assignment, minlength=self.nparts)
+
+    def imbalance(self) -> float:
+        """max/mean part size; 1.0 = perfectly balanced."""
+        sizes = self.part_sizes()
+        mean = sizes.mean()
+        return float(sizes.max() / mean) if mean > 0 else 1.0
+
+
+def partition_block(n: int, nparts: int) -> np.ndarray:
+    """Contiguous equal-size blocks."""
+    return (np.arange(n, dtype=np.int64) * nparts) // max(n, 1)
+
+
+def partition_rcb(coords: np.ndarray, nparts: int) -> np.ndarray:
+    """Recursive coordinate bisection on element coordinates.
+
+    Splits along the widest axis at the median, recursing until ``nparts``
+    parts exist.  ``nparts`` need not be a power of two: children receive
+    proportional shares.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim == 1:
+        coords = coords.reshape(-1, 1)
+    n = coords.shape[0]
+    assignment = np.zeros(n, dtype=np.int64)
+
+    def recurse(idx: np.ndarray, parts: int, base: int) -> None:
+        if parts <= 1 or idx.size == 0:
+            assignment[idx] = base
+            return
+        left_parts = parts // 2
+        right_parts = parts - left_parts
+        sub = coords[idx]
+        axis = int(np.argmax(sub.max(axis=0) - sub.min(axis=0)))
+        order = np.argsort(sub[:, axis], kind="stable")
+        split = (idx.size * left_parts) // parts
+        recurse(idx[order[:split]], left_parts, base)
+        recurse(idx[order[split:]], right_parts, base + left_parts)
+
+    recurse(np.arange(n, dtype=np.int64), nparts, 0)
+    return assignment
+
+
+def element_adjacency(map_: Map) -> list[np.ndarray]:
+    """Element-to-element adjacency: elements sharing a map target.
+
+    Returns, for each source element, the array of neighbouring source
+    elements (sharing at least one target; self excluded).
+    """
+    n = map_.from_set.total_size
+    # bucket source elements by target
+    targets = map_.values
+    flat_src = np.repeat(np.arange(n, dtype=np.int64), map_.arity)
+    flat_tgt = targets.reshape(-1)
+    order = np.argsort(flat_tgt, kind="stable")
+    sorted_tgt = flat_tgt[order]
+    sorted_src = flat_src[order]
+    boundaries = np.nonzero(np.diff(sorted_tgt))[0] + 1
+    groups = np.split(sorted_src, boundaries)
+
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for grp in groups:
+        if grp.size < 2:
+            continue
+        members = grp.tolist()
+        for e in members:
+            adj[e].update(members)
+    return [np.asarray(sorted(s - {i}), dtype=np.int64) for i, s in enumerate(adj)]
+
+
+def partition_greedy(adjacency: list[np.ndarray], nparts: int) -> np.ndarray:
+    """BFS region growing: grow ``nparts`` connected regions of equal size."""
+    n = len(adjacency)
+    target = -np.ones(n, dtype=np.int64)
+    quota = [(n + p) // nparts for p in range(nparts)]  # sizes sum to n
+    next_seed = 0
+    for p in range(nparts):
+        # seed at the lowest unassigned element
+        while next_seed < n and target[next_seed] >= 0:
+            next_seed += 1
+        if next_seed >= n:
+            break
+        frontier = [next_seed]
+        count = 0
+        while frontier and count < quota[p]:
+            e = frontier.pop(0)
+            if target[e] >= 0:
+                continue
+            target[e] = p
+            count += 1
+            for nb in adjacency[e]:
+                if target[nb] < 0:
+                    frontier.append(int(nb))
+    # leftovers (disconnected pieces): round-robin to the smallest parts
+    leftover = np.nonzero(target < 0)[0]
+    if leftover.size:
+        sizes = np.bincount(target[target >= 0], minlength=nparts)
+        for e in leftover:
+            p = int(np.argmin(sizes))
+            target[e] = p
+            sizes[p] += 1
+    return target
+
+
+def edge_cut(map_: Map, assignment: np.ndarray) -> int:
+    """Number of map entries crossing a partition boundary.
+
+    Uses a derived target-set assignment (owner = min source rank); this is
+    the byte-volume proxy for halo exchanges.
+    """
+    tgt_owner = derive_partition(map_, assignment)
+    src_owner = assignment[: map_.from_set.total_size]
+    crossing = tgt_owner[map_.values] != src_owner[:, None]
+    return int(crossing.sum())
+
+
+def derive_partition(map_: Map, from_assignment: np.ndarray) -> np.ndarray:
+    """Assign target-set elements to the minimum rank of their sources.
+
+    Targets never referenced by the map go to rank 0.
+    """
+    nt = map_.to_set.total_size
+    owner = np.full(nt, np.iinfo(np.int64).max, dtype=np.int64)
+    flat_tgt = map_.values.reshape(-1)
+    flat_rank = np.repeat(from_assignment[: map_.from_set.total_size], map_.arity)
+    np.minimum.at(owner, flat_tgt, flat_rank)
+    owner[owner == np.iinfo(np.int64).max] = 0
+    return owner
+
+
+def derive_source_partition(map_: Map, to_assignment: np.ndarray) -> np.ndarray:
+    """Assign source-set elements to the minimum rank of their targets."""
+    return to_assignment[map_.values].min(axis=1)
+
+
+def partition_set(
+    n: int,
+    nparts: int,
+    method: str = "block",
+    *,
+    coords: np.ndarray | None = None,
+    map_: Map | None = None,
+) -> PartitionResult:
+    """Partition ``n`` elements into ``nparts`` with the chosen method."""
+    if nparts < 1:
+        raise PartitionError("nparts must be >= 1")
+    if nparts > max(n, 1):
+        raise PartitionError(f"cannot split {n} elements into {nparts} parts")
+    if method == "block":
+        assignment = partition_block(n, nparts)
+    elif method == "rcb":
+        if coords is None:
+            raise PartitionError("rcb partitioning needs element coordinates")
+        if coords.shape[0] != n:
+            raise PartitionError("coords length must match element count")
+        assignment = partition_rcb(coords, nparts)
+    elif method == "greedy":
+        if map_ is None:
+            raise PartitionError("greedy partitioning needs a map for adjacency")
+        assignment = partition_greedy(element_adjacency(map_), nparts)[:n]
+    elif method == "spectral":
+        if map_ is None:
+            raise PartitionError("spectral partitioning needs a map for adjacency")
+        assignment = partition_spectral(map_, nparts)[:n]
+    else:
+        raise PartitionError(f"unknown partition method {method!r}")
+    return PartitionResult(assignment=assignment, nparts=nparts, method=method)
+
+
+def _fiedler_split(adj, idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split one subdomain in two along the Fiedler vector's median.
+
+    ``adj`` is the global symmetric adjacency (scipy CSR); ``idx`` the
+    element ids of the subdomain.  Falls back to an index split for
+    degenerate subgraphs.
+    """
+    import scipy.sparse as sp
+    import scipy.sparse.linalg as spla
+
+    n = idx.size
+    if n <= 2:
+        half = n // 2
+        return idx[:half], idx[half:]
+    sub = adj[idx][:, idx].asfptype()
+    degrees = np.asarray(sub.sum(axis=1)).reshape(-1)
+    lap = sp.diags(degrees) - sub
+    try:
+        if n < 64:
+            vals, vecs = np.linalg.eigh(lap.toarray())
+            fiedler = vecs[:, 1]
+        else:
+            # shift-invert around 0 finds the smallest eigenpairs quickly
+            vals, vecs = spla.eigsh(lap.tocsc(), k=2, sigma=-1e-8, which="LM")
+            order = np.argsort(vals)
+            fiedler = vecs[:, order[1]]
+    except Exception:
+        half = n // 2
+        return idx[:half], idx[half:]
+    cut = np.median(fiedler)
+    left = fiedler <= cut
+    # guard against empty sides (constant Fiedler vector on disconnected graphs)
+    if left.all() or not left.any():
+        order = np.argsort(fiedler, kind="stable")
+        half = n // 2
+        return idx[order[:half]], idx[order[half:]]
+    return idx[left], idx[~left]
+
+
+def partition_spectral(map_: Map, nparts: int) -> np.ndarray:
+    """Recursive spectral bisection over the element adjacency graph.
+
+    The small stand-in for the eigen-based multilevel partitioners
+    (PT-Scotch / ParMetis) the paper credits for OP2's partition quality.
+    Proportional splits support non-power-of-two part counts.
+    """
+    import scipy.sparse as sp
+
+    n = map_.from_set.total_size
+    # element adjacency matrix: elements sharing a map target
+    flat_src = np.repeat(np.arange(n, dtype=np.int64), map_.arity)
+    flat_tgt = map_.values.reshape(-1)
+    incidence = sp.coo_matrix(
+        (np.ones(flat_src.size), (flat_src, flat_tgt)),
+        shape=(n, map_.to_set.total_size),
+    ).tocsr()
+    adj = (incidence @ incidence.T).tocsr()
+    adj.setdiag(0)
+    adj.eliminate_zeros()
+    adj.data[:] = 1.0
+
+    assignment = np.zeros(n, dtype=np.int64)
+
+    def recurse(idx: np.ndarray, parts: int, base: int) -> None:
+        if parts <= 1 or idx.size == 0:
+            assignment[idx] = base
+            return
+        left_parts = parts // 2
+        left, right = _fiedler_split(adj, idx)
+        # rebalance the split to the target proportion
+        want_left = (idx.size * left_parts) // parts
+        if left.size != want_left:
+            merged = np.concatenate([left, right])
+            left, right = merged[:want_left], merged[want_left:]
+        recurse(left, left_parts, base)
+        recurse(right, parts - left_parts, base + left_parts)
+
+    recurse(np.arange(n, dtype=np.int64), nparts, 0)
+    return assignment

@@ -1,0 +1,49 @@
+"""OP2 sets: the index spaces of an unstructured mesh."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.common.errors import APIError
+
+_ids = itertools.count()
+
+
+class Set:
+    """A collection of mesh entities (vertices, edges, cells, ...).
+
+    Under MPI the local portion of a set is laid out as
+    ``[owned | exec halo | nonexec halo]``: ``size`` counts owned elements
+    only, ``exec_size`` additionally counts halo elements that must be
+    *executed over* (because they increment into owned data), and
+    ``total_size`` includes halo elements that are only ever read.
+    """
+
+    def __init__(self, size: int, name: str | None = None, *, halo_exec: int = 0, halo_nonexec: int = 0):
+        if size < 0 or halo_exec < 0 or halo_nonexec < 0:
+            raise APIError("set sizes must be non-negative")
+        self.size = int(size)
+        self._halo_exec = int(halo_exec)
+        self._halo_nonexec = int(halo_nonexec)
+        self.name = name if name is not None else f"set_{next(_ids)}"
+
+    @property
+    def exec_size(self) -> int:
+        """Owned plus exec-halo size (iteration extent for INC-into-owned loops)."""
+        return self.size + self._halo_exec
+
+    @property
+    def total_size(self) -> int:
+        """Full local extent including all halo elements (dat allocation size)."""
+        return self.size + self._halo_exec + self._halo_nonexec
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        if self.total_size != self.size:
+            return (
+                f"Set({self.name!r}, size={self.size}, "
+                f"exec={self._halo_exec}, nonexec={self._halo_nonexec})"
+            )
+        return f"Set({self.name!r}, size={self.size})"

@@ -1,0 +1,47 @@
+"""Array-of-Structures <-> Structure-of-Arrays conversion.
+
+The paper deploys "automatic conversion from an Array of Structures data
+layout to Structure of Arrays through the code generator" for GPUs (Fig 7's
+SOA strategy).  A :class:`~repro.op2.dat.Dat` stores ``(n, dim)`` rows; the
+SoA transform stores component-major ``(dim, n)`` flattened, with the access
+stride recorded so generated code indexes ``data[c*stride + e]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import APIError
+from repro.op2.dat import Dat
+
+
+def to_soa(dat: Dat) -> np.ndarray:
+    """Return the dat's values in SoA layout: flat ``dim * stride`` array.
+
+    The stride equals the set's total size, so component ``c`` of element
+    ``e`` sits at ``c * stride + e`` — exactly the ``OP_ACC`` SOA macro of
+    paper Fig 7.
+    """
+    return np.ascontiguousarray(dat.data.T).reshape(-1)
+
+
+def to_aos(flat: np.ndarray, n: int, dim: int) -> np.ndarray:
+    """Inverse of :func:`to_soa`: rebuild the ``(n, dim)`` row layout."""
+    if flat.shape != (n * dim,):
+        raise APIError(f"flat SoA array has shape {flat.shape}, expected ({n * dim},)")
+    return np.ascontiguousarray(flat.reshape(dim, n).T)
+
+
+def soa_stride(dat: Dat) -> int:
+    """The SOA access stride (elements between consecutive components)."""
+    return dat.data.shape[0]
+
+
+def soa_index(element: int, component: int, stride: int) -> int:
+    """Flat index of (element, component) in SoA layout (OP_ACC(x) = x*stride)."""
+    return component * stride + element
+
+
+def aos_index(element: int, component: int, dim: int) -> int:
+    """Flat index of (element, component) in AoS layout."""
+    return element * dim + component

@@ -1,0 +1,104 @@
+"""Kernel-side accessors: scalar (sequential) and array (vectorised) views.
+
+A kernel indexes its arguments by stencil offset, ``u[1, 0]``.  The
+sequential backend hands it a :class:`PointAccessor` (scalar reads/writes
+at one grid point); the vectorised backend hands it a
+:class:`RangeAccessor` (whole shifted NumPy views over the iteration
+range).  Both validate accesses against the declared stencil and access
+mode when stencil checking is enabled, and both record which offsets were
+touched, which is how the runtime stencil verifier works.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.access import Access
+from repro.common.errors import StencilMismatchError
+from repro.ops.dat import Dat
+from repro.ops.stencil import Stencil
+
+
+def _normalise(offset) -> tuple[int, ...]:
+    if isinstance(offset, tuple):
+        return tuple(int(o) for o in offset)
+    return (int(offset),)
+
+
+class _BaseAccessor:
+    """Shared stencil/access validation and access recording."""
+
+    def __init__(self, dat: Dat, access: Access, stencil: Stencil, check: bool):
+        self.dat = dat
+        self.access = access
+        self.stencil = stencil
+        self.check = check
+        self.touched: set[tuple[int, ...]] = set()
+
+    def _validate(self, offset: tuple[int, ...], writing: bool) -> None:
+        self.touched.add(offset)
+        if not self.check:
+            return
+        if offset not in self.stencil:
+            raise StencilMismatchError(
+                f"dat {self.dat.name}: access at offset {offset} is outside "
+                f"declared stencil {self.stencil.name} {list(self.stencil.points)}"
+            )
+        if writing and not self.access.writes:
+            raise StencilMismatchError(
+                f"dat {self.dat.name}: kernel writes but access mode is "
+                f"{self.access.short}"
+            )
+        if not writing and not self.access.reads:
+            raise StencilMismatchError(
+                f"dat {self.dat.name}: kernel reads but access mode is "
+                f"{self.access.short} (write-only)"
+            )
+
+
+class PointAccessor(_BaseAccessor):
+    """Scalar accessor bound to one grid point (sequential backend)."""
+
+    def __init__(self, dat: Dat, access: Access, stencil: Stencil, check: bool):
+        super().__init__(dat, access, stencil, check)
+        self.point: tuple[int, ...] = (0,) * dat.block.ndim
+
+    def bind(self, point: tuple[int, ...]) -> None:
+        self.point = point
+
+    def __getitem__(self, offset) -> float:
+        off = _normalise(offset)
+        self._validate(off, writing=False)
+        idx = self.dat.storage_index(*(p + o for p, o in zip(self.point, off)))
+        return self.dat.data[idx]
+
+    def __setitem__(self, offset, value) -> None:
+        off = _normalise(offset)
+        self._validate(off, writing=True)
+        idx = self.dat.storage_index(*(p + o for p, o in zip(self.point, off)))
+        self.dat.data[idx] = value
+
+
+class RangeAccessor(_BaseAccessor):
+    """Array accessor over a whole iteration range (vectorised backend)."""
+
+    def __init__(
+        self,
+        dat: Dat,
+        access: Access,
+        stencil: Stencil,
+        ranges: list[tuple[int, int]],
+        check: bool,
+    ):
+        super().__init__(dat, access, stencil, check)
+        self.ranges = ranges
+
+    def __getitem__(self, offset) -> np.ndarray:
+        off = _normalise(offset)
+        self._validate(off, writing=False)
+        return self.dat.region(self.ranges, off)
+
+    def __setitem__(self, offset, value) -> None:
+        off = _normalise(offset)
+        self._validate(off, writing=True)
+        self.dat.region(self.ranges, off)[...] = value

@@ -1,0 +1,30 @@
+"""OPS blocks: dimensional containers for structured datasets."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.common.errors import APIError
+
+_ids = itertools.count()
+
+
+class Block:
+    """A structured block with a dimensionality but no particular size.
+
+    Datasets defined on the same block may have different extents (cell
+    data, face data, multigrid levels), exactly as the paper describes.
+    """
+
+    def __init__(self, ndim: int, name: str | None = None):
+        if ndim < 1 or ndim > 3:
+            raise APIError("blocks must be 1-, 2- or 3-dimensional")
+        self.ndim = int(ndim)
+        self.name = name if name is not None else f"block_{next(_ids)}"
+        self.dats: list = []  # populated by Dat construction
+
+    def register(self, dat) -> None:
+        self.dats.append(dat)
+
+    def __repr__(self) -> str:
+        return f"Block({self.name!r}, ndim={self.ndim})"

@@ -1,0 +1,192 @@
+"""Lazy execution with cross-loop tiling (loop fusion).
+
+Section VI discusses locality optimisations ("cache blocking") and notes
+the reference CUDA CloverLeaf "uses loop fusion in some places".  OPS's
+own later development made this a headline feature: queue the loop chain,
+analyse dependencies from the access-execute descriptions, and execute a
+*group* of loops tile by tile so a tile's data is still in cache when the
+next loop touches it.
+
+Legality here is decided conservatively from the declared stencils: two
+consecutive loops may stay in one fused group as long as no loop reads,
+through a non-centre stencil point, a dat written earlier in the group
+(centre-to-centre producer/consumer pairs are safe because each tile's
+points are produced before they are consumed within the same tile).
+A non-centre read of a group-written dat, or an inter-loop dependency
+through a Reduction consumed by control flow, flushes the group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.common.errors import APIError
+from repro.ops.block import Block
+from repro.ops.parloop import DatArg, LoopArg, par_loop
+from repro.ops.reduction import Reduction
+from repro.ops.tiling import tiled_ranges
+
+
+@dataclass
+class QueuedLoop:
+    """One deferred ``ops_par_loop``."""
+
+    kernel: Callable
+    block: Block
+    ranges: list[tuple[int, int]]
+    args: tuple[LoopArg, ...]
+    name: str
+    flops_per_point: int = 0
+
+
+@dataclass
+class FusionGroup:
+    """A run of consecutive loops legal to execute tile-by-tile."""
+
+    loops: list[QueuedLoop] = field(default_factory=list)
+
+    def bounding_ranges(self) -> list[tuple[int, int]]:
+        ndim = self.loops[0].block.ndim
+        lo = [min(l.ranges[d][0] for l in self.loops) for d in range(ndim)]
+        hi = [max(l.ranges[d][1] for l in self.loops) for d in range(ndim)]
+        return list(zip(lo, hi))
+
+
+def _intersect(a: Sequence[tuple[int, int]], b: Sequence[tuple[int, int]]):
+    out = []
+    for (alo, ahi), (blo, bhi) in zip(a, b):
+        lo, hi = max(alo, blo), min(ahi, bhi)
+        if hi <= lo:
+            return None
+        out.append((lo, hi))
+    return out
+
+
+def _breaks_group(loop: QueuedLoop, written: set[int], read_wide: set[int]) -> bool:
+    """True if this loop cannot join the current group.
+
+    Illegal within a tile-fused group:
+
+    * RAW through a stencil — reading, at a non-centre offset, a dat some
+      earlier group member writes (the neighbouring value may belong to a
+      tile not yet produced);
+    * WAR through a stencil — writing a dat an earlier member reads with a
+      non-centre stencil (this tile's write clobbers a neighbour value a
+      later tile's read still needs).
+
+    Centre-to-centre dependencies are safe: within one tile the loops run
+    in program order over the same points.
+    """
+    for arg in loop.args:
+        if isinstance(arg, Reduction):
+            continue
+        if arg.access.reads and id(arg.dat) in written:
+            if not arg.stencil.writes_only_centre():
+                return True
+        if arg.access.writes and id(arg.dat) in read_wide:
+            return True
+    return False
+
+
+class LoopChain:
+    """Queue of OPS loops executed with cross-loop tiling.
+
+    >>> chain = LoopChain(tile_shape=(32, 32))
+    >>> chain.add(k1, block, ranges, a(ops.READ), b(ops.WRITE))
+    >>> chain.add(k2, block, ranges, b(ops.READ), c(ops.WRITE))
+    >>> stats = chain.execute()
+
+    Results are identical to executing the loops eagerly in order; the
+    benefit is cache locality (and, on real hardware, fewer kernel
+    launches) — ``stats`` reports the grouping achieved.
+    """
+
+    def __init__(self, tile_shape: tuple[int, ...] | None = None):
+        self.tile_shape = tile_shape
+        self.queued: list[QueuedLoop] = []
+
+    def add(
+        self,
+        kernel: Callable,
+        block: Block,
+        ranges,
+        *args: LoopArg,
+        name: str | None = None,
+        flops_per_point: int = 0,
+    ) -> None:
+        """Queue one loop (same signature as ``ops.par_loop``)."""
+        if self.queued and self.queued[0].block is not block:
+            raise APIError("a loop chain fuses loops on a single block")
+        self.queued.append(
+            QueuedLoop(
+                kernel=kernel,
+                block=block,
+                ranges=[tuple(int(c) for c in r) for r in ranges],
+                args=args,
+                name=name or getattr(kernel, "__name__", "ops_loop"),
+                flops_per_point=flops_per_point,
+            )
+        )
+
+    # -- grouping ----------------------------------------------------------------
+
+    def build_groups(self) -> list[FusionGroup]:
+        """Split the queue into maximal legal fusion groups."""
+        groups: list[FusionGroup] = []
+        current = FusionGroup()
+        written: set[int] = set()
+        read_wide: set[int] = set()
+        for loop in self.queued:
+            if current.loops and _breaks_group(loop, written, read_wide):
+                groups.append(current)
+                current = FusionGroup()
+                written = set()
+                read_wide = set()
+            current.loops.append(loop)
+            for arg in loop.args:
+                if not isinstance(arg, DatArg):
+                    continue
+                if arg.access.writes:
+                    written.add(id(arg.dat))
+                if arg.access.reads and not arg.stencil.writes_only_centre():
+                    read_wide.add(id(arg.dat))
+        if current.loops:
+            groups.append(current)
+        return groups
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, backend: str = "vec") -> dict:
+        """Run the whole queued chain; returns fusion statistics."""
+        groups = self.build_groups()
+        tiles_executed = 0
+        for group in groups:
+            if len(group.loops) == 1 or self.tile_shape is None:
+                for loop in group.loops:
+                    par_loop(
+                        loop.kernel, loop.block, loop.ranges, *loop.args,
+                        backend=backend, name=loop.name,
+                        flops_per_point=loop.flops_per_point,
+                    )
+                continue
+            bounding = group.bounding_ranges()
+            for tile in tiled_ranges(bounding, self.tile_shape):
+                tiles_executed += 1
+                for loop in group.loops:
+                    sub = _intersect(loop.ranges, tile)
+                    if sub is None:
+                        continue
+                    par_loop(
+                        loop.kernel, loop.block, sub, *loop.args,
+                        backend=backend, name=loop.name,
+                        flops_per_point=loop.flops_per_point,
+                    )
+        stats = {
+            "loops": len(self.queued),
+            "groups": len(groups),
+            "largest_group": max((len(g.loops) for g in groups), default=0),
+            "tiles": tiles_executed,
+        }
+        self.queued = []
+        return stats

@@ -1,0 +1,97 @@
+"""Inter-block halos: explicit copies between dats on different blocks.
+
+"Halos between datasets defined on different blocks are ... explicitly
+defined by the user, including their extent and orientation relative to
+each other", and "inter-block halo exchanges are triggered explicitly by
+the user and serve as synchronization points" (paper Section II-A).
+
+A :class:`Halo` copies a region of one dat into a region of another (often
+the target's ghost layer), with optional axis permutation and flips to
+express relative orientation; a :class:`HaloGroup` applies a set of halos
+as one exchange.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import APIError
+from repro.ops.dat import Dat
+
+
+class Halo:
+    """One directed inter-block copy: from_dat[from_ranges] -> to_dat[to_ranges].
+
+    ``transpose`` permutes the source axes before the copy; ``flip`` reverses
+    the given (post-transpose) axes.  Region shapes must agree after the
+    transform.
+    """
+
+    def __init__(
+        self,
+        from_dat: Dat,
+        to_dat: Dat,
+        from_ranges,
+        to_ranges,
+        *,
+        transpose: tuple[int, ...] | None = None,
+        flip: tuple[bool, ...] | None = None,
+    ):
+        self.from_dat = from_dat
+        self.to_dat = to_dat
+        self.from_ranges = [tuple(int(c) for c in r) for r in from_ranges]
+        self.to_ranges = [tuple(int(c) for c in r) for r in to_ranges]
+        nd_from = from_dat.block.ndim
+        nd_to = to_dat.block.ndim
+        if len(self.from_ranges) != nd_from or len(self.to_ranges) != nd_to:
+            raise APIError("halo ranges must match block dimensionalities")
+        self.transpose = transpose
+        self.flip = flip
+
+        src_shape = self._shape(self.from_ranges)
+        if transpose is not None:
+            if sorted(transpose) != list(range(nd_from)):
+                raise APIError(f"transpose {transpose} is not a permutation")
+            src_shape = tuple(src_shape[a] for a in transpose)
+        dst_shape = self._shape(self.to_ranges)
+        if src_shape != dst_shape:
+            raise APIError(
+                f"halo region shapes differ after transform: {src_shape} vs {dst_shape}"
+            )
+
+    @staticmethod
+    def _shape(ranges) -> tuple[int, ...]:
+        return tuple(hi - lo for lo, hi in ranges)
+
+    def apply(self) -> None:
+        """Perform the copy."""
+        src = self.from_dat.region(self.from_ranges)
+        if self.transpose is not None:
+            src = np.transpose(src, self.transpose)
+        if self.flip is not None:
+            for ax, f in enumerate(self.flip):
+                if f:
+                    src = np.flip(src, axis=ax)
+        self.to_dat.region(self.to_ranges)[...] = src
+        self.to_dat.halo_dirty = True
+
+    def __repr__(self) -> str:
+        return (
+            f"Halo({self.from_dat.name}{self.from_ranges} -> "
+            f"{self.to_dat.name}{self.to_ranges})"
+        )
+
+
+class HaloGroup:
+    """A named set of halos applied together (``ops_halo_transfer``)."""
+
+    def __init__(self, halos: list[Halo], name: str = "halo_group"):
+        self.halos = list(halos)
+        self.name = name
+
+    def apply(self) -> None:
+        for h in self.halos:
+            h.apply()
+
+    def __len__(self) -> int:
+        return len(self.halos)

@@ -1,0 +1,62 @@
+"""OPS state I/O: the HDF5-like store for structured dats (npz-backed).
+
+Mirrors ``ops_fetch_dat`` / ``ops_decl_dat_hdf5``: save a block's datasets
+(including ghost layers, so a run can resume exactly) and restore them into
+freshly declared dats.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import APIError
+from repro.ops.block import Block
+from repro.ops.dat import Dat
+
+
+def save_state(path: str | Path, dats: dict[str, Dat]) -> None:
+    """Serialise named dats (full storage incl. halos) into one npz file."""
+    payload: dict[str, np.ndarray] = {}
+    for name, d in dats.items():
+        payload[f"data/{name}"] = d.data
+        payload[f"meta/{name}"] = np.asarray(
+            list(d.size) + [d.halo_depth], dtype=np.int64
+        )
+    np.savez(Path(path), **payload)
+
+
+def load_state(path: str | Path, block: Block) -> dict[str, Dat]:
+    """Recreate dats on ``block`` from a state file written by save_state."""
+    out: dict[str, Dat] = {}
+    with np.load(Path(path)) as npz:
+        names = [k.split("/", 1)[1] for k in npz.files if k.startswith("data/")]
+        for name in names:
+            meta = npz[f"meta/{name}"]
+            size = tuple(int(s) for s in meta[:-1])
+            halo = int(meta[-1])
+            if len(size) != block.ndim:
+                raise APIError(
+                    f"dat {name!r} is {len(size)}-D, block {block.name} is {block.ndim}-D"
+                )
+            d = Dat(block, size, halo_depth=halo, name=name)
+            d.data[...] = npz[f"data/{name}"]
+            out[name] = d
+    return out
+
+
+def restore_into(path: str | Path, dats: dict[str, Dat]) -> None:
+    """Restore saved values into existing dats (shapes must match)."""
+    with np.load(Path(path)) as npz:
+        for name, d in dats.items():
+            key = f"data/{name}"
+            if key not in npz.files:
+                raise APIError(f"state file has no dat named {name!r}")
+            saved = npz[key]
+            if saved.shape != d.data.shape:
+                raise APIError(
+                    f"dat {name!r}: saved shape {saved.shape} != live {d.data.shape}"
+                )
+            d.data[...] = saved
+            d.halo_dirty = True

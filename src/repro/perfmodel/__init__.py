@@ -1,0 +1,31 @@
+"""Performance prediction: measured traffic -> paper-platform runtimes.
+
+The pipeline for every evaluation figure is:
+
+1. run the real application on the simulated substrate, collecting exact
+   per-loop byte/flop counts and message volumes (:mod:`repro.common.counters`,
+   :mod:`repro.simmpi`),
+2. characterise each loop (:mod:`repro.perfmodel.loopmodel`),
+3. convert to seconds on a catalogued machine with the roofline/GPU models
+   (:mod:`repro.perfmodel.predict`),
+4. extend to clusters with the scaling model (:mod:`repro.perfmodel.scaling`).
+
+Nothing here hard-codes the paper's reported numbers; the calibrated inputs
+are the published machine parameters in :mod:`repro.machine.catalog`.
+"""
+
+from repro.perfmodel.loopmodel import LoopCharacter, characterise, characterise_run
+from repro.perfmodel.predict import PlatformConfig, predict_loop, predict_chain, PredictionRow
+from repro.perfmodel.scaling import ScalingModel, ScalingPoint
+
+__all__ = [
+    "LoopCharacter",
+    "characterise",
+    "characterise_run",
+    "PlatformConfig",
+    "predict_loop",
+    "predict_chain",
+    "PredictionRow",
+    "ScalingModel",
+    "ScalingPoint",
+]

@@ -1,0 +1,75 @@
+"""Loop characterisation: measured counters -> model inputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.counters import LoopRecord, PerfCounters
+from repro.machine.gpu import GpuLoopShape
+from repro.machine.roofline import LoopTraffic
+
+
+@dataclass
+class LoopCharacter:
+    """Everything the predictors need to know about one loop."""
+
+    traffic: LoopTraffic
+    #: thread-block colours (1 for direct loops); measured from the plan
+    colours: int = 1
+    #: bytes of live state per element (GPU occupancy input)
+    state_bytes: int = 64
+    #: elements per invocation (GPU utilisation input)
+    elements: int = 1
+
+    def gpu_shape(self) -> GpuLoopShape:
+        return GpuLoopShape(
+            colours=self.colours,
+            state_bytes=self.state_bytes,
+            elements=self.elements,
+        )
+
+
+def characterise(
+    rec: LoopRecord,
+    *,
+    vectorisable: bool = True,
+    divergence: float = 0.0,
+    state_bytes: int | None = None,
+) -> LoopCharacter:
+    """Build a :class:`LoopCharacter` from one measured loop record.
+
+    ``state_bytes`` defaults to half the loop's per-element traffic (roughly
+    the operands live at once) — a loop that moves many bytes per element
+    also keeps many live (the Hydra effect the paper describes: "moves many
+    times more data per grid point ... the GPU kernels achieve lower
+    occupancy").
+    """
+    traffic = LoopTraffic.from_record(rec, vectorisable=vectorisable, divergence=divergence)
+    per_inv_elems = rec.iterations // max(rec.invocations, 1)
+    if state_bytes is None:
+        per_elem_bytes = rec.bytes_moved / max(rec.iterations, 1)
+        state_bytes = int(per_elem_bytes / 2)
+    return LoopCharacter(
+        traffic=traffic,
+        colours=max(rec.colours, 1),
+        state_bytes=state_bytes,
+        elements=max(per_inv_elems, 1),
+    )
+
+
+def characterise_run(
+    counters: PerfCounters,
+    *,
+    kernel_info: dict[str, dict] | None = None,
+) -> dict[str, LoopCharacter]:
+    """Characterise every loop of a run.
+
+    ``kernel_info`` optionally supplies per-kernel overrides:
+    ``{"res_calc": {"vectorisable": False, "divergence": 0.3}}``.
+    """
+    info = kernel_info or {}
+    out: dict[str, LoopCharacter] = {}
+    for name, rec in counters.loops.items():
+        kw = info.get(name, {})
+        out[name] = characterise(rec, **kw)
+    return out

@@ -1,0 +1,76 @@
+"""Single-node runtime prediction across platforms and programming models.
+
+A :class:`PlatformConfig` is (machine, programming model): the same machine
+appears with and without vectorisation (Fig 2's "MPI" vs "MPI vectorized"),
+and hybrid MPI+OpenMP pays a NUMA/locality factor relative to pure MPI —
+the effect the paper measures when "the use of hybrid MPI+OpenMP does not
+improve performance on a single node over MPI".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.gpu import GpuExecutionModel
+from repro.machine.roofline import RooflineModel
+from repro.machine.spec import MachineSpec
+from repro.perfmodel.loopmodel import LoopCharacter
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """One bar of a Fig-2/Fig-3/Fig-5 style chart."""
+
+    label: str
+    machine: MachineSpec
+    #: generated code uses the vector units
+    vectorised: bool = True
+    #: multiplicative slowdown for the programming model itself
+    #: (>1: e.g. hybrid MPI+OpenMP NUMA effects, unoptimised ports;
+    #:  <1: e.g. OPS's NUMA-aware OpenMP being faster than the original)
+    model_factor: float = 1.0
+    #: execute as a GPU (occupancy/colour/underfill corrections apply)
+    gpu: bool = False
+
+
+@dataclass
+class PredictionRow:
+    """Per-loop prediction: Table I's time and bandwidth columns."""
+
+    loop: str
+    seconds: float
+    bandwidth_gbs: float
+
+
+def predict_loop(cfg: PlatformConfig, ch: LoopCharacter) -> PredictionRow:
+    """Predict one loop's total runtime (all invocations) on a platform."""
+    if cfg.gpu:
+        model = GpuExecutionModel(cfg.machine)
+        per_inv = model.loop_seconds_shaped(ch.traffic, ch.gpu_shape())
+    else:
+        model = RooflineModel(cfg.machine, vectorised=cfg.vectorised)
+        per_inv = model.loop_seconds(ch.traffic)
+    per_inv *= cfg.model_factor
+    total = per_inv * ch.traffic.invocations
+    bw = model.effective_bytes(ch.traffic) / per_inv / 1e9 if per_inv > 0 else 0.0
+    return PredictionRow(loop=ch.traffic.name, seconds=total, bandwidth_gbs=bw)
+
+
+def predict_chain(
+    cfg: PlatformConfig, characters: dict[str, LoopCharacter]
+) -> tuple[float, list[PredictionRow]]:
+    """Predict a whole application: total seconds plus per-loop rows."""
+    rows = [predict_loop(cfg, ch) for ch in characters.values()]
+    return sum(r.seconds for r in rows), rows
+
+
+def standard_cpu_configs(machine: MachineSpec) -> list[PlatformConfig]:
+    """The Fig-2 CPU programming-model ladder for one machine."""
+    return [
+        PlatformConfig("MPI", machine, vectorised=False),
+        PlatformConfig("MPI vectorized", machine, vectorised=True),
+        # hybrid pays a small NUMA/locality penalty vs pure MPI's
+        # first-touch-partitioned memory (paper Section IV observation)
+        PlatformConfig("MPI+OpenMP", machine, vectorised=False, model_factor=1.05),
+        PlatformConfig("MPI+OpenMP vectorized", machine, vectorised=True, model_factor=1.05),
+    ]

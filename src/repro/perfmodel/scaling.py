@@ -1,0 +1,190 @@
+"""Strong- and weak-scaling prediction (Figs 4 and 6).
+
+Node time comes from the roofline/GPU models applied to the per-node share
+of the problem; communication time comes from the interconnect model fed
+with halo volumes that shrink as surface-to-volume when strong scaling:
+
+    halo elements per rank  ~  c * (elements per rank)^((d-1)/d)
+
+The constant ``c`` and the neighbour count are *measured* from a real
+partitioned run on the simulated MPI substrate, then extrapolated — the
+same calibration the paper's analytic models use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machine.gpu import GpuExecutionModel, GpuLoopShape
+from repro.machine.network import NetworkModel
+from repro.machine.roofline import RooflineModel
+from repro.machine.spec import InterconnectSpec, MachineSpec
+from repro.perfmodel.loopmodel import LoopCharacter
+
+
+@dataclass
+class ScalingPoint:
+    """One point of a scaling curve."""
+
+    nodes: int
+    compute_seconds: float
+    comm_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return self.compute_seconds + self.comm_seconds
+
+    @property
+    def comm_fraction(self) -> float:
+        t = self.seconds
+        return self.comm_seconds / t if t > 0 else 0.0
+
+
+class ScalingModel:
+    """Predicts an application's scaling curves on one cluster."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        net: InterconnectSpec,
+        *,
+        dim: int = 2,
+        gpu: bool = False,
+        vectorised: bool = True,
+        neighbours: int | None = None,
+        halo_coeff: float = 2.0,
+        bytes_per_halo_elem: float = 64.0,
+        exchanges_per_step: int = 2,
+        reductions_per_step: int = 1,
+    ):
+        self.machine = machine
+        self.net = NetworkModel(net, gpu_buffers=gpu)
+        self.dim = dim
+        self.gpu = gpu
+        self.vectorised = vectorised
+        #: face-adjacent neighbour ranks (2*dim for structured grids)
+        self.neighbours = neighbours if neighbours is not None else 2 * dim
+        #: halo elements per rank = halo_coeff * n_local^((d-1)/d)
+        self.halo_coeff = halo_coeff
+        self.bytes_per_halo_elem = bytes_per_halo_elem
+        self.exchanges_per_step = exchanges_per_step
+        self.reductions_per_step = reductions_per_step
+
+    @classmethod
+    def calibrate_halo(
+        cls, measured_halo_elems: float, local_elems: float, dim: int
+    ) -> float:
+        """Back out ``halo_coeff`` from one measured partitioned run."""
+        surface = local_elems ** ((dim - 1) / dim)
+        return measured_halo_elems / surface if surface > 0 else 0.0
+
+    # -- node compute time ---------------------------------------------------------
+
+    def _node_seconds(
+        self, characters: dict[str, LoopCharacter], share: float
+    ) -> float:
+        """Chain time for a rank executing ``share`` of each loop's elements."""
+        total = 0.0
+        for ch in characters.values():
+            t = ch.traffic
+            scaled = type(t)(
+                name=t.name,
+                bytes_direct=t.bytes_direct * share,
+                bytes_indirect=t.bytes_indirect * share,
+                flops=t.flops * share,
+                vectorisable=t.vectorisable,
+                divergence=t.divergence,
+                invocations=t.invocations,
+            )
+            if self.gpu:
+                model = GpuExecutionModel(self.machine)
+                shape = GpuLoopShape(
+                    colours=ch.colours,
+                    state_bytes=ch.state_bytes,
+                    elements=max(int(ch.elements * share), 1),
+                )
+                per_inv = model.loop_seconds_shaped(scaled, shape)
+            else:
+                model = RooflineModel(self.machine, vectorised=self.vectorised)
+                per_inv = model.loop_seconds(scaled)
+            total += per_inv * t.invocations
+        return total
+
+    # -- communication time -----------------------------------------------------------
+
+    def _comm_seconds(self, local_elems: float, nodes: int, steps: int) -> float:
+        if nodes <= 1:
+            return 0.0
+        halo_elems = self.halo_coeff * local_elems ** ((self.dim - 1) / self.dim)
+        halo_bytes = halo_elems * self.bytes_per_halo_elem
+        per_exchange = self.net.exchange_seconds(self.neighbours, halo_bytes)
+        per_reduce = self.net.allreduce_seconds(nodes)
+        return steps * (
+            self.exchanges_per_step * per_exchange
+            + self.reductions_per_step * per_reduce
+        )
+
+    # -- public curves -----------------------------------------------------------------
+
+    def strong(
+        self,
+        characters: dict[str, LoopCharacter],
+        total_elements: int,
+        nodes_list: list[int],
+        *,
+        steps: int = 1,
+    ) -> list[ScalingPoint]:
+        """Fixed total problem, growing node counts."""
+        out = []
+        for nodes in nodes_list:
+            share = 1.0 / nodes
+            local = total_elements / nodes
+            out.append(
+                ScalingPoint(
+                    nodes=nodes,
+                    compute_seconds=self._node_seconds(characters, share),
+                    comm_seconds=self._comm_seconds(local, nodes, steps),
+                )
+            )
+        return out
+
+    def weak(
+        self,
+        characters: dict[str, LoopCharacter],
+        elements_per_node: int,
+        nodes_list: list[int],
+        *,
+        steps: int = 1,
+    ) -> list[ScalingPoint]:
+        """Fixed per-node problem, growing node counts.
+
+        ``characters`` must describe the *single-node* run (share=1);
+        compute time is constant, communication grows only through the
+        log(P) reduction term — the paper's near-flat weak-scaling curves.
+        """
+        out = []
+        for nodes in nodes_list:
+            out.append(
+                ScalingPoint(
+                    nodes=nodes,
+                    compute_seconds=self._node_seconds(characters, 1.0),
+                    comm_seconds=self._comm_seconds(elements_per_node, nodes, steps),
+                )
+            )
+        return out
+
+    @staticmethod
+    def parallel_efficiency(points: list[ScalingPoint], *, weak: bool = False) -> list[float]:
+        """Efficiency per point relative to the first point."""
+        if not points:
+            return []
+        t0, n0 = points[0].seconds, points[0].nodes
+        out = []
+        for p in points:
+            if weak:
+                out.append(t0 / p.seconds if p.seconds > 0 else 0.0)
+            else:
+                ideal = t0 * n0 / p.nodes
+                out.append(ideal / p.seconds if p.seconds > 0 else 0.0)
+        return out

@@ -1,0 +1,35 @@
+"""simmpi — a deterministic in-process MPI simulator.
+
+The paper's OP2/OPS libraries sit on real MPI; offline we substitute a small
+SPMD runtime that executes N ranks as threads inside one Python process.
+It supports the subset of MPI the libraries need:
+
+* blocking and non-blocking point-to-point (``send``/``recv``/``isend``/``irecv``)
+  with tag and source matching,
+* collectives (``barrier``, ``bcast``, ``gather``, ``allgather``, ``scatter``,
+  ``reduce``, ``allreduce``, ``alltoall``) with rank-ordered, hence
+  deterministic, reduction order,
+* cartesian topology helpers (:mod:`repro.simmpi.cart`),
+* per-rank message/byte counters, the quantities the scaling model consumes.
+
+Use :func:`run_spmd` to execute a rank function over a simulated world::
+
+    def main(comm):
+        return comm.allreduce(comm.rank, op="sum")
+
+    results = run_spmd(4, main)   # [6, 6, 6, 6]
+"""
+
+from repro.simmpi.comm import SimComm, Request, DeadlockError
+from repro.simmpi.executor import run_spmd, World
+from repro.simmpi.cart import dims_create, CartComm
+
+__all__ = [
+    "SimComm",
+    "Request",
+    "DeadlockError",
+    "run_spmd",
+    "World",
+    "dims_create",
+    "CartComm",
+]

@@ -1,0 +1,103 @@
+"""Cartesian topology helpers (MPI_Dims_create / MPI_Cart_* equivalents).
+
+OPS decomposes each structured block over a cartesian process grid; these
+helpers provide the factorisation and coordinate arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.simmpi.comm import SimComm
+
+
+def dims_create(nranks: int, ndims: int) -> list[int]:
+    """Choose a balanced ``ndims``-dimensional factorisation of ``nranks``.
+
+    Mirrors ``MPI_Dims_create``: dimensions are as close to each other as
+    possible and sorted in non-increasing order.
+    """
+    if nranks < 1 or ndims < 1:
+        raise ValueError("nranks and ndims must be positive")
+    dims = [1] * ndims
+    remaining = nranks
+    # repeatedly peel the smallest prime factor onto the currently smallest dim
+    factors: list[int] = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for factor in sorted(factors, reverse=True):
+        i = dims.index(min(dims))
+        dims[i] *= factor
+    return sorted(dims, reverse=True)
+
+
+class CartComm:
+    """A cartesian view over a :class:`SimComm` (non-periodic, row-major)."""
+
+    def __init__(self, comm: SimComm, dims: Sequence[int]):
+        total = 1
+        for d in dims:
+            total *= d
+        if total != comm.size:
+            raise ValueError(f"dims {list(dims)} do not cover {comm.size} ranks")
+        self.comm = comm
+        self.dims = list(dims)
+        self.ndims = len(dims)
+
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def coords(self, rank: int | None = None) -> list[int]:
+        """Cartesian coordinates of ``rank`` (default: this rank)."""
+        if rank is None:
+            rank = self.comm.rank
+        out = []
+        for extent in reversed(self.dims):
+            out.append(rank % extent)
+            rank //= extent
+        return list(reversed(out))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """Rank at the given coordinates (row-major)."""
+        rank = 0
+        for c, extent in zip(coords, self.dims):
+            if not (0 <= c < extent):
+                raise ValueError(f"coordinate {list(coords)} out of grid {self.dims}")
+            rank = rank * extent + c
+        return rank
+
+    def shift(self, dim: int, disp: int = 1) -> tuple[int | None, int | None]:
+        """(source, dest) neighbour ranks along ``dim``; None at boundaries."""
+        coords = self.coords()
+
+        def neighbour(offset: int) -> int | None:
+            c = list(coords)
+            c[dim] += offset
+            if 0 <= c[dim] < self.dims[dim]:
+                return self.rank_of(c)
+            return None
+
+        return neighbour(-disp), neighbour(+disp)
+
+    def neighbours(self) -> list[int]:
+        """All face-adjacent neighbour ranks, ascending, no duplicates."""
+        out = set()
+        for dim in range(self.ndims):
+            lo, hi = self.shift(dim)
+            if lo is not None:
+                out.add(lo)
+            if hi is not None:
+                out.add(hi)
+        return sorted(out)

@@ -1,0 +1,287 @@
+"""Communicator for the in-process MPI simulator.
+
+Each rank runs in its own thread; every rank owns a mailbox (a list of
+message envelopes guarded by a condition variable).  ``send`` deposits a
+deep-ish copy of the payload into the destination mailbox; ``recv`` blocks
+until a matching (source, tag) envelope arrives.  NumPy payloads are copied
+so ranks cannot alias each other's memory — the same isolation real MPI
+gives you.
+
+A configurable timeout turns an MPI deadlock (mismatched send/recv) into a
+:class:`DeadlockError` instead of a hung test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.common.counters import PerfCounters
+from repro.common.errors import ReproError
+
+#: matches any source / any tag, like MPI_ANY_SOURCE / MPI_ANY_TAG
+ANY = -1
+
+#: seconds a blocking receive waits before declaring deadlock
+DEADLOCK_TIMEOUT = 60.0
+
+
+class DeadlockError(ReproError):
+    """A blocking operation timed out: the simulated job has deadlocked."""
+
+
+def _payload_nbytes(obj: Any) -> int:
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(_payload_nbytes(o) for o in obj)
+    return 8  # scalars / small python objects: count a word
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Copy array payloads so sender and receiver never alias."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, list):
+        return [_copy_payload(o) for o in obj]
+    if isinstance(obj, tuple):
+        return tuple(_copy_payload(o) for o in obj)
+    if isinstance(obj, dict):
+        return {k: _copy_payload(v) for k, v in obj.items()}
+    return obj
+
+
+@dataclass
+class _Envelope:
+    src: int
+    tag: int
+    payload: Any
+
+
+class _Mailbox:
+    """Thread-safe matching queue of envelopes for one rank."""
+
+    def __init__(self) -> None:
+        self._messages: list[_Envelope] = []
+        self._cond = threading.Condition()
+
+    def put(self, env: _Envelope) -> None:
+        with self._cond:
+            self._messages.append(env)
+            self._cond.notify_all()
+
+    def _find(self, src: int, tag: int) -> Optional[int]:
+        for i, env in enumerate(self._messages):
+            if (src == ANY or env.src == src) and (tag == ANY or env.tag == tag):
+                return i
+        return None
+
+    def get(self, src: int, tag: int, timeout: float) -> _Envelope:
+        limit = threading.TIMEOUT_MAX if timeout is None else timeout
+        with self._cond:
+            idx = self._find(src, tag)
+            waited = 0.0
+            while idx is None:
+                self._cond.wait(timeout=0.5)
+                waited += 0.5
+                idx = self._find(src, tag)
+                if idx is None and waited >= limit:
+                    raise DeadlockError(
+                        f"recv(src={src}, tag={tag}) timed out after {timeout}s"
+                    )
+            return self._messages.pop(idx)
+
+    def probe(self, src: int, tag: int) -> bool:
+        with self._cond:
+            return self._find(src, tag) is not None
+
+
+class Request:
+    """Handle for a non-blocking operation (completed lazily on wait/test)."""
+
+    def __init__(self, fn: Callable[[], Any]):
+        self._fn = fn
+        self._done = False
+        self._result: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._result = self._fn()
+            self._done = True
+        return self._result
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-destructive completion test (best-effort for recv)."""
+        if self._done:
+            return True, self._result
+        return False, None
+
+
+@dataclass
+class _WorldState:
+    """Shared state for one simulated world (all ranks)."""
+
+    size: int
+    mailboxes: list[_Mailbox]
+    barrier: threading.Barrier
+    coll_lock: threading.Lock = field(default_factory=threading.Lock)
+    coll_slots: dict[tuple[int, str], list] = field(default_factory=dict)
+    coll_seq: dict[str, int] = field(default_factory=dict)
+
+
+_REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
+    "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b),
+    "prod": lambda a, b: a * b,
+}
+
+
+class SimComm:
+    """Per-rank communicator handle over a shared world state.
+
+    The collective algorithms are implemented on top of point-to-point
+    messages through rank 0 (gather+bcast shape).  That is slower than a
+    tree but keeps reduction order deterministic: contributions are always
+    combined in rank order.
+    """
+
+    # collective tags live in a reserved high range
+    _TAG_COLL = 1 << 20
+
+    def __init__(self, world: _WorldState, rank: int, counters: PerfCounters | None = None):
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+        self.counters = counters if counters is not None else PerfCounters()
+        self._coll_round = 0
+
+    # -- point-to-point ----------------------------------------------------
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        """Deposit a message; copies array payloads (buffered send semantics)."""
+        if not (0 <= dest < self.size):
+            raise ValueError(f"invalid destination rank {dest}")
+        nbytes = _payload_nbytes(payload)
+        self.counters.record_message(nbytes)
+        self._world.mailboxes[dest].put(_Envelope(self.rank, tag, _copy_payload(payload)))
+
+    def recv(self, source: int = ANY, tag: int = ANY, timeout: float = DEADLOCK_TIMEOUT) -> Any:
+        env = self._world.mailboxes[self.rank].get(source, tag, timeout)
+        return env.payload
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
+        # buffered sends complete immediately
+        self.send(payload, dest, tag)
+        return Request(lambda: None)
+
+    def irecv(self, source: int = ANY, tag: int = ANY) -> Request:
+        return Request(lambda: self.recv(source, tag))
+
+    def sendrecv(self, payload: Any, dest: int, source: int, tag: int = 0) -> Any:
+        self.send(payload, dest, tag)
+        return self.recv(source, tag)
+
+    def probe(self, source: int = ANY, tag: int = ANY) -> bool:
+        return self._world.mailboxes[self.rank].probe(source, tag)
+
+    # -- collectives --------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._world.barrier.wait()
+
+    def _next_tag(self) -> int:
+        # every collective call consumes one tag slot; SPMD code calls
+        # collectives in the same order on every rank so the counters agree
+        tag = self._TAG_COLL + self._coll_round
+        self._coll_round += 1
+        return tag
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        tag = self._next_tag()
+        if self.rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self.send(payload, r, tag)
+            return _copy_payload(payload)
+        return self.recv(root, tag)
+
+    def gather(self, payload: Any, root: int = 0) -> Optional[list]:
+        tag = self._next_tag()
+        if self.rank == root:
+            out: list = [None] * self.size
+            out[root] = _copy_payload(payload)
+            for _ in range(self.size - 1):
+                env = self._world.mailboxes[self.rank].get(ANY, tag, DEADLOCK_TIMEOUT)
+                out[env.src] = env.payload
+            return out
+        self.send(payload, root, tag)
+        return None
+
+    def allgather(self, payload: Any) -> list:
+        gathered = self.gather(payload, root=0)
+        return self.bcast(gathered, root=0)
+
+    def scatter(self, payloads: Optional[list], root: int = 0) -> Any:
+        tag = self._next_tag()
+        if self.rank == root:
+            if payloads is None or len(payloads) != self.size:
+                raise ValueError("scatter root must supply one payload per rank")
+            for r in range(self.size):
+                if r != root:
+                    self.send(payloads[r], r, tag)
+            return _copy_payload(payloads[root])
+        return self.recv(root, tag)
+
+    def reduce(self, payload: Any, op: str = "sum", root: int = 0) -> Any:
+        if op not in _REDUCE_OPS:
+            raise ValueError(f"unknown reduction op {op!r}")
+        gathered = self.gather(payload, root=root)
+        self.counters.record_reduction()
+        if gathered is None:
+            return None
+        fn = _REDUCE_OPS[op]
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = fn(acc, item)
+        return acc
+
+    def allreduce(self, payload: Any, op: str = "sum") -> Any:
+        result = self.reduce(payload, op=op, root=0)
+        return self.bcast(result, root=0)
+
+    def alltoall(self, payloads: list) -> list:
+        if len(payloads) != self.size:
+            raise ValueError("alltoall needs one payload per rank")
+        tag = self._next_tag()
+        for r in range(self.size):
+            if r != self.rank:
+                self.send(payloads[r], r, tag)
+        out: list = [None] * self.size
+        out[self.rank] = _copy_payload(payloads[self.rank])
+        for _ in range(self.size - 1):
+            env = self._world.mailboxes[self.rank].get(ANY, tag, DEADLOCK_TIMEOUT)
+            out[env.src] = env.payload
+        return out
+
+    # -- exchange helper used by halo code -----------------------------------
+
+    def neighbor_exchange(self, sends: dict[int, Any], tag: int = 7) -> dict[int, Any]:
+        """Exchange payloads with a set of neighbour ranks.
+
+        ``sends`` maps neighbour rank -> payload.  Every rank must name the
+        same neighbour relation symmetrically (if i sends to j, j sends to i),
+        which is true for halo exchanges by construction.  Returns received
+        payloads keyed by source rank.
+        """
+        for dest, payload in sends.items():
+            self.send(payload, dest, tag)
+        out: dict[int, Any] = {}
+        for src in sends:
+            out[src] = self.recv(src, tag)
+        return out

@@ -1,0 +1,27 @@
+"""Source-to-source translation (paper Section II-B, Fig 1).
+
+OP2's and OPS's translators are Python programs that parse the high-level
+application and emit per-loop, per-target implementation files; this package
+is that translator:
+
+* :mod:`repro.translator.kernelvec` — transforms an elementwise user kernel
+  (scalar indexing, math calls, ternaries) into a vectorised kernel over
+  gathered arrays.  This is the generator behind every array backend.
+* :mod:`repro.translator.frontend` — finds ``par_loop`` call sites in an
+  application source file and lifts them into a loop IR.
+* :mod:`repro.translator.codegen` — emits human-readable target code from
+  the IR: executable Python modules, and CUDA-C text demonstrating the
+  AoS / SoA / staged memory strategies of paper Fig 7.
+"""
+
+from repro.translator.kernelvec import vectorise_kernel, GeneratedKernel
+from repro.translator.frontend import parse_app_source, LoopSite
+from repro.translator.driver import translate_app
+
+__all__ = [
+    "vectorise_kernel",
+    "GeneratedKernel",
+    "parse_app_source",
+    "LoopSite",
+    "translate_app",
+]

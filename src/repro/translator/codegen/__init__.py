@@ -1,0 +1,19 @@
+"""Code generators: one module per target language/style."""
+
+from repro.translator.codegen.cuda_c import generate_cuda, MemoryStrategy
+from repro.translator.codegen.python_host import generate_python_module
+from repro.translator.codegen.openmp_c import generate_openmp_c
+from repro.translator.codegen.opencl_c import generate_opencl_kernel, generate_opencl_host
+
+__all__ = [
+    "generate_cuda",
+    "MemoryStrategy",
+    "generate_python_module",
+    "generate_openmp_c",
+    "generate_opencl_kernel",
+    "generate_opencl_host",
+]
+
+from repro.translator.codegen.mpi_c import generate_mpi_host, communication_plan
+
+__all__ += ["generate_mpi_host", "communication_plan"]

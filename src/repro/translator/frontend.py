@@ -1,0 +1,128 @@
+"""Translator frontend: find parallel-loop call sites in application source.
+
+Mirrors the paper's Fig 1 flow: the application, written against the
+high-level API, "is then parsed by a python source-to-source translator".
+We walk the application module's AST and lift every ``par_loop(...)`` /
+``op2.par_loop(...)`` / ``ops.par_loop(...)`` call into a :class:`LoopSite`
+record: the kernel name, the iteration space expression and one
+:class:`ArgSite` per argument with its dat/map/index/access text.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.errors import TranslatorError
+
+_ACCESS_NAMES = {"READ", "WRITE", "RW", "INC", "MIN", "MAX"}
+
+
+@dataclass
+class ArgSite:
+    """One argument of a lifted loop call, as source text fragments."""
+
+    dat: str
+    access: str
+    map: str | None = None
+    idx: str | None = None
+    is_global: bool = False
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.map is not None
+
+
+@dataclass
+class LoopSite:
+    """One ``par_loop`` call site lifted from the application."""
+
+    kernel: str
+    iterset: str
+    args: list[ArgSite] = field(default_factory=list)
+    lineno: int = 0
+    api: str = "op2"  # "op2" or "ops"
+
+    @property
+    def has_indirection(self) -> bool:
+        return any(a.is_indirect for a in self.args)
+
+
+def _access_of(node: ast.expr) -> str | None:
+    """Extract an access-mode name from e.g. ``op2.READ`` or ``READ``."""
+    if isinstance(node, ast.Attribute) and node.attr in _ACCESS_NAMES:
+        return node.attr
+    if isinstance(node, ast.Name) and node.id in _ACCESS_NAMES:
+        return node.id
+    return None
+
+
+def _parse_arg(node: ast.expr) -> ArgSite | None:
+    """Parse one loop argument expression: ``dat(ACCESS[, map, idx])``."""
+    if not isinstance(node, ast.Call):
+        return None
+    dat_txt = ast.unparse(node.func)
+    if not node.args:
+        return None
+    access = _access_of(node.args[0])
+    if access is None:
+        return None
+    map_txt = idx_txt = None
+    if len(node.args) >= 2:
+        map_txt = ast.unparse(node.args[1])
+    if len(node.args) >= 3:
+        idx_txt = ast.unparse(node.args[2])
+    return ArgSite(dat=dat_txt, access=access, map=map_txt, idx=idx_txt)
+
+
+def _is_par_loop(call: ast.Call) -> str | None:
+    """Return 'op2'/'ops' if the call is a parallel loop, else None."""
+    f = call.func
+    if isinstance(f, ast.Attribute) and f.attr == "par_loop":
+        if isinstance(f.value, ast.Name) and f.value.id in ("op2", "ops"):
+            return f.value.id
+        return "op2"
+    if isinstance(f, ast.Name) and f.id in ("par_loop", "op_par_loop", "ops_par_loop"):
+        return "ops" if f.id.startswith("ops") else "op2"
+    return None
+
+
+def parse_app_source(source: str, filename: str = "<app>") -> list[LoopSite]:
+    """Lift every parallel-loop call site from application source text."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        raise TranslatorError(f"cannot parse application {filename}: {exc}") from exc
+
+    sites: list[LoopSite] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        api = _is_par_loop(node)
+        if api is None:
+            continue
+        if len(node.args) < 2:
+            raise TranslatorError(
+                f"{filename}:{node.lineno}: par_loop needs a kernel and an iteration set"
+            )
+        kernel_txt = ast.unparse(node.args[0])
+        iterset_txt = ast.unparse(node.args[1])
+        site = LoopSite(
+            kernel=kernel_txt,
+            iterset=iterset_txt,
+            lineno=node.lineno,
+            api=api,
+        )
+        for arg_node in node.args[2:]:
+            arg = _parse_arg(arg_node)
+            if arg is not None:
+                site.args.append(arg)
+        sites.append(site)
+    return sites
+
+
+def parse_app_file(path: str | Path) -> list[LoopSite]:
+    """Lift loop sites from an application file on disk."""
+    p = Path(path)
+    return parse_app_source(p.read_text(), filename=str(p))

@@ -1,0 +1,213 @@
+"""Elementwise-to-vectorised kernel translation.
+
+The user writes kernels from "the perspective of a single-threaded
+implementation" (paper Section II-A): scalar component indexing, ``math``
+calls, ternary expressions.  This module parses that function's AST and
+generates a vectorised variant where every parameter subscript ``p[i]``
+becomes a column access ``p[:, i]``, scalar math becomes NumPy ufuncs and
+ternaries become ``np.where`` — the same structural rewrite OP2's code
+generator performs when emitting vectorisable C.
+
+Restrictions mirror the paper's: *no branching statements in user
+functions* (Section IV notes the vector-intrinsics path "does not allow
+branching"); use conditional expressions instead.  Violations raise
+:class:`~repro.common.errors.TranslatorError` with the offending construct.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.common.errors import TranslatorError
+
+#: scalar-call -> NumPy ufunc rewrites
+_CALL_MAP = {
+    "sqrt": "sqrt",
+    "fabs": "abs",
+    "abs": "abs",
+    "exp": "exp",
+    "log": "log",
+    "sin": "sin",
+    "cos": "cos",
+    "pow": "power",
+    "copysign": "copysign",
+    "floor": "floor",
+    "ceil": "ceil",
+    "atan2": "arctan2",
+    "tanh": "tanh",
+}
+
+#: variadic scalar reductions -> binary NumPy ufuncs (nested when >2 args)
+_VARIADIC_MAP = {"min": "minimum", "max": "maximum"}
+
+_ALLOWED_STMTS = (
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Expr,
+    ast.For,
+    ast.Pass,
+)
+
+
+@dataclass
+class GeneratedKernel:
+    """A generated vectorised kernel: the callable and its source text."""
+
+    name: str
+    func: Callable
+    source: str
+
+
+def _np_attr(fname: str) -> ast.Attribute:
+    return ast.Attribute(value=ast.Name(id="np", ctx=ast.Load()), attr=fname, ctx=ast.Load())
+
+
+class _Vectoriser(ast.NodeTransformer):
+    """Rewrites one kernel function body."""
+
+    def __init__(self, params: set[str], kernel_name: str):
+        self.params = params
+        self.kernel_name = kernel_name
+        self.loop_vars: set[str] = set()
+
+    def _err(self, node: ast.AST, msg: str) -> TranslatorError:
+        line = getattr(node, "lineno", "?")
+        return TranslatorError(f"kernel {self.kernel_name!r} line {line}: {msg}")
+
+    # -- subscripts -----------------------------------------------------------
+
+    def visit_Subscript(self, node: ast.Subscript):
+        self.generic_visit(node)
+        if isinstance(node.value, ast.Name) and node.value.id in self.params:
+            new_slice = ast.Tuple(
+                elts=[ast.Slice(lower=None, upper=None, step=None), node.slice],
+                ctx=ast.Load(),
+            )
+            return ast.Subscript(value=node.value, slice=new_slice, ctx=node.ctx)
+        return node
+
+    # -- parameter misuse -------------------------------------------------------
+
+    def visit_Name(self, node: ast.Name):
+        return node
+
+    # -- calls ------------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call):
+        self.generic_visit(node)
+        fname = None
+        if isinstance(node.func, ast.Name):
+            fname = node.func.id
+        elif isinstance(node.func, ast.Attribute) and isinstance(node.func.value, ast.Name):
+            if node.func.value.id in ("math", "np", "numpy"):
+                fname = node.func.attr
+        if fname is None:
+            raise self._err(node, "only math.* / builtin math calls are allowed in kernels")
+        if fname in ("range", "float", "int"):
+            # loop bounds and scalar casts of loop-invariant values pass through
+            return node
+        if fname in _VARIADIC_MAP:
+            ufunc = _VARIADIC_MAP[fname]
+            if len(node.args) < 2:
+                raise self._err(node, f"{fname}() in kernels needs >= 2 arguments")
+            expr = node.args[0]
+            for nxt in node.args[1:]:
+                expr = ast.Call(func=_np_attr(ufunc), args=[expr, nxt], keywords=[])
+            return expr
+        if fname in _CALL_MAP:
+            return ast.Call(func=_np_attr(_CALL_MAP[fname]), args=node.args, keywords=[])
+        raise self._err(node, f"call to {fname!r} is not supported in kernels")
+
+    # -- control flow -------------------------------------------------------------
+
+    def visit_IfExp(self, node: ast.IfExp):
+        self.generic_visit(node)
+        return ast.Call(
+            func=_np_attr("where"),
+            args=[node.test, node.body, node.orelse],
+            keywords=[],
+        )
+
+    def visit_If(self, node: ast.If):
+        raise self._err(
+            node,
+            "branching statements are not allowed in user kernels "
+            "(use a conditional expression `a if c else b`)",
+        )
+
+    def visit_While(self, node: ast.While):
+        raise self._err(node, "while loops are not allowed in user kernels")
+
+    def visit_Return(self, node: ast.Return):
+        if node.value is not None:
+            raise self._err(node, "kernels must not return values")
+        return node
+
+    def visit_For(self, node: ast.For):
+        if not (
+            isinstance(node.iter, ast.Call)
+            and isinstance(node.iter.func, ast.Name)
+            and node.iter.func.id == "range"
+        ):
+            raise self._err(node, "for loops must iterate over range(...)")
+        if not isinstance(node.target, ast.Name):
+            raise self._err(node, "for loop targets must be simple names")
+        self.loop_vars.add(node.target.id)
+        self.generic_visit(node)
+        return node
+
+
+def _check_statements(body: list[ast.stmt], name: str) -> None:
+    for stmt in body:
+        if isinstance(stmt, (ast.If, ast.While, ast.Return, ast.For)):
+            continue  # handled (or rejected) by the transformer
+        if not isinstance(stmt, _ALLOWED_STMTS):
+            raise TranslatorError(
+                f"kernel {name!r}: statement {type(stmt).__name__} is not supported"
+            )
+
+
+def vectorise_kernel(func: Callable, name: str | None = None) -> GeneratedKernel:
+    """Generate the vectorised variant of an elementwise kernel.
+
+    The returned callable has the same signature but expects each argument
+    as a 2-D ``(n, dim)`` array and processes all ``n`` elements at once.
+    """
+    name = name or func.__name__
+    try:
+        src = textwrap.dedent(inspect.getsource(func))
+    except (OSError, TypeError) as exc:
+        raise TranslatorError(f"cannot retrieve source of kernel {name!r}: {exc}") from exc
+
+    tree = ast.parse(src)
+    fdef = tree.body[0]
+    if not isinstance(fdef, ast.FunctionDef):
+        # lambdas and nested constructs are not part of the API
+        raise TranslatorError(
+            f"kernel {name!r} must be a plain function (def ...), got "
+            f"{type(fdef).__name__}; pass vec_func explicitly instead"
+        )
+
+    params = {a.arg for a in fdef.args.args}
+    _check_statements(fdef.body, name)
+
+    vec = _Vectoriser(params, name)
+    new_fdef = vec.visit(fdef)
+    new_fdef.name = f"{name}_vec"
+    new_fdef.decorator_list = []
+    module = ast.Module(body=[new_fdef], type_ignores=[])
+    ast.fix_missing_locations(module)
+
+    source = ast.unparse(module)
+    namespace = dict(func.__globals__)
+    namespace["np"] = np
+    code = compile(module, filename=f"<generated:{name}_vec>", mode="exec")
+    exec(code, namespace)  # noqa: S102 - generated from our own AST
+    return GeneratedKernel(name=f"{name}_vec", func=namespace[new_fdef.name], source=source)

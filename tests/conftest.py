@@ -1,0 +1,32 @@
+"""Shared fixtures and test utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import op2
+
+
+@pytest.fixture(autouse=True)
+def _clear_plan_cache():
+    """Plans are cached by object identity; fresh per test."""
+    from repro.op2.plan import clear_plan_cache
+
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+@pytest.fixture
+def line_mesh():
+    """A 1-D chain mesh: N nodes, N-1 edges, useful for tiny OP2 tests."""
+
+    def build(n: int = 10):
+        nodes = op2.Set(n, "nodes")
+        edges = op2.Set(n - 1, "edges")
+        e2n = op2.Map(edges, nodes, 2, [[i, i + 1] for i in range(n - 1)], "e2n")
+        x = op2.Dat(nodes, 1, np.arange(n, dtype=float) + 1.0, name="x")
+        return nodes, edges, e2n, x
+
+    return build

@@ -1,0 +1,94 @@
+"""CloverLeaf 3D: 2D-equivalence oracle, conservation, symmetry."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cloverleaf import CloverLeafApp
+from repro.apps.cloverleaf3d import CloverLeaf3DApp, clover_bm3_state
+
+
+class TestTwoDEquivalence:
+    """A z-uniform 3D problem must reproduce the 2D solver exactly."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        app2 = CloverLeafApp(nx=12, ny=10)
+        app3 = CloverLeaf3DApp(12, 10, 3)
+        app3.rotate_all = False  # x/y alternation, z sweep last (a no-op)
+        for _ in range(5):
+            dt2 = app2.step()
+            dt3 = app3.step()
+            assert dt3 == pytest.approx(dt2, rel=1e-14)
+        return app2, app3
+
+    def test_z_uniformity_preserved(self, pair):
+        _, app3 = pair
+        d = app3.st.density0.interior
+        np.testing.assert_allclose(
+            d, np.broadcast_to(d[:, :, :1], d.shape), atol=1e-13
+        )
+
+    def test_z_velocity_stays_zero(self, pair):
+        _, app3 = pair
+        assert np.abs(app3.st.zvel0.interior).max() < 1e-15
+
+    def test_density_matches_2d(self, pair):
+        app2, app3 = pair
+        np.testing.assert_allclose(
+            app3.st.density0.interior[:, :, 0],
+            app2.st.density0.interior,
+            atol=1e-12,
+        )
+
+    def test_energy_matches_2d(self, pair):
+        app2, app3 = pair
+        np.testing.assert_allclose(
+            app3.st.energy0.interior[:, :, 0],
+            app2.st.energy0.interior,
+            atol=1e-12,
+        )
+
+    def test_velocities_match_2d(self, pair):
+        app2, app3 = pair
+        np.testing.assert_allclose(
+            app3.st.xvel0.interior[:, :, 0], app2.st.xvel0.interior, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            app3.st.yvel0.interior[:, :, 0], app2.st.yvel0.interior, atol=1e-12
+        )
+
+
+class TestFull3D:
+    def test_mass_exactly_conserved_with_rotating_sweeps(self):
+        app = CloverLeaf3DApp(10, 10, 10)
+        before = app.field_summary()["mass"]
+        app.run(6)
+        assert app.field_summary()["mass"] == pytest.approx(before, rel=1e-12)
+
+    def test_fields_stay_finite_and_positive(self):
+        app = CloverLeaf3DApp(8, 8, 8)
+        app.run(6)
+        assert np.isfinite(app.st.density0.interior).all()
+        assert (app.st.density0.interior > 0).all()
+
+    def test_xy_swap_symmetry(self):
+        """The blast is symmetric under x<->y; the solution stays so to
+        splitting error."""
+        app = CloverLeaf3DApp(10, 10, 4)
+        app.rotate_all = False  # pair the x/y orders
+        app.run(6)
+        d = app.st.density0.interior
+        np.testing.assert_allclose(d, np.transpose(d, (1, 0, 2)), atol=1e-3)
+
+    def test_field_summary_keys(self):
+        app = CloverLeaf3DApp(6, 6, 6)
+        s = app.run(2)
+        assert set(s) == {"volume", "mass", "ie", "pressure"}
+        assert s["volume"] == pytest.approx(1000.0)
+
+    def test_state_dats_complete(self):
+        st = clover_bm3_state(4, 4, 4)
+        assert len(st.dats) == 25
+        assert st.density0.size == (4, 4, 4)
+        assert st.xvel0.size == (5, 5, 5)
+        assert st.vol_flux_z.size == (4, 4, 5)

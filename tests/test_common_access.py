@@ -1,0 +1,62 @@
+"""Access-mode semantics (the root of the access-execute abstraction)."""
+
+import pytest
+
+from repro.common.access import Access
+
+
+class TestReads:
+    def test_read_reads(self):
+        assert Access.READ.reads
+
+    def test_write_does_not_read(self):
+        assert not Access.WRITE.reads
+
+    def test_rw_reads(self):
+        assert Access.RW.reads
+
+    def test_inc_observes_old_value(self):
+        # an increment's result depends on the prior contents: the
+        # checkpoint planner must treat INC as reading
+        assert Access.INC.reads
+
+    def test_min_max_read(self):
+        assert Access.MIN.reads and Access.MAX.reads
+
+
+class TestWrites:
+    def test_read_does_not_write(self):
+        assert not Access.READ.writes
+
+    @pytest.mark.parametrize("mode", [Access.WRITE, Access.RW, Access.INC, Access.MIN, Access.MAX])
+    def test_all_others_write(self, mode):
+        assert mode.writes
+
+
+class TestReductions:
+    def test_inc_is_reduction(self):
+        assert Access.INC.is_reduction
+
+    def test_min_max_are_reductions(self):
+        assert Access.MIN.is_reduction and Access.MAX.is_reduction
+
+    def test_read_write_rw_are_not(self):
+        assert not Access.READ.is_reduction
+        assert not Access.WRITE.is_reduction
+        assert not Access.RW.is_reduction
+
+
+class TestShortCodes:
+    """The R/W/I/RW codes appear in Figure-8-style tables."""
+
+    @pytest.mark.parametrize(
+        "mode,code",
+        [
+            (Access.READ, "R"),
+            (Access.WRITE, "W"),
+            (Access.INC, "I"),
+            (Access.RW, "RW"),
+        ],
+    )
+    def test_code(self, mode, code):
+        assert mode.short == code

@@ -1,0 +1,142 @@
+"""Machine catalog and analytic models (roofline / GPU / network)."""
+
+import pytest
+
+from repro.machine import (
+    CATALOG,
+    GpuExecutionModel,
+    LoopTraffic,
+    NetworkModel,
+    RooflineModel,
+    XEON_E5_2697V2,
+    XEON_PHI_5110P,
+    NVIDIA_K40,
+    get_machine,
+)
+from repro.machine.catalog import GEMINI, QDR_IB
+from repro.machine.gpu import GpuLoopShape
+
+
+def direct_loop(gb: float = 1.0) -> LoopTraffic:
+    return LoopTraffic("update", bytes_direct=gb * 1e9, bytes_indirect=0.0, flops=1e7)
+
+
+def indirect_loop(gb: float = 1.0) -> LoopTraffic:
+    return LoopTraffic("res_calc", bytes_direct=0.0, bytes_indirect=gb * 1e9, flops=1e7)
+
+
+class TestCatalog:
+    def test_lookup(self):
+        assert get_machine("NVIDIA K40").is_gpu
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_machine("Cerebras WSE")
+
+    def test_all_entries_have_positive_bandwidth(self):
+        for spec in CATALOG.values():
+            assert spec.stream_bw_gbs > 0
+            assert spec.peak_gflops >= spec.scalar_gflops
+
+
+class TestRoofline:
+    def test_direct_loop_near_stream_bandwidth(self):
+        """Table I: update/save_soln run near the machine's peak bandwidth."""
+        model = RooflineModel(XEON_E5_2697V2)
+        bw = model.achieved_bandwidth_gbs(direct_loop())
+        assert bw == pytest.approx(XEON_E5_2697V2.stream_bw_gbs, rel=0.05)
+
+    def test_indirect_loop_degrades_bandwidth(self):
+        model = RooflineModel(XEON_E5_2697V2)
+        assert model.achieved_bandwidth_gbs(indirect_loop()) < model.achieved_bandwidth_gbs(
+            direct_loop()
+        )
+
+    def test_phi_collapses_on_indirect(self):
+        """Table I's key shape: res_calc on the Phi falls to ~25 GB/s class."""
+        phi = RooflineModel(XEON_PHI_5110P)
+        bw = phi.achieved_bandwidth_gbs(indirect_loop())
+        assert bw < 0.35 * XEON_PHI_5110P.stream_bw_gbs
+
+    def test_unvectorised_compute_bound_loop_slower(self):
+        heavy = LoopTraffic("adt", bytes_direct=1e8, bytes_indirect=0, flops=5e10)
+        vec = RooflineModel(XEON_E5_2697V2, vectorised=True).loop_seconds(heavy)
+        scal = RooflineModel(XEON_E5_2697V2, vectorised=False).loop_seconds(heavy)
+        assert scal > vec
+
+    def test_vectorisation_irrelevant_for_bandwidth_bound(self):
+        vec = RooflineModel(XEON_E5_2697V2, vectorised=True).loop_seconds(direct_loop())
+        scal = RooflineModel(XEON_E5_2697V2, vectorised=False).loop_seconds(direct_loop())
+        assert vec == pytest.approx(scal, rel=0.01)
+
+    def test_launch_overhead_added(self):
+        tiny = LoopTraffic("t", bytes_direct=8.0, bytes_indirect=0, flops=1)
+        model = RooflineModel(NVIDIA_K40)
+        assert model.loop_seconds(tiny) >= NVIDIA_K40.launch_overhead_us * 1e-6
+
+    def test_chain_is_sum(self):
+        model = RooflineModel(XEON_E5_2697V2)
+        loops = [direct_loop(), indirect_loop()]
+        assert model.chain_seconds(loops) == pytest.approx(
+            sum(model.loop_total_seconds(l) for l in loops)
+        )
+
+    def test_divergence_slows_compute(self):
+        base = LoopTraffic("k", bytes_direct=1e6, bytes_indirect=0, flops=1e10)
+        div = LoopTraffic("k", bytes_direct=1e6, bytes_indirect=0, flops=1e10, divergence=1.0)
+        m = RooflineModel(NVIDIA_K40)
+        assert m.compute_seconds(div) > m.compute_seconds(base)
+
+
+class TestGpuModel:
+    def test_rejects_cpu(self):
+        with pytest.raises(ValueError):
+            GpuExecutionModel(XEON_E5_2697V2)
+
+    def test_underfilled_device_is_slower_per_element(self):
+        """Fig 4/6 shape: GPUs strong-scale badly because small per-device
+        workloads cannot fill the device."""
+        m = GpuExecutionModel(NVIDIA_K40)
+        big = GpuLoopShape(elements=10_000_000)
+        small = GpuLoopShape(elements=5_000)
+        t_big = m.loop_seconds_shaped(direct_loop(), big)
+        t_small = m.loop_seconds_shaped(direct_loop(0.0005), small)
+        # per-element time must be much worse when underfilled
+        assert (t_small / 5_000) > (t_big / 10_000_000)
+
+    def test_high_state_degrades_occupancy(self):
+        """The Hydra effect: more bytes per point -> lower occupancy."""
+        m = GpuExecutionModel(NVIDIA_K40)
+        assert m.occupancy(GpuLoopShape(state_bytes=600)) < 1.0
+        assert m.occupancy(GpuLoopShape(state_bytes=64)) == 1.0
+
+    def test_colours_serialise(self):
+        m = GpuExecutionModel(NVIDIA_K40)
+        assert m.colour_penalty(GpuLoopShape(colours=4)) > m.colour_penalty(
+            GpuLoopShape(colours=1)
+        )
+
+
+class TestNetwork:
+    def test_message_time_latency_plus_bandwidth(self):
+        net = NetworkModel(GEMINI)
+        t = net.message_seconds(5e9)  # 5 GB at 5 GB/s
+        assert t == pytest.approx(1.0, rel=0.01)
+
+    def test_exchange_scales_with_messages(self):
+        net = NetworkModel(GEMINI)
+        assert net.exchange_seconds(8, 1000) > net.exchange_seconds(2, 1000)
+
+    def test_allreduce_grows_logarithmically(self):
+        net = NetworkModel(GEMINI)
+        t16 = net.allreduce_seconds(16)
+        t256 = net.allreduce_seconds(256)
+        assert t256 == pytest.approx(2.0 * t16, rel=0.01)
+
+    def test_gpu_staging_penalty(self):
+        cpu = NetworkModel(QDR_IB, gpu_buffers=False)
+        gpu = NetworkModel(QDR_IB, gpu_buffers=True)
+        assert gpu.message_seconds(1000) > cpu.message_seconds(1000)
+
+    def test_single_rank_no_reduction_cost(self):
+        assert NetworkModel(GEMINI).allreduce_seconds(1) == 0.0

@@ -1,0 +1,137 @@
+"""Two-level colouring: correctness of the race-avoidance plans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import op2
+from repro.common.config import swap
+from repro.op2.color import colour_blocks, colour_elements, verify_colouring
+from repro.op2.plan import build_plan, clear_plan_cache
+
+
+class TestElementColouring:
+    def test_chain_needs_two_colours(self):
+        # elements i and i+1 share node i+1
+        targets = np.asarray([[0, 1], [1, 2], [2, 3], [3, 4]])
+        colours, n = colour_elements(targets, 4)
+        assert n == 2
+        assert verify_colouring(colours, targets, 4)
+
+    def test_independent_elements_one_colour(self):
+        targets = np.asarray([[0], [1], [2]])
+        colours, n = colour_elements(targets, 3)
+        assert n == 1
+
+    def test_star_needs_n_colours(self):
+        # every element touches node 0: total conflict
+        targets = np.zeros((5, 1), dtype=np.int64)
+        colours, n = colour_elements(targets, 5)
+        assert n == 5
+
+    def test_empty(self):
+        colours, n = colour_elements(np.zeros((0, 2), dtype=np.int64), 0)
+        assert n == 0 and colours.size == 0
+
+    def test_no_targets_single_colour(self):
+        colours, n = colour_elements(np.zeros((4, 0), dtype=np.int64), 4)
+        assert n == 1
+
+    @given(
+        n_elems=st.integers(1, 40),
+        arity=st.integers(1, 3),
+        n_targets=st.integers(1, 12),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_valid_colouring(self, n_elems, arity, n_targets, seed):
+        """No two same-coloured elements ever share a target."""
+        rng = np.random.default_rng(seed)
+        # draw each column from a disjoint target range so rows never
+        # contain duplicate targets (which the verifier would flag)
+        targets = np.stack(
+            [rng.integers(k * n_targets, (k + 1) * n_targets, n_elems) for k in range(arity)],
+            axis=1,
+        )
+        colours, n = colour_elements(targets, n_elems)
+        assert (colours >= 0).all()
+        assert colours.max() + 1 == n
+        assert verify_colouring(colours, targets, n_elems)
+
+
+class TestBlockColouring:
+    def test_blocks_sharing_targets_differ(self):
+        # 4 elements, 2 blocks; element 1 (block 0) and 2 (block 1) share node 2
+        block_of = np.asarray([0, 0, 1, 1])
+        targets = np.asarray([[0, 1], [1, 2], [2, 3], [3, 4]])
+        colours, n = colour_blocks(block_of, targets, 2)
+        assert colours[0] != colours[1]
+        assert n == 2
+
+    def test_disjoint_blocks_share_colour(self):
+        block_of = np.asarray([0, 0, 1, 1])
+        targets = np.asarray([[0], [1], [2], [3]])
+        colours, n = colour_blocks(block_of, targets, 2)
+        assert n == 1
+
+
+class TestPlan:
+    def _race_mesh(self, n=64, block_size=8):
+        nodes = op2.Set(n + 1)
+        edges = op2.Set(n)
+        m = op2.Map(edges, nodes, 2, [[i, i + 1] for i in range(n)])
+        acc = op2.Dat(nodes, 1)
+        args = [acc(op2.INC, m, 0), acc(op2.INC, m, 1)]
+        return edges, args, block_size
+
+    def test_plan_structure(self):
+        edges, args, bs = self._race_mesh()
+        plan = build_plan(edges, args, block_size=bs)
+        assert plan.n_blocks == 8
+        assert plan.n_block_colours >= 2
+        # all elements covered exactly once across colours
+        all_elems = np.concatenate(
+            [plan.elements_of_colour(c) for c in range(plan.n_block_colours)]
+        )
+        assert sorted(all_elems.tolist()) == list(range(64))
+
+    def test_blocks_of_same_colour_are_race_free(self):
+        edges, args, bs = self._race_mesh()
+        plan = build_plan(edges, args, block_size=bs)
+        m = args[0].map
+        for c in range(plan.n_block_colours):
+            elems = plan.elements_of_colour(c)
+            # group per block and check cross-block target disjointness
+            blocks = {}
+            for e in elems:
+                blocks.setdefault(plan.block_of[e], set()).update(m.values[e])
+            seen = set()
+            for tgt in blocks.values():
+                assert not (seen & tgt)
+                seen |= tgt
+
+    def test_plan_cached(self):
+        edges, args, bs = self._race_mesh()
+        p1 = build_plan(edges, args, block_size=bs)
+        p2 = build_plan(edges, args, block_size=bs)
+        assert p1 is p2
+
+    def test_different_block_size_different_plan(self):
+        edges, args, _ = self._race_mesh()
+        p1 = build_plan(edges, args, block_size=8)
+        p2 = build_plan(edges, args, block_size=16)
+        assert p1 is not p2
+        assert p2.n_blocks == 4
+
+    def test_no_race_args_single_colour(self):
+        s = op2.Set(10)
+        d = op2.Dat(s, 1)
+        plan = build_plan(s, [d(op2.RW)], block_size=4)
+        assert plan.n_block_colours == 1
+
+    def test_config_block_size_used(self):
+        edges, args, _ = self._race_mesh()
+        clear_plan_cache()
+        with swap(plan_block_size=16):
+            plan = build_plan(edges, args)
+        assert plan.block_size == 16

@@ -1,0 +1,179 @@
+"""Distributed OP2: partitioned meshes, halo exchanges, reductions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import op2
+from repro.op2.halo import build_partitioned_mesh
+from repro.op2.partition import partition_set
+from repro.simmpi import World, run_spmd
+
+
+def k_edge_inc(a, b, xa, xb):
+    a[0] += xb[0]
+    b[0] += xa[0]
+
+
+def k_sq(v, g):
+    g[0] += v[0] * v[0]
+
+
+K_EDGE_INC = op2.Kernel(k_edge_inc, "k_edge_inc")
+K_SQ = op2.Kernel(k_sq, "k_sq")
+
+
+def chain_mesh(n):
+    nodes = op2.Set(n + 1, "nodes")
+    edges = op2.Set(n, "edges")
+    m = op2.Map(edges, nodes, 2, [[i, i + 1] for i in range(n)], "e2n")
+    x = op2.Dat(nodes, 1, np.linspace(0, 1, n + 1), name="x")
+    acc = op2.Dat(nodes, 1, name="acc")
+    return nodes, edges, m, x, acc
+
+
+def serial_reference(n):
+    nodes, edges, m, x, acc = chain_mesh(n)
+    op2.par_loop(
+        K_EDGE_INC, edges, acc(op2.INC, m, 0), acc(op2.INC, m, 1),
+        x(op2.READ, m, 0), x(op2.READ, m, 1),
+    )
+    g = op2.Global(1, 0.0)
+    op2.par_loop(K_SQ, nodes, acc(op2.READ), g(op2.INC))
+    return acc.data.copy(), g.value
+
+
+class TestConstruction:
+    def test_layout_partition_of_ids(self):
+        nodes, edges, m, x, acc = chain_mesh(20)
+        assign = partition_set(20, 4, "block").assignment
+        pm = build_partitioned_mesh(4, edges, assign, [m], [x, acc])
+        all_owned = np.concatenate(
+            [pm.local(r).layouts[id(edges)].owned_ids for r in range(4)]
+        )
+        assert sorted(all_owned.tolist()) == list(range(20))
+
+    def test_halo_contains_cross_partition_nodes(self):
+        nodes, edges, m, x, acc = chain_mesh(20)
+        assign = partition_set(20, 4, "block").assignment
+        pm = build_partitioned_mesh(4, edges, assign, [m], [x, acc])
+        # boundary nodes go to the lower rank (min-rank derivation), so
+        # rank 1 must hold its left boundary node as halo
+        layout = pm.local(1).layouts[id(nodes)]
+        assert layout.halo_ids.size > 0
+
+    def test_exchange_lists_symmetric(self):
+        nodes, edges, m, x, acc = chain_mesh(20)
+        assign = partition_set(20, 4, "block").assignment
+        pm = build_partitioned_mesh(4, edges, assign, [m], [x, acc])
+        for r in range(4):
+            for sid in pm.local(r).layouts:
+                layout = pm.local(r).layouts[sid]
+                for p, idx in layout.recv.items():
+                    peer = pm.local(p).layouts[sid]
+                    assert r in peer.send
+                    assert peer.send[r].shape == idx.shape
+
+    def test_missing_set_assignment_rejected(self):
+        nodes, edges, m, x, acc = chain_mesh(5)
+        stray = op2.Dat(op2.Set(3, "stray"), 1)
+        with pytest.raises(Exception, match="unreachable|assignment"):
+            build_partitioned_mesh(2, edges, np.zeros(5, dtype=int), [m], [x, stray])
+
+    def test_local_dat_values_match_global(self):
+        nodes, edges, m, x, acc = chain_mesh(12)
+        assign = partition_set(12, 3, "block").assignment
+        pm = build_partitioned_mesh(3, edges, assign, [m], [x, acc])
+        for r in range(3):
+            rm = pm.local(r)
+            layout = rm.layouts[id(nodes)]
+            owned_vals = rm.local_dat(x).data[: layout.n_owned, 0]
+            np.testing.assert_allclose(owned_vals, x.data[layout.owned_ids, 0])
+
+
+class TestDistributedExecution:
+    @pytest.mark.parametrize("nranks", [2, 3, 4])
+    def test_matches_serial(self, nranks):
+        ref_acc, ref_g = serial_reference(24)
+        nodes, edges, m, x, acc = chain_mesh(24)
+        g = op2.Global(1, 0.0)
+        assign = partition_set(24, nranks, "block").assignment
+        pm = build_partitioned_mesh(nranks, edges, assign, [m], [x, acc], [g])
+
+        def main(comm):
+            rm = pm.local(comm.rank)
+            rm.par_loop(
+                comm, K_EDGE_INC, edges,
+                acc(op2.INC, m, 0), acc(op2.INC, m, 1),
+                x(op2.READ, m, 0), x(op2.READ, m, 1),
+            )
+            rm.par_loop(comm, K_SQ, nodes, acc(op2.READ), g(op2.INC))
+            return rm.gather_dat(comm, acc), rm.local_global(g).value
+
+        out = run_spmd(nranks, main)
+        gathered, gval = out[0]
+        np.testing.assert_allclose(gathered, ref_acc, atol=1e-13)
+        assert gval == pytest.approx(ref_g)
+
+    def test_halo_exchange_counts_messages(self):
+        nodes, edges, m, x, acc = chain_mesh(24)
+        assign = partition_set(24, 4, "block").assignment
+        pm = build_partitioned_mesh(4, edges, assign, [m], [x, acc])
+        world = World(4)
+
+        def main(comm):
+            rm = pm.local(comm.rank)
+            rm.par_loop(
+                comm, K_EDGE_INC, edges,
+                acc(op2.INC, m, 0), acc(op2.INC, m, 1),
+                x(op2.READ, m, 0), x(op2.READ, m, 1),
+            )
+
+        run_spmd(4, main, world=world)
+        total = world.total_counters()
+        assert total.halo_exchanges > 0
+        assert total.bytes_sent > 0
+
+    def test_indirect_write_rejected(self):
+        def k_bad(a):
+            a[0] = 1.0
+
+        K_BAD = op2.Kernel(k_bad, "k_bad")
+        nodes, edges, m, x, acc = chain_mesh(8)
+        assign = partition_set(8, 2, "block").assignment
+        pm = build_partitioned_mesh(2, edges, assign, [m], [x, acc])
+
+        def main(comm):
+            pm.local(comm.rank).par_loop(comm, K_BAD, edges, acc(op2.WRITE, m, 0))
+
+        with pytest.raises(RuntimeError, match="unsupported"):
+            run_spmd(2, main)
+
+    @given(
+        n=st.integers(6, 40),
+        nranks=st.integers(2, 4),
+        method=st.sampled_from(["block", "greedy"]),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_any_partition_matches_serial(self, n, nranks, method, seed):
+        """Distributed results are partition-invariant."""
+        ref_acc, _ = serial_reference(n)
+        nodes, edges, m, x, acc = chain_mesh(n)
+        if method == "greedy":
+            assign = partition_set(n, nranks, "greedy", map_=m).assignment
+        else:
+            assign = partition_set(n, nranks, "block").assignment
+        pm = build_partitioned_mesh(nranks, edges, assign, [m], [x, acc])
+
+        def main(comm):
+            rm = pm.local(comm.rank)
+            rm.par_loop(
+                comm, K_EDGE_INC, edges,
+                acc(op2.INC, m, 0), acc(op2.INC, m, 1),
+                x(op2.READ, m, 0), x(op2.READ, m, 1),
+            )
+            return rm.gather_dat(comm, acc)
+
+        gathered = run_spmd(nranks, main)[0]
+        np.testing.assert_allclose(gathered, ref_acc, atol=1e-12)

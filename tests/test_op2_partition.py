@@ -1,0 +1,196 @@
+"""Partitioners: balance, validity, and quality ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import op2
+from repro.common.errors import PartitionError
+from repro.op2.partition import (
+    derive_partition,
+    derive_source_partition,
+    edge_cut,
+    element_adjacency,
+    partition_block,
+    partition_greedy,
+    partition_rcb,
+    partition_set,
+)
+
+
+def grid_mesh(nx=8, ny=8):
+    """Cells + cell2node map + centroids for a structured quad grid."""
+    from repro.apps.airfoil.mesh import generate_mesh
+
+    m = generate_mesh(nx, ny)
+    coords = m.x.data[m.cell2node.values].mean(axis=1)
+    return m, coords
+
+
+class TestBlock:
+    def test_balanced(self):
+        a = partition_block(10, 3)
+        sizes = np.bincount(a)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_contiguous(self):
+        a = partition_block(10, 3)
+        assert (np.diff(a) >= 0).all()
+
+
+class TestRCB:
+    def test_covers_all_parts(self):
+        m, coords = grid_mesh()
+        a = partition_rcb(coords, 4)
+        assert set(a) == {0, 1, 2, 3}
+
+    def test_balance(self):
+        m, coords = grid_mesh()
+        a = partition_rcb(coords, 4)
+        sizes = np.bincount(a)
+        assert sizes.max() / sizes.min() <= 1.2
+
+    def test_non_power_of_two(self):
+        m, coords = grid_mesh()
+        a = partition_rcb(coords, 3)
+        sizes = np.bincount(a, minlength=3)
+        assert (sizes > 0).all()
+
+    def test_spatial_locality_beats_random(self):
+        m, coords = grid_mesh()
+        rcb = partition_rcb(coords, 4)
+        rng = np.random.default_rng(0)
+        rand = rng.integers(0, 4, coords.shape[0])
+        assert edge_cut(m.cell2node, rcb) < edge_cut(m.cell2node, rand)
+
+    @given(n=st.integers(2, 60), parts=st.integers(1, 8), seed=st.integers(0, 99))
+    @settings(max_examples=30, deadline=None)
+    def test_property_every_element_assigned(self, n, parts, seed):
+        if parts > n:
+            return
+        rng = np.random.default_rng(seed)
+        coords = rng.standard_normal((n, 2))
+        a = partition_rcb(coords, parts)
+        assert a.shape == (n,)
+        assert a.min() >= 0 and a.max() < parts
+        sizes = np.bincount(a, minlength=parts)
+        assert sizes.max() - sizes.min() <= max(1, n // parts)
+
+
+class TestGreedy:
+    def test_grows_connected_regions(self):
+        m, _ = grid_mesh(6, 6)
+        adj = element_adjacency(m.cell2node)
+        a = partition_greedy(adj, 4)
+        sizes = np.bincount(a, minlength=4)
+        assert sizes.sum() == 36
+        assert (sizes > 0).all()
+
+    def test_quality_better_than_random(self):
+        m, _ = grid_mesh(6, 6)
+        a = partition_greedy(element_adjacency(m.cell2node), 4)
+        rng = np.random.default_rng(1)
+        rand = rng.integers(0, 4, 36)
+        assert edge_cut(m.cell2node, a) <= edge_cut(m.cell2node, rand)
+
+
+class TestDerive:
+    def test_targets_get_min_source_rank(self):
+        src, tgt = op2.Set(4), op2.Set(3)
+        m = op2.Map(src, tgt, 1, [[0], [0], [1], [2]])
+        a = derive_partition(m, np.asarray([3, 1, 2, 0]))
+        np.testing.assert_array_equal(a, [1, 2, 0])
+
+    def test_unreferenced_targets_to_rank0(self):
+        src, tgt = op2.Set(1), op2.Set(3)
+        m = op2.Map(src, tgt, 1, [[1]])
+        a = derive_partition(m, np.asarray([2]))
+        assert a[0] == 0 and a[2] == 0
+
+    def test_source_partition_from_targets(self):
+        src, tgt = op2.Set(2), op2.Set(3)
+        m = op2.Map(src, tgt, 2, [[0, 1], [1, 2]])
+        a = derive_source_partition(m, np.asarray([2, 0, 1]))
+        np.testing.assert_array_equal(a, [0, 0])
+
+
+class TestPartitionSet:
+    def test_block_method(self):
+        r = partition_set(12, 4, "block")
+        assert r.nparts == 4
+        assert r.imbalance() == pytest.approx(1.0)
+
+    def test_rcb_requires_coords(self):
+        with pytest.raises(PartitionError):
+            partition_set(10, 2, "rcb")
+
+    def test_greedy_requires_map(self):
+        with pytest.raises(PartitionError):
+            partition_set(10, 2, "greedy")
+
+    def test_too_many_parts(self):
+        with pytest.raises(PartitionError):
+            partition_set(2, 5)
+
+    def test_unknown_method(self):
+        with pytest.raises(PartitionError):
+            partition_set(10, 2, "metis")
+
+
+class TestSpectral:
+    def test_balanced_and_complete(self):
+        m, _ = grid_mesh(8, 8)
+        r = partition_set(m.cells.size, 4, "spectral", map_=m.cell2node)
+        sizes = np.bincount(r.assignment, minlength=4)
+        assert sizes.sum() == 64
+        assert sizes.max() - sizes.min() <= 2
+
+    def test_quality_beats_greedy_and_block(self):
+        m, _ = grid_mesh(10, 10)
+        from repro.op2.partition import partition_spectral
+
+        spec = partition_spectral(m.cell2node, 4)
+        blk = partition_block(m.cells.size, 4)
+        assert edge_cut(m.cell2node, spec) <= edge_cut(m.cell2node, blk)
+
+    def test_non_power_of_two(self):
+        m, _ = grid_mesh(9, 6)
+        r = partition_set(m.cells.size, 3, "spectral", map_=m.cell2node)
+        sizes = np.bincount(r.assignment, minlength=3)
+        assert (sizes > 0).all()
+        assert sizes.max() - sizes.min() <= 2
+
+    def test_requires_map(self):
+        with pytest.raises(PartitionError):
+            partition_set(10, 2, "spectral")
+
+    def test_tiny_mesh(self):
+        m, _ = grid_mesh(2, 2)
+        r = partition_set(4, 2, "spectral", map_=m.cell2node)
+        assert set(r.assignment) == {0, 1}
+
+    def test_distributed_airfoil_with_spectral(self):
+        """Spectral partitions run the full distributed pipeline correctly."""
+        from repro.apps.airfoil import AirfoilApp, generate_mesh
+        from repro.simmpi import run_spmd
+
+        mesh_s = generate_mesh(10, 8, jitter=0.1)
+        serial = AirfoilApp(mesh_s)
+        rng = np.random.default_rng(2)
+        mesh_s.q.data[:, 0] *= 1.0 + 0.05 * rng.random(mesh_s.cells.size)
+        init = mesh_s.q.data.copy()
+        rms_ser = serial.run(2)
+
+        mesh_p = generate_mesh(10, 8, jitter=0.1)
+        mesh_p.q.data[:] = init
+        app = AirfoilApp(mesh_p)
+        from repro.op2.halo import build_partitioned_mesh
+
+        assign = partition_set(
+            mesh_p.cells.size, 4, "spectral", map_=mesh_p.cell2node
+        ).assignment
+        pm = build_partitioned_mesh(
+            4, mesh_p.cells, assign, mesh_p.all_maps, mesh_p.all_dats, [app.rms]
+        )
+        rms = run_spmd(4, lambda comm: app.run_distributed(comm, pm, 2))[0]
+        assert rms == pytest.approx(rms_ser, rel=1e-12)

@@ -1,0 +1,170 @@
+"""OPS data model: blocks, dats, stencils, halos between blocks."""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.common.errors import APIError
+
+
+class TestBlock:
+    def test_dimensions(self):
+        assert ops.Block(2).ndim == 2
+
+    def test_invalid_ndim(self):
+        with pytest.raises(APIError):
+            ops.Block(4)
+
+    def test_registers_dats(self):
+        b = ops.Block(1)
+        d = ops.Dat(b, 5)
+        assert d in b.dats
+
+
+class TestStencil:
+    def test_points_deduplicated(self):
+        s = ops.Stencil(2, [(0, 0), (0, 0), (1, 0)])
+        assert len(s.points) == 2
+
+    def test_contains(self):
+        assert (0, 1) in ops.S2D_5PT
+        assert (1, 1) not in ops.S2D_5PT
+
+    def test_extent(self):
+        assert ops.S2D_5PT.extent == ((-1, 1), (-1, 1))
+
+    def test_max_depth(self):
+        s = ops.Stencil(2, [(0, 0), (2, 0)])
+        assert s.max_depth == 2
+
+    def test_dim_validation(self):
+        with pytest.raises(APIError):
+            ops.Stencil(2, [(0,)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(APIError):
+            ops.Stencil(2, [])
+
+
+class TestDat:
+    def test_storage_padded_by_halo(self):
+        b = ops.Block(2)
+        d = ops.Dat(b, (4, 6), halo_depth=2)
+        assert d.data.shape == (8, 10)
+
+    def test_interior_view_is_writable(self):
+        b = ops.Block(2)
+        d = ops.Dat(b, (3, 3), halo_depth=1)
+        d.interior[...] = 5.0
+        assert d.data[1:4, 1:4].sum() == 45.0
+        assert d.data[0, :].sum() == 0.0
+
+    def test_initial_scalar(self):
+        b = ops.Block(1)
+        d = ops.Dat(b, 4, initial=2.0)
+        np.testing.assert_allclose(d.interior, 2.0)
+
+    def test_initial_array_shape_checked(self):
+        b = ops.Block(1)
+        with pytest.raises(APIError):
+            ops.Dat(b, 4, initial=np.zeros(5))
+
+    def test_region_shifted_view(self):
+        b = ops.Block(2)
+        d = ops.Dat(b, (4, 4), halo_depth=2)
+        d.interior[...] = np.arange(16).reshape(4, 4)
+        shifted = d.region([(0, 3), (0, 4)], offset=(1, 0))
+        np.testing.assert_array_equal(shifted, d.interior[1:4, :])
+
+    def test_region_respects_halo_bounds(self):
+        b = ops.Block(2)
+        d = ops.Dat(b, (4, 4), halo_depth=1)
+        with pytest.raises(APIError):
+            d.region([(0, 4), (0, 4)], offset=(2, 0))
+
+    def test_negative_interior_coords_reach_halo(self):
+        b = ops.Block(1)
+        d = ops.Dat(b, 4, halo_depth=2)
+        v = d.region([(-2, 0)])
+        assert v.shape == (2,)
+
+    def test_write_arg_requires_centre_stencil(self):
+        b = ops.Block(2)
+        d = ops.Dat(b, (4, 4))
+        with pytest.raises(APIError, match="centre"):
+            d(ops.WRITE, ops.S2D_5PT)
+
+    def test_read_arg_any_stencil(self):
+        b = ops.Block(2)
+        d = ops.Dat(b, (4, 4))
+        arg = d(ops.READ, ops.S2D_5PT)
+        assert arg.stencil is ops.S2D_5PT
+
+    def test_default_stencil_is_centre(self):
+        b = ops.Block(2)
+        d = ops.Dat(b, (4, 4))
+        assert d(ops.READ).stencil.writes_only_centre()
+
+    def test_stencil_ndim_checked(self):
+        b = ops.Block(1)
+        d = ops.Dat(b, 4)
+        with pytest.raises(APIError):
+            d(ops.READ, ops.S2D_5PT)
+
+    def test_norm(self):
+        b = ops.Block(1)
+        d = ops.Dat(b, 2, initial=np.asarray([3.0, 4.0]))
+        assert d.norm() == pytest.approx(5.0)
+
+
+class TestInterBlockHalo:
+    def _two_blocks(self):
+        b1, b2 = ops.Block(2, "left"), ops.Block(2, "right")
+        d1 = ops.Dat(b1, (4, 6), halo_depth=2, name="d1")
+        d2 = ops.Dat(b2, (4, 6), halo_depth=2, name="d2")
+        d1.interior[...] = np.arange(24).reshape(4, 6)
+        return d1, d2
+
+    def test_copy_into_ghost_region(self):
+        d1, d2 = self._two_blocks()
+        h = ops.Halo(d1, d2, [(2, 4), (0, 6)], [(-2, 0), (0, 6)])
+        h.apply()
+        np.testing.assert_array_equal(
+            d2.region([(-2, 0), (0, 6)]), d1.region([(2, 4), (0, 6)])
+        )
+
+    def test_shape_mismatch_rejected(self):
+        d1, d2 = self._two_blocks()
+        with pytest.raises(APIError, match="shapes"):
+            ops.Halo(d1, d2, [(0, 2), (0, 6)], [(0, 3), (0, 6)])
+
+    def test_transpose_orientation(self):
+        b1, b2 = ops.Block(2), ops.Block(2)
+        d1 = ops.Dat(b1, (2, 3), halo_depth=1)
+        d2 = ops.Dat(b2, (3, 2), halo_depth=1)
+        d1.interior[...] = [[1, 2, 3], [4, 5, 6]]
+        h = ops.Halo(d1, d2, [(0, 2), (0, 3)], [(0, 3), (0, 2)], transpose=(1, 0))
+        h.apply()
+        np.testing.assert_array_equal(d2.interior, [[1, 4], [2, 5], [3, 6]])
+
+    def test_flip_orientation(self):
+        b1, b2 = ops.Block(1), ops.Block(1)
+        d1 = ops.Dat(b1, 4, halo_depth=1, initial=np.asarray([1.0, 2.0, 3.0, 4.0]))
+        d2 = ops.Dat(b2, 4, halo_depth=1)
+        h = ops.Halo(d1, d2, [(0, 4)], [(0, 4)], flip=(True,))
+        h.apply()
+        np.testing.assert_array_equal(d2.interior, [4, 3, 2, 1])
+
+    def test_bad_transpose_rejected(self):
+        d1, d2 = self._two_blocks()
+        with pytest.raises(APIError, match="permutation"):
+            ops.Halo(d1, d2, [(0, 4), (0, 6)], [(0, 4), (0, 6)], transpose=(0, 0))
+
+    def test_halo_group_applies_all(self):
+        d1, d2 = self._two_blocks()
+        h1 = ops.Halo(d1, d2, [(2, 4), (0, 6)], [(-2, 0), (0, 6)])
+        h2 = ops.Halo(d1, d2, [(0, 2), (0, 6)], [(0, 2), (0, 6)])
+        grp = ops.HaloGroup([h1, h2], "grp")
+        grp.apply()
+        assert len(grp) == 2
+        np.testing.assert_array_equal(d2.interior[0:2], d1.interior[0:2])

@@ -1,0 +1,157 @@
+"""Cross-loop tiling (lazy execution / loop fusion) correctness and legality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ops
+from repro.common.errors import APIError
+from repro.ops.fusion import LoopChain
+
+
+def axpy(a, b):
+    b[0, 0] = 2.0 * a[0, 0] + 1.0
+
+
+def square(b, c):
+    c[0, 0] = b[0, 0] * b[0, 0]
+
+
+def smooth(a, b):
+    b[0, 0] = 0.25 * (a[1, 0] + a[-1, 0] + a[0, 1] + a[0, -1])
+
+
+def setup(nx=20, ny=16, seed=0):
+    blk = ops.Block(2)
+    rng = np.random.default_rng(seed)
+    a = ops.Dat(blk, (nx, ny), halo_depth=2, name="a")
+    b = ops.Dat(blk, (nx, ny), halo_depth=2, name="b")
+    c = ops.Dat(blk, (nx, ny), halo_depth=2, name="c")
+    a.interior[...] = rng.standard_normal((nx, ny))
+    return blk, a, b, c
+
+
+class TestCorrectness:
+    def test_pointwise_pipeline_matches_eager(self):
+        blk, a, b, c = setup()
+        r = [(0, 20), (0, 16)]
+        # eager
+        ops.par_loop(axpy, blk, r, a(ops.READ), b(ops.WRITE))
+        ops.par_loop(square, blk, r, b(ops.READ), c(ops.WRITE))
+        ref_c = c.interior.copy()
+        # fused
+        b.data[:] = 0
+        c.data[:] = 0
+        chain = LoopChain(tile_shape=(6, 5))
+        chain.add(axpy, blk, r, a(ops.READ), b(ops.WRITE))
+        chain.add(square, blk, r, b(ops.READ), c(ops.WRITE))
+        stats = chain.execute()
+        np.testing.assert_array_equal(c.interior, ref_c)
+        assert stats["groups"] == 1
+        assert stats["largest_group"] == 2
+        assert stats["tiles"] > 1
+
+    def test_stencil_raw_matches_eager(self):
+        """A wide-stencil consumer forces a group break; results still match."""
+        blk, a, b, c = setup()
+        r_in = [(1, 19), (1, 15)]
+        ops.par_loop(axpy, blk, [(0, 20), (0, 16)], a(ops.READ), b(ops.WRITE))
+        ops.par_loop(smooth, blk, r_in, b(ops.READ, ops.S2D_5PT), c(ops.WRITE))
+        ref_c = c.interior.copy()
+
+        b.data[:] = 0
+        c.data[:] = 0
+        chain = LoopChain(tile_shape=(7, 7))
+        chain.add(axpy, blk, [(0, 20), (0, 16)], a(ops.READ), b(ops.WRITE))
+        chain.add(smooth, blk, r_in, b(ops.READ, ops.S2D_5PT), c(ops.WRITE))
+        stats = chain.execute()
+        np.testing.assert_array_equal(c.interior, ref_c)
+        assert stats["groups"] == 2  # broke at the stencil consumer
+
+    def test_war_through_stencil_breaks_group(self):
+        """smooth reads a wide; a later write of a must not be fused in."""
+        blk, a, b, c = setup()
+        r_in = [(1, 19), (1, 15)]
+        full = [(0, 20), (0, 16)]
+        ops.par_loop(smooth, blk, r_in, a(ops.READ, ops.S2D_5PT), b(ops.WRITE))
+        ops.par_loop(axpy, blk, full, b(ops.READ), a(ops.WRITE))
+        ref_a = a.interior.copy()
+
+        blk2, a2, b2, c2 = setup()
+        chain = LoopChain(tile_shape=(5, 5))
+        chain.add(smooth, blk2, r_in, a2(ops.READ, ops.S2D_5PT), b2(ops.WRITE))
+        chain.add(axpy, blk2, full, b2(ops.READ), a2(ops.WRITE))
+        stats = chain.execute()
+        np.testing.assert_array_equal(a2.interior, ref_a)
+        assert stats["groups"] == 2
+
+    def test_reductions_fuse_fine(self):
+        blk, a, b, c = setup()
+        r = [(0, 20), (0, 16)]
+        tot = ops.Reduction("inc")
+
+        def summing(x, t):
+            t.inc(x[0, 0])
+
+        chain = LoopChain(tile_shape=(8, 8))
+        chain.add(axpy, blk, r, a(ops.READ), b(ops.WRITE))
+        chain.add(summing, blk, r, b(ops.READ), tot, name="summing")
+        stats = chain.execute()
+        assert stats["groups"] == 1
+        assert tot.value == pytest.approx((2 * a.interior + 1).sum())
+
+    def test_differing_ranges_covered_exactly(self):
+        blk, a, b, c = setup()
+        chain = LoopChain(tile_shape=(6, 6))
+        chain.add(axpy, blk, [(2, 18), (0, 16)], a(ops.READ), b(ops.WRITE))
+        chain.add(square, blk, [(4, 10), (3, 9)], b(ops.READ), c(ops.WRITE))
+        chain.execute()
+        # outside loop-2's range c stays zero; inside it matches
+        expect = (2 * a.interior + 1) ** 2
+        np.testing.assert_array_equal(c.interior[4:10, 3:9], expect[4:10, 3:9])
+        assert c.interior[0:4, :].sum() == 0.0
+
+    @given(tx=st.integers(2, 12), ty=st.integers(2, 12), seed=st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_property_fused_equals_eager(self, tx, ty, seed):
+        blk, a, b, c = setup(seed=seed)
+        r = [(0, 20), (0, 16)]
+        r_in = [(1, 19), (1, 15)]
+        ops.par_loop(axpy, blk, r, a(ops.READ), b(ops.WRITE))
+        ops.par_loop(smooth, blk, r_in, b(ops.READ, ops.S2D_5PT), c(ops.WRITE))
+        ops.par_loop(square, blk, r, c(ops.READ), b(ops.WRITE))
+        ref_b = b.interior.copy()
+
+        blk2, a2, b2, c2 = setup(seed=seed)
+        chain = LoopChain(tile_shape=(tx, ty))
+        chain.add(axpy, blk2, r, a2(ops.READ), b2(ops.WRITE))
+        chain.add(smooth, blk2, r_in, b2(ops.READ, ops.S2D_5PT), c2(ops.WRITE))
+        chain.add(square, blk2, r, c2(ops.READ), b2(ops.WRITE))
+        chain.execute()
+        np.testing.assert_array_equal(b2.interior, ref_b)
+
+
+class TestAPI:
+    def test_single_block_only(self):
+        blk, a, b, c = setup()
+        other = ops.Block(2)
+        d = ops.Dat(other, (4, 4))
+        chain = LoopChain()
+        chain.add(axpy, blk, [(0, 4), (0, 4)], a(ops.READ), b(ops.WRITE))
+        with pytest.raises(APIError, match="single block"):
+            chain.add(axpy, other, [(0, 4), (0, 4)], d(ops.READ), d(ops.RW))
+
+    def test_queue_cleared_after_execute(self):
+        blk, a, b, c = setup()
+        chain = LoopChain()
+        chain.add(axpy, blk, [(0, 4), (0, 4)], a(ops.READ), b(ops.WRITE))
+        chain.execute()
+        assert not chain.queued
+
+    def test_no_tile_shape_runs_eagerly(self):
+        blk, a, b, c = setup()
+        chain = LoopChain(tile_shape=None)
+        chain.add(axpy, blk, [(0, 20), (0, 16)], a(ops.READ), b(ops.WRITE))
+        stats = chain.execute()
+        assert stats["tiles"] == 0
+        np.testing.assert_array_equal(b.interior, 2 * a.interior + 1)

@@ -1,0 +1,199 @@
+"""OPS parallel loops: backend equivalence, reductions, stencil checking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ops
+from repro.common.counters import PerfCounters
+from repro.common.errors import APIError, StencilMismatchError
+from repro.common.profiling import counters_scope
+
+
+def smooth(a, b):
+    b[0, 0] = 0.25 * (a[1, 0] + a[-1, 0] + a[0, 1] + a[0, -1])
+
+
+def copy_k(a, b):
+    b[0, 0] = a[0, 0]
+
+
+def setup(nx=12, ny=10):
+    blk = ops.Block(2)
+    u = ops.Dat(blk, (nx, ny), halo_depth=2, name="u")
+    v = ops.Dat(blk, (nx, ny), halo_depth=2, name="v")
+    u.interior[...] = np.arange(nx * ny, dtype=float).reshape(nx, ny)
+    return blk, u, v
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", ["vec", "tiled"])
+    def test_matches_seq(self, backend):
+        blk, u, v = setup()
+        ops.par_loop(smooth, blk, [(1, 11), (1, 9)], u(ops.READ, ops.S2D_5PT),
+                     v(ops.WRITE), backend="seq")
+        ref = v.interior.copy()
+        v.data[:] = 0
+        ops.par_loop(smooth, blk, [(1, 11), (1, 9)], u(ops.READ, ops.S2D_5PT),
+                     v(ops.WRITE), backend=backend)
+        np.testing.assert_allclose(v.interior, ref)
+
+    def test_tiled_custom_shape(self):
+        blk, u, v = setup()
+        ops.par_loop(smooth, blk, [(1, 11), (1, 9)], u(ops.READ, ops.S2D_5PT),
+                     v(ops.WRITE), backend="tiled", tile_shape=(4, 4))
+        ref = v.interior.copy()
+        v.data[:] = 0
+        ops.par_loop(smooth, blk, [(1, 11), (1, 9)], u(ops.READ, ops.S2D_5PT),
+                     v(ops.WRITE), backend="vec")
+        np.testing.assert_allclose(v.interior, ref)
+
+    @given(
+        nx=st.integers(4, 16),
+        ny=st.integers(4, 16),
+        tile=st.integers(2, 8),
+        seed=st.integers(0, 99),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_tiled_equals_vec(self, nx, ny, tile, seed):
+        rng = np.random.default_rng(seed)
+        blk = ops.Block(2)
+        u = ops.Dat(blk, (nx, ny), halo_depth=2)
+        v1 = ops.Dat(blk, (nx, ny), halo_depth=2)
+        v2 = ops.Dat(blk, (nx, ny), halo_depth=2)
+        u.interior[...] = rng.standard_normal((nx, ny))
+        r = [(1, nx - 1), (1, ny - 1)]
+        ops.par_loop(smooth, blk, r, u(ops.READ, ops.S2D_5PT), v1(ops.WRITE), backend="vec")
+        ops.par_loop(smooth, blk, r, u(ops.READ, ops.S2D_5PT), v2(ops.WRITE),
+                     backend="tiled", tile_shape=(tile, tile))
+        np.testing.assert_allclose(v1.interior, v2.interior)
+
+
+class TestReductions:
+    def test_inc(self):
+        blk, u, v = setup()
+        total = ops.Reduction("inc")
+
+        def summing(a, t):
+            t.inc(a[0, 0])
+
+        ops.par_loop(summing, blk, [(0, 12), (0, 10)], u(ops.READ), total)
+        assert total.value == pytest.approx(u.interior.sum())
+
+    def test_min_and_seq_vec_agree(self):
+        blk, u, v = setup()
+
+        def minner(a, t):
+            t.min(a[0, 0])
+
+        for be in ("seq", "vec"):
+            t = ops.Reduction("min")
+            ops.par_loop(minner, blk, [(2, 7), (3, 8)], u(ops.READ), t, backend=be)
+            assert t.value == u.interior[2:7, 3:8].min()
+
+    def test_kind_mismatch_raises(self):
+        r = ops.Reduction("inc")
+        with pytest.raises(APIError):
+            r.min(1.0)
+
+    def test_reset(self):
+        r = ops.Reduction("min")
+        r.min(3.0)
+        r.reset()
+        assert r.value == np.inf
+
+
+class TestStencilChecking:
+    def test_out_of_stencil_access_detected(self):
+        blk, u, v = setup()
+
+        def bad(a, b):
+            b[0, 0] = a[2, 0]
+
+        with pytest.raises(StencilMismatchError, match="outside declared"):
+            ops.par_loop(bad, blk, [(2, 4), (2, 4)], u(ops.READ, ops.S2D_5PT),
+                         v(ops.WRITE), check=True)
+
+    def test_write_with_read_access_detected(self):
+        blk, u, v = setup()
+
+        def sneaky(a, b):
+            a[0, 0] = 1.0
+            b[0, 0] = 0.0
+
+        with pytest.raises(StencilMismatchError, match="writes"):
+            ops.par_loop(sneaky, blk, [(0, 2), (0, 2)], u(ops.READ), v(ops.WRITE),
+                         check=True)
+
+    def test_read_of_writeonly_detected(self):
+        blk, u, v = setup()
+
+        def peek(a, b):
+            b[0, 0] = b[0, 0] + a[0, 0]
+
+        with pytest.raises(StencilMismatchError, match="write-only"):
+            ops.par_loop(peek, blk, [(0, 2), (0, 2)], u(ops.READ), v(ops.WRITE),
+                         check=True)
+
+    def test_checks_in_seq_mode_too(self):
+        blk, u, v = setup()
+
+        def bad(a, b):
+            b[0, 0] = a[2, 0]
+
+        with pytest.raises(StencilMismatchError):
+            ops.par_loop(bad, blk, [(2, 3), (2, 3)], u(ops.READ, ops.S2D_5PT),
+                         v(ops.WRITE), backend="seq", check=True)
+
+    def test_valid_kernel_passes_checks(self):
+        blk, u, v = setup()
+        ops.par_loop(smooth, blk, [(1, 11), (1, 9)], u(ops.READ, ops.S2D_5PT),
+                     v(ops.WRITE), check=True)
+
+
+class TestValidation:
+    def test_range_count_must_match_ndim(self):
+        blk, u, v = setup()
+        with pytest.raises(APIError):
+            ops.par_loop(copy_k, blk, [(0, 5)], u(ops.READ), v(ops.WRITE))
+
+    def test_foreign_block_dat_rejected(self):
+        blk, u, v = setup()
+        other = ops.Block(2)
+        w = ops.Dat(other, (12, 10))
+        with pytest.raises(APIError, match="block"):
+            ops.par_loop(copy_k, blk, [(0, 5), (0, 5)], u(ops.READ), w(ops.WRITE))
+
+    def test_negative_range_rejected(self):
+        blk, u, v = setup()
+        with pytest.raises(APIError):
+            ops.par_loop(copy_k, blk, [(5, 2), (0, 5)], u(ops.READ), v(ops.WRITE))
+
+    def test_unknown_backend(self):
+        blk, u, v = setup()
+        with pytest.raises(APIError):
+            ops.par_loop(copy_k, blk, [(0, 2), (0, 2)], u(ops.READ), v(ops.WRITE),
+                         backend="opencl")
+
+
+class TestCounters:
+    def test_traffic_accounting_counts_stencil_reads(self):
+        blk, u, v = setup()
+        c = PerfCounters()
+        with counters_scope(c):
+            ops.par_loop(smooth, blk, [(1, 11), (1, 9)], u(ops.READ, ops.S2D_5PT),
+                         v(ops.WRITE), flops_per_point=4)
+        rec = c.loop("smooth")
+        pts = 10 * 8
+        assert rec.iterations == pts
+        assert rec.bytes_read == pts * 8 * 5  # 5-point stencil
+        assert rec.bytes_written == pts * 8
+        assert rec.flops == pts * 4
+
+    def test_tiled_records_tile_count(self):
+        blk, u, v = setup()
+        c = PerfCounters()
+        with counters_scope(c):
+            ops.par_loop(smooth, blk, [(1, 11), (1, 9)], u(ops.READ, ops.S2D_5PT),
+                         v(ops.WRITE), backend="tiled", tile_shape=(4, 4))
+        assert c.loop("smooth").colours > 1

@@ -1,0 +1,149 @@
+"""Performance model: characterisation, prediction and scaling shapes."""
+
+import pytest
+
+from repro.common.counters import LoopRecord, PerfCounters
+from repro.machine import (
+    HECTOR_XE6_NODE,
+    NVIDIA_K20X,
+    NVIDIA_K40,
+    XEON_E5_2697V2,
+)
+from repro.machine.catalog import GEMINI
+from repro.perfmodel import (
+    PlatformConfig,
+    ScalingModel,
+    characterise,
+    characterise_run,
+    predict_chain,
+    predict_loop,
+)
+from repro.perfmodel.predict import standard_cpu_configs
+
+
+def record(name="k", *, bytes_direct=8_000_000, bytes_indirect=0, flops=1_000_000,
+           iterations=1_000_000, invocations=10, colours=1):
+    """A loop record; byte/flop arguments are per invocation."""
+    rec = LoopRecord(name)
+    rec.invocations = invocations
+    rec.iterations = iterations * invocations
+    rec.bytes_read = (bytes_direct + bytes_indirect) * invocations
+    rec.bytes_written = 0
+    rec.indirect_reads = bytes_indirect * invocations
+    rec.flops = flops * invocations
+    rec.colours = colours
+    return rec
+
+
+class TestCharacterise:
+    def test_traffic_split(self):
+        ch = characterise(record(bytes_direct=600, bytes_indirect=400, invocations=1))
+        assert ch.traffic.bytes_indirect == pytest.approx(400)
+        assert ch.traffic.bytes_direct == pytest.approx(600)
+
+    def test_per_invocation_normalisation(self):
+        ch = characterise(record(invocations=10))
+        assert ch.traffic.invocations == 10
+        assert ch.traffic.flops == pytest.approx(1_000_000)
+
+    def test_kernel_info_overrides(self):
+        counters = PerfCounters()
+        counters.loops["res_calc"] = record("res_calc")
+        chars = characterise_run(
+            counters, kernel_info={"res_calc": {"vectorisable": False, "divergence": 0.3}}
+        )
+        assert not chars["res_calc"].traffic.vectorisable
+        assert chars["res_calc"].traffic.divergence == 0.3
+
+    def test_state_bytes_defaults_to_half_traffic_per_element(self):
+        ch = characterise(record())
+        assert ch.state_bytes == 4  # (8MB / 1M elements) / 2
+
+
+class TestPredict:
+    def test_gpu_beats_cpu_on_bandwidth_bound(self):
+        """Fig 2 shape: the K40 wins on the bandwidth-bound Airfoil."""
+        ch = characterise(record())
+        cpu = predict_loop(PlatformConfig("cpu", XEON_E5_2697V2), ch)
+        gpu = predict_loop(PlatformConfig("gpu", NVIDIA_K40, gpu=True), ch)
+        assert gpu.seconds < cpu.seconds
+
+    def test_vectorisation_helps_compute_bound(self):
+        ch = characterise(record(flops=200_000_000, bytes_direct=800_000))
+        novec = predict_loop(PlatformConfig("s", XEON_E5_2697V2, vectorised=False), ch)
+        vec = predict_loop(PlatformConfig("v", XEON_E5_2697V2, vectorised=True), ch)
+        assert vec.seconds < novec.seconds
+
+    def test_model_factor_applies(self):
+        ch = characterise(record())
+        base = predict_loop(PlatformConfig("a", XEON_E5_2697V2), ch)
+        hybrid = predict_loop(PlatformConfig("b", XEON_E5_2697V2, model_factor=1.05), ch)
+        assert hybrid.seconds == pytest.approx(1.05 * base.seconds, rel=1e-6)
+
+    def test_chain_sums_loops(self):
+        counters = PerfCounters()
+        counters.loops["a"] = record("a")
+        counters.loops["b"] = record("b")
+        chars = characterise_run(counters)
+        total, rows = predict_chain(PlatformConfig("c", XEON_E5_2697V2), chars)
+        assert total == pytest.approx(sum(r.seconds for r in rows))
+        assert len(rows) == 2
+
+    def test_standard_ladder_has_four_rungs(self):
+        labels = [c.label for c in standard_cpu_configs(XEON_E5_2697V2)]
+        assert labels == ["MPI", "MPI vectorized", "MPI+OpenMP", "MPI+OpenMP vectorized"]
+
+
+class TestScaling:
+    def _chars(self):
+        # a realistic per-node step: ~160 MB of streamed traffic
+        counters = PerfCounters()
+        counters.loops["k"] = record(bytes_direct=160_000_000, invocations=100)
+        return characterise_run(counters)
+
+    def test_strong_scaling_monotone_then_saturates(self):
+        """Fig 4/6 shape: time drops with nodes, efficiency decays."""
+        model = ScalingModel(HECTOR_XE6_NODE, GEMINI, dim=2)
+        pts = model.strong(self._chars(), 10_000_000, [1, 2, 4, 8, 16, 32], steps=100)
+        times = [p.seconds for p in pts]
+        assert times == sorted(times, reverse=True)
+        eff = ScalingModel.parallel_efficiency(pts)
+        assert eff[0] == pytest.approx(1.0)
+        assert eff[-1] < eff[0]
+
+    def test_comm_fraction_grows_under_strong_scaling(self):
+        model = ScalingModel(HECTOR_XE6_NODE, GEMINI, dim=2)
+        pts = model.strong(self._chars(), 10_000_000, [2, 64], steps=100)
+        assert pts[1].comm_fraction > pts[0].comm_fraction
+
+    def test_weak_scaling_nearly_flat(self):
+        """Paper: <5% degradation weak scaling on CPUs."""
+        model = ScalingModel(HECTOR_XE6_NODE, GEMINI, dim=2)
+        pts = model.weak(self._chars(), 1_000_000, [1, 4, 16, 64, 256], steps=100)
+        eff = ScalingModel.parallel_efficiency(pts, weak=True)
+        assert eff[-1] > 0.9
+
+    def test_gpu_strong_scaling_tails_off_sooner(self):
+        """Paper: 'the GPU execution does not strong scale very well'."""
+        counters = PerfCounters()
+        counters.loops["k"] = record(bytes_direct=160_000_000, invocations=100)
+        chars = characterise_run(counters)
+        cpu = ScalingModel(HECTOR_XE6_NODE, GEMINI, dim=2)
+        gpu = ScalingModel(NVIDIA_K20X, GEMINI, dim=2, gpu=True)
+        nodes = [1, 64]
+        cpu_eff = ScalingModel.parallel_efficiency(
+            cpu.strong(chars, 4_000_000, nodes, steps=100)
+        )[-1]
+        gpu_eff = ScalingModel.parallel_efficiency(
+            gpu.strong(chars, 4_000_000, nodes, steps=100)
+        )[-1]
+        assert gpu_eff < cpu_eff
+
+    def test_halo_calibration(self):
+        coeff = ScalingModel.calibrate_halo(400.0, 10_000.0, dim=2)
+        assert coeff == pytest.approx(4.0)
+
+    def test_single_node_no_comm(self):
+        model = ScalingModel(HECTOR_XE6_NODE, GEMINI)
+        pts = model.strong(self._chars(), 1_000_000, [1])
+        assert pts[0].comm_seconds == 0.0

@@ -1,0 +1,99 @@
+"""Sod shock tube: the analytic-oracle validation of the hydro scheme."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sod import SodApp, exact_sod_solution, riemann_star_state
+
+
+class TestExactRiemannSolver:
+    def test_sod_star_state(self):
+        """Textbook values (Toro): p* = 0.30313, u* = 0.92745."""
+        p_star, u_star = riemann_star_state((1.0, 0.0, 1.0), (0.125, 0.0, 0.1))
+        assert p_star == pytest.approx(0.30313, abs=1e-4)
+        assert u_star == pytest.approx(0.92745, abs=1e-4)
+
+    def test_symmetric_problem_has_zero_contact_velocity(self):
+        p_star, u_star = riemann_star_state((1.0, -1.0, 1.0), (1.0, 1.0, 1.0))
+        assert u_star == pytest.approx(0.0, abs=1e-10)
+
+    def test_trivial_problem_keeps_state(self):
+        p_star, u_star = riemann_star_state((1.0, 0.5, 1.0), (1.0, 0.5, 1.0))
+        assert p_star == pytest.approx(1.0, rel=1e-8)
+        assert u_star == pytest.approx(0.5, rel=1e-8)
+
+    def test_solution_structure_at_t(self):
+        x = np.linspace(0, 1, 1000)
+        sol = exact_sod_solution(x, 0.2)
+        # undisturbed ends
+        assert sol["rho"][0] == pytest.approx(1.0)
+        assert sol["rho"][-1] == pytest.approx(0.125)
+        # density monotone decreasing across the whole wave fan for Sod
+        assert sol["rho"].max() == pytest.approx(1.0)
+        assert sol["rho"].min() == pytest.approx(0.125)
+        # contact: density jumps while pressure/velocity stay continuous
+        contact = 0.5 + 0.92745 * 0.2
+        i = np.searchsorted(x, contact)
+        assert abs(sol["p"][i - 2] - sol["p"][i + 2]) < 1e-6
+        assert sol["rho"][i - 3] - sol["rho"][i + 3] > 0.1
+
+
+class TestSodApp:
+    @pytest.fixture(scope="class")
+    def solved(self):
+        app = SodApp(n=200)
+        t = app.run_until(0.2)
+        return app, t
+
+    def test_mass_exactly_conserved(self, solved):
+        app, _ = solved
+        assert app.total_mass() == pytest.approx(0.5625, rel=1e-12)
+
+    def test_l1_error_small(self, solved):
+        app, t = solved
+        exact = exact_sod_solution(app.centres(), t)
+        err = np.abs(app.profiles()["rho"] - exact["rho"]).mean()
+        assert err < 0.02
+
+    def test_wave_positions(self, solved):
+        """Shock, contact and rarefaction land where the exact solution says."""
+        app, t = solved
+        prof = app.profiles()
+        x = app.centres()
+        # shock: last point where u > half the star velocity
+        u_star = 0.92745
+        shock_num = x[np.nonzero(prof["u"] > 0.5 * u_star)[0][-1]]
+        shock_exact = 0.5 + 1.75216 * t
+        assert shock_num == pytest.approx(shock_exact, abs=0.03)
+        # rarefaction head: first disturbed point from the left
+        head_num = x[np.nonzero(prof["u"] > 1e-3)[0][0]]
+        head_exact = 0.5 - np.sqrt(1.4) * t
+        assert head_num == pytest.approx(head_exact, abs=0.03)
+
+    def test_star_plateau_values(self, solved):
+        app, t = solved
+        prof = app.profiles()
+        x = app.centres()
+        # sample mid-plateau between contact and shock
+        window = (x > 0.5 + 0.95 * t) & (x < 0.5 + 1.6 * t)
+        assert prof["u"][window].mean() == pytest.approx(0.92745, abs=0.05)
+        assert prof["p"][window].mean() == pytest.approx(0.30313, abs=0.03)
+
+    def test_convergence_with_resolution(self):
+        errs = []
+        for n in (100, 400):
+            app = SodApp(n=n)
+            t = app.run_until(0.2)
+            exact = exact_sod_solution(app.centres(), t)
+            errs.append(np.abs(app.profiles()["rho"] - exact["rho"]).mean())
+        assert errs[1] < 0.6 * errs[0]
+
+    def test_seq_backend_matches_vec(self):
+        a = SodApp(n=40, backend="seq")
+        b = SodApp(n=40, backend="vec")
+        for _ in range(5):
+            a.step()
+            b.step()
+        np.testing.assert_allclose(
+            a.profiles()["rho"], b.profiles()["rho"], rtol=1e-12
+        )

@@ -1,0 +1,166 @@
+"""Translator frontend (loop lifting) and code generators (incl. Fig 7)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TranslatorError
+from repro.translator.codegen.cuda_c import CudaDatSpec, MemoryStrategy, generate_cuda
+from repro.translator.codegen.openmp_c import generate_openmp_c
+from repro.translator.codegen.python_host import generate_python_module
+from repro.translator.driver import translate_app
+from repro.translator.frontend import parse_app_source
+
+APP_SRC = """
+from repro import op2
+
+def main(mesh):
+    op2.par_loop(K_SAVE, mesh.cells, mesh.q(op2.READ), mesh.qold(op2.WRITE))
+    op2.par_loop(K_RES, mesh.edges,
+                 mesh.x(op2.READ, mesh.e2n, 0),
+                 mesh.x(op2.READ, mesh.e2n, 1),
+                 mesh.res(op2.INC, mesh.e2c, 0))
+    ops.par_loop(smooth, blk, [(0, n), (0, m)], u(ops.READ), v(ops.WRITE))
+"""
+
+
+class TestFrontend:
+    def test_finds_all_loops(self):
+        sites = parse_app_source(APP_SRC)
+        assert [s.kernel for s in sites] == ["K_SAVE", "K_RES", "smooth"]
+
+    def test_classifies_api(self):
+        sites = parse_app_source(APP_SRC)
+        assert sites[0].api == "op2"
+        assert sites[2].api == "ops"
+
+    def test_arg_extraction(self):
+        sites = parse_app_source(APP_SRC)
+        res = sites[1]
+        assert res.args[0].access == "READ"
+        assert res.args[0].map == "mesh.e2n"
+        assert res.args[0].idx == "0"
+        assert res.args[2].access == "INC"
+
+    def test_direct_vs_indirect(self):
+        sites = parse_app_source(APP_SRC)
+        assert not sites[0].has_indirection
+        assert sites[1].has_indirection
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(TranslatorError):
+            parse_app_source("def broken(:")
+
+    def test_too_few_args_raises(self):
+        with pytest.raises(TranslatorError):
+            parse_app_source("op2.par_loop(K)")
+
+
+class TestCudaCodegen:
+    """Paper Fig 7: OP_ACC macros, device user function, wrapper variants."""
+
+    def _site(self):
+        return parse_app_source(
+            "op2.par_loop(res_calc, mesh.edges, coords(op2.READ, m, 0))"
+        )[0]
+
+    def test_nosoa_plain_indexing(self):
+        code = generate_cuda(self._site(), [CudaDatSpec("coords", 2)], MemoryStrategy.NOSOA)
+        assert "#define OP_ACC_COORDS(x) (x)" in code
+        assert "&coords[2*gbl_idx]" in code
+        assert "__shared__" not in code
+
+    def test_soa_stride_macro(self):
+        code = generate_cuda(self._site(), [CudaDatSpec("coords", 2)], MemoryStrategy.SOA)
+        assert "#define OP_ACC_COORDS(x) ((x)*coords_stride)" in code
+        assert "__constant__ int coords_stride;" in code
+        assert "&coords[gbl_idx]" in code
+
+    def test_staged_shared_memory(self):
+        code = generate_cuda(
+            self._site(), [CudaDatSpec("coords", 2)], MemoryStrategy.STAGE_NOSOA
+        )
+        assert "__shared__ double coords_scratch[2 * BLOCK];" in code
+        assert "__syncthreads();" in code
+        assert "&coords_scratch[2*threadIdx.x]" in code
+
+    def test_device_function_present(self):
+        code = generate_cuda(self._site(), [CudaDatSpec("coords", 2)])
+        assert "__device__ void res_calc_gpu(double *coords)" in code
+        assert "__global__ void res_calc_wrapper" in code
+
+    def test_all_strategies_distinct(self):
+        site = self._site()
+        dats = [CudaDatSpec("coords", 2)]
+        outputs = {s: generate_cuda(site, dats, s) for s in MemoryStrategy}
+        assert len(set(outputs.values())) == 3
+
+
+class TestOpenmpCodegen:
+    def test_direct_loop_plain_parallel_for(self):
+        site = parse_app_source("op2.par_loop(update, cells, q(op2.RW))")[0]
+        code = generate_openmp_c(site)
+        assert "#pragma omp parallel for" in code
+        assert "op_plan" not in code
+
+    def test_indirect_loop_coloured(self):
+        site = parse_app_source(
+            "op2.par_loop(res, edges, r(op2.INC, m, 0))"
+        )[0]
+        code = generate_openmp_c(site)
+        assert "op_plan_get" in code
+        assert "ncolors" in code
+
+
+class TestPythonCodegen:
+    def test_generated_module_executes_equivalently(self):
+        """Generated host code must compute the same as the library."""
+        site = parse_app_source(
+            "op2.par_loop(inc_k, edges, acc(op2.INC, m, 0), x(op2.READ, m, 1))"
+        )[0]
+        src = generate_python_module(site)
+        namespace = {}
+        exec(compile(src, "<gen>", "exec"), namespace)
+
+        n = 6
+        conn = np.asarray([[i, i + 1] for i in range(n)])
+        x = np.arange(n + 1, dtype=float).reshape(-1, 1)
+        acc = np.zeros((n + 1, 1))
+
+        def kernel_vec(a, xs):
+            a[:, 0] += xs[:, 0]
+
+        namespace["run"](kernel_vec, [acc, x], [conn[:, 0], conn[:, 1]], n)
+        expect = np.zeros(n + 1)
+        for i in range(n):
+            expect[i] += i + 1
+        np.testing.assert_allclose(acc[:, 0], expect)
+
+    def test_header_documents_loop(self):
+        site = parse_app_source("op2.par_loop(k, s, d(op2.READ))")[0]
+        src = generate_python_module(site)
+        assert "Auto-generated" in src
+
+
+class TestDriver:
+    def test_translate_writes_files_and_manifest(self, tmp_path):
+        app = tmp_path / "app.py"
+        app.write_text(APP_SRC)
+        out = tmp_path / "gen"
+        result = translate_app(app, out)
+        assert set(result.loops) == {"K_SAVE", "K_RES", "smooth"}
+        assert (out / "K_RES_kernel.py").exists()
+        assert (out / "K_RES_kernel.cu").exists()
+        assert (out / "K_RES_omp.c").exists()
+        assert (out / "translation_manifest.json").exists()
+
+    def test_target_selection(self, tmp_path):
+        app = tmp_path / "app.py"
+        app.write_text("op2.par_loop(k, s, d(op2.READ))")
+        result = translate_app(app, tmp_path / "gen", targets=("cuda",))
+        assert all(str(f).endswith((".cu", ".json")) for f in result.files)
+
+    def test_unknown_target_rejected(self, tmp_path):
+        app = tmp_path / "app.py"
+        app.write_text("op2.par_loop(k, s, d(op2.READ))")
+        with pytest.raises(TranslatorError):
+            translate_app(app, tmp_path / "gen", targets=("sycl",))

@@ -1,0 +1,68 @@
+"""Translator end-to-end over the real application sources (paper Fig 1)."""
+
+import inspect
+
+import pytest
+
+import repro.apps.airfoil.app as airfoil_app
+import repro.apps.cloverleaf.app as clover_app
+import repro.apps.hydra.app as hydra_app
+from repro.translator import parse_app_source, translate_app
+
+
+class TestAirfoilSource:
+    @pytest.fixture(scope="class")
+    def sites(self):
+        return parse_app_source(inspect.getsource(airfoil_app))
+
+    def test_finds_serial_and_distributed_loops(self, sites):
+        kernels = [s.kernel for s in sites]
+        # the serial chain names its five kernels
+        for k in ("K_SAVE_SOLN", "K_ADT_CALC", "K_RES_CALC", "K_BRES_CALC", "K_UPDATE"):
+            assert any(k in name for name in kernels), k
+
+    def test_res_calc_args_lifted(self, sites):
+        res = next(s for s in sites if "K_RES_CALC" in s.kernel)
+        assert len(res.args) == 8
+        assert res.args[0].access == "READ"
+        assert res.args[0].map == "m.edge2node"
+        incs = [a for a in res.args if a.access == "INC"]
+        assert len(incs) == 2
+
+    def test_direct_loops_classified(self, sites):
+        save = next(s for s in sites if "K_SAVE_SOLN" in s.kernel)
+        assert not save.has_indirection
+
+
+class TestHydraSource:
+    def test_loop_count_reflects_app_size(self):
+        """Hydra's source has far more loop sites than Airfoil's."""
+        hydra_sites = parse_app_source(inspect.getsource(hydra_app))
+        airfoil_sites = parse_app_source(inspect.getsource(airfoil_app))
+        assert len(hydra_sites) > len(airfoil_sites)
+
+    def test_multigrid_loops_found(self):
+        sites = parse_app_source(inspect.getsource(hydra_app))
+        kernels = " ".join(s.kernel for s in sites)
+        assert "K_MG_RESTRICT" in kernels
+        assert "K_MG_PROLONG" in kernels
+
+
+class TestCloverLeafSource:
+    def test_ops_loops_found(self):
+        sites = parse_app_source(inspect.getsource(clover_app))
+        # the driver routes through self._loop -> ops.par_loop; the direct
+        # ops.par_loop call site inside _loop is what the translator sees
+        assert any(s.api == "ops" for s in sites)
+
+
+class TestFullTranslation:
+    def test_translate_airfoil_all_targets(self, tmp_path):
+        src = tmp_path / "airfoil_app.py"
+        src.write_text(inspect.getsource(airfoil_app))
+        result = translate_app(src, tmp_path / "gen")
+        # python + omp + cuda + mpi + cl + opencl-host files per loop
+        per_loop = 6
+        assert len(result.files) == len(result.sites) * per_loop + 1  # + manifest
+        manifest = (tmp_path / "gen" / "translation_manifest.json").read_text()
+        assert "K_RES_CALC" in manifest

@@ -1,0 +1,166 @@
+"""The elementwise-to-vectorised kernel translator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TranslatorError
+from repro.translator.kernelvec import vectorise_kernel
+
+GCONST = 2.5
+
+
+def k_basic(a, b):
+    b[0] = a[0] * 2.0
+
+
+def k_math(a, out):
+    out[0] = math.sqrt(abs(a[0])) + math.exp(0.0)
+
+
+def k_minmax(a, b, out):
+    out[0] = min(a[0], b[0], 0.5)
+
+
+def k_ternary(a, out):
+    out[0] = a[0] if a[0] > 0.0 else -a[0]
+
+
+def k_loop(q, out):
+    for n in range(3):
+        out[n] = q[n] + 1.0
+
+
+def k_const(a, out):
+    out[0] = GCONST * a[0]
+
+
+def k_augassign(a, out):
+    out[0] += a[0]
+    out[0] -= 0.5 * a[0]
+
+
+def k_locals(a, b, out):
+    dx = a[0] - b[0]
+    dy = dx * dx
+    out[0] = dy + dx
+
+
+def run(gen, *cols):
+    arrays = [np.asarray(c, dtype=float).reshape(-1, len(np.atleast_2d(c)[0]) if np.asarray(c).ndim > 1 else 1) for c in cols]
+    gen.func(*arrays)
+    return arrays
+
+
+class TestTranslation:
+    def test_subscripts_become_columns(self):
+        gen = vectorise_kernel(k_basic)
+        assert "a[:, 0]" in gen.source
+        assert gen.name == "k_basic_vec"
+
+    def test_basic_execution(self):
+        gen = vectorise_kernel(k_basic)
+        a = np.asarray([[1.0], [2.0]])
+        b = np.zeros((2, 1))
+        gen.func(a, b)
+        np.testing.assert_allclose(b[:, 0], [2.0, 4.0])
+
+    def test_math_calls_mapped_to_numpy(self):
+        gen = vectorise_kernel(k_math)
+        assert "np.sqrt" in gen.source and "np.abs" in gen.source
+        a = np.asarray([[-4.0], [9.0]])
+        out = np.zeros((2, 1))
+        gen.func(a, out)
+        np.testing.assert_allclose(out[:, 0], [3.0, 4.0])
+
+    def test_variadic_min_nested(self):
+        gen = vectorise_kernel(k_minmax)
+        assert gen.source.count("np.minimum") == 2
+        a, b, out = np.asarray([[1.0]]), np.asarray([[0.2]]), np.zeros((1, 1))
+        gen.func(a, b, out)
+        assert out[0, 0] == 0.2
+
+    def test_ternary_becomes_where(self):
+        gen = vectorise_kernel(k_ternary)
+        assert "np.where" in gen.source
+        a = np.asarray([[-3.0], [2.0]])
+        out = np.zeros((2, 1))
+        gen.func(a, out)
+        np.testing.assert_allclose(out[:, 0], [3.0, 2.0])
+
+    def test_constant_range_loop_kept(self):
+        gen = vectorise_kernel(k_loop)
+        q = np.arange(6, dtype=float).reshape(2, 3)
+        out = np.zeros((2, 3))
+        gen.func(q, out)
+        np.testing.assert_allclose(out, q + 1)
+
+    def test_module_constants_resolved(self):
+        gen = vectorise_kernel(k_const)
+        a, out = np.asarray([[2.0]]), np.zeros((1, 1))
+        gen.func(a, out)
+        assert out[0, 0] == 5.0
+
+    def test_augassign(self):
+        gen = vectorise_kernel(k_augassign)
+        a, out = np.asarray([[4.0]]), np.zeros((1, 1))
+        gen.func(a, out)
+        assert out[0, 0] == 2.0
+
+    def test_scalar_locals_broadcast(self):
+        gen = vectorise_kernel(k_locals)
+        a, b = np.asarray([[3.0], [5.0]]), np.asarray([[1.0], [1.0]])
+        out = np.zeros((2, 1))
+        gen.func(a, b, out)
+        np.testing.assert_allclose(out[:, 0], [6.0, 20.0])
+
+    def test_generated_source_is_human_readable(self):
+        """Paper II-C: 'all parallel code generated ... is human-readable'."""
+        gen = vectorise_kernel(k_locals)
+        assert gen.source.startswith("def k_locals_vec(a, b, out):")
+        assert "dx = " in gen.source
+
+
+class TestRestrictions:
+    def test_if_statement_rejected(self):
+        def k_branch(a, out):
+            if a[0] > 0:
+                out[0] = 1.0
+
+        with pytest.raises(TranslatorError, match="branching"):
+            vectorise_kernel(k_branch)
+
+    def test_while_rejected(self):
+        def k_while(a, out):
+            while a[0] > 0:
+                out[0] = 1.0
+
+        with pytest.raises(TranslatorError, match="while"):
+            vectorise_kernel(k_while)
+
+    def test_return_value_rejected(self):
+        def k_ret(a):
+            return a[0]
+
+        with pytest.raises(TranslatorError, match="return"):
+            vectorise_kernel(k_ret)
+
+    def test_unknown_call_rejected(self):
+        def k_call(a, out):
+            out[0] = sorted(a)[0]
+
+        with pytest.raises(TranslatorError, match="sorted"):
+            vectorise_kernel(k_call)
+
+    def test_non_range_loop_rejected(self):
+        def k_forlist(a, out):
+            for n in [0, 1]:
+                out[n] = a[n]
+
+        with pytest.raises(TranslatorError, match="range"):
+            vectorise_kernel(k_forlist)
+
+    def test_lambda_rejected(self):
+        with pytest.raises(TranslatorError):
+            vectorise_kernel(lambda a: None, name="anon")

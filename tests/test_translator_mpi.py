@@ -1,0 +1,131 @@
+"""MPI host-code generation: the access-derived communication schedule."""
+
+import pytest
+
+from repro.translator.codegen.mpi_c import communication_plan, generate_mpi_host
+from repro.translator.frontend import parse_app_source
+
+RES_CALC = """
+op2.par_loop(res_calc, m.edges,
+             m.x(op2.READ, m.e2n, 0),
+             m.x(op2.READ, m.e2n, 1),
+             m.q(op2.READ, m.e2c, 0),
+             m.q(op2.READ, m.e2c, 1),
+             m.res(op2.INC, m.e2c, 0),
+             m.res(op2.INC, m.e2c, 1))
+"""
+
+UPDATE = """
+op2.par_loop(update, m.cells,
+             m.qold(op2.READ), m.q(op2.WRITE), m.res(op2.RW),
+             rms(op2.INC))
+"""
+
+
+class TestCommunicationPlan:
+    def test_indirect_reads_get_forward_exchange(self):
+        site = parse_app_source(RES_CALC)[0]
+        plan = communication_plan(site)
+        assert plan["forward"] == ["m.x", "m.q"]
+
+    def test_indirect_inc_gets_reverse_exchange(self):
+        site = parse_app_source(RES_CALC)[0]
+        plan = communication_plan(site)
+        assert plan["reverse"] == ["m.res"]
+
+    def test_duplicate_slots_deduplicated(self):
+        site = parse_app_source(RES_CALC)[0]
+        plan = communication_plan(site)
+        # res appears through two map slots but is exchanged once
+        assert plan["reverse"].count("m.res") == 1
+
+    def test_direct_loop_no_exchanges(self):
+        site = parse_app_source(UPDATE)[0]
+        plan = communication_plan(site, globals_hint={"rms"})
+        assert plan["forward"] == []
+        assert plan["reverse"] == []
+
+    def test_written_dats_dirtied(self):
+        site = parse_app_source(UPDATE)[0]
+        plan = communication_plan(site, globals_hint={"rms"})
+        assert set(plan["dirtied"]) == {"m.q", "m.res"}
+
+    def test_global_inc_becomes_allreduce(self):
+        site = parse_app_source(UPDATE)[0]
+        plan = communication_plan(site, globals_hint={"rms"})
+        assert plan["reductions"] == ["rms:MPI_SUM"]
+
+    def test_min_global_detected_without_hint(self):
+        site = parse_app_source("op2.par_loop(k, s, dt(op2.MIN))")[0]
+        plan = communication_plan(site)
+        assert plan["reductions"] == ["dt:MPI_MIN"]
+
+    def test_matches_runtime_decisions(self):
+        """The generated schedule equals what RankMesh.par_loop really does."""
+        import numpy as np
+
+        from repro import op2
+        from repro.op2.halo import build_partitioned_mesh
+        from repro.op2.partition import partition_set
+        from repro.simmpi import World, run_spmd
+
+        site = parse_app_source(RES_CALC)[0]
+        plan = communication_plan(site)
+
+        def k(x0, x1, q0, q1, r0, r1):
+            r0[0] += x0[0] * q1[0]
+            r1[0] += x1[0] * q0[0]
+
+        K = op2.Kernel(k, "k")
+        nodes, edges = op2.Set(13, "nodes"), op2.Set(12, "edges")
+        m = op2.Map(edges, nodes, 2, [[i, i + 1] for i in range(12)])
+        x = op2.Dat(nodes, 1, np.ones(13))
+        q = op2.Dat(nodes, 1, np.ones(13))
+        res = op2.Dat(nodes, 1)
+        assign = partition_set(12, 3, "block").assignment
+        pm = build_partitioned_mesh(3, edges, assign, [m], [x, q, res])
+        world = World(3)
+
+        def main(comm):
+            pm.local(comm.rank).par_loop(
+                comm, K, edges,
+                x(op2.READ, m, 0), x(op2.READ, m, 1),
+                q(op2.READ, m, 0), q(op2.READ, m, 1),
+                res(op2.INC, m, 0), res(op2.INC, m, 1),
+            )
+
+        run_spmd(3, main, world=world)
+        total = world.total_counters()
+        # forward exchanges for x and q (2 dats) + 1 reverse for res, per rank
+        # with halos: each rank performed forward(x) + forward(q) + reverse(res)
+        expected_per_rank = len(plan["forward"]) + len(plan["reverse"])
+        assert total.halo_exchanges == 3 * expected_per_rank
+
+
+class TestGeneratedText:
+    def test_stub_structure(self):
+        site = parse_app_source(RES_CALC)[0]
+        code = generate_mpi_host(site)
+        assert "op_halo_exchange(m_x);" in code
+        assert "op_halo_exchange(m_q);" in code
+        assert "op_zero_halo(m_res);" in code
+        assert "op_reverse_halo_exchange(m_res);" in code
+        assert code.index("op_zero_halo") < code.index("_local(")
+        assert code.index("_local(") < code.index("op_reverse_halo_exchange")
+
+    def test_allreduce_emitted(self):
+        site = parse_app_source(UPDATE)[0]
+        code = generate_mpi_host(site, globals_hint={"rms"})
+        assert "MPI_Allreduce(MPI_IN_PLACE, rms, 1, MPI_DOUBLE, MPI_SUM, OP_MPI_WORLD);" in code
+
+
+class TestDriverMPITarget:
+    def test_mpi_files_emitted(self, tmp_path):
+        from repro.translator.driver import translate_app
+
+        app = tmp_path / "app.py"
+        app.write_text(RES_CALC)
+        result = translate_app(app, tmp_path / "gen", targets=("mpi",))
+        mpi_files = [f for f in result.files if f.suffix == ".c"]
+        assert len(mpi_files) == 1
+        assert "op_reverse_halo_exchange" in mpi_files[0].read_text()
