@@ -1,0 +1,117 @@
+"""Resilience overhead: fault-free cost and recovery cost of checkpoint-restart.
+
+Two questions the subsystem must answer before anyone turns it on:
+
+1. What does the machinery cost when nothing fails?  Compares a plain
+   ``run_spmd`` Airfoil run against ``run_resilient_spmd`` with
+   checkpointing off and at two cadences (per-rank observers + rolling
+   FileStore rounds are the only additions).
+2. What does a failure cost to recover?  Kills a rank mid-run at several
+   checkpoint frequencies and reports restarts, the round recovered from,
+   work replayed (loops between checkpoint entry and the crash) and wall
+   time lost to recovery.
+"""
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from _support import emit
+from repro.resilience import FaultPlan, run_resilient_spmd
+from repro.resilience.jobs import AirfoilJob
+from repro.simmpi import run_spmd
+
+NRANKS, ITERS = 3, 8
+LOOPS_PER_ITER = 9  # save_soln + 2 RK stages of (adt, res, bres, update)
+
+
+def fresh_job() -> AirfoilJob:
+    return AirfoilJob(NRANKS, ITERS, nx=16, ny=10)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+@pytest.fixture(scope="module")
+def ckpt_dir():
+    d = Path(tempfile.mkdtemp(prefix="bench-resilience-"))
+    yield d
+    shutil.rmtree(d, ignore_errors=True)
+
+
+def test_fault_free_overhead(benchmark, ckpt_dir):
+    job = fresh_job()
+    state = job.setup()
+    t_plain, base = timed(lambda: run_spmd(NRANKS, lambda c: job.rank_main(c, state)))
+
+    rows = [f"{'configuration':<34} {'wall s':>8} {'vs plain':>9} {'ckpt files':>11}"]
+    rows.append(f"{'plain run_spmd':<34} {t_plain:8.3f} {'1.00x':>9} {'-':>11}")
+
+    for label, freq in [
+        ("resilient, checkpoints off", None),
+        (f"resilient, every {2 * LOOPS_PER_ITER} loops", 2 * LOOPS_PER_ITER),
+        (f"resilient, every {LOOPS_PER_ITER} loops", LOOPS_PER_ITER),
+    ]:
+        d = ckpt_dir / f"freq-{freq}"
+        t, res = timed(
+            lambda d=d, freq=freq: run_resilient_spmd(
+                NRANKS, fresh_job(), ckpt_dir=d, frequency=freq
+            )
+        )
+        nfiles = len(list(d.glob("ckpt-r*-n*.npz")))
+        rows.append(f"{label:<34} {t:8.3f} {t / t_plain:8.2f}x {nfiles:>11}")
+        # the machinery must not perturb the numerics
+        np.testing.assert_array_equal(res.results[0][1], base[0][1])
+        assert res.restarts == 0
+
+    emit("resilience_fault_free_overhead", rows)
+    benchmark.pedantic(
+        lambda: run_resilient_spmd(
+            NRANKS, fresh_job(), ckpt_dir=ckpt_dir / "bench", frequency=2 * LOOPS_PER_ITER
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_recovery_cost_vs_frequency(ckpt_dir):
+    job = fresh_job()
+    state = job.setup()
+    t_plain, base = timed(lambda: run_spmd(NRANKS, lambda c: job.rank_main(c, state)))
+    kill_at = 5 * LOOPS_PER_ITER  # mid-run, past several checkpoint rounds
+
+    rows = [
+        f"kill rank 1 at loop {kill_at} of {ITERS * LOOPS_PER_ITER}; "
+        f"plain run {t_plain:.3f} s",
+        f"{'frequency':>9} {'restarts':>8} {'round':>6} {'replayed':>9} "
+        f"{'recovery s':>10} {'total s':>8}",
+    ]
+    for freq in [None, 3 * LOOPS_PER_ITER, 2 * LOOPS_PER_ITER, LOOPS_PER_ITER]:
+        d = ckpt_dir / f"recover-{freq}"
+        plan = FaultPlan().kill(1, at_loop=kill_at)
+        t, res = timed(
+            lambda d=d, freq=freq, plan=plan: run_resilient_spmd(
+                NRANKS, fresh_job(), ckpt_dir=d, frequency=freq, plan=plan
+            )
+        )
+        round_used = res.recovered_rounds[0]
+        if round_used >= 0:
+            entry = (round_used + 1) * freq
+            replayed = kill_at - entry
+        else:
+            entry, replayed = 0, kill_at
+        rows.append(
+            f"{str(freq):>9} {res.restarts:>8} {round_used:>6} {replayed:>9} "
+            f"{res.counters.recovery_seconds:>10.3f} {t:>8.3f}"
+        )
+        np.testing.assert_array_equal(res.results[0][1], base[0][1])
+        assert res.restarts == 1
+
+    emit("resilience_recovery_cost", rows)

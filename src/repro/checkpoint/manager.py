@@ -62,30 +62,36 @@ class CheckpointManager:
         *,
         frequency: int | None = None,
         speculative: bool = False,
+        on_complete: Any = None,
     ):
         self.store = store if store is not None else MemoryStore()
         self.frequency = frequency
         self.speculative = speculative
+        #: called with the manager when a checkpoint round reaches COMPLETE;
+        #: typically flushes the store and calls :meth:`restart`
+        self.on_complete = on_complete
         self.state = self.OBSERVING
         self.loop_index = 0
         self.history: list[ChainLoop] = []
         #: dataset name -> fate decided while saving
         self.decided: dict[str, str] = {}
         self._installed = False
+        self._installed_local = False
         self._last_global_refs: list[tuple[str, Any]] = []
         self._unmodified_at_entry: set[str] = set()
 
     # -- lifecycle ------------------------------------------------------------
 
-    def install(self) -> "CheckpointManager":
+    def install(self, *, local: bool = False) -> "CheckpointManager":
         if not self._installed:
-            add_loop_observer(self._on_loop)
+            add_loop_observer(self._on_loop, local=local)
             self._installed = True
+            self._installed_local = local
         return self
 
     def remove(self) -> None:
         if self._installed:
-            remove_loop_observer(self._on_loop)
+            remove_loop_observer(self._on_loop, local=self._installed_local)
             self._installed = False
 
     def __enter__(self) -> "CheckpointManager":
@@ -116,23 +122,30 @@ class CheckpointManager:
         )
         self.history.append(chain_loop)
 
-        if self.state == self.ARMED:
-            self._maybe_enter()
-        elif (
+        due = self.state == self.ARMED or (
             self.state == self.OBSERVING
             and self.frequency is not None
             and self.loop_index > 0
             and self.loop_index % self.frequency == 0
-        ):
-            self._maybe_enter()
+        )
+        if due:
+            if event.skip:
+                # a recovery replay is fast-forwarding this loop: live data is
+                # stale, so hold the trigger until execution actually resumes
+                self.state = self.ARMED
+            else:
+                self._maybe_enter()
 
-        if self.state == self.SAVING:
+        if self.state == self.SAVING and not event.skip:
             self._decide(event)
 
         # queue globals written by this loop for post-execution recording
-        for a in event.args:
-            if a.is_global and a.access.writes:
-                self._last_global_refs.append((a.name, a.data_ref))
+        # (skipped loops don't execute, so their refs hold replayed values
+        # already recorded in the recovery store — nothing new to capture)
+        if not event.skip:
+            for a in event.args:
+                if a.is_global and a.access.writes:
+                    self._last_global_refs.append((a.name, a.data_ref))
 
         self.loop_index += 1
 
@@ -183,6 +196,8 @@ class CheckpointManager:
                 self.store.save_dataset(a.name, _get_value(a.data_ref))
         if self._all_decided():
             self.state = self.COMPLETE
+            if self.on_complete is not None:
+                self.on_complete(self)
 
     def _all_decided(self) -> bool:
         # complete once every dataset seen in the history is decided
@@ -197,6 +212,27 @@ class CheckpointManager:
     def finalize(self) -> None:
         """Flush trailing global records (call after the run finishes)."""
         self._flush_globals()
+
+    def restart(self, store: MemoryStore | None = None) -> "CheckpointManager":
+        """Begin a fresh checkpoint round into ``store`` (rolling checkpoints).
+
+        The loop index and access history stay absolute — a later round's
+        entry point means the same loop on every deterministic rank — and the
+        recorded global series is carried forward so the new round can replay
+        globals across the whole run, not just since the last round.
+        """
+        new = store if store is not None else MemoryStore()
+        for name, series in self.store.globals.items():
+            have = {idx for idx, _ in new.globals.get(name, [])}
+            for idx, val in series:
+                if idx not in have:
+                    new.record_global(name, idx, val)
+            new.globals[name].sort(key=lambda t: t[0])
+        self.store = new
+        self.decided = {}
+        self._unmodified_at_entry = set()
+        self.state = self.OBSERVING
+        return self
 
 
 class RecoveryReplayer:
@@ -216,16 +252,18 @@ class RecoveryReplayer:
         self.loop_index = 0
         self.restored = False
         self._installed = False
+        self._installed_local = False
 
-    def install(self) -> "RecoveryReplayer":
+    def install(self, *, local: bool = False) -> "RecoveryReplayer":
         if not self._installed:
-            add_loop_observer(self._on_loop)
+            add_loop_observer(self._on_loop, local=local)
             self._installed = True
+            self._installed_local = local
         return self
 
     def remove(self) -> None:
         if self._installed:
-            remove_loop_observer(self._on_loop)
+            remove_loop_observer(self._on_loop, local=self._installed_local)
             self._installed = False
 
     def __enter__(self) -> "RecoveryReplayer":

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -57,7 +58,7 @@ class FileStore(MemoryStore):
         self.path = Path(path)
 
     def flush(self) -> None:
-        """Write the checkpoint to disk."""
+        """Write the checkpoint to disk (atomically: tmp file + rename)."""
         if self.entry_index is None:
             raise CheckpointError("no checkpoint entry recorded; nothing to flush")
         payload: dict[str, np.ndarray] = {
@@ -67,14 +68,18 @@ class FileStore(MemoryStore):
             for idx, val in series:
                 payload[f"gbl/{name}/{idx}"] = val
         payload["entry"] = np.asarray([self.entry_index], dtype=np.int64)
-        payload["dropped"] = np.asarray(self.dropped, dtype=object)
-        np.savez(self.path, **payload, allow_pickle=True)
+        # fixed-width strings, not object dtype: loadable without pickle
+        payload["dropped"] = np.asarray(self.dropped, dtype=np.str_)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+        os.replace(tmp, self.path)
 
     @classmethod
     def load(cls, path: str | Path) -> "FileStore":
         """Read a checkpoint back from disk."""
         store = cls(path)
-        with np.load(Path(path), allow_pickle=True) as npz:
+        with np.load(Path(path)) as npz:
             store.entry_index = int(npz["entry"][0])
             store.dropped = [str(d) for d in npz["dropped"]]
             for key in npz.files:

@@ -25,6 +25,10 @@ class Config:
     profiling: bool = True
     #: verbose diagnostics to stdout
     verbose: bool = False
+    #: seconds a blocking simmpi receive waits before declaring deadlock;
+    #: resilience tests with induced failures lower this so a lost message
+    #: does not stall the suite for a minute
+    deadlock_timeout: float = 60.0
 
 
 _config = Config()

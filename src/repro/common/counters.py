@@ -67,6 +67,14 @@ class PerfCounters:
     bytes_sent: int = 0
     reductions: int = 0
     halo_exchanges: int = 0
+    # -- resilience: injected faults and recovery cost --------------------------
+    faults_injected: int = 0
+    messages_dropped: int = 0
+    messages_retried: int = 0
+    messages_delayed: int = 0
+    messages_duplicated: int = 0
+    restarts: int = 0
+    recovery_seconds: float = 0.0
 
     def loop(self, name: str) -> LoopRecord:
         """Return (creating if needed) the record for loop ``name``."""
@@ -87,6 +95,23 @@ class PerfCounters:
     def record_reduction(self) -> None:
         self.reductions += 1
 
+    def record_fault(self, kind: str) -> None:
+        """Account one injected fault firing (kill/drop/delay/duplicate/slow)."""
+        self.faults_injected += 1
+        if kind == "drop":
+            self.messages_dropped += 1
+        elif kind == "delay":
+            self.messages_delayed += 1
+        elif kind == "duplicate":
+            self.messages_duplicated += 1
+
+    def record_message_retried(self) -> None:
+        self.messages_retried += 1
+
+    def record_restart(self, recovery_seconds: float) -> None:
+        self.restarts += 1
+        self.recovery_seconds += recovery_seconds
+
     def merge(self, other: "PerfCounters") -> None:
         """Fold another counter set (e.g. from another simulated rank) in."""
         for name, rec in other.loops.items():
@@ -95,6 +120,13 @@ class PerfCounters:
         self.bytes_sent += other.bytes_sent
         self.reductions += other.reductions
         self.halo_exchanges += other.halo_exchanges
+        self.faults_injected += other.faults_injected
+        self.messages_dropped += other.messages_dropped
+        self.messages_retried += other.messages_retried
+        self.messages_delayed += other.messages_delayed
+        self.messages_duplicated += other.messages_duplicated
+        self.restarts += other.restarts
+        self.recovery_seconds += other.recovery_seconds
 
     def reset(self) -> None:
         self.loops.clear()
@@ -102,6 +134,13 @@ class PerfCounters:
         self.bytes_sent = 0
         self.reductions = 0
         self.halo_exchanges = 0
+        self.faults_injected = 0
+        self.messages_dropped = 0
+        self.messages_retried = 0
+        self.messages_delayed = 0
+        self.messages_duplicated = 0
+        self.restarts = 0
+        self.recovery_seconds = 0.0
 
     def summary_rows(self) -> list[tuple[str, int, int, int, float]]:
         """Rows of (loop, iterations, bytes, flops, seconds), insertion order."""

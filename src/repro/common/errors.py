@@ -25,5 +25,22 @@ class CheckpointError(ReproError):
     """Failure while planning, writing or restoring a checkpoint."""
 
 
+class ResilienceError(ReproError):
+    """Base class for simulated-failure conditions (injection and detection)."""
+
+
+class RankKilledError(ResilienceError):
+    """Raised inside a rank that a :class:`FaultPlan` scheduled to die."""
+
+
+class RankFailedError(ResilienceError):
+    """A communication partner has failed; raised promptly instead of a
+    deadlock timeout so peers of a dead rank fail fast."""
+
+
+class MessageLostError(ResilienceError):
+    """A transient message fault persisted through every configured retry."""
+
+
 class TranslatorError(ReproError):
     """Failure while parsing an application or generating backend code."""

@@ -9,6 +9,7 @@ uses to watch the loop chain.
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
@@ -16,8 +17,28 @@ from repro.common.access import Access
 from repro.common.counters import PerfCounters
 
 _global_counters = PerfCounters()
-_counters_stack: list[PerfCounters] = []
 _observers: list[Callable[["LoopEvent"], None]] = []
+
+# Counter scopes are per-thread: simulated MPI ranks run as threads, and a
+# shared scope stack would cross-route loop statistics between ranks (and
+# let one rank pop another's scope).  Loop observers come in two flavours:
+# process-wide (serial tooling such as loop_chain_record) and thread-local
+# (per-rank checkpoint managers and fault injectors inside run_spmd).
+_tls = threading.local()
+
+
+def _counters_stack() -> list[PerfCounters]:
+    stack = getattr(_tls, "counters_stack", None)
+    if stack is None:
+        stack = _tls.counters_stack = []
+    return stack
+
+
+def _local_observers() -> list[Callable[["LoopEvent"], None]]:
+    obs = getattr(_tls, "observers", None)
+    if obs is None:
+        obs = _tls.observers = []
+    return obs
 
 
 @dataclass
@@ -49,8 +70,9 @@ class LoopEvent:
 
 
 def active_counters() -> PerfCounters:
-    """The counters currently receiving loop statistics."""
-    return _counters_stack[-1] if _counters_stack else _global_counters
+    """The counters currently receiving loop statistics (per-thread)."""
+    stack = _counters_stack()
+    return stack[-1] if stack else _global_counters
 
 
 def global_counters() -> PerfCounters:
@@ -60,27 +82,37 @@ def global_counters() -> PerfCounters:
 
 @contextlib.contextmanager
 def counters_scope(counters: PerfCounters) -> Iterator[PerfCounters]:
-    """Route loop statistics to ``counters`` within the scope."""
-    _counters_stack.append(counters)
+    """Route this thread's loop statistics to ``counters`` within the scope."""
+    stack = _counters_stack()
+    stack.append(counters)
     try:
         yield counters
     finally:
-        _counters_stack.pop()
+        stack.pop()
 
 
-def add_loop_observer(fn: Callable[[LoopEvent], None]) -> None:
-    """Register a callback invoked before every loop execution."""
-    _observers.append(fn)
+def add_loop_observer(fn: Callable[[LoopEvent], None], *, local: bool = False) -> None:
+    """Register a callback invoked before every loop execution.
+
+    With ``local=True`` the observer only sees loops executed by the
+    registering thread — how per-rank observers (checkpoint managers,
+    recovery replayers, fault plans) coexist inside a threaded SPMD run.
+    """
+    (_local_observers() if local else _observers).append(fn)
 
 
-def remove_loop_observer(fn: Callable[[LoopEvent], None]) -> None:
-    _observers.remove(fn)
+def remove_loop_observer(fn: Callable[[LoopEvent], None], *, local: bool = False) -> None:
+    (_local_observers() if local else _observers).remove(fn)
 
 
 def notify_loop(event: LoopEvent) -> None:
-    """Announce a loop execution to all observers."""
+    """Announce a loop execution to all process-wide, then thread-local, observers."""
     for obs in list(_observers):
         obs(event)
+    local = getattr(_tls, "observers", None)
+    if local:
+        for obs in list(local):
+            obs(event)
 
 
 @contextlib.contextmanager

@@ -43,4 +43,14 @@ def timing_report(counters: PerfCounters, *, top: int | None = None) -> str:
             f"{counters.bytes_sent / 1e6:.2f} MB sent, "
             f"{counters.reductions} reductions"
         )
+    if counters.faults_injected or counters.restarts:
+        lines.append(
+            f"resilience: {counters.faults_injected} faults injected "
+            f"({counters.messages_dropped} dropped, "
+            f"{counters.messages_delayed} delayed, "
+            f"{counters.messages_duplicated} duplicated), "
+            f"{counters.messages_retried} retries, "
+            f"{counters.restarts} restarts, "
+            f"{counters.recovery_seconds:.3f} s in recovery"
+        )
     return "\n".join(lines)

@@ -164,7 +164,12 @@ def par_loop(
     notify_loop(event)
     if event.skip:
         # recovery fast-forward: no computation, observers have already
-        # restored any recorded global-argument values
+        # restored any recorded global-argument values.  Halo staleness must
+        # still advance as if the loop ran, or a distributed replay's
+        # exchange schedule diverges from the original run's
+        for arg in arg_list:
+            if arg.dat is not None and arg.access.writes:
+                arg.dat.halo_dirty = True
         return
 
     counters = active_counters()

@@ -188,7 +188,12 @@ def par_loop(
     notify_loop(event)
     if event.skip:
         # recovery fast-forward: no computation, observers have already
-        # restored any recorded reduction values
+        # restored any recorded reduction values.  Halo staleness must still
+        # advance as if the loop ran, or a distributed replay's exchange
+        # schedule diverges from the original run's
+        for arg in args:
+            if isinstance(arg, DatArg) and arg.access.writes:
+                arg.dat.halo_dirty = True
         return
 
     counters = active_counters()

@@ -1,0 +1,36 @@
+"""Resilience subsystem: fault injection, detection, and checkpoint-restart.
+
+Three layers over the simulated MPI runtime:
+
+* :mod:`repro.resilience.faults` — deterministic :class:`FaultPlan`
+  (kill / drop / delay / duplicate / slow) installed on a
+  :class:`repro.simmpi.World`;
+* :mod:`repro.resilience.detection` — :class:`RetryPolicy` backoff for
+  transient faults; hard failures surface as
+  :class:`~repro.common.errors.RankFailedError` in peers;
+* :mod:`repro.resilience.driver` — :func:`run_resilient_spmd`, the
+  automatic checkpoint-restart loop over :func:`repro.simmpi.run_spmd`
+  and the checkpoint subsystem.
+"""
+
+from repro.common.errors import (
+    MessageLostError,
+    RankFailedError,
+    RankKilledError,
+    ResilienceError,
+)
+from repro.resilience.detection import RetryPolicy
+from repro.resilience.driver import ResilientResult, SpmdJob, run_resilient_spmd
+from repro.resilience.faults import FaultPlan
+
+__all__ = [
+    "FaultPlan",
+    "MessageLostError",
+    "RankFailedError",
+    "RankKilledError",
+    "ResilienceError",
+    "ResilientResult",
+    "RetryPolicy",
+    "SpmdJob",
+    "run_resilient_spmd",
+]

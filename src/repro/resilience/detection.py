@@ -1,0 +1,43 @@
+"""Failure detection knobs: retry policies for transient faults.
+
+Hard failures (a dead rank) are detected structurally: the victim marks
+itself in the world state and peers raise
+:class:`repro.common.errors.RankFailedError` from their next communication
+with it (see :mod:`repro.simmpi.comm`).  Transient faults — dropped
+messages — are instead *masked* at the send site by retrying under an
+exponential-backoff policy; only when the budget is exhausted does the
+fault surface as :class:`repro.common.errors.MessageLostError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transient communication faults.
+
+    Attempt ``i`` (0-based) sleeps ``min(base_delay * multiplier**i,
+    max_delay)`` before re-sending.  Deliberately jitter-free: simulated
+    runs must replay deterministically.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.001
+    multiplier: float = 2.0
+    max_delay: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0 or self.multiplier < 1.0:
+            raise ValueError("delays must be >= 0 and multiplier >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the (attempt+1)-th resend."""
+        return min(self.base_delay * self.multiplier**attempt, self.max_delay)
+
+    def delays(self) -> list[float]:
+        """The full backoff schedule, one entry per allowed retry."""
+        return [self.delay(i) for i in range(self.max_retries)]

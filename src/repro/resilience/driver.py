@@ -1,0 +1,213 @@
+"""Automatic checkpoint-restart driver for simulated SPMD jobs.
+
+:func:`run_resilient_spmd` composes three existing pieces into a fault-
+tolerant execution loop:
+
+* :func:`repro.simmpi.run_spmd` executes the job, with an optional
+  :class:`~repro.resilience.faults.FaultPlan` injecting failures;
+* one :class:`~repro.checkpoint.manager.CheckpointManager` per rank
+  (installed as a thread-local loop observer) writes coordinated rounds of
+  :class:`~repro.checkpoint.store.FileStore` checkpoints every
+  ``frequency`` loops;
+* after a detected failure the world is torn down, job state rebuilt, and
+  every rank fast-forwards through a
+  :class:`~repro.checkpoint.manager.RecoveryReplayer` to the latest round
+  flushed by *all* ranks, then resumes normal execution.
+
+Ranks checkpoint without synchronising: determinism makes the rounds
+coordinated (every rank's round k enters at the same loop index), but a
+crash can interrupt some ranks before they flush round k — recovery
+therefore uses the newest round completed by every rank, verified to agree
+on the entry index.  Restarts are bounded by ``max_restarts``; resilience
+counters (faults injected, drops, retries, restarts, time in recovery)
+accumulate across attempts and land in the returned result's
+:class:`~repro.common.counters.PerfCounters`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.checkpoint.manager import CheckpointManager, RecoveryReplayer
+from repro.checkpoint.store import FileStore
+from repro.common.counters import PerfCounters
+from repro.common.errors import ResilienceError
+from repro.resilience.detection import RetryPolicy
+from repro.resilience.faults import FaultPlan
+from repro.simmpi.comm import DeadlockError
+from repro.simmpi.executor import World, run_spmd
+
+
+class SpmdJob:
+    """A restartable SPMD job: state factory plus per-rank body.
+
+    ``setup`` must be deterministic — after a crash the driver rebuilds the
+    job from scratch and replays it, so a fresh state that differs from the
+    crashed one would diverge from the fault-free run.
+    """
+
+    def setup(self) -> Any:
+        """Build fresh job state (app, partitioned mesh, ...); one call per attempt."""
+        raise NotImplementedError
+
+    def rank_main(self, comm, state) -> Any:
+        """The SPMD body executed on every rank; returns the rank's result."""
+        raise NotImplementedError
+
+    def datasets(self, rank: int, state) -> dict[str, Any]:
+        """Live per-rank dataset refs (name -> Dat) for checkpoint recovery."""
+        raise NotImplementedError
+
+    def globals_(self, rank: int, state) -> dict[str, Any]:
+        """Live per-rank global refs (name -> Global) for recovery; optional."""
+        return {}
+
+
+@dataclass
+class ResilientResult:
+    """Outcome of a resilient run."""
+
+    results: list  #: per-rank return values of the successful attempt
+    restarts: int  #: failures recovered from
+    attempts: int  #: total attempts (restarts + 1)
+    recovered_rounds: list[int]  #: checkpoint round used by each restart (-1 = from scratch)
+    counters: PerfCounters  #: aggregate over all attempts, incl. resilience counters
+
+
+def _round_path(ckpt_dir: Path, rank: int, round_no: int) -> Path:
+    return ckpt_dir / f"ckpt-r{rank:03d}-n{round_no:04d}.npz"
+
+
+def _latest_common_round(ckpt_dir: Path, nranks: int) -> tuple[int, int] | None:
+    """Newest round flushed by every rank, as (round_no, entry_index).
+
+    Rounds whose per-rank entry indices disagree (a crash interleaved two
+    rounds) are skipped in favour of an older consistent one.
+    """
+    rounds: set[int] = set()
+    for p in ckpt_dir.glob("ckpt-r*-n*.npz"):
+        rounds.add(int(p.stem.split("-n")[1]))
+    for round_no in sorted(rounds, reverse=True):
+        paths = [_round_path(ckpt_dir, r, round_no) for r in range(nranks)]
+        if not all(p.exists() for p in paths):
+            continue
+        entries = []
+        try:
+            for p in paths:
+                entries.append(FileStore.load(p).entry_index)
+        except Exception:
+            continue  # torn file: fall back to an older round
+        if len(set(entries)) == 1:
+            return round_no, entries[0]
+    return None
+
+
+def run_resilient_spmd(
+    nranks: int,
+    job: SpmdJob,
+    *,
+    ckpt_dir: str | Path,
+    frequency: int | None = None,
+    plan: FaultPlan | None = None,
+    retry: RetryPolicy | None = RetryPolicy(),
+    max_restarts: int = 3,
+) -> ResilientResult:
+    """Run ``job`` over ``nranks`` simulated ranks, surviving injected failures.
+
+    ``frequency`` is the checkpoint cadence in loops (None disables
+    checkpointing, so every restart replays from scratch).  ``plan`` injects
+    faults; ``retry`` masks transient message drops at the send site.
+    Raises :class:`ResilienceError` once ``max_restarts`` is exceeded, and
+    re-raises immediately on non-simulated (organic) errors.
+    """
+    ckpt_dir = Path(ckpt_dir)
+    ckpt_dir.mkdir(parents=True, exist_ok=True)
+    for stale in ckpt_dir.glob("ckpt-r*-n*.npz"):
+        stale.unlink()
+
+    aggregate = PerfCounters()
+    restarts = 0
+    recovered_rounds: list[int] = []
+    next_round: dict[int, int] = {}
+
+    while True:
+        attempt_start = time.perf_counter()
+        state = job.setup()
+        recovery = _latest_common_round(ckpt_dir, nranks) if restarts else None
+        # a crash can leave ranks with different flushed-round counts; restart
+        # the numbering past every existing file so rank rounds stay aligned
+        # (round k always means the same entry loop on every rank)
+        existing = [int(p.stem.split("-n")[1]) for p in ckpt_dir.glob("ckpt-r*-n*.npz")]
+        base = max(existing) + 1 if existing else 0
+        next_round.update({r: base for r in range(nranks)})
+        world = World(nranks, fault_plan=plan, retry=retry)
+        if plan is not None:
+            plan.begin_attempt()
+
+        def rank_body(comm, _state=state, _recovery=recovery):
+            rank = comm.rank
+            replayer = None
+            manager = None
+            if _recovery is not None:
+                store = FileStore.load(_round_path(ckpt_dir, rank, _recovery[0]))
+                replayer = RecoveryReplayer(
+                    store, job.datasets(rank, _state), job.globals_(rank, _state)
+                )
+                replayer.install(local=True)
+            if frequency is not None:
+
+                def flush_round(mgr, _rank=rank):
+                    round_no = next_round[_rank]
+                    mgr.store.path = _round_path(ckpt_dir, _rank, round_no)
+                    mgr.store.flush()
+                    next_round[_rank] = round_no + 1
+                    mgr.restart(FileStore(_round_path(ckpt_dir, _rank, round_no + 1)))
+
+                manager = CheckpointManager(
+                    FileStore(_round_path(ckpt_dir, rank, next_round[rank])),
+                    frequency=frequency,
+                    on_complete=flush_round,
+                )
+                if replayer is not None:
+                    # carry the recovered global series into the new round so
+                    # a later recovery can replay globals from loop 0
+                    for name, series in replayer.store.globals.items():
+                        for idx, val in series:
+                            manager.store.record_global(name, idx, val)
+                manager.install(local=True)
+            try:
+                return job.rank_main(comm, _state)
+            finally:
+                if manager is not None:
+                    manager.remove()
+                if replayer is not None:
+                    replayer.remove()
+
+        try:
+            results = run_spmd(nranks, rank_body, world=world)
+        except (RuntimeError, ResilienceError, DeadlockError) as err:
+            aggregate.merge(world.total_counters())
+            cause = err.__cause__ if isinstance(err, RuntimeError) else err
+            if not isinstance(cause, (ResilienceError, DeadlockError)):
+                raise  # an organic bug, not a simulated failure
+            restarts += 1
+            aggregate.record_restart(time.perf_counter() - attempt_start)
+            if restarts > max_restarts:
+                raise ResilienceError(
+                    f"giving up after {max_restarts} restart(s); last failure: {cause}"
+                ) from err
+            available = _latest_common_round(ckpt_dir, nranks)
+            recovered_rounds.append(available[0] if available is not None else -1)
+            continue
+
+        aggregate.merge(world.total_counters())
+        return ResilientResult(
+            results=results,
+            restarts=restarts,
+            attempts=restarts + 1,
+            recovered_rounds=recovered_rounds,
+            counters=aggregate,
+        )

@@ -1,0 +1,227 @@
+"""Deterministic fault injection for simulated MPI runs.
+
+A :class:`FaultPlan` is a declarative schedule of failures installed on a
+:class:`repro.simmpi.World`:
+
+* **kill** — rank R dies at its Nth loop execution or Nth send (raises
+  :class:`RankKilledError` inside the victim, which the executor turns
+  into a world-wide failure mark),
+* **drop / delay / duplicate** — the Nth message matching (src, dst, tag)
+  is lost, late, or delivered twice,
+* **slow** — a straggler rank sleeps before every Kth loop.
+
+Determinism: each rank executes its program order on a single thread, so
+per-rank loop/send ordinals are reproducible; faults are matched on those
+ordinals, never on wall-clock time.  Replaying the same plan (fresh
+instance or after :meth:`FaultPlan.reset`) injects the same faults at the
+same points.  Within one resilient run, a fault fires at most ``times``
+times *in total across restarts* — :meth:`begin_attempt` resets the
+per-attempt ordinals but not the consumed budget, so a kill does not
+re-fire after recovery and the job can make progress.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.common.counters import PerfCounters
+from repro.common.errors import RankKilledError
+from repro.simmpi.comm import ANY
+
+
+@dataclass
+class _Kill:
+    rank: int
+    at_loop: int | None = None
+    at_send: int | None = None
+    fired: bool = False
+
+
+@dataclass
+class _MessageFault:
+    kind: str  # "drop" | "delay" | "duplicate"
+    src: int
+    dst: int
+    tag: int = ANY
+    times: int = 1
+    after: int = 0
+    seconds: float = 0.0
+    #: matching messages seen this attempt (reset by begin_attempt)
+    seen: int = 0
+    #: total firings so far (persists across attempts)
+    consumed: int = 0
+
+    def matches(self, src: int, dst: int, tag: int) -> bool:
+        return (
+            self.src == src
+            and self.dst == dst
+            and (self.tag == ANY or self.tag == tag)
+        )
+
+
+@dataclass
+class _Slow:
+    rank: int
+    seconds: float
+    every: int = 1
+    recorded_this_attempt: bool = False
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of injected failures for one world."""
+
+    kills: list[_Kill] = field(default_factory=list)
+    message_faults: list[_MessageFault] = field(default_factory=list)
+    slowdowns: list[_Slow] = field(default_factory=list)
+    #: human-readable log of every fault firing, in order
+    fired_log: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._loop_count: dict[int, int] = {}
+        self._send_count: dict[int, int] = {}
+
+    # -- declaration -----------------------------------------------------------
+
+    def kill(self, rank: int, *, at_loop: int | None = None, at_send: int | None = None) -> "FaultPlan":
+        """Kill ``rank`` just before its Nth loop execution or Nth send (1-based)."""
+        if (at_loop is None) == (at_send is None):
+            raise ValueError("specify exactly one of at_loop / at_send")
+        self.kills.append(_Kill(rank, at_loop=at_loop, at_send=at_send))
+        return self
+
+    def drop(self, src: int, dst: int, *, tag: int = ANY, times: int = 1, after: int = 0) -> "FaultPlan":
+        """Lose messages ``after+1 .. after+times`` matching (src, dst, tag)."""
+        self.message_faults.append(_MessageFault("drop", src, dst, tag, times, after))
+        return self
+
+    def delay(self, src: int, dst: int, *, seconds: float, tag: int = ANY, times: int = 1, after: int = 0) -> "FaultPlan":
+        """Deliver matching messages late by ``seconds``."""
+        self.message_faults.append(_MessageFault("delay", src, dst, tag, times, after, seconds))
+        return self
+
+    def duplicate(self, src: int, dst: int, *, tag: int = ANY, times: int = 1, after: int = 0) -> "FaultPlan":
+        """Deliver matching messages twice."""
+        self.message_faults.append(_MessageFault("duplicate", src, dst, tag, times, after))
+        return self
+
+    def slow(self, rank: int, *, seconds: float, every: int = 1) -> "FaultPlan":
+        """Make ``rank`` a straggler: sleep before every ``every``-th loop."""
+        self.slowdowns.append(_Slow(rank, seconds, every))
+        return self
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def begin_attempt(self) -> None:
+        """Reset per-attempt ordinals (not the consumed fault budget)."""
+        with self._lock:
+            self._loop_count.clear()
+            self._send_count.clear()
+            for s in self.slowdowns:
+                s.recorded_this_attempt = False
+            for f in self.message_faults:
+                f.seen = 0
+
+    def reset(self) -> None:
+        """Restore the pristine plan, for a deterministic replay."""
+        self.begin_attempt()
+        with self._lock:
+            for k in self.kills:
+                k.fired = False
+            for f in self.message_faults:
+                f.consumed = 0
+            self.fired_log.clear()
+
+    # -- hooks consulted by the simulator ---------------------------------------
+
+    def on_loop(self, rank: int, counters: PerfCounters | None = None) -> None:
+        """Called before every loop a rank executes; may sleep or kill it."""
+        with self._lock:
+            n = self._loop_count.get(rank, 0) + 1
+            self._loop_count[rank] = n
+            sleep_for = 0.0
+            for s in self.slowdowns:
+                if s.rank == rank and n % s.every == 0:
+                    sleep_for += s.seconds
+                    if not s.recorded_this_attempt:
+                        s.recorded_this_attempt = True
+                        self.fired_log.append(f"slow rank {rank} by {s.seconds}s/{s.every} loops")
+                        if counters is not None:
+                            counters.record_fault("slow")
+            kill = self._match_kill(rank, n, None)
+        if sleep_for:
+            time.sleep(sleep_for)
+        if kill is not None:
+            if counters is not None:
+                counters.record_fault("kill")
+            raise RankKilledError(f"rank {rank} killed at loop {n} (injected)")
+
+    def on_send(self, rank: int, dest: int, tag: int, counters: PerfCounters | None = None):
+        """Called before every send; returns the firing message fault or None.
+
+        Kill-at-send faults raise :class:`RankKilledError` here.
+        """
+        with self._lock:
+            n = self._send_count.get(rank, 0) + 1
+            self._send_count[rank] = n
+            kill = self._match_kill(rank, None, n)
+            if kill is None:
+                fault = self._match_message(rank, dest, tag)
+            else:
+                fault = None
+        if kill is not None:
+            if counters is not None:
+                counters.record_fault("kill")
+            raise RankKilledError(f"rank {rank} killed at send {n} (injected)")
+        if fault is not None and counters is not None:
+            counters.record_fault(fault.kind)
+        return fault
+
+    # -- matching (lock held) -----------------------------------------------------
+
+    def _match_kill(self, rank: int, loop_n: int | None, send_n: int | None) -> _Kill | None:
+        for k in self.kills:
+            if k.fired or k.rank != rank:
+                continue
+            if loop_n is not None and k.at_loop is not None and loop_n >= k.at_loop:
+                k.fired = True
+            elif send_n is not None and k.at_send is not None and send_n >= k.at_send:
+                k.fired = True
+            else:
+                continue
+            self.fired_log.append(
+                f"kill rank {rank} at "
+                + (f"loop {loop_n}" if loop_n is not None else f"send {send_n}")
+            )
+            return k
+        return None
+
+    def _match_message(self, src: int, dst: int, tag: int) -> _MessageFault | None:
+        for f in self.message_faults:
+            if not f.matches(src, dst, tag):
+                continue
+            f.seen += 1
+            if f.consumed < f.times and f.seen > f.after:
+                f.consumed += 1
+                self.fired_log.append(
+                    f"{f.kind} message {src}->{dst} tag={tag} "
+                    f"(match {f.seen}, firing {f.consumed}/{f.times})"
+                )
+                return f
+        return None
+
+    def describe(self) -> str:
+        """One line per declared fault, for run logs."""
+        lines = []
+        for k in self.kills:
+            where = f"loop {k.at_loop}" if k.at_loop is not None else f"send {k.at_send}"
+            lines.append(f"kill rank {k.rank} at its {where}")
+        for f in self.message_faults:
+            tag = "ANY" if f.tag == ANY else f.tag
+            lines.append(f"{f.kind} {f.times}x message {f.src}->{f.dst} tag={tag} after {f.after}")
+        for s in self.slowdowns:
+            lines.append(f"slow rank {s.rank} by {s.seconds}s every {s.every} loops")
+        return "\n".join(lines) if lines else "(no faults)"

@@ -7,30 +7,45 @@ until a matching (source, tag) envelope arrives.  NumPy payloads are copied
 so ranks cannot alias each other's memory — the same isolation real MPI
 gives you.
 
-A configurable timeout turns an MPI deadlock (mismatched send/recv) into a
-:class:`DeadlockError` instead of a hung test suite.
+A configurable timeout (``repro.common.config``'s ``deadlock_timeout``)
+turns an MPI deadlock (mismatched send/recv) into a :class:`DeadlockError`
+instead of a hung test suite.
+
+Resilience hooks: a world may carry a fault plan (see
+:mod:`repro.resilience.faults`) consulted on every send, and a shared
+``failed`` rank set.  Once a rank is marked failed, peers communicating
+with it raise :class:`RankFailedError` promptly instead of waiting out the
+deadlock timeout.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 import numpy as np
 
+from repro.common.config import get_config
 from repro.common.counters import PerfCounters
-from repro.common.errors import ReproError
+from repro.common.errors import MessageLostError, RankFailedError, ReproError
 
 #: matches any source / any tag, like MPI_ANY_SOURCE / MPI_ANY_TAG
 ANY = -1
 
-#: seconds a blocking receive waits before declaring deadlock
+#: fallback seconds a blocking receive waits before declaring deadlock;
+#: the live value is ``get_config().deadlock_timeout``
 DEADLOCK_TIMEOUT = 60.0
 
 
 class DeadlockError(ReproError):
     """A blocking operation timed out: the simulated job has deadlocked."""
+
+
+def _deadlock_timeout(timeout: float | None) -> float:
+    """Resolve an explicit timeout against the configured default."""
+    return get_config().deadlock_timeout if timeout is None else timeout
 
 
 def _payload_nbytes(obj: Any) -> int:
@@ -81,24 +96,53 @@ class _Mailbox:
                 return i
         return None
 
-    def get(self, src: int, tag: int, timeout: float) -> _Envelope:
+    def get(
+        self,
+        src: int,
+        tag: int,
+        timeout: float,
+        failed: set[int] | None = None,
+    ) -> _Envelope:
+        """Pop the first matching envelope, waiting up to ``timeout`` seconds.
+
+        Waits on the remaining deadline (woken by :meth:`put` and by failure
+        notifications) rather than polling.  When ``failed`` is given and the
+        awaited source — or, for ANY-source receives, any rank — has failed
+        with no matching message pending, raises :class:`RankFailedError`
+        immediately: a contribution from a dead rank can never arrive.
+        """
         limit = threading.TIMEOUT_MAX if timeout is None else timeout
+        deadline = time.monotonic() + limit
         with self._cond:
-            idx = self._find(src, tag)
-            waited = 0.0
-            while idx is None:
-                self._cond.wait(timeout=0.5)
-                waited += 0.5
+            while True:
                 idx = self._find(src, tag)
-                if idx is None and waited >= limit:
+                if idx is not None:
+                    return self._messages.pop(idx)
+                if failed:
+                    if src in failed:
+                        raise RankFailedError(
+                            f"recv(src={src}, tag={tag}): rank {src} has failed"
+                        )
+                    if src == ANY:
+                        raise RankFailedError(
+                            f"recv(src=ANY, tag={tag}): rank(s) "
+                            f"{sorted(failed)} failed with no message pending"
+                        )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
                     raise DeadlockError(
                         f"recv(src={src}, tag={tag}) timed out after {timeout}s"
                     )
-            return self._messages.pop(idx)
+                self._cond.wait(timeout=min(remaining, threading.TIMEOUT_MAX))
 
     def probe(self, src: int, tag: int) -> bool:
         with self._cond:
             return self._find(src, tag) is not None
+
+    def wake(self) -> None:
+        """Wake blocked receivers (e.g. so they notice a rank failure)."""
+        with self._cond:
+            self._cond.notify_all()
 
 
 class Request:
@@ -132,6 +176,18 @@ class _WorldState:
     coll_lock: threading.Lock = field(default_factory=threading.Lock)
     coll_slots: dict[tuple[int, str], list] = field(default_factory=dict)
     coll_seq: dict[str, int] = field(default_factory=dict)
+    #: ranks that have died (injected kill or organic exception)
+    failed: set[int] = field(default_factory=set)
+    #: optional repro.resilience.faults.FaultPlan consulted on sends/loops
+    fault_plan: Any = None
+    #: optional repro.resilience.detection.RetryPolicy for transient faults
+    retry: Any = None
+
+    def mark_failed(self, rank: int) -> None:
+        """Record a rank's death and wake every blocked receiver."""
+        self.failed.add(rank)
+        for mb in self.mailboxes:
+            mb.wake()
 
 
 _REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
@@ -164,15 +220,58 @@ class SimComm:
     # -- point-to-point ----------------------------------------------------
 
     def send(self, payload: Any, dest: int, tag: int = 0) -> None:
-        """Deposit a message; copies array payloads (buffered send semantics)."""
+        """Deposit a message; copies array payloads (buffered send semantics).
+
+        Sends to a failed rank raise :class:`RankFailedError` at once.  When
+        the world carries a fault plan, matching message faults fire here:
+        drops are retried under the world's retry policy (the plan is
+        re-consulted per attempt, so a fault with ``times=k`` passes after k
+        drops); with no policy — or once it is exhausted and the fault still
+        fires — the message is lost and :class:`MessageLostError` is raised
+        if a policy was in play, otherwise the loss stays silent (receiver-
+        side detection via the deadlock timeout).
+        """
         if not (0 <= dest < self.size):
             raise ValueError(f"invalid destination rank {dest}")
+        st = self._world
+        if dest in st.failed:
+            raise RankFailedError(f"send(dest={dest}, tag={tag}): rank {dest} has failed")
+        copies = 1
+        if st.fault_plan is not None:
+            attempts = 0
+            while True:
+                fault = st.fault_plan.on_send(self.rank, dest, tag, self.counters)
+                if fault is None:
+                    break
+                if fault.kind == "drop":
+                    retry = st.retry
+                    if retry is not None:
+                        if attempts >= retry.max_retries:
+                            raise MessageLostError(
+                                f"send(dest={dest}, tag={tag}) dropped "
+                                f"{attempts + 1} times; retries exhausted"
+                            )
+                        time.sleep(retry.delay(attempts))
+                        attempts += 1
+                        self.counters.record_message_retried()
+                        continue
+                    return  # silent loss: nobody is watching this send
+                if fault.kind == "delay":
+                    time.sleep(fault.seconds)
+                    break
+                if fault.kind == "duplicate":
+                    copies = 2
+                    break
+                raise ValueError(f"unknown message-fault kind {fault.kind!r}")
         nbytes = _payload_nbytes(payload)
-        self.counters.record_message(nbytes)
-        self._world.mailboxes[dest].put(_Envelope(self.rank, tag, _copy_payload(payload)))
+        for _ in range(copies):
+            self.counters.record_message(nbytes)
+            st.mailboxes[dest].put(_Envelope(self.rank, tag, _copy_payload(payload)))
 
-    def recv(self, source: int = ANY, tag: int = ANY, timeout: float = DEADLOCK_TIMEOUT) -> Any:
-        env = self._world.mailboxes[self.rank].get(source, tag, timeout)
+    def recv(self, source: int = ANY, tag: int = ANY, timeout: float | None = None) -> Any:
+        env = self._world.mailboxes[self.rank].get(
+            source, tag, _deadlock_timeout(timeout), failed=self._world.failed
+        )
         return env.payload
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
@@ -217,7 +316,9 @@ class SimComm:
             out: list = [None] * self.size
             out[root] = _copy_payload(payload)
             for _ in range(self.size - 1):
-                env = self._world.mailboxes[self.rank].get(ANY, tag, DEADLOCK_TIMEOUT)
+                env = self._world.mailboxes[self.rank].get(
+                    ANY, tag, _deadlock_timeout(None), failed=self._world.failed
+                )
                 out[env.src] = env.payload
             return out
         self.send(payload, root, tag)
@@ -265,7 +366,9 @@ class SimComm:
         out: list = [None] * self.size
         out[self.rank] = _copy_payload(payloads[self.rank])
         for _ in range(self.size - 1):
-            env = self._world.mailboxes[self.rank].get(ANY, tag, DEADLOCK_TIMEOUT)
+            env = self._world.mailboxes[self.rank].get(
+                ANY, tag, _deadlock_timeout(None), failed=self._world.failed
+            )
             out[env.src] = env.payload
         return out
 

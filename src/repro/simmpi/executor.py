@@ -1,9 +1,17 @@
 """SPMD executor: run a rank function over N simulated ranks.
 
 Each rank executes in a Python thread with its own :class:`SimComm` and
-:class:`PerfCounters`.  Exceptions raised by any rank are re-raised in the
-caller after all threads have been reaped, so a failing rank fails the test
-instead of hanging it.
+:class:`PerfCounters`; loop statistics are routed to the rank's counters
+through a per-thread counter scope, so ranks never cross-route each other's
+records.  Exceptions raised by any rank are re-raised in the caller after
+all threads have been reaped, so a failing rank fails the test instead of
+hanging it.
+
+When the world carries a fault plan (see :mod:`repro.resilience`), every
+rank registers a thread-local loop observer with it — the hook that lets a
+plan kill a rank at its Nth loop or slow it down — and a dying rank marks
+itself failed in the shared world state so peers communicating with it
+raise :class:`RankFailedError` promptly.
 """
 
 from __future__ import annotations
@@ -12,6 +20,8 @@ import threading
 from typing import Any, Callable, Sequence
 
 from repro.common.counters import PerfCounters
+from repro.common.errors import RankFailedError
+from repro.common.profiling import add_loop_observer, counters_scope, remove_loop_observer
 from repro.simmpi.comm import SimComm, _WorldState, _Mailbox
 
 
@@ -19,10 +29,11 @@ class World:
     """A simulated MPI world of ``size`` ranks.
 
     Normally constructed for you by :func:`run_spmd`; build one directly when
-    a test needs access to the communicators before/after the run.
+    a test needs access to the communicators before/after the run, or to
+    attach a fault plan / retry policy for resilience runs.
     """
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, *, fault_plan: Any = None, retry: Any = None):
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
@@ -30,9 +41,16 @@ class World:
             size=size,
             mailboxes=[_Mailbox() for _ in range(size)],
             barrier=threading.Barrier(size),
+            fault_plan=fault_plan,
+            retry=retry,
         )
         self.counters = [PerfCounters() for _ in range(size)]
         self.comms = [SimComm(self._state, r, self.counters[r]) for r in range(size)]
+
+    @property
+    def failed_ranks(self) -> set[int]:
+        """Ranks that died during the last run (injected or organic)."""
+        return set(self._state.failed)
 
     def total_counters(self) -> PerfCounters:
         """Merge all per-rank counters into one aggregate."""
@@ -64,9 +82,21 @@ def run_spmd(
     elif world.size != nranks:
         raise ValueError("world size does not match nranks")
 
+    plan = world._state.fault_plan
+
     def call(rank: int) -> Any:
         extra = rank_args[rank] if rank_args is not None else ()
-        return fn(world.comms[rank], *args, *extra)
+        observer = None
+        if plan is not None:
+            def observer(event, _rank=rank):  # noqa: ARG001 - loop-event hook
+                plan.on_loop(_rank, world.counters[_rank])
+
+            add_loop_observer(observer, local=True)
+        try:
+            return fn(world.comms[rank], *args, *extra)
+        finally:
+            if observer is not None:
+                remove_loop_observer(observer, local=True)
 
     if nranks == 1:
         return [call(0)]
@@ -76,10 +106,13 @@ def run_spmd(
 
     def worker(rank: int) -> None:
         try:
-            results[rank] = call(rank)
+            with counters_scope(world.counters[rank]):
+                results[rank] = call(rank)
         except BaseException as exc:  # noqa: BLE001 - reraised below
             errors.append((rank, exc))
-            # free ranks stuck in a barrier so the job can be reaped
+            # let peers observe the death: wake blocked receivers and free
+            # ranks stuck in a barrier so the job can be reaped
+            world._state.mark_failed(rank)
             world._state.barrier.abort()
 
     threads = [
@@ -92,9 +125,10 @@ def run_spmd(
         t.join()
 
     if errors:
-        # broken-barrier errors are secondary casualties of the abort;
-        # report the original failure
+        # broken-barrier errors and peers' RankFailedErrors are secondary
+        # casualties of the first death; report the root cause
         primary = [e for e in errors if not isinstance(e[1], threading.BrokenBarrierError)]
-        rank, exc = sorted(primary or errors, key=lambda e: e[0])[0]
+        root = [e for e in primary if not isinstance(e[1], RankFailedError)]
+        rank, exc = sorted(root or primary or errors, key=lambda e: e[0])[0]
         raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
     return results

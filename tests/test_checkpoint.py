@@ -319,6 +319,57 @@ class TestFileStore:
         with pytest.raises(Exception, match="nothing to flush"):
             FileStore(tmp_path / "x.npz").flush()
 
+    def test_full_roundtrip_fields(self, tmp_path):
+        """Datasets, ordered global series, entry index and dropped names."""
+        store = FileStore(tmp_path / "full.npz")
+        store.save_dataset("q", np.arange(12.0).reshape(3, 4))
+        store.save_dataset("adt@1", np.ones(3))
+        store.drop_dataset("res")
+        store.drop_dataset("q_old")
+        # record out of order: load must restore ascending loop order
+        store.record_global("rms", 7, np.asarray([0.7]))
+        store.record_global("rms", 3, np.asarray([0.3]))
+        store.record_global("rms", 5, np.asarray([0.5]))
+        store.set_entry(9)
+        store.flush()
+
+        loaded = FileStore.load(store.path)
+        assert loaded.entry_index == 9
+        assert sorted(loaded.dropped) == ["q_old", "res"]
+        np.testing.assert_array_equal(loaded.datasets["q"], store.datasets["q"])
+        np.testing.assert_array_equal(loaded.datasets["adt@1"], store.datasets["adt@1"])
+        assert [idx for idx, _ in loaded.globals["rms"]] == [3, 5, 7]
+        assert [float(v[0]) for _, v in loaded.globals["rms"]] == [0.3, 0.5, 0.7]
+
+    def test_file_needs_no_pickle(self, tmp_path):
+        """The npz holds only plain arrays — loadable with pickle disabled."""
+        store = FileStore(tmp_path / "plain.npz")
+        store.save_dataset("q", np.zeros(2))
+        store.drop_dataset("res")
+        store.set_entry(1)
+        store.flush()
+        with np.load(store.path, allow_pickle=False) as npz:
+            # the old flush passed allow_pickle=True *into the payload*,
+            # writing a bogus array under that name
+            assert "allow_pickle" not in npz.files
+            assert npz["dropped"].dtype.kind == "U"  # fixed-width, not object
+
+    def test_empty_dropped_roundtrip(self, tmp_path):
+        store = FileStore(tmp_path / "nodrop.npz")
+        store.save_dataset("q", np.zeros(2))
+        store.set_entry(0)
+        store.flush()
+        assert FileStore.load(store.path).dropped == []
+
+    def test_flush_is_atomic(self, tmp_path):
+        store = FileStore(tmp_path / "atomic.npz")
+        store.save_dataset("q", np.zeros(2))
+        store.set_entry(0)
+        store.flush()
+        store.flush()  # re-flush replaces in place
+        leftovers = [p.name for p in tmp_path.iterdir() if p.suffix != ".npz"]
+        assert leftovers == []  # no tmp files survive
+
 
 class TestChainFromEvents:
     def test_recorded_airfoil_chain_shape(self):
