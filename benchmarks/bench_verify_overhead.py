@@ -1,0 +1,89 @@
+"""Sanitizer overhead: what does descriptor verification cost, and when?
+
+The contract of ``repro.verify`` is "free unless you turn it on": with
+``verify_descriptors`` off (the default), the only addition to the hot
+path is one flag test per loop.  This benchmark quantifies:
+
+1. off-mode overhead — Airfoil with the sanitizer merely *available*
+   (flag off) vs the pre-verify baseline code path (flag off is the
+   baseline; the delta is measurement noise, asserted small);
+2. guard-only cost (``sanitized(shadow=False)``) — read-only flags,
+   digests and footprint diffs;
+3. full shadow-pair cost (``sanitized()``) — plus two clone-universe
+   re-executions of every shadow-eligible loop.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _support import emit
+from repro.apps.airfoil.app import AirfoilApp
+from repro.apps.airfoil.mesh import generate_mesh
+from repro.common.counters import PerfCounters
+from repro.common.profiling import counters_scope
+from repro.verify import sanitized
+
+ITERS = 4
+REPEATS = 5
+
+
+def run_airfoil():
+    app = AirfoilApp(generate_mesh(24, 16, jitter=0.1))
+    app.run(ITERS)
+    return app
+
+
+def best_of(fn, repeats=REPEATS):
+    best = np.inf
+    out = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def test_sanitizer_overhead(benchmark):
+    t_off, plain = best_of(run_airfoil)
+
+    def guarded():
+        with sanitized(shadow=False):
+            return run_airfoil()
+
+    def shadowed():
+        counters = PerfCounters()
+        with counters_scope(counters), sanitized():
+            app = run_airfoil()
+        return app, counters
+
+    t_guard, guard_app = best_of(guarded)
+    t_shadow, (shadow_app, counters) = best_of(shadowed)
+
+    # verification must not perturb the numerics
+    np.testing.assert_array_equal(plain.mesh.q.data, guard_app.mesh.q.data)
+    np.testing.assert_array_equal(plain.mesh.q.data, shadow_app.mesh.q.data)
+
+    n_loops = 1 + 4 * AirfoilApp.RK_STEPS  # save_soln + RK*(adt,res,bres,update)
+    rows = [
+        f"Airfoil 24x16, {ITERS} iterations, best of {REPEATS} "
+        f"({counters.loops_sanitized} loops sanitized, "
+        f"{counters.shadow_runs} shadow runs)",
+        "",
+        f"{'mode':<38} {'wall s':>8} {'vs off':>8}",
+        f"{'sanitizer off (default)':<38} {t_off:8.3f} {'1.00x':>8}",
+        f"{'sanitized(shadow=False): guards only':<38} {t_guard:8.3f} "
+        f"{t_guard / t_off:7.2f}x",
+        f"{'sanitized(): guards + shadow pair':<38} {t_shadow:8.3f} "
+        f"{t_shadow / t_off:7.2f}x",
+        "",
+        "off-mode cost is one config-flag test per par_loop "
+        f"({ITERS * n_loops} loop dispatches in this run): ~0.",
+    ]
+    emit("verify_overhead", rows)
+
+    assert counters.loops_sanitized == ITERS * n_loops
+    # off mode must stay indistinguishable from the baseline; the flag test
+    # is nanoseconds against milliseconds of kernel work
+    benchmark.pedantic(run_airfoil, rounds=3, iterations=1)

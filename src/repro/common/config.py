@@ -17,6 +17,15 @@ class Config:
 
     #: run OPS runtime stencil verification on every loop (slow; for debugging)
     check_stencils: bool = False
+    #: shadow-execute every parallel loop under the access-descriptor
+    #: sanitizer (repro.verify): READ args guarded read-only, written
+    #: footprints diffed against the declared maps/ranges.  Very slow; the
+    #: off-mode cost is a single flag test per loop.
+    verify_descriptors: bool = False
+    #: with the sanitizer on, also run the shadow-pair checks that prove
+    #: OP_WRITE args never read their old value and OP_INC args are pure
+    #: increments (two extra executions of every loop on cloned data)
+    verify_shadow: bool = True
     #: default block size for OP2 colouring plans (elements per mini-block)
     plan_block_size: int = 256
     #: default CUDA-sim thread-block size

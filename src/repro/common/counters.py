@@ -75,6 +75,9 @@ class PerfCounters:
     messages_duplicated: int = 0
     restarts: int = 0
     recovery_seconds: float = 0.0
+    # -- verification: sanitizer activity ---------------------------------------
+    loops_sanitized: int = 0
+    shadow_runs: int = 0
 
     def loop(self, name: str) -> LoopRecord:
         """Return (creating if needed) the record for loop ``name``."""
@@ -112,6 +115,11 @@ class PerfCounters:
         self.restarts += 1
         self.recovery_seconds += recovery_seconds
 
+    def record_sanitized_loop(self, shadow_runs: int = 0) -> None:
+        """Account one loop executed under the access-descriptor sanitizer."""
+        self.loops_sanitized += 1
+        self.shadow_runs += int(shadow_runs)
+
     def merge(self, other: "PerfCounters") -> None:
         """Fold another counter set (e.g. from another simulated rank) in."""
         for name, rec in other.loops.items():
@@ -127,6 +135,8 @@ class PerfCounters:
         self.messages_duplicated += other.messages_duplicated
         self.restarts += other.restarts
         self.recovery_seconds += other.recovery_seconds
+        self.loops_sanitized += other.loops_sanitized
+        self.shadow_runs += other.shadow_runs
 
     def reset(self) -> None:
         self.loops.clear()
@@ -141,6 +151,8 @@ class PerfCounters:
         self.messages_duplicated = 0
         self.restarts = 0
         self.recovery_seconds = 0.0
+        self.loops_sanitized = 0
+        self.shadow_runs = 0
 
     def summary_rows(self) -> list[tuple[str, int, int, int, float]]:
         """Rows of (loop, iterations, bytes, flops, seconds), insertion order."""

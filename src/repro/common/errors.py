@@ -17,6 +17,37 @@ class StencilMismatchError(ReproError):
     """A kernel accessed a point outside its declared stencil (OPS runtime check)."""
 
 
+class DescriptorViolation(StencilMismatchError):
+    """A kernel broke its declared access descriptor (the sanitizer's verdict).
+
+    Structured so tooling can point at the exact site: ``loop`` is the loop
+    name, ``arg_index`` the position of the offending argument (None when the
+    violation is attributed to a dat rather than a single arg), ``kind`` one
+    of the check identifiers (``read-arg-written``, ``write-outside-footprint``,
+    ``inc-not-increment``, ``write-reads-old-value``, ``stencil``), and
+    ``indices`` the first few offending element/grid indices.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        loop: str = "?",
+        arg_index: int | None = None,
+        kind: str = "descriptor",
+        indices: tuple = (),
+    ):
+        super().__init__(message)
+        self.loop = loop
+        self.arg_index = arg_index
+        self.kind = kind
+        self.indices = tuple(indices)
+
+
+class RaceViolation(ReproError):
+    """A colouring plan admits two concurrent updates of one location."""
+
+
 class PartitionError(ReproError):
     """Failure while partitioning a mesh across MPI ranks."""
 

@@ -53,4 +53,9 @@ def timing_report(counters: PerfCounters, *, top: int | None = None) -> str:
             f"{counters.restarts} restarts, "
             f"{counters.recovery_seconds:.3f} s in recovery"
         )
+    if counters.loops_sanitized:
+        lines.append(
+            f"verify: {counters.loops_sanitized} loops sanitized, "
+            f"{counters.shadow_runs} shadow runs"
+        )
     return "\n".join(lines)

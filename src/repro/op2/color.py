@@ -13,6 +13,18 @@ from __future__ import annotations
 import numpy as np
 
 
+def _densify(targets: np.ndarray) -> tuple[np.ndarray, int]:
+    """Relabel target ids as 0..k-1, preserving the conflict structure.
+
+    The per-round ``used`` scratch array is sized by the largest target id;
+    without this remap, a handful of elements targeting sparse/huge ids
+    (e.g. 64-bit hashes used as location keys) would allocate a bool array
+    of that magnitude every round.
+    """
+    uniq, inverse = np.unique(targets, return_inverse=True)
+    return inverse.reshape(targets.shape), int(uniq.size)
+
+
 def colour_elements(targets: np.ndarray, n_elements: int) -> tuple[np.ndarray, int]:
     """Greedy first-fit colouring of elements sharing indirect targets.
 
@@ -27,8 +39,8 @@ def colour_elements(targets: np.ndarray, n_elements: int) -> tuple[np.ndarray, i
         return np.zeros(n_elements, dtype=np.int32), 1
 
     targets = np.asarray(targets, dtype=np.int64).reshape(n_elements, -1)
+    targets, max_target = _densify(targets)
     colours = np.full(n_elements, -1, dtype=np.int32)
-    max_target = int(targets.max()) + 1
     # last colour used on each target location, per colouring round
     ncolours = 0
     work = np.arange(n_elements)
@@ -65,6 +77,7 @@ def colour_blocks(
 
     n_elements = block_of_element.shape[0]
     targets = np.asarray(targets, dtype=np.int64).reshape(n_elements, -1)
+    targets, max_target = _densify(targets)
     # build, per block, the set of written locations
     block_targets: list[np.ndarray] = []
     order = np.argsort(block_of_element, kind="stable")
@@ -75,7 +88,6 @@ def colour_blocks(
         block_targets.append(np.unique(targets[elems]))
 
     colours = np.full(n_blocks, -1, dtype=np.int32)
-    max_target = int(targets.max()) + 1
     ncolours = 0
     work = list(range(n_blocks))
     while work:

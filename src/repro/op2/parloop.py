@@ -14,6 +14,7 @@ Every execution:
 
 from __future__ import annotations
 
+from repro.common.config import get_config
 from repro.common.counters import PerfCounters, Timer
 from repro.common.errors import APIError
 from repro.common.profiling import (
@@ -175,7 +176,13 @@ def par_loop(
     counters = active_counters()
     rec = counters.loop(kernel.name)
     with Timer(rec):
-        colours = impl(kernel, iterset, arg_list, n)
+        if get_config().verify_descriptors:
+            from repro.verify.sanitizer import sanitized_execute
+
+            colours, shadow_runs = sanitized_execute(impl, kernel, iterset, arg_list, n)
+            counters.record_sanitized_loop(shadow_runs)
+        else:
+            colours = impl(kernel, iterset, arg_list, n)
     _account(kernel, n, arg_list, counters, colours)
 
     # any dat written by this loop has stale halo copies on other ranks

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.access import Access
-from repro.common.errors import StencilMismatchError
+from repro.common.errors import DescriptorViolation, StencilMismatchError
 from repro.ops.dat import Dat
 from repro.ops.stencil import Stencil
 
@@ -26,41 +26,74 @@ def _normalise(offset) -> tuple[int, ...]:
 
 
 class _BaseAccessor:
-    """Shared stencil/access validation and access recording."""
+    """Shared stencil/access validation and access recording.
 
-    def __init__(self, dat: Dat, access: Access, stencil: Stencil, check: bool):
+    Under the sanitizer (``guard`` set to a ``(loop_name, arg_index)``
+    label) violations raise the structured
+    :class:`~repro.common.errors.DescriptorViolation` naming the loop and
+    argument, and read-only accessors hand out non-writeable views.
+    """
+
+    def __init__(
+        self,
+        dat: Dat,
+        access: Access,
+        stencil: Stencil,
+        check: bool,
+        guard: tuple[str, int] | None = None,
+    ):
         self.dat = dat
         self.access = access
         self.stencil = stencil
         self.check = check
+        self.guard = guard
         self.touched: set[tuple[int, ...]] = set()
+
+    def _raise(self, message: str, kind: str, offset: tuple[int, ...]) -> None:
+        if self.guard is not None:
+            loop, i = self.guard
+            raise DescriptorViolation(
+                f"loop {loop!r}, arg {i}: {message}",
+                loop=loop, arg_index=i, kind=kind, indices=(offset,),
+            )
+        raise StencilMismatchError(message)
 
     def _validate(self, offset: tuple[int, ...], writing: bool) -> None:
         self.touched.add(offset)
         if not self.check:
             return
         if offset not in self.stencil:
-            raise StencilMismatchError(
+            self._raise(
                 f"dat {self.dat.name}: access at offset {offset} is outside "
-                f"declared stencil {self.stencil.name} {list(self.stencil.points)}"
+                f"declared stencil {self.stencil.name} {list(self.stencil.points)}",
+                "stencil", offset,
             )
         if writing and not self.access.writes:
-            raise StencilMismatchError(
+            self._raise(
                 f"dat {self.dat.name}: kernel writes but access mode is "
-                f"{self.access.short}"
+                f"{self.access.short}",
+                "read-arg-written", offset,
             )
         if not writing and not self.access.reads:
-            raise StencilMismatchError(
+            self._raise(
                 f"dat {self.dat.name}: kernel reads but access mode is "
-                f"{self.access.short} (write-only)"
+                f"{self.access.short} (write-only)",
+                "write-reads-old-value", offset,
             )
 
 
 class PointAccessor(_BaseAccessor):
     """Scalar accessor bound to one grid point (sequential backend)."""
 
-    def __init__(self, dat: Dat, access: Access, stencil: Stencil, check: bool):
-        super().__init__(dat, access, stencil, check)
+    def __init__(
+        self,
+        dat: Dat,
+        access: Access,
+        stencil: Stencil,
+        check: bool,
+        guard: tuple[str, int] | None = None,
+    ):
+        super().__init__(dat, access, stencil, check, guard)
         self.point: tuple[int, ...] = (0,) * dat.block.ndim
 
     def bind(self, point: tuple[int, ...]) -> None:
@@ -89,14 +122,21 @@ class RangeAccessor(_BaseAccessor):
         stencil: Stencil,
         ranges: list[tuple[int, int]],
         check: bool,
+        guard: tuple[str, int] | None = None,
     ):
-        super().__init__(dat, access, stencil, check)
+        super().__init__(dat, access, stencil, check, guard)
         self.ranges = ranges
 
     def __getitem__(self, offset) -> np.ndarray:
         off = _normalise(offset)
         self._validate(off, writing=False)
-        return self.dat.region(self.ranges, off)
+        view = self.dat.region(self.ranges, off)
+        if self.guard is not None and not self.access.writes:
+            # READ args get non-writeable views: a kernel mutating one in
+            # place (bypassing __setitem__) fails immediately
+            view = view.view()
+            view.flags.writeable = False
+        return view
 
     def __setitem__(self, offset, value) -> None:
         off = _normalise(offset)

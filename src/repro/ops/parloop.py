@@ -129,13 +129,17 @@ def _run_vec(
     ranges: list[tuple[int, int]],
     args: Sequence[LoopArg],
     check: bool,
+    guard_loop: str | None = None,
 ) -> None:
     accessors = []
-    for arg in args:
+    for i, arg in enumerate(args):
         if isinstance(arg, Reduction):
             accessors.append(arg)
         else:
-            accessors.append(RangeAccessor(arg.dat, arg.access, arg.stencil, ranges, check))
+            guard = (guard_loop, i) if guard_loop is not None else None
+            accessors.append(
+                RangeAccessor(arg.dat, arg.access, arg.stencil, ranges, check, guard)
+            )
     kernel(*accessors)
 
 
@@ -144,13 +148,17 @@ def _run_seq(
     ranges: list[tuple[int, int]],
     args: Sequence[LoopArg],
     check: bool,
+    guard_loop: str | None = None,
 ) -> None:
     accessors = []
-    for arg in args:
+    for i, arg in enumerate(args):
         if isinstance(arg, Reduction):
             accessors.append(arg)
         else:
-            accessors.append(PointAccessor(arg.dat, arg.access, arg.stencil, check))
+            guard = (guard_loop, i) if guard_loop is not None else None
+            accessors.append(
+                PointAccessor(arg.dat, arg.access, arg.stencil, check, guard)
+            )
     spans = [range(lo, hi) for lo, hi in ranges]
     # last dimension fastest, matching generated C loop nests
     for point in itertools.product(*spans):
@@ -199,18 +207,28 @@ def par_loop(
     counters = active_counters()
     rec = counters.loop(loop_name)
     tiles = 1
+    sanitize = cfg.verify_descriptors
+    guard_loop = loop_name if sanitize else None
+    if sanitize:
+        from repro.verify.sanitizer import ops_post_check, ops_snapshot
+
+        do_check = True
+        snaps = ops_snapshot(args)
     with Timer(rec):
         if chosen == "seq":
-            _run_seq(kernel, ranges_t, args, do_check)
+            _run_seq(kernel, ranges_t, args, do_check, guard_loop)
         elif chosen == "vec":
-            _run_vec(kernel, ranges_t, args, do_check)
+            _run_vec(kernel, ranges_t, args, do_check, guard_loop)
         elif chosen == "tiled":
             tile_list = tiled_ranges(ranges_t, tile_shape)
             tiles = len(tile_list)
             for tile in tile_list:
-                _run_vec(kernel, tile, args, do_check)
+                _run_vec(kernel, tile, args, do_check, guard_loop)
         else:
             raise APIError(f"unknown OPS backend {chosen!r}; available: seq, vec, tiled")
+        if sanitize:
+            ops_post_check(loop_name, ranges_t, args, snaps)
+            counters.record_sanitized_loop()
     _account(loop_name, ranges_t, args, counters, flops_per_point, tiles)
 
     for arg in args:

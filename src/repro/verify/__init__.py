@@ -1,0 +1,60 @@
+"""Correctness tooling: the library checks the program, not just runs it.
+
+The access-execute abstraction hands the library complete knowledge of what
+every loop may touch (paper Section II; Veldhuizen & Gannon's "active
+library" takes exactly this compiler-like verification role).  This package
+turns that knowledge into three layers of checking:
+
+1. **Access-descriptor sanitizer** (:mod:`repro.verify.sanitizer`): an
+   opt-in shadow-execution mode — enable with :func:`sanitized` — under
+   which every ``op_par_loop``/``ops_par_loop`` verifies its kernel against
+   the declared descriptors: READ args are guarded read-only and digest
+   checked, written data is diffed against the declared maps/ranges, and a
+   shadow pair of executions proves WRITE args never read their old value
+   and INC args are pure increments.  Violations raise the structured
+   :class:`~repro.common.errors.DescriptorViolation`.
+2. **Colouring race detector** (:mod:`repro.verify.races`):
+   :func:`check_plan` replays an execution plan and asserts no two
+   same-coloured blocks (or same-coloured elements within a block) share an
+   indirect write target; :func:`torn_update_check` executes the plan with
+   *non-atomic* scatters in perturbed within-colour order, so a corrupted
+   colouring manifests as a lost update instead of silently passing.
+3. **Differential harness** (:mod:`repro.verify.diff`):
+   :func:`diff_backends` runs the same application on every backend,
+   records a per-loop trace of written data, asserts (bitwise or
+   ULP/tolerance-bounded) agreement against the reference backend, and
+   localises any failure to the first diverging loop.
+"""
+
+from repro.common.errors import DescriptorViolation, RaceViolation
+from repro.verify.diff import (
+    BackendDivergence,
+    DiffReport,
+    Divergence,
+    LoopTrace,
+    Tolerance,
+    diff_backends,
+    first_divergence,
+    max_ulp_diff,
+    trace_scope,
+)
+from repro.verify.races import check_plan, race_targets, torn_update_check
+from repro.verify.sanitizer import sanitized
+
+__all__ = [
+    "DescriptorViolation",
+    "RaceViolation",
+    "sanitized",
+    "check_plan",
+    "race_targets",
+    "torn_update_check",
+    "BackendDivergence",
+    "DiffReport",
+    "Divergence",
+    "LoopTrace",
+    "Tolerance",
+    "diff_backends",
+    "first_divergence",
+    "max_ulp_diff",
+    "trace_scope",
+]

@@ -8,6 +8,47 @@ import pytest
 from repro import op2
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/* fixtures from the current translator output",
+    )
+
+
+@pytest.fixture
+def golden(request):
+    """Compare ``content`` against a committed fixture in tests/goldens/.
+
+    Run ``pytest --update-goldens`` after an intentional codegen change to
+    regenerate the fixtures, then review the diff like any other code.
+    """
+    from pathlib import Path
+
+    goldens_dir = Path(__file__).parent / "goldens"
+    update = request.config.getoption("--update-goldens")
+
+    def check(name: str, content: str) -> None:
+        path = goldens_dir / name
+        if update:
+            goldens_dir.mkdir(exist_ok=True)
+            path.write_text(content)
+            return
+        assert path.exists(), (
+            f"golden fixture {path} missing — run `pytest --update-goldens` "
+            f"and commit the result"
+        )
+        expected = path.read_text()
+        assert content == expected, (
+            f"generated code for {name} differs from the committed golden; "
+            f"if the change is intentional, run `pytest --update-goldens` "
+            f"and review the fixture diff"
+        )
+
+    return check
+
+
 @pytest.fixture(autouse=True)
 def _clear_plan_cache():
     """Plans are cached by object identity; fresh per test."""

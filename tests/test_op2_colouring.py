@@ -135,3 +135,99 @@ class TestPlan:
         with swap(plan_block_size=16):
             plan = build_plan(edges, args)
         assert plan.block_size == 16
+
+
+def _conflict_degrees(targets: np.ndarray) -> np.ndarray:
+    """Per element, how many other elements share at least one target."""
+    n = targets.shape[0]
+    by_target: dict[int, set[int]] = {}
+    for e in range(n):
+        for t in targets[e]:
+            by_target.setdefault(int(t), set()).add(e)
+    deg = np.zeros(n, dtype=np.int64)
+    for e in range(n):
+        neighbours = set()
+        for t in targets[e]:
+            neighbours |= by_target[int(t)]
+        deg[e] = len(neighbours - {e})
+    return deg
+
+
+@st.composite
+def _target_matrices(draw):
+    n_elems = draw(st.integers(1, 30))
+    arity = draw(st.integers(1, 3))
+    n_targets = draw(st.integers(1, 10))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    # disjoint per-column ranges: no duplicate targets within a row
+    return np.stack(
+        [rng.integers(k * n_targets, (k + 1) * n_targets, n_elems) for k in range(arity)],
+        axis=1,
+    )
+
+
+class TestColouringProperties:
+    @given(targets=_target_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_no_same_colour_conflicts(self, targets):
+        n = targets.shape[0]
+        colours, n_colours = colour_elements(targets, n)
+        assert verify_colouring(colours, targets, n)
+
+    @given(targets=_target_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_colour_count_bounded_by_max_degree(self, targets):
+        """Greedy first-fit never needs more than max conflict degree + 1."""
+        n = targets.shape[0]
+        _, n_colours = colour_elements(targets, n)
+        assert n_colours <= int(_conflict_degrees(targets).max()) + 1
+
+    @given(targets=_target_matrices(), seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_block_colouring_separates_conflicting_blocks(self, targets, seed):
+        n = targets.shape[0]
+        rng = np.random.default_rng(seed)
+        n_blocks = int(rng.integers(1, n + 1))
+        block_of = np.sort(rng.integers(0, n_blocks, n))
+        colours, n_colours = colour_blocks(block_of, targets, n_blocks)
+        assert n_colours >= 1
+        # same-coloured blocks must have disjoint target sets
+        for c in range(n_colours):
+            seen: set[int] = set()
+            for b in np.nonzero(colours == c)[0]:
+                tgts = set(targets[block_of == b].ravel().tolist())
+                assert not (seen & tgts)
+                seen |= tgts
+
+
+class TestSparseTargetIds:
+    """Regression: colouring must not allocate O(max target id) memory.
+
+    Targets are densified first, so astronomically large ids (global node
+    numbers from a petascale mesh, say) cost O(unique ids), not O(max id).
+    """
+
+    def test_huge_target_ids(self):
+        targets = np.asarray([[10**15], [10**15], [999], [10**15 + 7]])
+        colours, n = colour_elements(targets, 4)
+        assert n == 2
+        assert colours[0] != colours[1]
+        assert verify_colouring(colours, targets, 4)
+
+    def test_huge_ids_block_colouring(self):
+        block_of = np.asarray([0, 0, 1, 1])
+        targets = np.asarray([[10**12, 1], [1, 10**15], [10**15, 3], [3, 10**18]])
+        colours, n = colour_blocks(block_of, targets, 2)
+        assert colours[0] != colours[1]
+
+    def test_sparse_ids_match_dense_equivalent(self):
+        rng = np.random.default_rng(11)
+        dense = rng.integers(0, 9, size=(40, 2))
+        # strictly monotone relabelling preserves the conflict structure
+        relabel = np.sort(rng.choice(10**14, size=9, replace=False))
+        sparse = relabel[dense]
+        c_dense, n_dense = colour_elements(dense, 40)
+        c_sparse, n_sparse = colour_elements(sparse, 40)
+        np.testing.assert_array_equal(c_dense, c_sparse)
+        assert n_dense == n_sparse

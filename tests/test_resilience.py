@@ -320,3 +320,95 @@ class TestResilientAirfoil:
                 ckpt_dir=tmp_path, frequency=15,
             )
         assert isinstance(exc_info.value.__cause__, ZeroDivisionError)
+
+    def test_zero_max_restarts_fails_on_first_kill(self, job, tmp_path):
+        plan = FaultPlan().kill(0, at_loop=10)
+        with pytest.raises(ResilienceError, match="giving up"):
+            run_resilient_spmd(
+                NRANKS, job, ckpt_dir=tmp_path, frequency=15, plan=plan,
+                max_restarts=0,
+            )
+
+
+class TestLatestCommonRound:
+    """Recovery-round selection when a crash leaves ranks disagreeing.
+
+    A kill can interrupt the coordinated flush: some ranks have round k on
+    disk, others don't, or a rank's round k file records a different loop
+    entry (it had already raced ahead into round k+1's numbering).  The
+    driver must recover from the newest round that *every* rank flushed
+    with an *agreeing* entry index.
+    """
+
+    @staticmethod
+    def _write(ckpt_dir, rank, round_no, entry_index):
+        from repro.checkpoint.store import FileStore
+        from repro.resilience.driver import _round_path
+
+        store = FileStore(_round_path(ckpt_dir, rank, round_no))
+        store.save_dataset("u", np.full(4, float(entry_index)))
+        store.set_entry(entry_index)
+        store.flush()
+
+    def test_newest_complete_round_wins(self, tmp_path):
+        from repro.resilience.driver import _latest_common_round
+
+        for round_no, entry in ((0, 10), (1, 20)):
+            for rank in range(3):
+                self._write(tmp_path, rank, round_no, entry)
+        assert _latest_common_round(tmp_path, 3) == (1, 20)
+
+    def test_round_missing_a_rank_is_skipped(self, tmp_path):
+        from repro.resilience.driver import _latest_common_round
+
+        for rank in range(3):
+            self._write(tmp_path, rank, 0, 10)
+        # round 1 flushed by ranks 0 and 2 only — the crash hit rank 1
+        self._write(tmp_path, 0, 1, 20)
+        self._write(tmp_path, 2, 1, 20)
+        assert _latest_common_round(tmp_path, 3) == (0, 10)
+
+    def test_disagreeing_entry_indices_skipped(self, tmp_path):
+        from repro.resilience.driver import _latest_common_round
+
+        for rank in range(3):
+            self._write(tmp_path, rank, 0, 10)
+        # round 1 is inconsistent: rank 2 checkpointed a later loop entry
+        self._write(tmp_path, 0, 1, 20)
+        self._write(tmp_path, 1, 1, 20)
+        self._write(tmp_path, 2, 1, 25)
+        assert _latest_common_round(tmp_path, 3) == (0, 10)
+
+    def test_newest_agreeing_round_wins_over_older_ones(self, tmp_path):
+        from repro.resilience.driver import _latest_common_round
+
+        for round_no, entry in ((0, 10), (1, 20), (2, 30)):
+            for rank in range(2):
+                self._write(tmp_path, rank, round_no, entry)
+        # round 3 torn across ranks
+        self._write(tmp_path, 0, 3, 40)
+        self._write(tmp_path, 1, 3, 42)
+        assert _latest_common_round(tmp_path, 2) == (2, 30)
+
+    def test_torn_file_falls_back_to_older_round(self, tmp_path):
+        from repro.resilience.driver import _latest_common_round, _round_path
+
+        for rank in range(2):
+            self._write(tmp_path, rank, 0, 10)
+            self._write(tmp_path, rank, 1, 20)
+        # rank 1's round-1 file is truncated mid-write
+        path = _round_path(tmp_path, 1, 1)
+        path.write_bytes(path.read_bytes()[:40])
+        assert _latest_common_round(tmp_path, 2) == (0, 10)
+
+    def test_no_consistent_round_returns_none(self, tmp_path):
+        from repro.resilience.driver import _latest_common_round
+
+        self._write(tmp_path, 0, 0, 10)
+        self._write(tmp_path, 1, 0, 15)  # never agreed
+        assert _latest_common_round(tmp_path, 2) is None
+
+    def test_empty_dir_returns_none(self, tmp_path):
+        from repro.resilience.driver import _latest_common_round
+
+        assert _latest_common_round(tmp_path, 2) is None

@@ -1,0 +1,84 @@
+"""Golden-file tests: generated C for real app kernels must stay stable.
+
+One representative kernel from each proxy app — Airfoil's indirect
+``res_calc`` (OP2) and CloverLeaf's pointwise ``ideal_gas`` (OPS) — is run
+through every C code generator and compared byte-for-byte against
+committed fixtures in ``tests/goldens/``.  An intentional codegen change
+is updated with ``pytest --update-goldens`` and reviewed as a fixture
+diff; an accidental one fails here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.translator.codegen.cuda_c import CudaDatSpec, MemoryStrategy, generate_cuda
+from repro.translator.codegen.mpi_c import generate_mpi_host
+from repro.translator.codegen.openmp_c import generate_openmp_c
+from repro.translator.frontend import parse_app_source
+
+AIRFOIL_APP = Path(__file__).parent.parent / "src" / "repro" / "apps" / "airfoil" / "app.py"
+
+#: CloverLeaf's EOS update, as the translator sees it in generated form
+CLOVERLEAF_SRC = """
+ops.par_loop(ideal_gas, block, [(0, nx), (0, ny)],
+             density0(ops.READ), energy0(ops.READ),
+             pressure(ops.WRITE), soundspeed(ops.WRITE))
+"""
+
+
+def airfoil_res_calc():
+    sites = parse_app_source(AIRFOIL_APP.read_text(), filename=str(AIRFOIL_APP))
+    return next(s for s in sites if s.kernel == "K_RES_CALC")
+
+
+def cloverleaf_ideal_gas():
+    return parse_app_source(CLOVERLEAF_SRC)[0]
+
+
+RES_CALC_DATS = [
+    CudaDatSpec("x", 2),
+    CudaDatSpec("q", 4),
+    CudaDatSpec("adt", 1),
+    CudaDatSpec("res", 4),
+]
+IDEAL_GAS_DATS = [
+    CudaDatSpec("density0", 1),
+    CudaDatSpec("energy0", 1),
+    CudaDatSpec("pressure", 1),
+    CudaDatSpec("soundspeed", 1),
+]
+
+
+class TestAirfoilGoldens:
+    def test_res_calc_openmp(self, golden):
+        golden("airfoil_res_calc.openmp.c", generate_openmp_c(airfoil_res_calc()))
+
+    @pytest.mark.parametrize("strategy", list(MemoryStrategy))
+    def test_res_calc_cuda(self, golden, strategy):
+        code = generate_cuda(airfoil_res_calc(), RES_CALC_DATS, strategy)
+        golden(f"airfoil_res_calc.cuda_{strategy.value}.cu", code)
+
+    def test_res_calc_mpi(self, golden):
+        golden("airfoil_res_calc.mpi.c", generate_mpi_host(airfoil_res_calc()))
+
+
+class TestCloverLeafGoldens:
+    def test_ideal_gas_openmp(self, golden):
+        golden("cloverleaf_ideal_gas.openmp.c", generate_openmp_c(cloverleaf_ideal_gas()))
+
+    def test_ideal_gas_cuda(self, golden):
+        code = generate_cuda(cloverleaf_ideal_gas(), IDEAL_GAS_DATS, MemoryStrategy.SOA)
+        golden("cloverleaf_ideal_gas.cuda_soa.cu", code)
+
+    def test_ideal_gas_mpi(self, golden):
+        golden("cloverleaf_ideal_gas.mpi.c", generate_mpi_host(cloverleaf_ideal_gas()))
+
+
+class TestGoldenStability:
+    def test_generation_is_deterministic(self):
+        site = airfoil_res_calc()
+        assert generate_openmp_c(site) == generate_openmp_c(airfoil_res_calc())
+        a = generate_cuda(site, RES_CALC_DATS, MemoryStrategy.STAGE_NOSOA)
+        b = generate_cuda(airfoil_res_calc(), RES_CALC_DATS, MemoryStrategy.STAGE_NOSOA)
+        assert a == b

@@ -1,0 +1,152 @@
+"""Colouring race detector: plans must serialise conflicting updates.
+
+``check_plan`` statically replays an execution plan and asserts no two
+same-coloured blocks (level 1) or same-elem-coloured elements within a
+block (level 2) write a common indirect location.  ``torn_update_check``
+proves it dynamically: re-executing with shuffled within-colour order and
+non-atomic scatters must not change the result.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro import op2
+from repro.common.errors import RaceViolation
+from repro.op2.plan import build_plan
+from repro.verify import check_plan, race_targets, torn_update_check
+
+
+def flux_setup(n_edges=200, n_cells=60, seed=0, block_size=16):
+    rng = np.random.default_rng(seed)
+    edges = op2.Set(n_edges, "edges")
+    cells = op2.Set(n_cells, "cells")
+    e2c = op2.Map(edges, cells, 2,
+                  rng.integers(0, n_cells, size=(n_edges, 2)), name="e2c")
+    w = op2.Dat(edges, 1, data=rng.random((n_edges, 1)), name="w")
+    res = op2.Dat(cells, 1, data=np.zeros((n_cells, 1)), name="res")
+
+    def flux(wv, r0, r1):
+        r0[0] += wv[0]
+        r1[0] -= wv[0]
+
+    def flux_vec(wv, r0, r1):
+        r0[:] += wv
+        r1[:] -= wv
+
+    k = op2.Kernel(flux, name="flux", vec_func=flux_vec)
+    args = [w(op2.READ), res(op2.INC, e2c, 0), res(op2.INC, e2c, 1)]
+    plan = build_plan(edges, args, block_size=block_size, n_elements=n_edges)
+    return k, edges, args, plan
+
+
+def corrupt(plan, *, blocks=False, elems=False):
+    bad = copy.copy(plan)
+    if blocks:
+        bad.block_colour = np.zeros_like(plan.block_colour)
+    if elems:
+        bad.elem_colour = np.zeros_like(plan.elem_colour)
+    return bad
+
+
+class TestRaceTargets:
+    def test_only_indirect_writes_count(self):
+        k, edges, args, plan = flux_setup()
+        tgts = race_targets(args, edges.size)
+        assert tgts.shape == (edges.size, 2)  # the two INC slots
+
+    def test_read_only_loop_has_no_targets(self):
+        rng = np.random.default_rng(1)
+        edges = op2.Set(10, "edges")
+        cells = op2.Set(5, "cells")
+        e2c = op2.Map(edges, cells, 1, rng.integers(0, 5, size=(10, 1)))
+        q = op2.Dat(cells, 1, data=np.ones((5, 1)), name="q")
+        out = op2.Dat(edges, 1, data=np.zeros((10, 1)), name="out")
+        args = [q(op2.READ, e2c, 0), out(op2.WRITE)]
+        assert race_targets(args, 10).size == 0
+
+
+class TestCheckPlan:
+    def test_real_plan_is_race_free(self):
+        k, edges, args, plan = flux_setup()
+        assert check_plan(plan, args, loop="flux") > 0
+
+    def test_airfoil_res_calc_plan_is_race_free(self):
+        from repro.apps.airfoil.mesh import generate_mesh
+
+        m = generate_mesh(8, 6, jitter=0.1)
+        args = [
+            m.x(op2.READ, m.edge2node, 0),
+            m.q(op2.READ, m.edge2cell, 0),
+            m.res(op2.INC, m.edge2cell, 0),
+            m.res(op2.INC, m.edge2cell, 1),
+        ]
+        plan = build_plan(m.edges, args, n_elements=m.edges.size)
+        assert check_plan(plan, args, loop="res_calc") > 0
+
+    def test_corrupted_block_colouring_is_flagged(self):
+        k, edges, args, plan = flux_setup()
+        if plan.n_block_colours < 2:
+            pytest.skip("mesh too small to force block conflicts")
+        with pytest.raises(RaceViolation, match="share block colour"):
+            check_plan(corrupt(plan, blocks=True), args, loop="flux")
+
+    def test_corrupted_elem_colouring_is_flagged(self):
+        k, edges, args, plan = flux_setup()
+        with pytest.raises(RaceViolation, match="share element colour"):
+            check_plan(corrupt(plan, elems=True), args, loop="flux")
+
+    def test_violation_names_loop_and_target(self):
+        k, edges, args, plan = flux_setup()
+        with pytest.raises(RaceViolation, match="'flux'.*write location"):
+            check_plan(corrupt(plan, elems=True), args, loop="flux")
+
+    def test_no_targets_is_trivially_clean(self):
+        rng = np.random.default_rng(2)
+        elems = op2.Set(10, "elems")
+        d = op2.Dat(elems, 1, data=rng.random((10, 1)), name="d")
+        o = op2.Dat(elems, 1, data=np.zeros((10, 1)), name="o")
+        args = [d(op2.READ), o(op2.WRITE)]
+        plan = build_plan(elems, args, n_elements=10)
+        assert check_plan(plan, args) == 0
+
+
+class TestTornUpdate:
+    def test_good_plan_is_order_independent(self):
+        k, edges, args, plan = flux_setup()
+        torn_update_check(k, edges, args, block_size=16)
+
+    def test_corrupted_plan_tears_updates(self):
+        k, edges, args, plan = flux_setup()
+        with pytest.raises(RaceViolation, match="torn-update"):
+            torn_update_check(k, edges, args, block_size=16,
+                              plan=corrupt(plan, elems=True))
+
+    def test_leaves_real_data_untouched(self):
+        k, edges, args, plan = flux_setup()
+        before = args[1].dat.data.copy()
+        torn_update_check(k, edges, args, block_size=16)
+        np.testing.assert_array_equal(args[1].dat.data, before)
+
+    def test_inc_global_tolerated_reassociation(self):
+        rng = np.random.default_rng(3)
+        n, m = 80, 20
+        elems = op2.Set(n, "elems")
+        nodes = op2.Set(m, "nodes")
+        e2n = op2.Map(elems, nodes, 1, rng.integers(0, m, size=(n, 1)))
+        w = op2.Dat(elems, 1, data=rng.random((n, 1)), name="w")
+        acc = op2.Dat(nodes, 1, data=np.zeros((m, 1)), name="acc")
+        total = op2.Global(1, 0.0, name="total")
+
+        def scatter_sum(wv, av, tv):
+            av[0] += wv[0]
+            tv[0] += wv[0]
+
+        def scatter_sum_vec(wv, av, tv):
+            av[:] += wv
+            tv[0] += wv.sum()
+
+        k = op2.Kernel(scatter_sum, name="scatter_sum", vec_func=scatter_sum_vec)
+        args = [w(op2.READ), acc(op2.INC, e2n, 0), total(op2.INC)]
+        torn_update_check(k, elems, args, block_size=8)
