@@ -159,7 +159,7 @@ class HydraApp:
             m.resc(op2.INC, m.fine2coarse, 0),
             backend=be,
         )
-        op2.par_loop(K_MG_SMOOTH, m.coarse_cells, m.qc(op2.RW), m.resc(op2.RW), backend=be)
+        op2.par_loop(K_MG_SMOOTH, m.coarse_cells, m.qc(op2.RW), m.resc(op2.READ), backend=be)
         op2.par_loop(
             K_MG_PROLONG,
             f.cells,
@@ -290,7 +290,7 @@ class HydraApp:
             )
             rm.par_loop(
                 comm, K_MG_SMOOTH, m.coarse_cells,
-                m.qc(op2.RW), m.resc(op2.RW), backend=be,
+                m.qc(op2.RW), m.resc(op2.READ), backend=be,
             )
             rm.par_loop(
                 comm,

@@ -147,10 +147,10 @@ def mg_zero(qc, resc):
 
 
 def mg_smooth(qc, resc):
-    # one Jacobi-like smoothing of the coarse correction
+    # one Jacobi-like smoothing of the coarse correction; resc is consumed
+    # read-only (mg_zero rewrites it before the next restriction)
     for n in range(6):
         qc[n] = qc[n] - 0.5 * resc[n]
-        resc[n] = 0.5 * resc[n]
 
 
 def mg_prolong(qc, q):

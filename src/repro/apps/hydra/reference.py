@@ -136,7 +136,6 @@ class HydraReference:
         np.add.at(self.qc, self.f2c, 0.25 * self.q)
         np.add.at(self.resc, self.f2c, 0.25 * self.res)
         self.qc -= 0.5 * self.resc
-        self.resc *= 0.5
         self.q += 0.05 * (self.qc[self.f2c] - self.q)
 
     def iteration(self) -> None:

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import enum
 
+from repro.common.errors import AccessDeclarationError
+
 
 class Access(enum.Enum):
     """How a parallel-loop argument accesses its dataset.
@@ -50,6 +52,34 @@ class Access(enum.Enum):
             Access.MIN: "MIN",
             Access.MAX: "MAX",
         }[self]
+
+
+def validate_argument_access(
+    access: Access,
+    *,
+    is_global: bool,
+    dat: str | None = None,
+    loop: str | None = None,
+    arg_index: int | None = None,
+) -> None:
+    """Check an access mode is legal for the argument it is declared on.
+
+    MIN/MAX are reduction modes: their results are combined across
+    threads and ranks, which only makes sense for Global/Reduction
+    handles — per-element dats have no combine step.  Called at
+    declaration time by the op2/ops descriptor builders and re-checked
+    when a loop validates its arguments (for descriptors built by hand),
+    so the error can name the loop and argument position.
+    """
+    if access in (Access.MIN, Access.MAX) and not is_global:
+        where = f" of loop {loop!r}" if loop else ""
+        pos = f" (argument {arg_index})" if arg_index is not None else ""
+        raise AccessDeclarationError(
+            f"{access.name} access declared for {dat or 'a dat'!r}{pos}{where}: "
+            "MIN/MAX are global-reduction modes and are only valid on "
+            "Global/Reduction arguments",
+            dat=dat, access=access.name, loop=loop, arg_index=arg_index,
+        )
 
 
 # OP2/OPS-style module-level aliases, so application code reads like the paper.

@@ -9,6 +9,31 @@ class APIError(ReproError):
     """Invalid use of the OP2/OPS public API (bad arguments, wrong sets...)."""
 
 
+class AccessDeclarationError(APIError):
+    """An access mode is invalid for the argument it was declared on.
+
+    Raised at declaration time (building the descriptor) or, for
+    descriptors constructed outside the public helpers, when the loop
+    validates its arguments; carries the structured context so tools can
+    report it without parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        dat: str | None = None,
+        access: str | None = None,
+        loop: str | None = None,
+        arg_index: int | None = None,
+    ):
+        super().__init__(message)
+        self.dat = dat
+        self.access = access
+        self.loop = loop
+        self.arg_index = arg_index
+
+
 class PlanError(ReproError):
     """Failure while constructing or validating a colouring execution plan."""
 

@@ -1,0 +1,93 @@
+"""Baseline suppression for known, justified findings.
+
+A baseline file is JSON::
+
+    {
+      "version": 1,
+      "suppressions": [
+        {"code": "OPL900", "module": "cloverleaf/app.py",
+         "loop": "*", "reason": "predictor list is data-driven; covered by
+         the runtime sanitizer"}
+      ]
+    }
+
+Entries match on diagnostic code, module (a path suffix, so baselines are
+checkout-location independent), and optionally the loop and dat names —
+never on line numbers, which churn with every edit.  ``"*"`` (or an
+omitted key) matches anything; ``reason`` is required and is carried into
+the emitted report so a suppression is never silent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.common.errors import ReproError
+from repro.lint.diagnostics import Diagnostic, LintResult
+
+
+class BaselineError(ReproError):
+    """The baseline file is missing, unparseable, or malformed."""
+
+
+def load_baseline(path: str | Path) -> list[dict]:
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or not isinstance(data.get("suppressions"), list):
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'suppressions' list"
+        )
+    entries = data["suppressions"]
+    for i, e in enumerate(entries):
+        if not isinstance(e, dict) or not e.get("reason"):
+            raise BaselineError(
+                f"baseline {path}: suppression #{i} has no 'reason' — every "
+                "baselined finding needs a justification"
+            )
+    return entries
+
+
+def _field_matches(pattern: str | None, value: str | None) -> bool:
+    if pattern is None or pattern == "*":
+        return True
+    return value is not None and pattern in value
+
+
+def _module_matches(pattern: str | None, file: str) -> bool:
+    if pattern is None or pattern == "*":
+        return True
+    norm = file.replace("\\", "/")
+    return norm.endswith(pattern) or Path(norm).name == pattern
+
+
+def matches(entry: dict, d: Diagnostic) -> bool:
+    return (
+        entry.get("code") in (None, "*", d.code)
+        and _module_matches(entry.get("module"), d.file)
+        and _field_matches(entry.get("loop"), d.loop)
+        and _field_matches(entry.get("dat"), d.arg)
+    )
+
+
+def apply_baseline(result: LintResult, entries: list[dict]) -> int:
+    """Mark matching diagnostics suppressed; returns how many matched."""
+    n = 0
+    for d in result.diagnostics:
+        for e in entries:
+            if matches(e, d):
+                d.suppressed = True
+                d.suppression_reason = e["reason"]
+                n += 1
+                break
+    return n
+
+
+def unused_entries(result: LintResult, entries: list[dict]) -> list[dict]:
+    """Baseline entries that matched nothing (stale suppressions)."""
+    return [
+        e for e in entries
+        if not any(matches(e, d) for d in result.diagnostics)
+    ]

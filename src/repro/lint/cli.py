@@ -1,0 +1,143 @@
+"""Lint driver and command line.
+
+``python -m repro.lint repro.apps.airfoil.app`` (or a file path) runs both
+analysis levels over each named application module and emits a report.
+
+Exit codes: 0 — clean (below the --fail-on threshold); 1 — at least one
+non-baselined finding at or above the threshold; 2 — usage or resolution
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint import chain as chain_mod
+from repro.lint import kernel_checks
+from repro.lint.baseline import BaselineError, apply_baseline, load_baseline, unused_entries
+from repro.lint.diagnostics import Diagnostic, LintResult, Severity
+from repro.lint.emit import EMITTERS, emit_text
+from repro.lint.resolve import LintResolutionError, Program, locate_module
+from repro.translator.frontend import parse_app_full
+
+
+def lint_path(path: str | Path, program: Program | None = None) -> LintResult:
+    """Run both analysis levels over one application module file."""
+    program = program or Program()
+    idx = program.index_path(Path(path))
+    parsed = parse_app_full(idx.path.read_text(), filename=idx.filename)
+
+    result = LintResult(files=[idx.filename], n_sites=len(parsed.sites))
+
+    for u in parsed.unliftable:
+        result.diagnostics.append(Diagnostic(
+            u.code,
+            f"unliftable parallel-loop call site in {u.enclosing}: {u.reason}",
+            idx.filename, u.lineno, loop=u.enclosing,
+        ))
+
+    for site in parsed.sites:
+        diags, n_kernels = kernel_checks.check_site(program, idx, site)
+        result.diagnostics.extend(diags)
+        result.n_kernels += n_kernels
+
+    chains = chain_mod.build_chains(program, idx, parsed.sites)
+    result.n_chains = len(chains)
+    for c in chains:
+        result.diagnostics.extend(chain_mod.check_chain(idx, c))
+        result.checkpoint_tables[c.name] = chain_mod.chain_table(c)
+
+    return result
+
+
+def lint_app(spec: str, program: Program | None = None) -> LintResult:
+    """Lint a dotted module name or a file path."""
+    return lint_path(locate_module(spec), program)
+
+
+def lint_many(specs: list[str]) -> LintResult:
+    """Lint several app modules, sharing one module index."""
+    program = Program()
+    total = LintResult()
+    for spec in specs:
+        total.extend(lint_app(spec, program))
+    return total
+
+
+_FAIL_LEVEL = {
+    "error": Severity.ERROR,
+    "warning": Severity.WARNING,
+    "never": None,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static kernel/descriptor and loop-chain analysis for "
+                    "repro applications.",
+    )
+    p.add_argument("apps", nargs="+", metavar="APP",
+                   help="application module (dotted name or .py path)")
+    p.add_argument("-f", "--format", choices=sorted(EMITTERS),
+                   default="text", help="report format (default: text)")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the report to FILE instead of stdout")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="JSON baseline of suppressed findings")
+    p.add_argument("--fail-on", choices=sorted(_FAIL_LEVEL), default="error",
+                   help="minimum severity that fails the run "
+                        "(default: error)")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="also print the static Figure-8 checkpoint table "
+                        "for every loop chain")
+    p.add_argument("--no-hints", action="store_true",
+                   help="omit fix hints from the text report")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    try:
+        result = lint_many(args.apps)
+    except LintResolutionError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+
+    stale: list[dict] = []
+    if args.baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"repro.lint: {exc}", file=sys.stderr)
+            return 2
+        apply_baseline(result, entries)
+        stale = unused_entries(result, entries)
+
+    if args.format == "text":
+        report = emit_text(result, with_hints=not args.no_hints)
+    else:
+        report = EMITTERS[args.format](result)
+
+    if args.output:
+        Path(args.output).write_text(report + "\n")
+        print(f"repro.lint: wrote {args.format} report to {args.output}")
+    else:
+        print(report)
+
+    if args.checkpoint and result.checkpoint_tables:
+        for name, table in sorted(result.checkpoint_tables.items()):
+            print(f"\ncheckpoint table for chain {name}:")
+            print(table)
+
+    for e in stale:
+        print(f"repro.lint: stale baseline entry (matched nothing): {e}",
+              file=sys.stderr)
+
+    level = _FAIL_LEVEL[args.fail_on]
+    if level is not None and result.active(level):
+        return 1
+    return 0

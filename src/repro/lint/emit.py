@@ -1,0 +1,126 @@
+"""Report emitters: human text, machine JSON, and SARIF 2.1.0.
+
+The SARIF output is intentionally minimal but structurally valid: one run,
+one tool driver whose rule table is generated from the OPL catalogue, one
+result per diagnostic with a physical location, and ``suppressions``
+entries for baselined findings so code-scanning UIs show them as such.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.diagnostics import RULES, Diagnostic, LintResult, Severity
+
+_SARIF_LEVEL = {Severity.NOTE: "note", Severity.WARNING: "warning",
+                Severity.ERROR: "error"}
+
+
+def emit_text(result: LintResult, *, with_hints: bool = True) -> str:
+    lines = []
+    for d in sorted(result.diagnostics, key=lambda d: (d.file, d.line, d.code)):
+        lines.append(d.format(with_hint=with_hints))
+    c = result.counts()
+    lines.append(
+        f"{len(result.files)} file(s), {result.n_sites} loop site(s), "
+        f"{result.n_kernels} kernel(s), {result.n_chains} chain(s): "
+        f"{c['error']} error(s), {c['warning']} warning(s), "
+        f"{c['note']} note(s), {c['suppressed']} baselined"
+    )
+    return "\n".join(lines)
+
+
+def _diag_dict(d: Diagnostic) -> dict:
+    return {
+        "code": d.code,
+        "severity": d.severity.label,
+        "message": d.message,
+        "file": d.file,
+        "line": d.line,
+        "loop": d.loop,
+        "arg": d.arg,
+        "hint": d.hint,
+        "suppressed": d.suppressed,
+        "suppression_reason": d.suppression_reason,
+    }
+
+
+def emit_json(result: LintResult) -> str:
+    return json.dumps(
+        {
+            "version": 1,
+            "files": result.files,
+            "summary": {
+                **result.counts(),
+                "sites": result.n_sites,
+                "kernels": result.n_kernels,
+                "chains": result.n_chains,
+            },
+            "diagnostics": [
+                _diag_dict(d)
+                for d in sorted(result.diagnostics,
+                                key=lambda d: (d.file, d.line, d.code))
+            ],
+        },
+        indent=2,
+    )
+
+
+def emit_sarif(result: LintResult) -> str:
+    rules = [
+        {
+            "id": r.code,
+            "shortDescription": {"text": r.summary},
+            "fullDescription": {"text": f"{r.summary}. Protects: {r.protects}"},
+            "help": {"text": r.hint},
+            "defaultConfiguration": {"level": _SARIF_LEVEL[r.severity]},
+        }
+        for r in RULES.values()
+    ]
+    rule_index = {r.code: i for i, r in enumerate(RULES.values())}
+    results = []
+    for d in sorted(result.diagnostics, key=lambda d: (d.file, d.line, d.code)):
+        entry = {
+            "ruleId": d.code,
+            "level": _SARIF_LEVEL[d.severity],
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.file},
+                        "region": {"startLine": max(d.line, 1)},
+                    }
+                }
+            ],
+        }
+        if d.code in rule_index:
+            entry["ruleIndex"] = rule_index[d.code]
+        if d.suppressed:
+            entry["suppressions"] = [
+                {
+                    "kind": "external",
+                    "justification": d.suppression_reason or "",
+                }
+            ]
+        results.append(entry)
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri":
+                            "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+EMITTERS = {"text": emit_text, "json": emit_json, "sarif": emit_sarif}

@@ -1,0 +1,293 @@
+"""Per-argument footprint inference over kernel bodies.
+
+Given a kernel ``FunctionDef``, infer for each parameter how the body
+accesses it: read, written, read-before-first-write, unused, additively
+updated, folded through a reduction method — and at which constant
+stencil offsets.  The result is diffed against the declared descriptors
+by :mod:`repro.lint.kernel_checks`.
+
+Event ordering approximates program order by AST visit order (values are
+visited before the targets they are assigned to), which matches the
+straight-line kernels the DSL encourages; control flow does not reorder
+events for the purposes of the first-access rule, mirroring the
+first-access classification in ``repro.checkpoint.analysis``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: accessor/reduction fold methods the runtime APIs expose on arguments
+_FOLD_METHODS = {"inc": "inc", "min": "min", "max": "max"}
+
+
+@dataclass
+class AccessEvent:
+    """One access to a kernel parameter inside the body."""
+
+    kind: str  # "load" | "store" | "aug" | "fold"
+    order: int
+    lineno: int
+    offset: tuple[int, ...] | None = None  # constant subscript, if any
+    op: str | None = None  # aug: "add"/"sub"/other; fold: method name
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in ("store", "aug", "fold")
+
+    @property
+    def is_read(self) -> bool:
+        # an augmented update observes the old value only through the
+        # combining operator, which the reduction machinery handles; it is
+        # not a "read" for the first-access / read-before-write rules.
+        return self.kind == "load"
+
+
+@dataclass
+class ParamFootprint:
+    """Everything the kernel body does with one parameter."""
+
+    name: str
+    events: list[AccessEvent] = field(default_factory=list)
+    #: the bare name escaped (passed to a call, aliased, returned):
+    #: the footprint is a lower bound and most checks must be skipped
+    escaped: bool = False
+    #: the parameter name was rebound inside the body
+    rebound: bool = False
+
+    @property
+    def used(self) -> bool:
+        return bool(self.events) or self.escaped
+
+    @property
+    def opaque(self) -> bool:
+        return self.escaped or self.rebound
+
+    @property
+    def writes(self) -> list[AccessEvent]:
+        return [e for e in self.events if e.is_write]
+
+    @property
+    def reads(self) -> list[AccessEvent]:
+        return [e for e in self.events if e.is_read]
+
+    @property
+    def plain_stores(self) -> list[AccessEvent]:
+        return [e for e in self.events if e.kind == "store"]
+
+    @property
+    def first_event(self) -> AccessEvent | None:
+        return self.events[0] if self.events else None
+
+    @property
+    def read_before_write(self) -> bool:
+        """A load happens before any write event."""
+        for e in self.events:
+            if e.is_write:
+                return False
+            if e.is_read:
+                return True
+        return False
+
+    def nonadditive_events(self, kind: str) -> list[AccessEvent]:
+        """Events incompatible with a declared reduction of ``kind``.
+
+        ``kind`` is "inc" (op2/ops INC), "min" or "max".  An INC argument
+        may only be updated via ``+=``/``-=`` or ``.inc(...)``; MIN/MAX
+        arguments only via the matching fold method.
+        """
+        bad = []
+        for e in self.events:
+            if e.kind == "aug":
+                if kind == "inc" and e.op in ("add", "sub"):
+                    continue
+                bad.append(e)
+            elif e.kind == "fold":
+                if e.op == kind:
+                    continue
+                bad.append(e)
+            else:  # plain store or load both observe/clobber the value
+                bad.append(e)
+        return bad
+
+    def constant_offsets(self) -> list[AccessEvent]:
+        """Events with a statically-known subscript offset."""
+        return [e for e in self.events if e.offset is not None]
+
+
+def _const_offset(node: ast.expr) -> tuple[int, ...] | None:
+    """A subscript expression as a constant offset tuple, if it is one."""
+
+    def comp(n: ast.expr) -> int | None:
+        if isinstance(n, ast.Constant) and isinstance(n.value, int) \
+                and not isinstance(n.value, bool):
+            return n.value
+        if isinstance(n, ast.UnaryOp) and isinstance(n.op, ast.USub):
+            inner = comp(n.operand)
+            return None if inner is None else -inner
+        return None
+
+    if isinstance(node, ast.Tuple):
+        parts = [comp(e) for e in node.elts]
+        if any(p is None for p in parts):
+            return None
+        return tuple(parts)  # type: ignore[arg-type]
+    single = comp(node)
+    return None if single is None else (single,)
+
+
+_AUG_OPS = {ast.Add: "add", ast.Sub: "sub"}
+
+
+class _FootprintVisitor(ast.NodeVisitor):
+    """Collects access events for a set of parameter names."""
+
+    def __init__(self, params: list[str]) -> None:
+        self.fp = {p: ParamFootprint(p) for p in params}
+        self._order = 0
+        self._aug_op: str | None = None
+
+    def _next(self) -> int:
+        self._order += 1
+        return self._order
+
+    def _param_of(self, node: ast.expr) -> ParamFootprint | None:
+        if isinstance(node, ast.Name):
+            return self.fp.get(node.id)
+        return None
+
+    def _record(self, p: ParamFootprint, kind: str, node: ast.AST,
+                offset: tuple[int, ...] | None = None,
+                op: str | None = None) -> None:
+        p.events.append(AccessEvent(
+            kind=kind, order=self._next(),
+            lineno=getattr(node, "lineno", 0), offset=offset, op=op,
+        ))
+
+    # -- statements ----------------------------------------------------------
+
+    def _try_fold_assign(self, node: ast.Assign) -> bool:
+        """Recognise ``p[i] = min(p[i], x)`` / ``max`` as a fold.
+
+        This is the op2 idiom for MIN/MAX reduction contributions (the C
+        API's ``*lo = MIN(*lo, x)``); reading it as load-then-store would
+        wrongly flag every legal MIN kernel as non-additive."""
+        if len(node.targets) != 1:
+            return False
+        t = node.targets[0]
+        if not isinstance(t, ast.Subscript):
+            return False
+        p = self._param_of(t.value)
+        if p is None:
+            return False
+        v = node.value
+        if not (isinstance(v, ast.Call) and isinstance(v.func, ast.Name)
+                and v.func.id in ("min", "max")):
+            return False
+        self_args = [
+            a for a in v.args
+            if isinstance(a, ast.Subscript) and self._param_of(a.value) is p
+        ]
+        if not self_args:
+            return False
+        for a in v.args:  # other operands are ordinary reads
+            if a not in self_args:
+                self.visit(a)
+        self._record(p, "fold", node, _const_offset(t.slice), v.func.id)
+        return True
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._try_fold_assign(node):
+            return
+        self.visit(node.value)  # reads happen before the store
+        for t in node.targets:
+            self.visit(t)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+        self.visit(node.target)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        self._aug_op = _AUG_OPS.get(type(node.op), "other")
+        self.visit(node.target)
+        self._aug_op = None
+
+    # -- expressions ---------------------------------------------------------
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        p = self._param_of(node.value)
+        if p is None:
+            self.generic_visit(node)
+            return
+        offset = _const_offset(node.slice)
+        if isinstance(node.ctx, ast.Store):
+            if self._aug_op is not None:
+                self._record(p, "aug", node, offset, self._aug_op)
+            else:
+                self._record(p, "store", node, offset)
+        elif isinstance(node.ctx, ast.Del):
+            p.escaped = True
+        else:
+            self._record(p, "load", node, offset)
+        if not isinstance(node.slice, (ast.Constant, ast.UnaryOp, ast.Tuple)):
+            self.visit(node.slice)  # index expressions may read params too
+
+    def visit_Call(self, node: ast.Call) -> None:
+        f = node.func
+        if isinstance(f, ast.Attribute):
+            p = self._param_of(f.value)
+            if p is not None and f.attr in _FOLD_METHODS:
+                self._record(p, "fold", node, None, _FOLD_METHODS[f.attr])
+                for a in node.args:
+                    self.visit(a)
+                for k in node.keywords:
+                    self.visit(k.value)
+                return
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        p = self._param_of(node.value)
+        if p is not None:
+            # attribute access other than a recognised fold: treat the
+            # value as escaping (e.g. ``q.shape``, ``g.value``)
+            p.escaped = True
+            return
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        p = self.fp.get(node.id)
+        if p is None:
+            return
+        if isinstance(node.ctx, ast.Store):
+            p.rebound = True
+        else:
+            # a bare reference: aliased, returned, or passed along —
+            # anything could happen to it
+            p.escaped = True
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # nested defs shadow nothing we track in the bundled kernels;
+        # analyse their bodies too (closures over the params)
+        self.generic_visit(node)
+
+
+def kernel_params(fn: ast.FunctionDef) -> list[str]:
+    """Positional parameter names of a kernel definition."""
+    return [a.arg for a in fn.args.posonlyargs + fn.args.args]
+
+
+def kernel_defaults(fn: ast.FunctionDef) -> int:
+    """How many trailing positional parameters have defaults."""
+    return len(fn.args.defaults)
+
+
+def infer_footprints(fn: ast.FunctionDef) -> dict[str, ParamFootprint]:
+    """Infer per-parameter footprints for one kernel body."""
+    params = kernel_params(fn)
+    v = _FootprintVisitor(params)
+    for stmt in fn.body:
+        v.visit(stmt)
+    return v.fp

@@ -1,0 +1,233 @@
+"""Level 1: diff kernel-body footprints against declared descriptors.
+
+For every lifted :class:`~repro.translator.frontend.LoopSite`, resolve the
+kernel expression to its function bodies, infer per-parameter footprints,
+align them with the descriptor list, and emit OPL001–OPL007 findings
+where the body contradicts the declaration.
+
+Kernel-body findings (OPL001–OPL004) point at the offending line *inside
+the kernel*; declaration findings (OPL005–OPL007) point at the descriptor
+in the application source.  When a kernel expression resolves to several
+candidate bodies (a factory returning one of two closures), only findings
+common to every arity-compatible candidate are reported.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.footprint import (
+    ParamFootprint,
+    infer_footprints,
+    kernel_defaults,
+    kernel_params,
+)
+from repro.lint.resolve import ModuleIndex, Program, _call_basename
+from repro.translator.frontend import LoopSite, RawArg
+
+#: declared access -> reduction kind for the additivity check
+_REDUCTION_KIND = {"INC": "inc", "MIN": "min", "MAX": "max"}
+
+
+@dataclass
+class DeclaredArg:
+    """One descriptor position, normalised for checking."""
+
+    raw: RawArg
+    access: str | None  # READ/WRITE/RW/INC/MIN/MAX, or None if unknown
+    dat: str  # source text of the dat / handle
+    is_global: bool
+    stencil_text: str | None  # OPS: declared stencil expression
+
+
+def is_global_expr(idx: ModuleIndex, text: str) -> bool:
+    """Whether a dat expression denotes a Global/Reduction handle."""
+    if text in idx.globals_ or text in idx.reductions:
+        return True
+    if text.startswith("self.") and text[len("self."):] in idx.globals_:
+        return True
+    try:
+        expr = ast.parse(text, mode="eval").body
+    except SyntaxError:
+        return False
+    return _call_basename(expr) in ("Global", "local_global", "Reduction")
+
+
+def declared_args(idx: ModuleIndex, site: LoopSite) -> list[DeclaredArg]:
+    """Normalise a site's descriptor positions for checking."""
+    out = []
+    for raw in site.raw_args:
+        if raw.arg is not None:
+            a = raw.arg
+            out.append(DeclaredArg(
+                raw=raw, access=a.access, dat=a.dat,
+                is_global=is_global_expr(idx, a.dat),
+                stencil_text=a.stencil,
+            ))
+        else:
+            # bare handle (OPS reduction passed without a descriptor call):
+            # its declared access is implied by the reduction kind
+            kind = idx.reductions.get(raw.text)
+            access = {"inc": "INC", "min": "MIN", "max": "MAX"}.get(kind or "")
+            out.append(DeclaredArg(
+                raw=raw, access=access, dat=raw.text,
+                is_global=is_global_expr(idx, raw.text), stencil_text=None,
+            ))
+    return out
+
+
+def _offset_ok(
+    offset: tuple[int, ...], points: tuple[tuple[int, ...], ...] | None
+) -> bool:
+    """Whether a constant kernel offset is covered by the declared points.
+
+    ``points`` of ``None`` means the default centre stencil: only the
+    all-zero offset is covered.  Offsets whose dimensionality differs
+    from every declared point are skipped (treated as covered)."""
+    if points is None:
+        return all(c == 0 for c in offset)
+    same_dim = [p for p in points if len(p) == len(offset)]
+    if not same_dim:
+        return True
+    return offset in same_dim
+
+
+def _check_candidate(
+    program: Program,
+    idx: ModuleIndex,
+    site: LoopSite,
+    decls: list[DeclaredArg],
+    fn: ast.FunctionDef,
+    fn_idx: ModuleIndex,
+) -> list[Diagnostic] | None:
+    """Findings for one (site, kernel-candidate) pair.
+
+    Returns ``None`` when the candidate's arity cannot match the
+    descriptor list (the caller falls back to OPL006 if *no* candidate
+    fits)."""
+    params = kernel_params(fn)
+    n_opt = kernel_defaults(fn)
+    if not (len(params) - n_opt <= len(decls) <= len(params)):
+        return None
+
+    fps = infer_footprints(fn)
+    loop = site.display_name
+    kfile = fn_idx.filename
+    diags: list[Diagnostic] = []
+
+    for d, pname in zip(decls, params):
+        fp: ParamFootprint = fps[pname]
+
+        if d.access in ("MIN", "MAX") and not d.is_global:
+            diags.append(Diagnostic(
+                "OPL007",
+                f"argument {d.dat!r} is declared {d.access} but is not a "
+                "Global/Reduction handle",
+                idx.filename, d.raw.lineno,
+                loop=loop, arg=d.dat,
+            ))
+
+        if fp.opaque:
+            continue  # the body aliases/rebinds it; footprint is partial
+
+        if not fp.used:
+            diags.append(Diagnostic(
+                "OPL005",
+                f"argument {d.dat!r} (kernel parameter {pname!r}) is never "
+                "accessed by the kernel body",
+                idx.filename, d.raw.lineno, loop=loop, arg=d.dat,
+            ))
+            continue
+
+        if d.access == "READ" and fp.writes:
+            w = fp.writes[0]
+            diags.append(Diagnostic(
+                "OPL001",
+                f"argument {d.dat!r} is declared READ but kernel parameter "
+                f"{pname!r} is assigned",
+                kfile, w.lineno, loop=loop, arg=d.dat,
+            ))
+
+        kind = _REDUCTION_KIND.get(d.access or "")
+        if kind is not None:
+            bad = fp.nonadditive_events(kind)
+            if bad:
+                diags.append(Diagnostic(
+                    "OPL002",
+                    f"argument {d.dat!r} is declared {d.access} but kernel "
+                    f"parameter {pname!r} is used non-additively "
+                    f"({bad[0].kind}{' .' + bad[0].op + '()' if bad[0].kind == 'fold' else ''})",
+                    kfile, bad[0].lineno, loop=loop, arg=d.dat,
+                ))
+
+        if d.access == "WRITE" and fp.read_before_write:
+            r = fp.reads[0]
+            diags.append(Diagnostic(
+                "OPL003",
+                f"argument {d.dat!r} is declared WRITE but kernel parameter "
+                f"{pname!r} is read before the first write",
+                kfile, r.lineno, loop=loop, arg=d.dat,
+            ))
+
+        if site.api == "ops" and not d.is_global:
+            points = program.resolve_stencil(idx, d.stencil_text)
+            if d.stencil_text is None or points is not None:
+                for e in fp.constant_offsets():
+                    if not _offset_ok(e.offset, points):
+                        diags.append(Diagnostic(
+                            "OPL004",
+                            f"kernel parameter {pname!r} accesses offset "
+                            f"{e.offset} outside the declared stencil of "
+                            f"{d.dat!r}",
+                            kfile, e.lineno, loop=loop, arg=d.dat,
+                        ))
+    return diags
+
+
+def _finding_key(d: Diagnostic) -> tuple:
+    return (d.code, d.arg, d.message)
+
+
+def check_site(
+    program: Program, idx: ModuleIndex, site: LoopSite
+) -> tuple[list[Diagnostic], int]:
+    """Level-1 findings for one loop site.
+
+    Returns the findings plus the number of kernel bodies analysed (0
+    when the kernel expression could not be resolved statically)."""
+    decls = declared_args(idx, site)
+    candidates = program.resolve_kernel(idx, site.kernel)
+    if not candidates:
+        return [], 0
+
+    per_candidate: list[list[Diagnostic]] = []
+    for fn, fn_idx in candidates:
+        diags = _check_candidate(program, idx, site, decls, fn, fn_idx)
+        if diags is not None:
+            per_candidate.append(diags)
+
+    if not per_candidate:
+        # every candidate's arity conflicts with the descriptor list
+        arities = sorted({
+            f"{len(kernel_params(fn)) - kernel_defaults(fn)}"
+            + (f"..{len(kernel_params(fn))}" if kernel_defaults(fn) else "")
+            for fn, _ in candidates
+        })
+        return [Diagnostic(
+            "OPL006",
+            f"{len(decls)} descriptors passed but kernel {site.kernel!r} "
+            f"takes {' or '.join(arities)} parameters",
+            idx.filename, site.lineno, loop=site.display_name,
+        )], len(candidates)
+
+    if len(per_candidate) == 1:
+        return per_candidate[0], len(candidates)
+
+    # several bodies may run here: keep findings every candidate agrees on
+    common = set.intersection(*(
+        {_finding_key(d) for d in diags} for diags in per_candidate
+    ))
+    kept = [d for d in per_candidate[0] if _finding_key(d) in common]
+    return kept, len(candidates)

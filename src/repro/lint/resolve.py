@@ -1,0 +1,318 @@
+"""Whole-program resolution: modules, kernels, stencils, reductions.
+
+The frontend lifts loop sites as *source text*; this module gives that
+text meaning without executing application code.  It indexes every module
+it is pointed at (imports, assignments, function definitions) and resolves
+
+* kernel expressions to the ``FunctionDef`` bodies they execute —
+  following ``op2.Kernel(fn, ...)`` assignments, imports from kernel
+  modules, and factory functions returning closures (CloverLeaf's
+  ``make_*_kernel`` pattern, disambiguated by arity);
+* stencil expressions to their literal point sets;
+* bare reduction/global handles to their declared reduction kind.
+
+Everything is AST-only: ``importlib.util.find_spec`` is used to locate
+module *files*, never to import application modules.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.errors import ReproError
+
+
+class LintResolutionError(ReproError):
+    """A module or kernel the analyser needs could not be located."""
+
+
+def locate_module(spec: str) -> Path:
+    """Find the source file for a dotted module name or a path."""
+    p = Path(spec)
+    if p.suffix == ".py":
+        if p.exists():
+            return p
+        raise LintResolutionError(f"no such file: {spec}")
+    try:
+        found = importlib.util.find_spec(spec)
+    except (ImportError, ValueError, ModuleNotFoundError) as exc:
+        raise LintResolutionError(f"cannot locate module {spec!r}: {exc}") from exc
+    if found is None or found.origin is None:
+        raise LintResolutionError(f"cannot locate module {spec!r}")
+    return Path(found.origin)
+
+
+@dataclass
+class ModuleIndex:
+    """Static facts about one module, gathered from its AST."""
+
+    path: Path
+    tree: ast.Module
+    #: local name -> dotted module it refers to (``import x.y as z``)
+    mod_imports: dict[str, str] = field(default_factory=dict)
+    #: local name -> (module, original name) for ``from m import n [as a]``
+    from_imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+    #: bare function name -> every def of that name (any nesting level)
+    functions: dict[str, list[ast.FunctionDef]] = field(default_factory=dict)
+    #: assignment target text -> value expression (last assignment wins)
+    assigns: dict[str, ast.expr] = field(default_factory=dict)
+    #: handle text -> reduction kind ("inc"/"min"/"max")
+    reductions: dict[str, str] = field(default_factory=dict)
+    #: texts of names bound to op2.Global(...) / local_global(...) results
+    globals_: set[str] = field(default_factory=set)
+
+    @property
+    def filename(self) -> str:
+        return str(self.path)
+
+
+def _call_basename(node: ast.expr) -> str | None:
+    """The trailing name of a call's callee (``op2.Kernel`` -> ``Kernel``)."""
+    if not isinstance(node, ast.Call):
+        return None
+    f = node.func
+    if isinstance(f, ast.Attribute):
+        return f.attr
+    if isinstance(f, ast.Name):
+        return f.id
+    return None
+
+
+def index_module(path: Path) -> ModuleIndex:
+    """Parse and index one module file."""
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except (OSError, SyntaxError) as exc:
+        raise LintResolutionError(f"cannot parse {path}: {exc}") from exc
+    idx = ModuleIndex(path=path, tree=tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                idx.mod_imports[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports: not used by the bundled apps
+            for a in node.names:
+                idx.from_imports[a.asname or a.name] = (node.module, a.name)
+        elif isinstance(node, ast.FunctionDef):
+            idx.functions.setdefault(node.name, []).append(node)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, (ast.Name, ast.Attribute)):
+                text = ast.unparse(target)
+                idx.assigns[text] = node.value
+                callee = _call_basename(node.value)
+                if callee == "Reduction":
+                    kind = "inc"
+                    if node.value.args and isinstance(node.value.args[0], ast.Constant):
+                        kind = str(node.value.args[0].value)
+                    idx.reductions[text] = kind
+                    # ``self.x = ...`` handles are also referenced bare
+                    if text.startswith("self."):
+                        idx.reductions[text[len("self."):]] = kind
+                elif callee in ("Global", "local_global"):
+                    idx.globals_.add(text)
+    return idx
+
+
+class Program:
+    """A lazily-indexed set of modules reachable from the linted apps."""
+
+    def __init__(self) -> None:
+        self._by_path: dict[Path, ModuleIndex] = {}
+
+    def index_path(self, path: Path) -> ModuleIndex:
+        path = path.resolve()
+        if path not in self._by_path:
+            self._by_path[path] = index_module(path)
+        return self._by_path[path]
+
+    def index_named(self, dotted: str) -> ModuleIndex:
+        return self.index_path(locate_module(dotted))
+
+    # -- kernel resolution ---------------------------------------------------
+
+    def resolve_kernel(
+        self, idx: ModuleIndex, kernel_text: str, depth: int = 0
+    ) -> list[tuple[ast.FunctionDef, ModuleIndex]]:
+        """All function bodies a kernel expression may execute."""
+        if depth > 6:
+            return []
+        try:
+            expr = ast.parse(kernel_text, mode="eval").body
+        except SyntaxError:
+            return []
+        return self._resolve_expr(idx, expr, depth)
+
+    def _resolve_expr(
+        self, idx: ModuleIndex, expr: ast.expr, depth: int
+    ) -> list[tuple[ast.FunctionDef, ModuleIndex]]:
+        if isinstance(expr, ast.Name):
+            return self._resolve_name(idx, expr.id, depth)
+        if isinstance(expr, ast.Attribute):
+            base = ast.unparse(expr.value)
+            other = self._module_for(idx, base)
+            if other is not None:
+                return self._resolve_name(other, expr.attr, depth)
+            # attribute on an object (self.kernel etc.): try assignment map
+            text = ast.unparse(expr)
+            if text in idx.assigns:
+                return self._resolve_value(idx, idx.assigns[text], depth + 1)
+            return []
+        if isinstance(expr, ast.Call):
+            factories = self._resolve_expr(idx, expr.func, depth + 1)
+            out: list[tuple[ast.FunctionDef, ModuleIndex]] = []
+            for fn, fidx in factories:
+                out.extend((k, fidx) for k in _returned_kernels(fn))
+            return out
+        return []
+
+    def _resolve_name(
+        self, idx: ModuleIndex, name: str, depth: int
+    ) -> list[tuple[ast.FunctionDef, ModuleIndex]]:
+        if name in idx.functions:
+            return [(fn, idx) for fn in idx.functions[name]]
+        if name in idx.assigns:
+            return self._resolve_value(idx, idx.assigns[name], depth + 1)
+        if name in idx.from_imports:
+            module, orig = idx.from_imports[name]
+            target = self._module_for(idx, name)
+            if target is not None:  # ``from pkg import kernels as K``
+                return []
+            try:
+                other = self.index_named(module)
+            except LintResolutionError:
+                return []
+            return self._resolve_name(other, orig, depth + 1)
+        return []
+
+    def _resolve_value(
+        self, idx: ModuleIndex, value: ast.expr, depth: int
+    ) -> list[tuple[ast.FunctionDef, ModuleIndex]]:
+        if depth > 6:
+            return []
+        callee = _call_basename(value)
+        if callee == "Kernel" and isinstance(value, ast.Call) and value.args:
+            # NAME = op2.Kernel(fn, "name", ...): analyse fn
+            return self._resolve_expr(idx, value.args[0], depth + 1)
+        if isinstance(value, (ast.Name, ast.Attribute, ast.Call)):
+            return self._resolve_expr(idx, value, depth + 1)
+        return []
+
+    # -- module references ---------------------------------------------------
+
+    def _module_for(self, idx: ModuleIndex, local_name: str) -> ModuleIndex | None:
+        """The ModuleIndex a local name refers to, if it names a module."""
+        dotted: str | None = None
+        if local_name in idx.mod_imports:
+            dotted = idx.mod_imports[local_name]
+        elif local_name in idx.from_imports:
+            module, orig = idx.from_imports[local_name]
+            dotted = f"{module}.{orig}"
+        if dotted is None:
+            return None
+        try:
+            return self.index_named(dotted)
+        except LintResolutionError:
+            return None
+
+    # -- stencil resolution --------------------------------------------------
+
+    def resolve_stencil(
+        self, idx: ModuleIndex, stencil_text: str | None, ndim_hint: int | None = None
+    ) -> tuple[tuple[int, ...], ...] | None:
+        """The literal point set of a stencil expression, if derivable.
+
+        ``None`` means "statically unknown" (checks must be skipped);
+        a missing stencil declaration is the centre-point stencil, which
+        callers encode by passing ``stencil_text=None`` with a dimension
+        hint.
+        """
+        if stencil_text is None:
+            if ndim_hint is None:
+                return None
+            return ((0,) * ndim_hint,)
+        value = self._stencil_value(idx, stencil_text, 0)
+        if value is None:
+            return None
+        return _literal_stencil_points(value)
+
+    def _stencil_value(
+        self, idx: ModuleIndex, text: str, depth: int
+    ) -> ast.expr | None:
+        if depth > 6:
+            return None
+        try:
+            expr = ast.parse(text, mode="eval").body
+        except SyntaxError:
+            return None
+        if isinstance(expr, ast.Call):
+            return expr
+        if isinstance(expr, ast.Name):
+            if expr.id in idx.assigns:
+                node = idx.assigns[expr.id]
+                if isinstance(node, ast.Call):
+                    return node
+                return self._stencil_value(idx, ast.unparse(node), depth + 1)
+            if expr.id in idx.from_imports:
+                module, orig = idx.from_imports[expr.id]
+                try:
+                    other = self.index_named(module)
+                except LintResolutionError:
+                    return None
+                return self._stencil_value(other, orig, depth + 1)
+            return None
+        if isinstance(expr, ast.Attribute):
+            other = self._module_for(idx, ast.unparse(expr.value))
+            if other is not None:
+                return self._stencil_value(other, expr.attr, depth + 1)
+            text2 = ast.unparse(expr)
+            if text2 in idx.assigns:
+                node = idx.assigns[text2]
+                if isinstance(node, ast.Call):
+                    return node
+            return None
+        return None
+
+
+def _returned_kernels(factory: ast.FunctionDef) -> list[ast.FunctionDef]:
+    """Nested kernels a factory function may return.
+
+    When return statements name specific nested defs, only those are
+    candidates; otherwise every nested def is (conservative).
+    """
+    nested = [
+        n for n in ast.walk(factory)
+        if isinstance(n, ast.FunctionDef) and n is not factory
+    ]
+    if not nested:
+        return [factory]  # a plain kernel referenced directly
+    by_name = {n.name: n for n in nested}
+    returned = [
+        by_name[r.value.id]
+        for r in ast.walk(factory)
+        if isinstance(r, ast.Return)
+        and isinstance(r.value, ast.Name)
+        and r.value.id in by_name
+    ]
+    return list(dict.fromkeys(returned)) or nested
+
+
+def _literal_stencil_points(call: ast.Call) -> tuple[tuple[int, ...], ...] | None:
+    """The point tuple of a ``Stencil(ndim, points, ...)`` call node."""
+    if _call_basename(call) != "Stencil" or len(call.args) < 2:
+        return None
+    try:
+        raw = ast.literal_eval(call.args[1])
+    except (ValueError, SyntaxError):
+        return None
+    points = []
+    for p in raw:
+        t = tuple(int(c) for c in (p if isinstance(p, (tuple, list)) else (p,)))
+        points.append(t)
+    return tuple(dict.fromkeys(points)) if points else None

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.common.access import Access
+from repro.common.access import Access, validate_argument_access
 from repro.common.errors import APIError
 from repro.op2.dat import Dat, Global
 from repro.op2.map import Map
@@ -42,8 +42,12 @@ class Arg:
                 )
         elif idx is not None:
             raise APIError("direct args take no map index")
-        if access in (Access.MIN, Access.MAX) and map_ is None and dat is not None:
-            raise APIError("MIN/MAX access is only meaningful for globals")
+        # declaration-time contract check: previously only *direct* MIN/MAX
+        # args were rejected here, so an indirect one failed late (or not
+        # at all, on backends that never combine per-element "reductions")
+        validate_argument_access(
+            access, is_global=False, dat=dat.name if dat is not None else None
+        )
         return cls(access=access, dat=dat, map=map_, idx=idx)
 
     @classmethod

@@ -14,6 +14,7 @@ Every execution:
 
 from __future__ import annotations
 
+from repro.common.access import validate_argument_access
 from repro.common.config import get_config
 from repro.common.counters import PerfCounters, Timer
 from repro.common.errors import APIError
@@ -148,10 +149,17 @@ def par_loop(
     if not isinstance(kernel, Kernel):
         raise APIError("first argument must be an op2.Kernel")
     arg_list = list(args)
-    for arg in arg_list:
+    for i, arg in enumerate(arg_list):
         if not isinstance(arg, Arg):
             raise APIError(f"loop arguments must be built from dats/globals, got {arg!r}")
         arg.validate_against(iterset)
+        # re-check the declaration contract with the loop name attached
+        # (catches Arg objects constructed outside Dat.__call__)
+        validate_argument_access(
+            arg.access, is_global=arg.is_global,
+            dat=arg.dat.name if arg.dat is not None else None,
+            loop=kernel.name, arg_index=i,
+        )
 
     name = backend if backend is not None else _default_backend
     try:

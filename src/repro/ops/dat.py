@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.common.access import Access
+from repro.common.access import Access, validate_argument_access
 from repro.common.errors import APIError
 from repro.ops.block import Block
 from repro.ops.stencil import Stencil
@@ -95,6 +95,7 @@ class Dat:
     def __call__(self, access: Access, stencil: Stencil | None = None):
         from repro.ops.parloop import DatArg  # import cycle with parloop
 
+        validate_argument_access(access, is_global=False, dat=self.name)
         if stencil is None:
             from repro.ops.stencil import Stencil as _S
 

@@ -20,7 +20,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.common.access import Access
+from repro.common.access import Access, validate_argument_access
 from repro.common.config import get_config
 from repro.common.counters import PerfCounters, Timer
 from repro.common.errors import APIError
@@ -59,13 +59,18 @@ def get_default_backend() -> str:
     return _default_backend
 
 
-def _validate(block: Block, ranges: Sequence[tuple[int, int]], args: Sequence[LoopArg]) -> None:
+def _validate(
+    block: Block,
+    ranges: Sequence[tuple[int, int]],
+    args: Sequence[LoopArg],
+    loop: str | None = None,
+) -> None:
     if len(ranges) != block.ndim:
         raise APIError(f"loop over {block.name} needs {block.ndim} ranges, got {len(ranges)}")
     for lo, hi in ranges:
         if hi < lo:
             raise APIError(f"empty/negative range [{lo}, {hi})")
-    for arg in args:
+    for i, arg in enumerate(args):
         if isinstance(arg, Reduction):
             continue
         if not isinstance(arg, DatArg):
@@ -75,6 +80,12 @@ def _validate(block: Block, ranges: Sequence[tuple[int, int]], args: Sequence[Lo
                 f"dat {arg.dat.name} lives on block {arg.dat.block.name}, "
                 f"loop is over {block.name}"
             )
+        # re-check the declaration contract with the loop name attached
+        # (catches DatArg objects constructed outside Dat.__call__)
+        validate_argument_access(
+            arg.access, is_global=False, dat=arg.dat.name,
+            loop=loop, arg_index=i,
+        )
 
 
 def _npoints(ranges: Sequence[tuple[int, int]]) -> int:
@@ -98,7 +109,7 @@ def _account(
     rec.iterations += n
     rec.flops += flops_per_point * n
     rec.colours = max(rec.colours, tiles)
-    for arg in args:
+    for i, arg in enumerate(args):
         if isinstance(arg, Reduction):
             continue
         item = arg.dat.data.dtype.itemsize
@@ -186,8 +197,8 @@ def par_loop(
     loops do this, within each dat's ``halo_depth``).
     """
     ranges_t = [tuple(int(c) for c in r) for r in ranges]
-    _validate(block, ranges_t, args)
     loop_name = name or getattr(kernel, "__name__", "ops_loop")
+    _validate(block, ranges_t, args, loop_name)
     cfg = get_config()
     do_check = cfg.check_stencils if check is None else check
     chosen = backend if backend is not None else _default_backend

@@ -40,16 +40,53 @@ def _default_dats(site: LoopSite) -> list[CudaDatSpec]:
     return [CudaDatSpec(name=f"arg{i}", dim=1) for i in range(len(site.args))]
 
 
+def lint_gate(app_path: str | Path, baseline: str | Path | None = None) -> None:
+    """Refuse translation when the static analyser finds errors.
+
+    Runs both lint levels over the application and raises
+    :class:`TranslatorError` listing every non-baselined error-severity
+    finding (mis-declared descriptors would be baked into the generated
+    halo/colouring/checkpoint logic).  Unliftable call sites (OPL900) are
+    also fatal in strict mode: a loop the frontend cannot see would be
+    silently missing from the generated schedule.
+    """
+    from repro.lint.baseline import apply_baseline, load_baseline
+    from repro.lint.cli import lint_path
+    from repro.lint.diagnostics import Severity
+
+    result = lint_path(Path(app_path))
+    if baseline is not None:
+        apply_baseline(result, load_baseline(baseline))
+    fatal = [
+        d for d in result.active(Severity.WARNING)
+        if d.severity is Severity.ERROR or d.code == "OPL900"
+    ]
+    if fatal:
+        listing = "\n".join(f"  {d.format(with_hint=False)}" for d in fatal)
+        raise TranslatorError(
+            f"strict mode: {len(fatal)} lint finding(s) block translation "
+            f"of {app_path}:\n{listing}"
+        )
+
+
 def translate_app(
     app_path: str | Path,
     out_dir: str | Path,
     targets: tuple[str, ...] = _TARGETS,
     cuda_strategy: MemoryStrategy = MemoryStrategy.NOSOA,
+    strict: bool = False,
+    baseline: str | Path | None = None,
 ) -> TranslationResult:
-    """Translate one application file for the requested targets."""
+    """Translate one application file for the requested targets.
+
+    With ``strict=True`` the static analyser runs first and any
+    non-baselined error-severity finding aborts codegen."""
     for t in targets:
         if t not in _TARGETS:
             raise TranslatorError(f"unknown target {t!r}; available: {_TARGETS}")
+
+    if strict:
+        lint_gate(app_path, baseline)
 
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)

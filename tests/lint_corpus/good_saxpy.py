@@ -1,0 +1,11 @@
+"""Known-good: every declaration matches the kernel body exactly."""
+
+import repro.op2 as op2
+
+
+def saxpy(x, y):
+    y[0] = y[0] + 2.0 * x[0]
+
+
+def run(cells, x, y):
+    op2.par_loop(saxpy, cells, x(op2.READ), y(op2.RW))

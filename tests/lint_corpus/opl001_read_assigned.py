@@ -1,0 +1,12 @@
+"""Seeded bug: a READ-declared argument is assigned by the kernel."""
+
+import repro.op2 as o2
+
+
+def scale(q, res):
+    res[0] = q[0] * 2.0
+    q[0] = 0.0  # <- OPL001
+
+
+def run(cells, q, res):
+    o2.par_loop(scale, cells, q(o2.READ), res(o2.WRITE))

@@ -1,0 +1,11 @@
+"""Seeded bug: an INC-declared argument is plainly stored, not incremented."""
+
+from repro import op2
+
+
+def accumulate(x, total):
+    total[0] = x[0]  # <- OPL002
+
+
+def run(edges, x, total, edge2cell):
+    op2.par_loop(accumulate, edges, x(op2.READ), total(op2.INC, edge2cell, 0))

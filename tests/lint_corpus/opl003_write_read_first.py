@@ -1,0 +1,12 @@
+"""Seeded bug: a WRITE-declared argument observes its old value first."""
+
+import repro.op2 as op2
+
+
+def fill(src, dst):
+    t = dst[0]  # <- OPL003
+    dst[0] = src[0] + t
+
+
+def run(cells, src, dst):
+    op2.par_loop(fill, cells, src(op2.READ), dst(op2.WRITE))

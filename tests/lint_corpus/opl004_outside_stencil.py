@@ -1,0 +1,13 @@
+"""Seeded bug: the kernel reads offset (1,) but declares the centre stencil."""
+
+import repro.ops as ops
+
+S_CENTRE = ops.Stencil(1, [(0,)], name="centre")
+
+
+def diffuse(a, b):
+    b[0] = a[0] + a[1]  # <- OPL004
+
+
+def run(block, a, b):
+    ops.par_loop(diffuse, block, [(0, 10)], a(ops.READ, S_CENTRE), b(ops.WRITE))

@@ -1,0 +1,11 @@
+"""Seeded bug: a declared argument the kernel never touches."""
+
+import repro.op2 as op2
+
+
+def copy(a, b, extra):
+    b[0] = a[0]
+
+
+def run(cells, a, b, c):
+    op2.par_loop(copy, cells, a(op2.READ), b(op2.WRITE), c(op2.READ))  # <- OPL005

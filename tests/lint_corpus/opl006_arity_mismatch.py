@@ -1,0 +1,11 @@
+"""Seeded bug: one descriptor for a two-parameter kernel."""
+
+import repro.op2 as op2
+
+
+def two_args(a, b):
+    b[0] = a[0]
+
+
+def run(cells, a):
+    op2.par_loop(two_args, cells, a(op2.READ))  # <- OPL006

@@ -1,0 +1,11 @@
+"""Seeded bug: MIN access declared on a plain dat, not a Global/Reduction."""
+
+import repro.op2 as op2
+
+
+def minimum(a, m):
+    m.min(a[0])
+
+
+def run(cells, a, m):
+    op2.par_loop(minimum, cells, a(op2.READ), m(op2.MIN))  # <- OPL007

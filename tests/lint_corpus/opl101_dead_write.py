@@ -1,0 +1,16 @@
+"""Seeded bug: a written value is clobbered before any loop reads it."""
+
+import repro.op2 as op2
+
+
+def produce(a):
+    a[0] = 1.0
+
+
+def clobber(a):
+    a[0] = 2.0
+
+
+def chain(cells, d):
+    op2.par_loop(produce, cells, d(op2.WRITE))  # <- OPL101
+    op2.par_loop(clobber, cells, d(op2.WRITE))

@@ -1,0 +1,16 @@
+"""Seeded pattern: state read before any write (the checkpoint save set)."""
+
+import repro.op2 as op2
+
+
+def advance(q, qnew):
+    qnew[0] = q[0] * 0.5
+
+
+def writeback(qnew, q):
+    q[0] = qnew[0]
+
+
+def chain(cells, q, qnew):
+    op2.par_loop(advance, cells, q(op2.READ), qnew(op2.WRITE))  # <- OPL102
+    op2.par_loop(writeback, cells, qnew(op2.READ), q(op2.WRITE))

@@ -1,0 +1,16 @@
+"""Seeded pattern: two halo-freshening reads with no interleaving write."""
+
+import repro.op2 as op2
+
+
+def gather_sum(x, out):
+    out[0] = x[0] + x[1]
+
+
+def gather_diff(x, out):
+    out[0] = x[0] - x[1]
+
+
+def chain(edges, x, e2n, a, b):
+    op2.par_loop(gather_sum, edges, x(op2.READ, e2n, 0), a(op2.WRITE))
+    op2.par_loop(gather_diff, edges, x(op2.READ, e2n, 0), b(op2.WRITE))  # <- OPL103

@@ -1,0 +1,7 @@
+"""Seeded bug: descriptors forwarded with *args — invisible to the planner."""
+
+import repro.op2 as op2
+
+
+def run(cells, kernel, descriptors):
+    op2.par_loop(kernel, cells, *descriptors)  # <- OPL900

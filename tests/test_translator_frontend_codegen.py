@@ -8,7 +8,7 @@ from repro.translator.codegen.cuda_c import CudaDatSpec, MemoryStrategy, generat
 from repro.translator.codegen.openmp_c import generate_openmp_c
 from repro.translator.codegen.python_host import generate_python_module
 from repro.translator.driver import translate_app
-from repro.translator.frontend import parse_app_source
+from repro.translator.frontend import parse_app_full, parse_app_source
 
 APP_SRC = """
 from repro import op2
@@ -53,6 +53,94 @@ class TestFrontend:
     def test_too_few_args_raises(self):
         with pytest.raises(TranslatorError):
             parse_app_source("op2.par_loop(K)")
+
+
+class TestFrontendLifting:
+    """Aliased imports, keyword arguments, wrappers, unliftable records."""
+
+    def test_module_alias_import(self):
+        sites = parse_app_source(
+            "import repro.op2 as o2\n"
+            "o2.par_loop(K, cells, d(o2.READ))\n"
+        )
+        assert len(sites) == 1
+        assert sites[0].api == "op2"
+        assert sites[0].kernel == "K"
+
+    def test_from_import_alias(self):
+        sites = parse_app_source(
+            "from repro import ops as o\n"
+            "o.par_loop(k, blk, [(0, 5)], u(o.READ), v(o.WRITE))\n"
+        )
+        assert sites[0].api == "ops"
+        assert sites[0].ranges == "[(0, 5)]"
+        assert [a.access for a in sites[0].args] == ["READ", "WRITE"]
+
+    def test_keyword_arguments(self):
+        sites = parse_app_source(
+            "op2.par_loop(kernel=K_SAVE, iterset=mesh.cells)"
+        )
+        assert sites[0].kernel == "K_SAVE"
+        assert sites[0].iterset == "mesh.cells"
+
+    def test_name_keyword_becomes_hint(self):
+        sites = parse_app_source(
+            "ops.par_loop(k, blk, [(0, 5)], u(ops.READ), name='fluxes')"
+        )
+        assert sites[0].name_hint == "fluxes"
+        assert sites[0].display_name == "fluxes"
+
+    def test_distributed_comm_operand_skipped(self):
+        sites = parse_app_source(
+            "rm.par_loop(comm, K_RES, mesh.cells, q(op2.READ))"
+        )
+        assert sites[0].kernel == "K_RES"
+        assert sites[0].iterset == "mesh.cells"
+
+    def test_loop_wrapper_call_sites_lifted(self):
+        src = (
+            "from repro import ops\n"
+            "class App:\n"
+            "    def _loop(self, kernel, ranges, *args, name=None):\n"
+            "        ops.par_loop(kernel, self.block, ranges, *args, name=name)\n"
+            "    def step(self):\n"
+            "        self._loop(k_pdv, self.rng, d(ops.READ), e(ops.WRITE),\n"
+            "                   name='pdv')\n"
+        )
+        sites = parse_app_source(src)
+        assert len(sites) == 1  # the wrapper's internal call is not double-counted
+        assert sites[0].kernel == "k_pdv"
+        assert sites[0].name_hint == "pdv"
+        assert sites[0].enclosing == "App.step"
+        assert [a.access for a in sites[0].args] == ["READ", "WRITE"]
+
+    def test_starred_descriptors_recorded_not_dropped(self):
+        result = parse_app_full(
+            "def run(cells, k, descs):\n"
+            "    op2.par_loop(k, cells, *descs)\n"
+        )
+        assert result.sites == []
+        (u,) = result.unliftable
+        assert u.code == "OPL900"
+        assert u.lineno == 2
+        assert u.enclosing == "run"
+        assert "*args" in u.reason
+
+    def test_double_star_kwargs_recorded(self):
+        result = parse_app_full("op2.par_loop(K, s, **extra)")
+        assert result.sites == []
+        assert result.unliftable[0].code == "OPL900"
+
+    def test_enclosing_and_in_loop_metadata(self):
+        src = (
+            "def iterate(n):\n"
+            "    for _ in range(n):\n"
+            "        op2.par_loop(K, s, d(op2.READ))\n"
+            "op2.par_loop(K2, s, d(op2.WRITE))\n"
+        )
+        inner, outer = parse_app_source(src)
+        assert inner.enclosing == "iterate" and inner.in_loop
+        assert outer.enclosing == "<module>" and not outer.in_loop
 
 
 class TestCudaCodegen:
