@@ -9,6 +9,7 @@ also written to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.common.counters import PerfCounters
@@ -51,14 +52,38 @@ def characters_for(run_fn, kernel_info=None):
     return characterise_run(counters, kernel_info=kernel_info)
 
 
-def emit(name: str, lines: list[str]) -> str:
-    """Print a result table and persist it under benchmarks/results/."""
+def emit(name: str, lines: list[str], data: dict | None = None) -> str:
+    """Print a result table and persist it under benchmarks/results/.
+
+    The human-readable table always lands in ``<name>.txt``; when ``data``
+    is given a machine-readable ``<name>.json`` is written alongside it so
+    CI jobs and plotting scripts never have to parse the table.
+    """
     text = "\n".join(lines)
     print(f"\n=== {name} ===")
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        payload = {"name": name, **data}
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
     return text
+
+
+def counters_summary(counters: PerfCounters) -> dict:
+    """Aggregate measured counters into the JSON result schema."""
+    recs = list(counters.loops.values())
+    return {
+        "wall_seconds": sum(r.wall_seconds for r in recs),
+        "bytes_moved": sum(r.bytes_moved for r in recs),
+        "flops": sum(r.flops for r in recs),
+        "invocations": sum(r.invocations for r in recs),
+        "colours": max((r.colours for r in recs), default=0),
+        "plan_hits": counters.plan_hits,
+        "plan_misses": counters.plan_misses,
+    }
 
 
 def scale_characters(chars: dict, factor: float) -> dict:

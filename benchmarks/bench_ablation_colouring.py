@@ -50,7 +50,11 @@ def test_ablation_colouring_block_size(benchmark, race_args):
             f"{bs:>10}{plan.n_blocks:>8}{plan.n_block_colours:>14}"
             f"{plan.n_elem_colours:>14}{penalty:>12.3f}"
         )
-    emit("ablation_colouring_block_size", rows)
+    emit(
+        "ablation_colouring_block_size",
+        rows,
+        data={"config": {"block_sizes": list(BLOCK_SIZES)}, "block_colours": colours},
+    )
 
     # every plan is race-free (the invariant), and small blocks never need
     # more colours than the biggest blocks on this mesh

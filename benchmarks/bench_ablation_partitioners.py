@@ -56,7 +56,11 @@ def test_ablation_partitioner_quality(benchmark, mesh):
         comm = net.exchange_seconds(4, cut / NPARTS * 32) * 1e6
         cuts[method] = cut
         rows.append(f"{method:<10}{cut:>10}{imbalance:>11.3f}{comm:>14.2f}")
-    emit("ablation_partitioners", rows)
+    emit(
+        "ablation_partitioners",
+        rows,
+        data={"config": {"nparts": NPARTS}, "edge_cuts": {m: int(c) for m, c in cuts.items()}},
+    )
 
     # the quality partitioners must beat the trivial block split
     assert cuts["rcb"] < cuts["block"]

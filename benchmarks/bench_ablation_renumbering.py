@@ -59,7 +59,15 @@ def test_ablation_renumbering(benchmark):
         f"{'wall-clock (s)':<22}{t_scrambled:>12.3f}{t_renumbered:>12.3f}",
         f"{'rms (must match)':<22}{r_before:>12.3e}{r_after:>12.3e}",
     ]
-    emit("ablation_renumbering", rows)
+    emit(
+        "ablation_renumbering",
+        rows,
+        data={
+            "locality_score": {"scrambled": loc_before, "renumbered": loc_after},
+            "map_bandwidth": {"scrambled": int(bw_before), "renumbered": int(bw_after)},
+            "wall_seconds": {"scrambled": t_scrambled, "renumbered": t_renumbered},
+        },
+    )
 
     # renumbering is a pure optimisation: identical physics
     assert r_after == pytest.approx(r_before, rel=1e-12)

@@ -59,6 +59,7 @@ def test_ablation_tile_size(benchmark):
     ref = c.interior.copy()
 
     rows = [f"{'tile edge':>10}{'working set KiB':>17}{'measured ms':>13}{'correct':>9}"]
+    ms_by_edge = {}
     for edge in TILE_EDGES:
         b.data[:] = 0
         t0 = time.perf_counter()
@@ -66,9 +67,14 @@ def test_ablation_tile_size(benchmark):
         ms = (time.perf_counter() - t0) * 1e3
         ws = tile_working_set_bytes((edge, edge), n_fields=2) / 1024
         ok = np.allclose(b.interior, ref)
+        ms_by_edge[edge] = ms
         rows.append(f"{edge:>10}{ws:>17.0f}{ms:>13.2f}{str(ok):>9}")
         assert ok
-    emit("ablation_tile_size", rows)
+    emit(
+        "ablation_tile_size",
+        rows,
+        data={"config": {"tile_edges": list(TILE_EDGES)}, "measured_ms": ms_by_edge},
+    )
 
 
 def test_ablation_fusion_vs_eager(benchmark):
@@ -109,6 +115,14 @@ def test_ablation_fusion_vs_eager(benchmark):
         "  (on real hardware fusion additionally saves one kernel launch per",
         "   fused loop and keeps the tile resident in cache between loops)",
     ]
-    emit("ablation_fusion", rows)
+    emit(
+        "ablation_fusion",
+        rows,
+        data={
+            "config": {"grid": [N, N]},
+            "wall_seconds": {"eager": t_eager, "fused": t_fused},
+            "fusion_stats": dict(stats),
+        },
+    )
     assert stats["groups"] == 1
     assert stats["largest_group"] == 2

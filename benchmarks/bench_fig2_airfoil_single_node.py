@@ -42,7 +42,14 @@ def test_fig2_shape_and_report(benchmark):
 
     times = predictions()
     rows = [f"{label:<42} {secs:8.4f} s" for label, secs in times.items()]
-    emit("fig2_airfoil_single_node", rows)
+    emit(
+        "fig2_airfoil_single_node",
+        rows,
+        data={
+            "config": {"mesh": list(MESH), "iterations": ITERS},
+            "predicted_seconds": times,
+        },
+    )
 
     # paper shapes -----------------------------------------------------------
     # vectorisation helps on the CPU

@@ -110,7 +110,15 @@ def test_fig3_hydra_bars(benchmark):
         "",
     ]
     rows += [f"{label:<22} {secs:8.4f} s" for label, secs in bars.items()]
-    emit("fig3_hydra_single_node", rows)
+    emit(
+        "fig3_hydra_single_node",
+        rows,
+        data={
+            "measured_seconds": {"original": t_original, "op2": t_op2},
+            "locality_ratio": locality_ratio,
+            "predicted_seconds": bars,
+        },
+    )
 
     # shapes -----------------------------------------------------------------------
     # the DSL introduces no overhead: Original == OP2 unopt by construction

@@ -102,7 +102,17 @@ def test_fig4_scaling_curves(benchmark, curves):
     for key, pts in curves.items():
         label = f"{key[0]} {key[1].upper()} {key[2]}"
         rows.append(f"{label:<24}" + "".join(f"{p.seconds:10.3f}" for p in pts))
-    emit("fig4_op2_scaling", rows)
+    emit(
+        "fig4_op2_scaling",
+        rows,
+        data={
+            "config": {"nodes": list(NODES)},
+            "seconds": {
+                f"{app} {plat} {mode}": [p.seconds for p in pts]
+                for (app, plat, mode), pts in curves.items()
+            },
+        },
+    )
 
     eff = {k: ScalingModel.parallel_efficiency(v, weak=(k[2] == "weak")) for k, v in curves.items()}
 

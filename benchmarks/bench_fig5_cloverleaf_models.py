@@ -90,7 +90,16 @@ def test_fig5_original_vs_ops(benchmark, clover_chars):
     ]
     for label, (orig, opsd) in bars.items():
         rows.append(f"{label:<16}{orig:12.2f}{opsd:12.2f}{opsd / orig:12.3f}")
-    emit("fig5_cloverleaf_models", rows)
+    emit(
+        "fig5_cloverleaf_models",
+        rows,
+        data={
+            "measured_seconds": {"original": t_original, "ops": t_ops},
+            "predicted_seconds": {
+                label: {"original": orig, "ops": opsd} for label, (orig, opsd) in bars.items()
+            },
+        },
+    )
 
     # paper shapes ----------------------------------------------------------------
     # pure OpenMP: OPS is ~20% FASTER (NUMA)

@@ -104,7 +104,16 @@ def test_fig6_titan_scaling(benchmark, curves):
             f"{label:<26}"
             + "".join(f"{p.seconds:10.4f}" for p in curves[(plat, "weak")])
         )
-    emit("fig6_cloverleaf_titan", rows)
+    emit(
+        "fig6_cloverleaf_titan",
+        rows,
+        data={
+            "seconds": {
+                f"{plat} {mode}": [p.seconds for p in pts]
+                for (plat, mode), pts in curves.items()
+            },
+        },
+    )
 
     # near-optimal CPU strong scaling up to 4096 nodes (paper claim) ----------
     cpu_strong = curves[("cpu", "strong")]

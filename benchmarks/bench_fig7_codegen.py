@@ -44,7 +44,15 @@ def test_fig7_generated_variants(benchmark, site):
     for strategy, code in outputs.items():
         lines.append(f"----- {strategy.value} " + "-" * 40)
         lines.append(code)
-    emit("fig7_generated_cuda", lines)
+    emit(
+        "fig7_generated_cuda",
+        lines,
+        data={
+            "generated_lines": {
+                strategy.value: len(code.splitlines()) for strategy, code in outputs.items()
+            },
+        },
+    )
 
     # the figure's structural elements ---------------------------------------
     assert "#define OP_ACC_COORDS(x) (x)" in outputs[MemoryStrategy.NOSOA]

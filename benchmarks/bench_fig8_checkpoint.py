@@ -49,7 +49,15 @@ def test_fig8_decision_table(benchmark, live_chain):
     best = best_entry_points(live_chain)
     best_names = sorted({live_chain[i].name for i in best})
     rows.append(f"cheapest entry points: {best_names}")
-    emit("fig8_checkpoint_table", rows)
+    emit(
+        "fig8_checkpoint_table",
+        rows,
+        data={
+            "units_saved": units,
+            "detected_period": period,
+            "cheapest_entry_points": best_names,
+        },
+    )
 
     # the paper's pattern: save_soln entries cost 8; adt_calc 12; res/bres 13.
     # The live update kernel also reads adt (unlike the figure's tabulation),

@@ -66,6 +66,15 @@ def test_lint_wall_time(benchmark):
         "the apps share almost no kernel modules, so index sharing buys",
         "little here — per-file AST parse + footprint inference dominate.",
     ]
-    emit("lint_time", lines)
+    emit(
+        "lint_time",
+        lines,
+        data={
+            "wall_seconds": {"cold": t_cold, "warm": t_warm},
+            "loop_sites": n_sites,
+            "kernels": n_kernels,
+            "diagnostics": n_diags,
+        },
+    )
 
     assert t_warm < 10.0  # a pre-codegen gate must stay interactive

@@ -54,6 +54,7 @@ def test_fault_free_overhead(benchmark, ckpt_dir):
     rows = [f"{'configuration':<34} {'wall s':>8} {'vs plain':>9} {'ckpt files':>11}"]
     rows.append(f"{'plain run_spmd':<34} {t_plain:8.3f} {'1.00x':>9} {'-':>11}")
 
+    modes = {}
     for label, freq in [
         ("resilient, checkpoints off", None),
         (f"resilient, every {2 * LOOPS_PER_ITER} loops", 2 * LOOPS_PER_ITER),
@@ -66,12 +67,21 @@ def test_fault_free_overhead(benchmark, ckpt_dir):
             )
         )
         nfiles = len(list(d.glob("ckpt-r*-n*.npz")))
+        modes[label] = {"wall_seconds": t, "vs_plain": t / t_plain, "ckpt_files": nfiles}
         rows.append(f"{label:<34} {t:8.3f} {t / t_plain:8.2f}x {nfiles:>11}")
         # the machinery must not perturb the numerics
         np.testing.assert_array_equal(res.results[0][1], base[0][1])
         assert res.restarts == 0
 
-    emit("resilience_fault_free_overhead", rows)
+    emit(
+        "resilience_fault_free_overhead",
+        rows,
+        data={
+            "config": {"nranks": NRANKS, "iterations": ITERS},
+            "plain_seconds": t_plain,
+            "modes": modes,
+        },
+    )
     benchmark.pedantic(
         lambda: run_resilient_spmd(
             NRANKS, fresh_job(), ckpt_dir=ckpt_dir / "bench", frequency=2 * LOOPS_PER_ITER
@@ -93,6 +103,7 @@ def test_recovery_cost_vs_frequency(ckpt_dir):
         f"{'frequency':>9} {'restarts':>8} {'round':>6} {'replayed':>9} "
         f"{'recovery s':>10} {'total s':>8}",
     ]
+    by_freq = {}
     for freq in [None, 3 * LOOPS_PER_ITER, 2 * LOOPS_PER_ITER, LOOPS_PER_ITER]:
         d = ckpt_dir / f"recover-{freq}"
         plan = FaultPlan().kill(1, at_loop=kill_at)
@@ -107,6 +118,13 @@ def test_recovery_cost_vs_frequency(ckpt_dir):
             replayed = kill_at - entry
         else:
             entry, replayed = 0, kill_at
+        by_freq[str(freq)] = {
+            "restarts": res.restarts,
+            "round_used": round_used,
+            "loops_replayed": replayed,
+            "recovery_seconds": res.counters.recovery_seconds,
+            "total_seconds": t,
+        }
         rows.append(
             f"{str(freq):>9} {res.restarts:>8} {round_used:>6} {replayed:>9} "
             f"{res.counters.recovery_seconds:>10.3f} {t:>8.3f}"
@@ -114,4 +132,12 @@ def test_recovery_cost_vs_frequency(ckpt_dir):
         np.testing.assert_array_equal(res.results[0][1], base[0][1])
         assert res.restarts == 1
 
-    emit("resilience_recovery_cost", rows)
+    emit(
+        "resilience_recovery_cost",
+        rows,
+        data={
+            "config": {"nranks": NRANKS, "iterations": ITERS, "kill_at_loop": kill_at},
+            "plain_seconds": t_plain,
+            "by_frequency": by_freq,
+        },
+    )

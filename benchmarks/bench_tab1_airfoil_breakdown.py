@@ -44,7 +44,19 @@ def test_table1_breakdown(benchmark, chars):
             table[(loop, p.label)] = pred
             cells.append(f"{pred.seconds:9.4f} {pred.bandwidth_gbs:9.1f}")
         rows.append(f"{loop:<12}" + "".join(f"{c:>22}" for c in cells))
-    emit("tab1_airfoil_breakdown", rows)
+    emit(
+        "tab1_airfoil_breakdown",
+        rows,
+        data={
+            "predictions": {
+                f"{loop} | {label}": {
+                    "seconds": pred.seconds,
+                    "bandwidth_gbs": pred.bandwidth_gbs,
+                }
+                for (loop, label), pred in table.items()
+            },
+        },
+    )
 
     # direct loops: near-peak bandwidth on the CPU -----------------------------
     for loop in ("save_soln", "update"):

@@ -81,7 +81,16 @@ def test_sanitizer_overhead(benchmark):
         "off-mode cost is one config-flag test per par_loop "
         f"({ITERS * n_loops} loop dispatches in this run): ~0.",
     ]
-    emit("verify_overhead", rows)
+    emit(
+        "verify_overhead",
+        rows,
+        data={
+            "config": {"iterations": ITERS, "repeats": REPEATS},
+            "wall_seconds": {"off": t_off, "guards": t_guard, "shadow": t_shadow},
+            "loops_sanitized": counters.loops_sanitized,
+            "shadow_runs": counters.shadow_runs,
+        },
+    )
 
     assert counters.loops_sanitized == ITERS * n_loops
     # off mode must stay indistinguishable from the baseline; the flag test

@@ -28,6 +28,18 @@ class Config:
     verify_shadow: bool = True
     #: default block size for OP2 colouring plans (elements per mini-block)
     plan_block_size: int = 256
+    #: use compiled loop executors (repro.op2.execplan / repro.ops.execplan):
+    #: the first invocation of a loop signature builds a CompiledLoop (plan +
+    #: buffer arena + scatter schedule), later invocations replay it.  Off
+    #: means every call takes the interpreted path (the pre-plan behaviour;
+    #: benchmarks toggle this to measure the amortisation win)
+    use_execplan: bool = True
+    #: maximum number of compiled loops kept per registry (LRU eviction)
+    execplan_cache_size: int = 512
+    #: below this many scattered entries an OP_INC scatter keeps using
+    #: ``np.add.at``: the sort/segment machinery only pays off on bulk
+    #: scatters, and tiny loops (boundary conditions) stay on the simple path
+    execplan_scatter_min: int = 64
     #: default CUDA-sim thread-block size
     cuda_block_size: int = 128
     #: collect per-loop performance counters

@@ -78,6 +78,11 @@ class PerfCounters:
     # -- verification: sanitizer activity ---------------------------------------
     loops_sanitized: int = 0
     shadow_runs: int = 0
+    # -- compiled loop executors: plan-cache traffic -----------------------------
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_invalidations: int = 0
+    plan_evictions: int = 0
 
     def loop(self, name: str) -> LoopRecord:
         """Return (creating if needed) the record for loop ``name``."""
@@ -120,6 +125,24 @@ class PerfCounters:
         self.loops_sanitized += 1
         self.shadow_runs += int(shadow_runs)
 
+    def record_plan_hit(self) -> None:
+        self.plan_hits += 1
+
+    def record_plan_miss(self) -> None:
+        self.plan_misses += 1
+
+    def record_plan_invalidation(self) -> None:
+        self.plan_invalidations += 1
+
+    def record_plan_eviction(self) -> None:
+        self.plan_evictions += 1
+
+    @property
+    def plan_hit_rate(self) -> float:
+        """Fraction of fast-path lookups served from the compiled-loop cache."""
+        total = self.plan_hits + self.plan_misses
+        return self.plan_hits / total if total else 0.0
+
     def merge(self, other: "PerfCounters") -> None:
         """Fold another counter set (e.g. from another simulated rank) in."""
         for name, rec in other.loops.items():
@@ -137,6 +160,10 @@ class PerfCounters:
         self.recovery_seconds += other.recovery_seconds
         self.loops_sanitized += other.loops_sanitized
         self.shadow_runs += other.shadow_runs
+        self.plan_hits += other.plan_hits
+        self.plan_misses += other.plan_misses
+        self.plan_invalidations += other.plan_invalidations
+        self.plan_evictions += other.plan_evictions
 
     def reset(self) -> None:
         self.loops.clear()
@@ -153,6 +180,10 @@ class PerfCounters:
         self.recovery_seconds = 0.0
         self.loops_sanitized = 0
         self.shadow_runs = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.plan_invalidations = 0
+        self.plan_evictions = 0
 
     def summary_rows(self) -> list[tuple[str, int, int, int, float]]:
         """Rows of (loop, iterations, bytes, flops, seconds), insertion order."""

@@ -53,6 +53,13 @@ def timing_report(counters: PerfCounters, *, top: int | None = None) -> str:
             f"{counters.restarts} restarts, "
             f"{counters.recovery_seconds:.3f} s in recovery"
         )
+    if counters.plan_hits or counters.plan_misses:
+        lines.append(
+            f"execplan: {counters.plan_hits} hits, {counters.plan_misses} misses "
+            f"({100.0 * counters.plan_hit_rate:.1f}% hit rate), "
+            f"{counters.plan_invalidations} invalidations, "
+            f"{counters.plan_evictions} evictions"
+        )
     if counters.loops_sanitized:
         lines.append(
             f"verify: {counters.loops_sanitized} loops sanitized, "

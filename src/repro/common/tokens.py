@@ -1,0 +1,81 @@
+"""Monotonic identity tokens for cache keys.
+
+Caches used to key on ``id(obj)``, which is unsound: once an object is
+garbage collected CPython may hand its address to a brand-new object, and
+the cache then returns state computed for the dead one.  Every cacheable
+runtime object (Set, Map, Dat, Global, Kernel, Block...) instead carries a
+process-unique monotonic ``token`` assigned at construction; tokens are
+never reused, so a token-keyed entry can only ever match the object it was
+built from.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+# itertools.count() is atomic under the GIL, so token draws are thread-safe
+# (simulated MPI ranks construct per-rank Sets/Maps/Dats concurrently)
+_counter = itertools.count(1)
+
+
+def next_token() -> int:
+    """Draw a fresh process-unique token."""
+    return next(_counter)
+
+
+def stable_token(obj) -> int | tuple:
+    """A stable cache token for ``obj``.
+
+    Prefers the object's own ``token`` attribute; otherwise assigns one on
+    first use (plain functions, e.g. OPS kernels, accept new attributes).
+    Objects that accept neither fall back to ``("id", id(obj))`` — callers
+    using that fallback must hold a strong reference to ``obj`` for the
+    lifetime of the cache entry so the id cannot be recycled.
+    """
+    tok = getattr(obj, "token", None)
+    if tok is not None:
+        return tok
+    tok = getattr(obj, "_repro_token", None)
+    if tok is not None:
+        return tok
+    tok = next_token()
+    try:
+        obj._repro_token = tok
+    except (AttributeError, TypeError):
+        return ("id", id(obj))
+    return tok
+
+
+def kernel_token(fn) -> int | tuple:
+    """A cache token for a kernel callable, shared by equivalent functions.
+
+    Kernel factories (``make_pdv_kernel(dt, dx, dy)``) return a *fresh*
+    closure on every call, and nested ``def``s mint a fresh function object
+    per enclosing call; keying compiled plans on the function object would
+    make every invocation a cache miss.  Functions with the same code
+    object and the same (hashable) captured state are semantically
+    identical, so they map to one token — the code object plus everything
+    that parameterises it: closure cell values, positional defaults, and
+    keyword-only defaults.  Defaults matter: ``def pdv(..., frac=0.5 * dt)``
+    bakes a per-step timestep into ``__defaults__``, and a token that
+    ignored it would replay a stale kernel.  The code object is held alive
+    by the cache key, so its identity hash can never be recycled.  Anything
+    without a code object, or capturing unhashable state, falls back to
+    :func:`stable_token`.
+    """
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return stable_token(fn)
+    closure = getattr(fn, "__closure__", None)
+    kwdefaults = getattr(fn, "__kwdefaults__", None)
+    try:
+        cells = tuple(c.cell_contents for c in closure) if closure else ()
+        values = (
+            cells,
+            getattr(fn, "__defaults__", None) or (),
+            tuple(sorted(kwdefaults.items())) if kwdefaults else (),
+        )
+        hash(values)
+    except (ValueError, TypeError):  # empty cell or unhashable capture
+        return stable_token(fn)
+    return ("code", code, values)

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.common.access import Access
 from repro.common.errors import APIError
+from repro.common.tokens import next_token
 from repro.op2.map import Map
 from repro.op2.set import Set
 
@@ -43,6 +44,8 @@ class Dat:
         self.dtype = self.data.dtype
         #: dirty-halo flag: set when owned data changes, cleared on exchange
         self.halo_dirty = True
+        #: process-unique identity for cache keys (never reused, unlike id())
+        self.token = next_token()
         #: physical storage layout: "aos" (row per element) or "soa"
         #: (component-major).  ``data`` is always the logical (n, dim) view;
         #: under SoA it is a transposed view of the component-major storage,
@@ -108,6 +111,8 @@ class Global:
                 raise APIError(f"global {self.name}: shape {arr.shape} != ({self.dim},)")
             self.data = arr.copy()
         self.dtype = self.data.dtype
+        #: process-unique identity for cache keys (never reused, unlike id())
+        self.token = next_token()
 
     def __call__(self, access: Access):
         from repro.op2.args import Arg

@@ -1,0 +1,399 @@
+"""Compiled loop executors: the op2 hot path, specialised once per loop site.
+
+The paper's central performance argument (Sections II-IV, following the
+"Active Libraries" compile-once philosophy) is that everything derivable
+from a loop's access descriptors — validation, colouring, gather columns,
+buffer shapes, scatter schedules — can be computed on the *first* execution
+and amortised over every later one.  The interpreted path in
+:mod:`repro.op2.parloop` re-derives all of it per call; this module caches
+it in a :class:`CompiledLoop`:
+
+* the validated descriptor list and the prebuilt loop event,
+* per-subset gather index arrays (the whole range for ``vec``, one subset
+  per block colour for ``openmp``),
+* a buffer arena — gather/INC/global buffers allocated once and reused
+  while the underlying shapes still match,
+* an **INC scatter plan**: a cached stable-sort permutation plus segment
+  boundaries, so indirect increments run as a handful of vectorised
+  segment-reduction rounds instead of ``np.add.at``.  Round ``k`` adds the
+  ``k``-th contribution of every still-active segment, so each target
+  accumulates in occurrence order — bitwise identical to ``np.add.at``
+  (a pure ``np.add.reduceat`` scatter is faster still, but its pairwise
+  SIMD association is numpy-build-dependent and would break the repo's
+  bitwise-parity guarantees).  Tiny or degenerate scatters stay on
+  ``np.add.at``,
+* the loop's exact traffic/flop accounting, folded into the counters as
+  precomputed constants.
+
+Compiled loops live in a bounded LRU registry keyed by *stable* monotonic
+tokens (kernel, iteration set, per-arg dat/map/idx/access, ``n``), never by
+``id()``.  Entries are invalidated when a dat's storage shape/dtype or a
+map's values array changes, and dropped wholesale by
+:func:`clear_plan_cache`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.access import Access
+from repro.common.config import get_config
+from repro.common.counters import LoopRecord, PerfCounters, Timer
+from repro.common.profiling import LoopEvent, active_counters, notify_loop
+from repro.op2 import plan as colour_plan
+from repro.op2.args import Arg
+from repro.op2.kernel import Kernel
+from repro.op2.set import Set
+
+__all__ = ["CompiledLoop", "lookup", "clear_plan_cache", "plan_cache_stats"]
+
+#: backends the compiled path covers; ``seq`` deliberately stays the
+#: untouched interpreted semantic baseline, ``cuda`` keeps its staged
+#: two-level commit schedule
+FAST_BACKENDS = frozenset({"vec", "openmp"})
+
+# -- gather/scatter opcodes ----------------------------------------------------
+
+_G_GLOBAL_READ = 0
+_G_GLOBAL_INC = 1
+_G_GLOBAL_MINMAX = 2
+_G_VIEW_SLICE = 3
+_G_TAKE = 4  # direct or indirect gather into an arena buffer
+_G_WRITE_BUF = 5  # uninitialised output buffer (direct WRITE over a subset)
+_G_INC_BUF = 6  # zeroed increment buffer
+
+_S_NONE = 0
+_S_GLOBAL_INC = 1
+_S_GLOBAL_MIN = 2
+_S_GLOBAL_MAX = 3
+_S_ASSIGN = 4  # dat.data[idx] = buf (direct subset or indirect WRITE/RW)
+_S_INC_SEGMENTS = 5
+_S_INC_ADD_AT = 6
+
+
+class _SubsetExec:
+    """One executed subset (the full range, or one block colour)."""
+
+    __slots__ = ("n", "gathers", "scatters")
+
+    def __init__(self, n: int, gathers: list, scatters: list):
+        self.n = n
+        self.gathers = gathers
+        self.scatters = scatters
+
+    def run(self, vec_func) -> None:
+        buffers = []
+        for op in self.gathers:
+            mode = op[0]
+            if mode == _G_VIEW_SLICE:
+                buffers.append(op[1].data[op[2]])
+            elif mode == _G_TAKE:
+                _, dat, idx, buf = op
+                np.take(dat.data, idx, axis=0, out=buf, mode="clip")
+                buffers.append(buf)
+            elif mode == _G_INC_BUF:
+                op[1].fill(0.0)
+                buffers.append(op[1])
+            elif mode == _G_GLOBAL_READ:
+                _, glob, shape = op
+                buffers.append(np.broadcast_to(glob.data, shape))
+            elif mode == _G_GLOBAL_INC:
+                op[1].fill(0.0)
+                buffers.append(op[1])
+            elif mode == _G_GLOBAL_MINMAX:
+                _, glob, buf = op
+                np.copyto(buf, glob.data)
+                buffers.append(buf)
+            else:  # _G_WRITE_BUF
+                buffers.append(op[1])
+
+        vec_func(*buffers)
+
+        for op, buf in zip(self.scatters, buffers):
+            mode = op[0]
+            if mode == _S_NONE:
+                continue
+            if mode == _S_INC_SEGMENTS:
+                _, dat, perm, targets, rounds, sorted_buf, acc_buf, contrib_buf = op
+                np.take(buf, perm, axis=0, out=sorted_buf)
+                np.take(dat.data, targets, axis=0, out=acc_buf)
+                for n_k, src in rounds:
+                    contrib = contrib_buf[:n_k]
+                    np.take(sorted_buf, src, axis=0, out=contrib)
+                    acc = acc_buf[:n_k]
+                    np.add(acc, contrib, out=acc)
+                dat.data[targets] = acc_buf
+            elif mode == _S_INC_ADD_AT:
+                np.add.at(op[1].data, op[2], buf)
+            elif mode == _S_ASSIGN:
+                op[1].data[op[2]] = buf
+            elif mode == _S_GLOBAL_INC:
+                op[1].data += buf.sum(axis=0)
+            elif mode == _S_GLOBAL_MIN:
+                g = op[1]
+                g.data[:] = np.minimum(g.data, buf.min(axis=0))
+            else:  # _S_GLOBAL_MAX
+                g = op[1]
+                g.data[:] = np.maximum(g.data, buf.max(axis=0))
+
+
+#: a scatter where one target receives more than this many contributions
+#: degenerates to one round per contribution; ``np.add.at`` is better there
+_MAX_SEGMENT_ROUNDS = 64
+
+
+def _segment_scatter(dat, cols: np.ndarray, dim: int, dtype) -> tuple:
+    """Build the segment-reduction INC scatter plan for one gather column.
+
+    Contributions are stable-sorted by target once; round ``k`` then adds,
+    in a single vectorised operation, the ``k``-th contribution of every
+    segment that still has one.  Each target therefore accumulates
+    ``((old + c1) + c2) + ...`` in occurrence order — exactly
+    ``np.add.at``'s float association, making the compiled scatter bitwise
+    identical to the interpreted one.  Segments are laid out in descending
+    count order so every round works on a contiguous prefix of the
+    accumulator.
+    """
+    m = cols.shape[0]
+    perm = np.argsort(cols, kind="stable")
+    sorted_cols = cols[perm]
+    targets, starts = np.unique(sorted_cols, return_index=True)
+    counts = np.diff(np.append(starts, m))
+    max_count = int(counts.max())
+    if max_count > _MAX_SEGMENT_ROUNDS:
+        return (_S_INC_ADD_AT, dat, cols)
+    order = np.argsort(-counts, kind="stable")
+    targets_r = targets[order]
+    starts_r = starts[order]
+    counts_r = counts[order]
+    rounds = []
+    for k in range(max_count):
+        n_k = int(np.count_nonzero(counts_r > k))
+        rounds.append((n_k, starts_r[:n_k] + k))
+    t = targets.shape[0]
+    sorted_buf = np.empty((m, dim), dtype=dtype)
+    acc_buf = np.empty((t, dim), dtype=dtype)
+    contrib_buf = np.empty((t, dim), dtype=dtype)
+    return (_S_INC_SEGMENTS, dat, perm, targets_r, rounds, sorted_buf, acc_buf, contrib_buf)
+
+
+def _compile_subset(args: Sequence[Arg], idx, m: int) -> _SubsetExec:
+    """Specialise gather/scatter ops for ``args`` over one subset."""
+    scatter_min = get_config().execplan_scatter_min
+    is_slice = isinstance(idx, slice)
+    gathers: list = []
+    scatters: list = []
+    for arg in args:
+        if arg.is_global:
+            g = arg.glob
+            if arg.access is Access.READ:
+                gathers.append((_G_GLOBAL_READ, g, (m, g.dim)))
+                scatters.append((_S_NONE,))
+            elif arg.access is Access.INC:
+                gathers.append((_G_GLOBAL_INC, np.zeros((m, g.dim), dtype=g.dtype)))
+                scatters.append((_S_GLOBAL_INC, g))
+            else:
+                gathers.append((_G_GLOBAL_MINMAX, g, np.empty((m, g.dim), dtype=g.dtype)))
+                scatters.append(
+                    (_S_GLOBAL_MIN, g) if arg.access is Access.MIN else (_S_GLOBAL_MAX, g)
+                )
+            continue
+
+        dat = arg.dat
+        if arg.is_direct:
+            if is_slice:
+                # writes land through the view: no scatter needed
+                gathers.append((_G_VIEW_SLICE, dat, idx))
+                scatters.append((_S_NONE,))
+            else:
+                buf = np.empty((m, dat.dim), dtype=dat.dtype)
+                if arg.access is Access.WRITE:
+                    gathers.append((_G_WRITE_BUF, buf))
+                else:
+                    gathers.append((_G_TAKE, dat, idx, buf))
+                scatters.append((_S_ASSIGN, dat, idx) if arg.access.writes else (_S_NONE,))
+            continue
+
+        cols = np.ascontiguousarray(arg.map.values[idx, arg.idx])
+        buf = np.empty((m, dat.dim), dtype=dat.dtype)
+        if arg.access is Access.INC:
+            gathers.append((_G_INC_BUF, buf))
+            if m >= scatter_min:
+                scatters.append(_segment_scatter(dat, cols, dat.dim, dat.dtype))
+            else:
+                scatters.append((_S_INC_ADD_AT, dat, cols))
+        else:
+            gathers.append((_G_TAKE, dat, cols, buf))
+            scatters.append((_S_ASSIGN, dat, cols) if arg.access.writes else (_S_NONE,))
+    return _SubsetExec(m, gathers, scatters)
+
+
+class CompiledLoop:
+    """Everything re-derivable from one loop signature, computed once."""
+
+    def __init__(self, kernel: Kernel, iterset: Set, args: list[Arg], backend: str, n: int):
+        from repro.op2 import parloop as _parloop  # deferred: parloop imports us
+
+        self.kernel = kernel
+        self.iterset = iterset
+        self.args = args  # strong refs keep dats/maps alive while cached
+        self.backend = backend
+        self.n = n
+
+        # (a) full validation, exactly as the interpreted path performs it
+        _parloop.validate_loop_args(kernel, iterset, args)
+
+        # (b) the prebuilt event and the written-dat list (halo staleness)
+        self.event: LoopEvent = _parloop._event_for(kernel, args)
+        self.written_dats = []
+        for arg in args:
+            if arg.dat is not None and arg.access.writes:
+                if not any(d is arg.dat for d in self.written_dats):
+                    self.written_dats.append(arg.dat)
+
+        # (c) execution schedule: one sweep for vec, one subset per block
+        # colour for openmp (direct loops need no plan on either backend)
+        racing = any(arg.creates_race for arg in args)
+        if backend == "openmp" and racing and n > 0:
+            plan = colour_plan.build_plan(iterset, args, n_elements=n)
+            self.colours = plan.n_block_colours
+            self.subsets = []
+            for colour in range(plan.n_block_colours):
+                elems = plan.elements_of_colour(colour)
+                if elems.size:
+                    self.subsets.append(_compile_subset(args, elems, elems.size))
+        else:
+            self.colours = 1
+            self.subsets = [_compile_subset(args, slice(0, n), n)] if n > 0 else []
+
+        # (d) accounting constants: the interpreted path's exact counter
+        # arithmetic, run once against a scratch register
+        scratch = PerfCounters()
+        _parloop._account(kernel, n, args, scratch, self.colours)
+        self.acct: LoopRecord = scratch.loops[kernel.name]
+
+        # guards: cheap per-call staleness checks (shape/dtype of every dat,
+        # identity of every map's values array)
+        dat_guards: dict[int, tuple] = {}
+        map_guards: dict[int, tuple] = {}
+        for arg in args:
+            if arg.dat is not None:
+                dat_guards[arg.dat.token] = (arg.dat, arg.dat.data.shape, arg.dat.data.dtype)
+            if arg.map is not None:
+                map_guards[arg.map.token] = (arg.map, arg.map.values)
+        self._dat_guards = list(dat_guards.values())
+        self._map_guards = list(map_guards.values())
+
+    def still_valid(self) -> bool:
+        """True while the shapes/arrays the plan was built from are unchanged."""
+        for dat, shape, dtype in self._dat_guards:
+            if dat.data.shape != shape or dat.data.dtype != dtype:
+                return False
+        for map_, values in self._map_guards:
+            if map_.values is not values:
+                return False
+        return True
+
+    def execute(self) -> None:
+        """Replay the plan: notify, run every subset, account, mark halos."""
+        event = self.event
+        event.skip = False
+        notify_loop(event)
+        if event.skip:
+            # recovery fast-forward: same contract as the interpreted path
+            for dat in self.written_dats:
+                dat.halo_dirty = True
+            return
+
+        counters = active_counters()
+        rec = counters.loop(self.kernel.name)
+        vec_func = self.kernel.vec_func
+        with Timer(rec):
+            for subset in self.subsets:
+                subset.run(vec_func)
+        rec.merge(self.acct)
+
+        for dat in self.written_dats:
+            dat.halo_dirty = True
+
+
+# -- registry -----------------------------------------------------------------
+
+_registry: OrderedDict[tuple, CompiledLoop] = OrderedDict()
+_lock = threading.Lock()
+_stats = {"hits": 0, "misses": 0, "invalidations": 0, "evictions": 0}
+
+
+def _signature(kernel: Kernel, iterset: Set, args: tuple, backend: str, n: int) -> tuple:
+    parts: list = [kernel.token, iterset.token, backend, n]
+    for a in args:
+        if a.glob is not None:
+            parts.append(("g", a.glob.token, a.access))
+        elif a.map is None:
+            parts.append(("d", a.dat.token, a.access))
+        else:
+            parts.append(("i", a.dat.token, a.map.token, a.idx, a.access))
+    return tuple(parts)
+
+
+def lookup(
+    kernel: Kernel, iterset: Set, args: tuple, backend: str, n: int
+) -> CompiledLoop | None:
+    """Fetch (or compile) the plan for this loop site; None -> take the slow path.
+
+    Returns None only when a signature cannot even be formed (malformed
+    arguments) so the interpreted path can raise its usual diagnostics.
+    Compilation itself runs the full interpreted-path validation and lets
+    any :class:`~repro.common.errors.APIError` propagate.
+    """
+    try:
+        key = _signature(kernel, iterset, args, backend, n)
+    except (AttributeError, TypeError):
+        return None
+
+    counters = active_counters()
+    with _lock:
+        compiled = _registry.get(key)
+        if compiled is not None:
+            if compiled.still_valid():
+                _registry.move_to_end(key)
+                _stats["hits"] += 1
+                counters.record_plan_hit()
+                return compiled
+            del _registry[key]
+            _stats["invalidations"] += 1
+            counters.record_plan_invalidation()
+
+    # compile outside the lock: colouring/argsort can be expensive and the
+    # simulated MPI ranks compile distinct per-rank signatures concurrently
+    compiled = CompiledLoop(kernel, iterset, list(args), backend, n)
+    with _lock:
+        _registry[key] = compiled
+        _stats["misses"] += 1
+        counters.record_plan_miss()
+        limit = get_config().execplan_cache_size
+        while len(_registry) > limit:
+            _registry.popitem(last=False)
+            _stats["evictions"] += 1
+            counters.record_plan_eviction()
+    return compiled
+
+
+def clear_plan_cache() -> None:
+    """Drop every compiled loop, colouring plan and unique-count entry."""
+    from repro.op2 import parloop as _parloop
+
+    with _lock:
+        _registry.clear()
+    colour_plan.clear_plan_cache()
+    _parloop._unique_count_cache.clear()
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Process-lifetime registry statistics (tests and diagnostics)."""
+    with _lock:
+        return {"size": len(_registry), **_stats}

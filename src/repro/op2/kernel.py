@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.common.tokens import next_token
+
 
 class Kernel:
     """A named elementwise user function plus its generated vector form.
@@ -51,6 +53,8 @@ class Kernel:
         self.vectorisable = vectorisable
         #: branch-divergence factor in [0, 1] (perf model input)
         self.divergence = float(divergence)
+        #: process-unique identity for cache keys (never reused, unlike id())
+        self.token = next_token()
 
     @property
     def vec_func(self) -> Callable:

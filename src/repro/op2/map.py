@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.errors import APIError
+from repro.common.tokens import next_token
 from repro.op2.set import Set
 
 #: sentinel for "direct" (identity) access on the iteration set
@@ -38,6 +39,8 @@ class Map:
             )
         self.values = vals
         self.name = name if name is not None else f"map_{from_set.name}_{to_set.name}"
+        #: process-unique identity for cache keys (never reused, unlike id())
+        self.token = next_token()
 
     def __getitem__(self, idx) -> np.ndarray:
         return self.values[idx]

@@ -14,6 +14,8 @@ Every execution:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.common.access import validate_argument_access
 from repro.common.config import get_config
 from repro.common.counters import PerfCounters, Timer
@@ -28,7 +30,11 @@ from repro.common.profiling import (
     notify_loop,
     remove_loop_observer,
 )
+from repro.op2 import execplan
 from repro.op2.args import Arg
+# the backend table is resolved once at import: the per-call `from ... import
+# BACKENDS` used to run on every single loop invocation
+from repro.op2.backends import BACKENDS
 from repro.op2.kernel import Kernel
 from repro.op2.set import Set
 
@@ -50,8 +56,6 @@ _default_backend = "vec"
 
 def set_default_backend(name: str) -> None:
     """Set the process-wide default backend for :func:`par_loop`."""
-    from repro.op2.backends import BACKENDS
-
     if name not in BACKENDS:
         raise APIError(f"unknown backend {name!r}; available: {sorted(BACKENDS)}")
     global _default_backend
@@ -76,6 +80,9 @@ def _event_for(kernel: Kernel, args: list[Arg]) -> LoopEvent:
     return LoopEvent(kernel.name, evs, api="op2")
 
 
+#: keyed on (map token, idx) pairs plus n — tokens, not id(), so a count
+#: cached for a collected Map can never be served to a new Map reusing its
+#: address
 _unique_count_cache: dict[tuple, int] = {}
 
 
@@ -84,8 +91,6 @@ def _unique_union(columns_key: tuple, columns, n: int) -> int:
     key = (columns_key, n)
     count = _unique_count_cache.get(key)
     if count is None:
-        import numpy as np
-
         stacked = np.concatenate([c[:n] for c in columns])
         count = int(np.unique(stacked).size)
         _unique_count_cache[key] = count
@@ -116,11 +121,11 @@ def _account(kernel: Kernel, n: int, args: list[Arg], counters: PerfCounters, co
                 rec.indirect_writes += nbytes
         if arg.is_indirect:
             g = groups.setdefault(
-                id(arg.dat),
+                arg.dat.token,
                 {"dat": arg.dat, "cols": [], "key": [], "reads": False, "writes": False},
             )
             g["cols"].append(arg.map.column(arg.idx))
-            g["key"].append((id(arg.map), arg.idx))
+            g["key"].append((arg.map.token, arg.idx))
             g["reads"] = g["reads"] or arg.access.reads
             g["writes"] = g["writes"] or arg.access.writes
     for g in groups.values():
@@ -130,6 +135,23 @@ def _account(kernel: Kernel, n: int, args: list[Arg], counters: PerfCounters, co
             rec.indirect_reads_unique += unique_bytes
         if g["writes"]:
             rec.indirect_writes_unique += unique_bytes
+
+
+def validate_loop_args(kernel: Kernel, iterset: Set, arg_list: list[Arg]) -> None:
+    """Full argument validation, shared by the interpreted and compiled paths."""
+    if not isinstance(kernel, Kernel):
+        raise APIError("first argument must be an op2.Kernel")
+    for i, arg in enumerate(arg_list):
+        if not isinstance(arg, Arg):
+            raise APIError(f"loop arguments must be built from dats/globals, got {arg!r}")
+        arg.validate_against(iterset)
+        # re-check the declaration contract with the loop name attached
+        # (catches Arg objects constructed outside Dat.__call__)
+        validate_argument_access(
+            arg.access, is_global=arg.is_global,
+            dat=arg.dat.name if arg.dat is not None else None,
+            loop=kernel.name, arg_index=i,
+        )
 
 
 def par_loop(
@@ -143,25 +165,32 @@ def par_loop(
 
     ``n_elements`` restricts execution to the first N elements (used by the
     distributed runtime to iterate owned extents only).
+
+    On the ``vec`` and ``openmp`` backends the first invocation of a loop
+    signature compiles a :class:`repro.op2.execplan.CompiledLoop`; later
+    invocations replay it (validation, gather columns, buffers and the INC
+    scatter schedule are all amortised).  ``verify_descriptors`` bypasses
+    the compiled path so the sanitizer always sees raw execution, and
+    ``seq`` remains the untouched interpreted reference.
     """
-    from repro.op2.backends import BACKENDS
-
-    if not isinstance(kernel, Kernel):
-        raise APIError("first argument must be an op2.Kernel")
-    arg_list = list(args)
-    for i, arg in enumerate(arg_list):
-        if not isinstance(arg, Arg):
-            raise APIError(f"loop arguments must be built from dats/globals, got {arg!r}")
-        arg.validate_against(iterset)
-        # re-check the declaration contract with the loop name attached
-        # (catches Arg objects constructed outside Dat.__call__)
-        validate_argument_access(
-            arg.access, is_global=arg.is_global,
-            dat=arg.dat.name if arg.dat is not None else None,
-            loop=kernel.name, arg_index=i,
-        )
-
+    cfg = get_config()
     name = backend if backend is not None else _default_backend
+    if (
+        cfg.use_execplan
+        and name in execplan.FAST_BACKENDS
+        and not cfg.verify_descriptors
+        and isinstance(kernel, Kernel)
+        and isinstance(iterset, Set)
+    ):
+        n = iterset.size if n_elements is None else min(n_elements, iterset.total_size)
+        compiled = execplan.lookup(kernel, iterset, args, name, n)
+        if compiled is not None:
+            compiled.execute()
+            return
+
+    arg_list = list(args)
+    validate_loop_args(kernel, iterset, arg_list)
+
     try:
         impl = BACKENDS[name]
     except KeyError:

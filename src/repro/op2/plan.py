@@ -82,11 +82,16 @@ def _race_targets(args: list[Arg], n: int) -> np.ndarray:
 
 
 def plan_key(iterset: Set, args: list[Arg], block_size: int, n: int) -> tuple:
-    """Cache key: iteration structure, racing maps/indices, block size."""
-    parts: list = [id(iterset), n, block_size]
+    """Cache key: iteration structure, racing maps/indices, block size.
+
+    Keys use the objects' monotonic ``token``s, not ``id()``: a plan cached
+    for a garbage-collected Map must not be served to a new Map that happens
+    to reuse its address.
+    """
+    parts: list = [iterset.token, n, block_size]
     for arg in args:
         if arg.creates_race:
-            parts.append((id(arg.map), arg.idx, id(arg.dat)))
+            parts.append((arg.map.token, arg.idx, arg.dat.token))
     return tuple(parts)
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import itertools
 
 from repro.common.errors import APIError
+from repro.common.tokens import next_token
 
 _ids = itertools.count()
 
@@ -26,6 +27,8 @@ class Set:
         self._halo_exec = int(halo_exec)
         self._halo_nonexec = int(halo_nonexec)
         self.name = name if name is not None else f"set_{next(_ids)}"
+        #: process-unique identity for cache keys (never reused, unlike id())
+        self.token = next_token()
 
     @property
     def exec_size(self) -> int:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import itertools
 
 from repro.common.errors import APIError
+from repro.common.tokens import next_token
 
 _ids = itertools.count()
 
@@ -21,6 +22,8 @@ class Block:
             raise APIError("blocks must be 1-, 2- or 3-dimensional")
         self.ndim = int(ndim)
         self.name = name if name is not None else f"block_{next(_ids)}"
+        #: process-unique identity for cache keys (never reused, unlike id())
+        self.token = next_token()
         self.dats: list = []  # populated by Dat construction
 
     def register(self, dat) -> None:

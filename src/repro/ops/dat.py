@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.common.access import Access, validate_argument_access
 from repro.common.errors import APIError
+from repro.common.tokens import next_token
 from repro.ops.block import Block
 from repro.ops.stencil import Stencil
 
@@ -57,6 +58,8 @@ class Dat:
         self.dtype = self.data.dtype
         #: owned data changed since the last halo exchange (MPI runtime flag)
         self.halo_dirty = True
+        #: process-unique identity for cache keys (never reused, unlike id())
+        self.token = next_token()
         block.register(self)
 
     @property

@@ -25,6 +25,7 @@ from repro.common.config import get_config
 from repro.common.counters import PerfCounters, Timer
 from repro.common.errors import APIError
 from repro.common.profiling import ArgEvent, LoopEvent, active_counters, notify_loop
+from repro.ops import execplan
 from repro.ops.accessor import PointAccessor, RangeAccessor
 from repro.ops.block import Block
 from repro.ops.dat import Dat
@@ -195,13 +196,33 @@ def par_loop(
     ``ranges`` uses interior coordinates, ``[(lo, hi), ...]`` per dimension,
     half-open.  Negative coordinates reach into the halo (boundary-condition
     loops do this, within each dat's ``halo_depth``).
+
+    On the ``vec`` and ``tiled`` backends the first invocation of a loop
+    signature compiles a :class:`repro.ops.execplan.CompiledOpsLoop`; later
+    invocations replay it (validation, region views, tile decomposition and
+    accounting are all amortised).  Stencil checking and
+    ``verify_descriptors`` bypass the compiled path so the checkers always
+    see raw execution, and ``seq`` remains the interpreted reference.
     """
     ranges_t = [tuple(int(c) for c in r) for r in ranges]
     loop_name = name or getattr(kernel, "__name__", "ops_loop")
-    _validate(block, ranges_t, args, loop_name)
     cfg = get_config()
     do_check = cfg.check_stencils if check is None else check
     chosen = backend if backend is not None else _default_backend
+    if (
+        cfg.use_execplan
+        and chosen in execplan.FAST_BACKENDS
+        and not do_check
+        and not cfg.verify_descriptors
+        and isinstance(block, Block)
+    ):
+        compiled = execplan.lookup(
+            kernel, block, ranges_t, args, chosen, loop_name, flops_per_point, tile_shape
+        )
+        if compiled is not None:
+            compiled.execute(args)
+            return
+    _validate(block, ranges_t, args, loop_name)
 
     event = _event_for(loop_name, args)
     notify_loop(event)

@@ -51,12 +51,15 @@ def golden(request):
 
 @pytest.fixture(autouse=True)
 def _clear_plan_cache():
-    """Plans are cached by object identity; fresh per test."""
-    from repro.op2.plan import clear_plan_cache
+    """Colouring plans and compiled loops are cached; fresh per test."""
+    from repro.op2.execplan import clear_plan_cache as clear_op2
+    from repro.ops.execplan import clear_plan_cache as clear_ops
 
-    clear_plan_cache()
+    clear_op2()
+    clear_ops()
     yield
-    clear_plan_cache()
+    clear_op2()
+    clear_ops()
 
 
 @pytest.fixture

@@ -1,0 +1,400 @@
+"""Compiled loop executors: equivalence, caching, invalidation, accounting.
+
+The compiled fast path (``repro.op2.execplan`` / ``repro.ops.execplan``)
+must be *observationally identical* to the interpreted path it replaces —
+bitwise, not just tolerance-close — while amortising validation, gather
+index construction, buffer allocation and INC scatter scheduling across
+invocations of the same loop site.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import op2, ops
+from repro.apps.airfoil.app import AirfoilApp
+from repro.apps.airfoil.mesh import generate_mesh
+from repro.apps.cloverleaf import CloverLeafApp
+from repro.apps.multiblock.app import MultiBlockDiffusion
+from repro.common.config import swap
+from repro.common.counters import PerfCounters
+from repro.common.profiling import counters_scope
+from repro.common.report import timing_report
+from repro.op2 import execplan as op2_exec
+from repro.ops import execplan as ops_exec
+from repro.simmpi import run_spmd
+
+
+def _fresh_caches():
+    op2.clear_plan_cache()
+    ops.clear_plan_cache()
+
+
+# -- bitwise equivalence: compiled vs interpreted -----------------------------------
+
+
+class TestOp2Equivalence:
+    @staticmethod
+    def _airfoil(backend: str, use_plan: bool):
+        _fresh_caches()
+        with swap(use_execplan=use_plan):
+            app = AirfoilApp(generate_mesh(8, 6, jitter=0.15), backend=backend)
+            rms = app.run(2)
+        m = app.mesh
+        return rms, m.q.data.copy(), m.res.data.copy(), m.adt.data.copy()
+
+    @pytest.mark.parametrize("backend", ["vec", "openmp"])
+    def test_airfoil_compiled_is_bitwise(self, backend):
+        rms_i, q_i, res_i, adt_i = self._airfoil(backend, False)
+        rms_c, q_c, res_c, adt_c = self._airfoil(backend, True)
+        assert rms_c == rms_i
+        np.testing.assert_array_equal(q_c, q_i)
+        np.testing.assert_array_equal(res_c, res_i)
+        np.testing.assert_array_equal(adt_c, adt_i)
+
+    def test_distributed_owned_extents_are_bitwise(self):
+        # ranks 1-4 exercise the n_elements-restricted owner-compute path
+        # and halo staleness propagation through the compiled executor
+        def run(nranks: int, use_plan: bool):
+            _fresh_caches()
+            with swap(use_execplan=use_plan):
+                mesh = generate_mesh(10, 8, jitter=0.1)
+                app = AirfoilApp(mesh)
+                pm = app.build_partitioned(nranks, "block")
+
+                def main(comm):
+                    rms = app.run_distributed(comm, pm, 2)
+                    return rms, pm.local(comm.rank).gather_dat(comm, mesh.q)
+
+                rms, q = run_spmd(nranks, main)[0]
+                return rms, np.asarray(q).copy()
+
+        for nranks in (1, 2, 3, 4):
+            rms_i, q_i = run(nranks, False)
+            rms_c, q_c = run(nranks, True)
+            assert rms_c == rms_i, f"nranks={nranks}"
+            np.testing.assert_array_equal(q_c, q_i, err_msg=f"nranks={nranks}")
+
+
+class TestOpsEquivalence:
+    @staticmethod
+    def _clover(backend: str, use_plan: bool):
+        _fresh_caches()
+        with swap(use_execplan=use_plan):
+            app = CloverLeafApp(nx=10, ny=8, backend=backend)
+            summary = app.run(2)
+        st_ = app.st
+        return summary, {
+            "density": st_.density0.interior.copy(),
+            "energy": st_.energy0.interior.copy(),
+            "xvel": st_.xvel0.interior.copy(),
+            "yvel": st_.yvel0.interior.copy(),
+        }
+
+    @pytest.mark.parametrize("backend", ["vec", "tiled"])
+    def test_cloverleaf_compiled_is_bitwise(self, backend):
+        sum_i, fields_i = self._clover(backend, False)
+        sum_c, fields_c = self._clover(backend, True)
+        assert sum_c == sum_i
+        for key in fields_i:
+            np.testing.assert_array_equal(fields_c[key], fields_i[key], err_msg=key)
+
+    @pytest.mark.parametrize("backend", ["vec", "tiled"])
+    def test_multiblock_compiled_is_bitwise(self, backend):
+        import repro.ops.parloop as opl
+
+        def run(use_plan: bool):
+            _fresh_caches()
+            initial = np.add.outer(np.arange(16.0), np.sin(np.arange(8.0)))
+            prev = opl.get_default_backend()
+            opl.set_default_backend(backend)
+            try:
+                with swap(use_execplan=use_plan):
+                    mb = MultiBlockDiffusion(8, 8, initial=initial)
+                    mb.run(4)
+            finally:
+                opl.set_default_backend(prev)
+            return mb.solution()
+
+        np.testing.assert_array_equal(run(True), run(False))
+
+    def test_reduction_handles_rebind_per_call(self):
+        # apps build a fresh Reduction per invocation; the cached plan must
+        # rebind the caller's handle, not fold into the compile-time one
+        block = ops.Block(2, "redblk")
+        d = ops.Dat(block, (5, 4), initial=np.arange(20.0).reshape(5, 4), name="v")
+
+        def total(v, r):
+            r.inc(v[0, 0])
+
+        stats0 = ops_exec.plan_cache_stats()
+        results = []
+        for _ in range(3):
+            r = ops.Reduction("inc", name="total")
+            ops.par_loop(total, block, [(0, 5), (0, 4)], d(ops.READ), r, backend="vec")
+            results.append(r.value)
+        stats1 = ops_exec.plan_cache_stats()
+        assert results == [float(np.arange(20.0).sum())] * 3
+        assert stats1["misses"] - stats0["misses"] == 1
+        assert stats1["hits"] - stats0["hits"] == 2
+
+
+# -- the INC scatter plan: exact np.add.at association ------------------------------
+
+
+def _run_inc_loop(cols: list[int], vals: np.ndarray, base: np.ndarray, use_plan: bool):
+    _fresh_caches()
+    n_edges, n_nodes = len(cols), base.shape[0]
+    edges = op2.Set(n_edges, "edges")
+    nodes = op2.Set(n_nodes, "nodes")
+    e2n = op2.Map(edges, nodes, 1, [[c] for c in cols], "e2n")
+    x = op2.Dat(edges, 1, vals.reshape(-1, 1), name="x")
+    acc = op2.Dat(nodes, 1, base.reshape(-1, 1).copy(), name="acc")
+    k = op2.Kernel(
+        lambda v, out: out.__setitem__(0, v[0]),
+        "copy_inc",
+        vec_func=lambda v, out: out.__setitem__(Ellipsis, v),
+    )
+    # scatter_min=1 forces the segment plan even on tiny loops
+    with swap(use_execplan=use_plan, execplan_scatter_min=1):
+        op2.par_loop(k, edges, x(op2.READ), acc(op2.INC, e2n, 0), backend="vec")
+    return acc.data[:, 0].copy()
+
+
+class TestIncScatterPlan:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_segment_scatter_matches_add_at_exactly(self, data):
+        n_nodes = data.draw(st.integers(2, 10), label="n_nodes")
+        n_edges = data.draw(st.integers(1, 120), label="n_edges")
+        # duplicate-heavy on purpose: few targets, many contributions
+        cols = data.draw(
+            st.lists(st.integers(0, n_nodes - 1), min_size=n_edges, max_size=n_edges),
+            label="cols",
+        )
+        finite = st.floats(-1e8, 1e8, allow_nan=False, allow_infinity=False)
+        vals = np.asarray(
+            data.draw(st.lists(finite, min_size=n_edges, max_size=n_edges), label="vals")
+        )
+        base = np.asarray(
+            data.draw(st.lists(finite, min_size=n_nodes, max_size=n_nodes), label="base")
+        )
+        compiled = _run_inc_loop(cols, vals, base, True)
+        interpreted = _run_inc_loop(cols, vals, base, False)
+        np.testing.assert_array_equal(compiled, interpreted)
+
+    def test_degenerate_segment_falls_back_to_add_at(self):
+        # >64 contributions onto one target: the plan must pick the add.at
+        # opcode and still match exactly
+        rng = np.random.default_rng(7)
+        cols = [0] * 200 + [1] * 3
+        vals = rng.random(203) * 1e6
+        base = rng.random(2)
+        np.testing.assert_array_equal(
+            _run_inc_loop(cols, vals, base, True),
+            _run_inc_loop(cols, vals, base, False),
+        )
+
+
+# -- registry: hits, misses, invalidation, eviction, bounds -------------------------
+
+
+def _direct_loop_site():
+    nodes = op2.Set(16, "nodes")
+    x = op2.Dat(nodes, 1, np.arange(16.0), name="x")
+    k = op2.Kernel(
+        lambda a: a.__setitem__(0, a[0] * 2.0),
+        "double",
+        vec_func=lambda a: a.__setitem__(Ellipsis, a * 2.0),
+    )
+    return nodes, x, k
+
+
+class TestOp2Registry:
+    def test_miss_then_hits(self):
+        nodes, x, k = _direct_loop_site()
+        s0 = op2_exec.plan_cache_stats()
+        for _ in range(5):
+            op2.par_loop(k, nodes, x(op2.RW), backend="vec")
+        s1 = op2_exec.plan_cache_stats()
+        assert s1["misses"] - s0["misses"] == 1
+        assert s1["hits"] - s0["hits"] == 4
+        np.testing.assert_array_equal(x.data[:, 0], np.arange(16.0) * 32.0)
+
+    def test_disabled_by_config(self):
+        nodes, x, k = _direct_loop_site()
+        s0 = op2_exec.plan_cache_stats()
+        with swap(use_execplan=False):
+            op2.par_loop(k, nodes, x(op2.RW), backend="vec")
+        s1 = op2_exec.plan_cache_stats()
+        assert (s1["hits"], s1["misses"]) == (s0["hits"], s0["misses"])
+
+    def test_map_replacement_invalidates(self):
+        nodes = op2.Set(4, "nodes")
+        edges = op2.Set(3, "edges")
+        e2n = op2.Map(edges, nodes, 2, [[0, 1], [1, 2], [2, 3]], "e2n")
+        x = op2.Dat(nodes, 1, np.arange(4.0), name="x")
+        s = op2.Dat(edges, 1, np.zeros(3), name="s")
+        k = op2.Kernel(
+            lambda a, b, out: out.__setitem__(0, a[0] + b[0]),
+            "esum",
+            vec_func=lambda a, b, out: out.__setitem__(Ellipsis, a + b),
+        )
+
+        def run():
+            op2.par_loop(k, edges, x(op2.READ, e2n, 0), x(op2.READ, e2n, 1),
+                         s(op2.WRITE), backend="vec")
+
+        run()
+        run()
+        s0 = op2_exec.plan_cache_stats()
+        # renumbering-style update: same shape, new values array
+        e2n.values = np.array([[3, 2], [2, 1], [1, 0]], dtype=e2n.values.dtype)
+        run()
+        s1 = op2_exec.plan_cache_stats()
+        assert s1["invalidations"] - s0["invalidations"] == 1
+        assert s1["misses"] - s0["misses"] == 1
+        np.testing.assert_array_equal(s.data[:, 0], [5.0, 3.0, 1.0])
+
+    def test_lru_bound_and_eviction(self):
+        nodes = op2.Set(8, "nodes")
+        x = op2.Dat(nodes, 1, np.zeros(8), name="x")
+        s0 = op2_exec.plan_cache_stats()
+        with swap(execplan_cache_size=2):
+            for i in range(4):
+                k = op2.Kernel(
+                    lambda a: a.__setitem__(0, a[0]),
+                    f"k{i}",
+                    vec_func=lambda a: None,
+                )
+                op2.par_loop(k, nodes, x(op2.RW), backend="vec")
+            s1 = op2_exec.plan_cache_stats()
+            assert s1["size"] <= 2
+            assert s1["evictions"] - s0["evictions"] >= 2
+
+    def test_clear_plan_cache_empties(self):
+        nodes, x, k = _direct_loop_site()
+        op2.par_loop(k, nodes, x(op2.RW), backend="vec")
+        assert op2_exec.plan_cache_stats()["size"] >= 1
+        op2.clear_plan_cache()
+        assert op2_exec.plan_cache_stats()["size"] == 0
+
+    def test_written_dats_marked_halo_dirty(self):
+        nodes, x, k = _direct_loop_site()
+        for _ in range(2):  # miss, then hit: both must mark staleness
+            x.halo_dirty = False
+            op2.par_loop(k, nodes, x(op2.RW), backend="vec")
+            assert x.halo_dirty
+
+
+class TestOpsRegistry:
+    @staticmethod
+    def _site():
+        block = ops.Block(2, "regblk")
+        d = ops.Dat(block, (6, 5), initial=1.5, name="u")
+
+        def scale(u):
+            u[0, 0] = u[0, 0] * 2.0
+
+        return block, d, scale
+
+    def test_miss_then_hits(self):
+        block, d, scale = self._site()
+        s0 = ops_exec.plan_cache_stats()
+        for _ in range(4):
+            ops.par_loop(scale, block, [(0, 6), (0, 5)], d(ops.RW), backend="vec")
+        s1 = ops_exec.plan_cache_stats()
+        assert s1["misses"] - s0["misses"] == 1
+        assert s1["hits"] - s0["hits"] == 3
+        np.testing.assert_array_equal(d.interior, np.full((6, 5), 24.0))
+
+    def test_storage_replacement_invalidates(self):
+        # cached views alias dat.data, so replacing the array must recompile
+        block, d, scale = self._site()
+        ops.par_loop(scale, block, [(0, 6), (0, 5)], d(ops.RW), backend="vec")
+        s0 = ops_exec.plan_cache_stats()
+        d.data = d.data.copy()
+        ops.par_loop(scale, block, [(0, 6), (0, 5)], d(ops.RW), backend="vec")
+        s1 = ops_exec.plan_cache_stats()
+        assert s1["invalidations"] - s0["invalidations"] == 1
+        np.testing.assert_array_equal(d.interior, np.full((6, 5), 6.0))
+
+    def test_equivalent_factory_closures_share_a_plan(self):
+        # make_*_kernel(dx, dy) returns a fresh closure per call; equal
+        # captured values must map to the same compiled plan
+        block = ops.Block(2, "facblk")
+        d = ops.Dat(block, (4, 4), initial=1.0, name="w")
+
+        def make_kernel(c):
+            def axpy(u):
+                u[0, 0] = u[0, 0] + c
+
+            return axpy
+
+        s0 = ops_exec.plan_cache_stats()
+        ops.par_loop(make_kernel(2.0), block, [(0, 4), (0, 4)], d(ops.RW),
+                     backend="vec", name="axpy")
+        ops.par_loop(make_kernel(2.0), block, [(0, 4), (0, 4)], d(ops.RW),
+                     backend="vec", name="axpy")
+        ops.par_loop(make_kernel(3.0), block, [(0, 4), (0, 4)], d(ops.RW),
+                     backend="vec", name="axpy")
+        s1 = ops_exec.plan_cache_stats()
+        assert s1["hits"] - s0["hits"] == 1
+        assert s1["misses"] - s0["misses"] == 2
+        np.testing.assert_array_equal(d.interior, np.full((4, 4), 8.0))
+
+    def test_changed_default_argument_recompiles(self):
+        # Sod's pdv bakes the timestep in as a default (frac=0.5 * dt); a
+        # token that ignored __defaults__ would replay the first step's dt
+        block = ops.Block(2, "defblk")
+        d = ops.Dat(block, (4, 4), initial=1.0, name="v")
+
+        def step(dt):
+            def advance(u, frac=0.5 * dt):
+                u[0, 0] = u[0, 0] + frac
+
+            ops.par_loop(advance, block, [(0, 4), (0, 4)], d(ops.RW),
+                         backend="vec", name="advance")
+
+        s0 = ops_exec.plan_cache_stats()
+        step(1.0)
+        step(1.0)
+        step(3.0)
+        s1 = ops_exec.plan_cache_stats()
+        assert s1["hits"] - s0["hits"] == 1
+        assert s1["misses"] - s0["misses"] == 2
+        np.testing.assert_array_equal(d.interior, np.full((4, 4), 3.5))
+
+    def test_checking_bypasses_compiled_path(self):
+        block, d, scale = self._site()
+        s0 = ops_exec.plan_cache_stats()
+        ops.par_loop(scale, block, [(0, 6), (0, 5)], d(ops.RW), backend="vec",
+                     check=True)
+        s1 = ops_exec.plan_cache_stats()
+        assert (s1["hits"], s1["misses"]) == (s0["hits"], s0["misses"])
+
+
+# -- counters and timing_report -----------------------------------------------------
+
+
+class TestPlanCounters:
+    def test_hit_rate_after_warmup_exceeds_99_percent(self):
+        _fresh_caches()
+        counters = PerfCounters()
+        with counters_scope(counters), swap(use_execplan=True):
+            app = AirfoilApp(generate_mesh(6, 4, jitter=0.1), backend="vec")
+            app.run(100)
+        assert counters.plan_misses > 0
+        assert counters.plan_hit_rate >= 0.99
+        report = timing_report(counters)
+        assert "execplan:" in report
+        assert "hit rate" in report
+
+    def test_report_silent_without_compiled_loops(self):
+        counters = PerfCounters()
+        with counters_scope(counters), swap(use_execplan=False):
+            app = AirfoilApp(generate_mesh(4, 3), backend="vec")
+            app.run(1)
+        assert "execplan" not in timing_report(counters)
