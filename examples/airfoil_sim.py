@@ -5,18 +5,32 @@ the residual history, the per-loop profile (the data behind paper Table I),
 and finally re-runs distributed over 4 simulated MPI ranks and verifies the
 result matches the serial run exactly.
 
-Run:  python examples/airfoil_sim.py
+Run:  python examples/airfoil_sim.py [--trace trace.json]
+
+With ``--trace`` the whole run (serial and the 4-rank distributed rerun)
+records telemetry and writes a Chrome trace: open it at chrome://tracing,
+or summarise it with ``python -m repro.telemetry report trace.json``.
 """
+
+import argparse
 
 import numpy as np
 
-from repro import op2
+from repro import op2, telemetry
 from repro.apps.airfoil import AirfoilApp, generate_mesh
 from repro.common.counters import PerfCounters
 from repro.common.profiling import counters_scope
 from repro.simmpi import run_spmd
 
 NX, NY, ITERS = 60, 40, 40
+
+cli = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+cli.add_argument(
+    "--trace", metavar="PATH", default=None,
+    help="record telemetry and write a Chrome trace (chrome://tracing) here",
+)
+cli_args = cli.parse_args()
+tracer = telemetry.enable() if cli_args.trace else None
 
 print(f"generating {NX}x{NY} channel mesh...")
 mesh = generate_mesh(NX, NY, jitter=0.1)
@@ -58,3 +72,12 @@ rms_dist, q_dist = results[0]
 match = np.allclose(q_dist, mesh.q.data, atol=1e-12)
 print(f"distributed rms = {rms_dist:.3e}; state matches serial: {match}")
 assert match
+
+if tracer is not None:
+    telemetry.disable()
+    telemetry.write_chrome_trace(cli_args.trace, tracer.events(), counters=counters)
+    n = len(tracer.events())
+    print(
+        f"\nwrote {n} trace events to {cli_args.trace} — open in chrome://tracing"
+        f" or run: python -m repro.telemetry report {cli_args.trace}"
+    )

@@ -28,6 +28,7 @@ from repro.checkpoint.store import MemoryStore
 from repro.common.access import Access
 from repro.common.errors import CheckpointError
 from repro.common.profiling import LoopEvent, add_loop_observer, remove_loop_observer
+from repro.telemetry import tracer as _trace
 
 
 def _set_value(ref: Any, value: np.ndarray) -> None:
@@ -159,6 +160,9 @@ class CheckpointManager:
                 return
         self.state = self.SAVING
         self.store.set_entry(self.loop_index)
+        trc = _trace.ACTIVE
+        if trc is not None:
+            trc.instant("checkpoint_enter", "checkpoint", loop_index=self.loop_index)
         # datasets never written before the entry point still hold their
         # initial (input-file) values at recovery fast-forward time, so they
         # need no saving regardless of what happens later
@@ -196,6 +200,14 @@ class CheckpointManager:
                 self.store.save_dataset(a.name, _get_value(a.data_ref))
         if self._all_decided():
             self.state = self.COMPLETE
+            trc = _trace.ACTIVE
+            if trc is not None:
+                fates = list(self.decided.values())
+                trc.instant(
+                    "checkpoint_complete", "checkpoint",
+                    saved=fates.count("saved"),
+                    dropped=len(fates) - fates.count("saved"),
+                )
             if self.on_complete is not None:
                 self.on_complete(self)
 
@@ -288,14 +300,25 @@ class RecoveryReplayer:
         self.loop_index += 1
 
     def _restore(self) -> None:
-        for name, values in self.store.datasets.items():
-            ref = self.datasets.get(name)
-            if ref is None:
-                raise CheckpointError(f"saved dataset {name!r} has no live counterpart")
-            _set_value(ref, values)
-        entry = self.store.entry_index
-        for name, ref in self.globals_.items():
-            val = self.store.global_at(name, entry - 1)
-            if val is not None:
-                _set_value(ref, val)
+        trc = _trace.ACTIVE
+        span = None
+        if trc is not None:
+            span = trc.begin(
+                "checkpoint_restore", "checkpoint",
+                entry=self.store.entry_index, datasets=len(self.store.datasets),
+            )
+        try:
+            for name, values in self.store.datasets.items():
+                ref = self.datasets.get(name)
+                if ref is None:
+                    raise CheckpointError(f"saved dataset {name!r} has no live counterpart")
+                _set_value(ref, values)
+            entry = self.store.entry_index
+            for name, ref in self.globals_.items():
+                val = self.store.global_at(name, entry - 1)
+                if val is not None:
+                    _set_value(ref, val)
+        finally:
+            if span is not None:
+                trc.end(span)
         self.restored = True

@@ -8,6 +8,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.common.errors import CheckpointError
+from repro.telemetry import tracer as _trace
 
 
 class MemoryStore:
@@ -61,19 +62,31 @@ class FileStore(MemoryStore):
         """Write the checkpoint to disk (atomically: tmp file + rename)."""
         if self.entry_index is None:
             raise CheckpointError("no checkpoint entry recorded; nothing to flush")
-        payload: dict[str, np.ndarray] = {
-            f"dat/{k}": v for k, v in self.datasets.items()
-        }
-        for name, series in self.globals.items():
-            for idx, val in series:
-                payload[f"gbl/{name}/{idx}"] = val
-        payload["entry"] = np.asarray([self.entry_index], dtype=np.int64)
-        # fixed-width strings, not object dtype: loadable without pickle
-        payload["dropped"] = np.asarray(self.dropped, dtype=np.str_)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        with open(tmp, "wb") as fh:
-            np.savez(fh, **payload)
-        os.replace(tmp, self.path)
+        trc = _trace.ACTIVE
+        span = None
+        if trc is not None:
+            span = trc.begin(
+                "checkpoint_save", "checkpoint",
+                datasets=len(self.datasets), bytes=self.saved_bytes,
+                entry=self.entry_index,
+            )
+        try:
+            payload: dict[str, np.ndarray] = {
+                f"dat/{k}": v for k, v in self.datasets.items()
+            }
+            for name, series in self.globals.items():
+                for idx, val in series:
+                    payload[f"gbl/{name}/{idx}"] = val
+            payload["entry"] = np.asarray([self.entry_index], dtype=np.int64)
+            # fixed-width strings, not object dtype: loadable without pickle
+            payload["dropped"] = np.asarray(self.dropped, dtype=np.str_)
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **payload)
+            os.replace(tmp, self.path)
+        finally:
+            if span is not None:
+                trc.end(span)
 
     @classmethod
     def load(cls, path: str | Path) -> "FileStore":

@@ -9,8 +9,10 @@ predicted runtimes on catalogued hardware.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+# bound once at import: Timer sits on every par_loop hot path, and the
+# two-level ``time.perf_counter`` attribute walk is measurable there
+from time import perf_counter as _perf_counter
 
 
 @dataclass
@@ -201,8 +203,8 @@ class Timer:
         self._t0 = 0.0
 
     def __enter__(self) -> "Timer":
-        self._t0 = time.perf_counter()
+        self._t0 = _perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
-        self._record.wall_seconds += time.perf_counter() - self._t0
+        self._record.wall_seconds += _perf_counter() - self._t0

@@ -100,3 +100,7 @@ class MessageLostError(ResilienceError):
 
 class TranslatorError(ReproError):
     """Failure while parsing an application or generating backend code."""
+
+
+class TelemetryError(ReproError):
+    """Invalid use of the tracing API (mismatched span exit, bad trace file)."""

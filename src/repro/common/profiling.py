@@ -105,6 +105,19 @@ def remove_loop_observer(fn: Callable[[LoopEvent], None], *, local: bool = False
     (_local_observers() if local else _observers).remove(fn)
 
 
+def observers_active() -> bool:
+    """True when any process-wide or this-thread loop observer is registered.
+
+    The par_loop hot paths use this to skip building a :class:`LoopEvent`
+    (and the per-arg :class:`ArgEvent` list) entirely when nobody is
+    listening — the common case outside checkpointed/traced runs.
+    """
+    if _observers:
+        return True
+    local = getattr(_tls, "observers", None)
+    return bool(local)
+
+
 def notify_loop(event: LoopEvent) -> None:
     """Announce a loop execution to all process-wide, then thread-local, observers."""
     for obs in list(_observers):

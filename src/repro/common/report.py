@@ -11,16 +11,22 @@ from repro.common.counters import PerfCounters
 
 
 def timing_report(counters: PerfCounters, *, top: int | None = None) -> str:
-    """Per-loop table: count, time, bandwidth, arithmetic intensity."""
+    """Per-loop table: count, time, bandwidth, arithmetic intensity.
+
+    ``top`` selects the N most *expensive* loops (by wall time), but the
+    selected rows render sorted by loop name: wall times jitter from run to
+    run, so a time-ordered table would make report goldens unstable.
+    """
     rows = []
     for rec in counters.loops.values():
         gb = rec.bytes_moved / 1e9
         bw = gb / rec.wall_seconds if rec.wall_seconds > 0 else 0.0
         ai = rec.flops / rec.bytes_moved if rec.bytes_moved else 0.0
         rows.append((rec.wall_seconds, rec.name, rec.invocations, rec.iterations, gb, bw, ai, rec.colours))
-    rows.sort(reverse=True)
     if top is not None:
+        rows.sort(key=lambda r: (-r[0], r[1]))
         rows = rows[:top]
+    rows.sort(key=lambda r: r[1])
 
     header = (
         f"{'loop':<24}{'calls':>7}{'iterations':>12}{'GB moved':>10}"
@@ -65,4 +71,10 @@ def timing_report(counters: PerfCounters, *, top: int | None = None) -> str:
             f"verify: {counters.loops_sanitized} loops sanitized, "
             f"{counters.shadow_runs} shadow runs"
         )
+    # deferred import: repro.telemetry depends on repro.common, not vice versa
+    from repro import telemetry
+
+    tele = telemetry.summary()
+    if tele is not None:
+        lines.append(tele)
     return "\n".join(lines)

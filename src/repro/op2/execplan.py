@@ -43,7 +43,13 @@ import numpy as np
 from repro.common.access import Access
 from repro.common.config import get_config
 from repro.common.counters import LoopRecord, PerfCounters, Timer
-from repro.common.profiling import LoopEvent, active_counters, notify_loop
+from repro.common.profiling import (
+    LoopEvent,
+    active_counters,
+    notify_loop,
+    observers_active,
+)
+from repro.telemetry import tracer as _trace
 from repro.op2 import plan as colour_plan
 from repro.op2.args import Arg
 from repro.op2.kernel import Kernel
@@ -249,6 +255,16 @@ class CompiledLoop:
 
         # (b) the prebuilt event and the written-dat list (halo staleness)
         self.event: LoopEvent = _parloop._event_for(kernel, args)
+        # span attributes are part of the plan too: formatting descriptors
+        # per call would dominate a traced fast path
+        self.trace_attrs = {
+            "kernel": kernel.name,
+            "set": iterset.name,
+            "backend": backend,
+            "n": n,
+            "descriptors": _parloop.describe_args(args),
+            "compiled": True,
+        }
         self.written_dats = []
         for arg in args:
             if arg.dat is not None and arg.access.writes:
@@ -300,21 +316,28 @@ class CompiledLoop:
 
     def execute(self) -> None:
         """Replay the plan: notify, run every subset, account, mark halos."""
-        event = self.event
-        event.skip = False
-        notify_loop(event)
-        if event.skip:
-            # recovery fast-forward: same contract as the interpreted path
-            for dat in self.written_dats:
-                dat.halo_dirty = True
-            return
+        if observers_active():
+            event = self.event
+            event.skip = False
+            notify_loop(event)
+            if event.skip:
+                # recovery fast-forward: same contract as the interpreted path
+                for dat in self.written_dats:
+                    dat.halo_dirty = True
+                return
 
         counters = active_counters()
         rec = counters.loop(self.kernel.name)
         vec_func = self.kernel.vec_func
-        with Timer(rec):
-            for subset in self.subsets:
-                subset.run(vec_func)
+        trc = _trace.ACTIVE
+        span = trc.begin("par_loop", "op2", **self.trace_attrs) if trc is not None else None
+        try:
+            with Timer(rec):
+                for subset in self.subsets:
+                    subset.run(vec_func)
+        finally:
+            if span is not None:
+                trc.end(span)
         rec.merge(self.acct)
 
         for dat in self.written_dats:
@@ -356,6 +379,7 @@ def lookup(
         return None
 
     counters = active_counters()
+    trc = _trace.ACTIVE
     with _lock:
         compiled = _registry.get(key)
         if compiled is not None:
@@ -367,6 +391,10 @@ def lookup(
             del _registry[key]
             _stats["invalidations"] += 1
             counters.record_plan_invalidation()
+            if trc is not None:
+                trc.instant(
+                    "plan_invalidation", "plan", kernel=kernel.name, backend=backend
+                )
 
     # compile outside the lock: colouring/argsort can be expensive and the
     # simulated MPI ranks compile distinct per-rank signatures concurrently
@@ -375,11 +403,15 @@ def lookup(
         _registry[key] = compiled
         _stats["misses"] += 1
         counters.record_plan_miss()
+        if trc is not None:
+            trc.instant("plan_miss", "plan", kernel=kernel.name, backend=backend, n=n)
         limit = get_config().execplan_cache_size
         while len(_registry) > limit:
-            _registry.popitem(last=False)
+            _, evicted = _registry.popitem(last=False)
             _stats["evictions"] += 1
             counters.record_plan_eviction()
+            if trc is not None:
+                trc.instant("plan_eviction", "plan", kernel=evicted.kernel.name)
     return compiled
 
 

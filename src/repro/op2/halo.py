@@ -38,6 +38,7 @@ from repro.op2.parloop import par_loop
 from repro.op2.partition import derive_partition, derive_source_partition
 from repro.op2.set import Set
 from repro.simmpi.comm import SimComm
+from repro.telemetry import tracer as _trace
 
 _HALO_TAG = 11
 _REVERSE_TAG = 13
@@ -111,27 +112,45 @@ class RankMesh:
         """Forward exchange: refresh this dat's halo copies from owners."""
         ldat = self.local_dat(gdat)
         layout = self._layout_of(gdat.set)
-        nbytes = 0
-        for p, idx in layout.send.items():
-            comm.send(ldat.data[idx], p, _HALO_TAG)
-            nbytes += idx.size * ldat.nbytes_per_elem
-        for p, idx in sorted(layout.recv.items()):
-            ldat.data[idx] = comm.recv(p, _HALO_TAG)
-        comm.counters.record_halo_exchange(len(layout.send), nbytes)
+        trc = _trace.ACTIVE
+        span = None
+        if trc is not None:
+            span = trc.begin("halo_exchange", "halo", dat=gdat.name, direction="forward")
+        try:
+            nbytes = 0
+            for p, idx in layout.send.items():
+                comm.send(ldat.data[idx], p, _HALO_TAG)
+                nbytes += idx.size * ldat.nbytes_per_elem
+            for p, idx in sorted(layout.recv.items()):
+                ldat.data[idx] = comm.recv(p, _HALO_TAG)
+            comm.counters.record_halo_exchange(len(layout.send), nbytes)
+        finally:
+            if span is not None:
+                span.attrs["bytes"] = nbytes
+                trc.end(span)
         ldat.halo_dirty = False
 
     def reverse_halo_exchange(self, comm: SimComm, gdat: Dat) -> None:
         """Reverse exchange: push halo increments back and sum on the owner."""
         ldat = self.local_dat(gdat)
         layout = self._layout_of(gdat.set)
-        nbytes = 0
-        for p, idx in layout.recv.items():
-            comm.send(ldat.data[idx], p, _REVERSE_TAG)
-            nbytes += idx.size * ldat.nbytes_per_elem
-        for p, idx in sorted(layout.send.items()):
-            contribution = comm.recv(p, _REVERSE_TAG)
-            np.add.at(ldat.data, idx, contribution)
-        comm.counters.record_halo_exchange(len(layout.recv), nbytes)
+        trc = _trace.ACTIVE
+        span = None
+        if trc is not None:
+            span = trc.begin("halo_exchange", "halo", dat=gdat.name, direction="reverse")
+        try:
+            nbytes = 0
+            for p, idx in layout.recv.items():
+                comm.send(ldat.data[idx], p, _REVERSE_TAG)
+                nbytes += idx.size * ldat.nbytes_per_elem
+            for p, idx in sorted(layout.send.items()):
+                contribution = comm.recv(p, _REVERSE_TAG)
+                np.add.at(ldat.data, idx, contribution)
+            comm.counters.record_halo_exchange(len(layout.recv), nbytes)
+        finally:
+            if span is not None:
+                span.attrs["bytes"] = nbytes
+                trc.end(span)
         ldat.halo_dirty = True
 
     # -- distributed loop -----------------------------------------------------------

@@ -19,7 +19,7 @@ import numpy as np
 from repro.common.access import validate_argument_access
 from repro.common.config import get_config
 from repro.common.counters import PerfCounters, Timer
-from repro.common.errors import APIError
+from repro.common.errors import APIError, DescriptorViolation
 from repro.common.profiling import (
     ArgEvent,
     LoopEvent,
@@ -28,8 +28,10 @@ from repro.common.profiling import (
     counters_scope,
     loop_chain_record,
     notify_loop,
+    observers_active,
     remove_loop_observer,
 )
+from repro.telemetry import tracer as _trace
 from repro.op2 import execplan
 from repro.op2.args import Arg
 # the backend table is resolved once at import: the per-call `from ... import
@@ -78,6 +80,19 @@ def _event_for(kernel: Kernel, args: list[Arg]) -> LoopEvent:
                 ArgEvent(a.dat.name, a.access, a.dat.dim, indirect=a.is_indirect, data_ref=a.dat)
             )
     return LoopEvent(kernel.name, evs, api="op2")
+
+
+def describe_args(args: list[Arg]) -> str:
+    """Compact descriptor summary for trace spans: ``dat:access[:i|:g]``."""
+    parts = []
+    for a in args:
+        if a.is_global:
+            parts.append(f"{a.glob.name}:{a.access.value}:g")
+        elif a.is_indirect:
+            parts.append(f"{a.dat.name}:{a.access.value}:i")
+        else:
+            parts.append(f"{a.dat.name}:{a.access.value}")
+    return ",".join(parts)
 
 
 #: keyed on (map token, idx) pairs plus n — tokens, not id(), so a count
@@ -198,28 +213,50 @@ def par_loop(
 
     n = iterset.size if n_elements is None else min(n_elements, iterset.total_size)
 
-    event = _event_for(kernel, arg_list)
-    notify_loop(event)
-    if event.skip:
-        # recovery fast-forward: no computation, observers have already
-        # restored any recorded global-argument values.  Halo staleness must
-        # still advance as if the loop ran, or a distributed replay's
-        # exchange schedule diverges from the original run's
-        for arg in arg_list:
-            if arg.dat is not None and arg.access.writes:
-                arg.dat.halo_dirty = True
-        return
+    # only build the LoopEvent (and its per-arg descriptor list) when an
+    # observer is actually listening — nothing else can set event.skip
+    if observers_active():
+        event = _event_for(kernel, arg_list)
+        notify_loop(event)
+        if event.skip:
+            # recovery fast-forward: no computation, observers have already
+            # restored any recorded global-argument values.  Halo staleness
+            # must still advance as if the loop ran, or a distributed
+            # replay's exchange schedule diverges from the original run's
+            for arg in arg_list:
+                if arg.dat is not None and arg.access.writes:
+                    arg.dat.halo_dirty = True
+            return
 
+    trc = _trace.ACTIVE
     counters = active_counters()
     rec = counters.loop(kernel.name)
-    with Timer(rec):
-        if get_config().verify_descriptors:
-            from repro.verify.sanitizer import sanitized_execute
+    span = None
+    if trc is not None:
+        span = trc.begin(
+            "par_loop", "op2",
+            kernel=kernel.name, set=iterset.name, backend=name, n=n,
+            descriptors=describe_args(arg_list),
+        )
+    try:
+        with Timer(rec):
+            if cfg.verify_descriptors:
+                from repro.verify.sanitizer import sanitized_execute
 
-            colours, shadow_runs = sanitized_execute(impl, kernel, iterset, arg_list, n)
-            counters.record_sanitized_loop(shadow_runs)
-        else:
-            colours = impl(kernel, iterset, arg_list, n)
+                colours, shadow_runs = sanitized_execute(impl, kernel, iterset, arg_list, n)
+                counters.record_sanitized_loop(shadow_runs)
+            else:
+                colours = impl(kernel, iterset, arg_list, n)
+    except DescriptorViolation as err:
+        if trc is not None:
+            trc.instant(
+                "verify_violation", "verify",
+                loop=err.loop, kind=err.kind, arg_index=err.arg_index,
+            )
+        raise
+    finally:
+        if span is not None:
+            trc.end(span)
     _account(kernel, n, arg_list, counters, colours)
 
     # any dat written by this loop has stale halo copies on other ranks

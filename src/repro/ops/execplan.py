@@ -36,8 +36,14 @@ from typing import Callable, Sequence
 
 from repro.common.config import get_config
 from repro.common.counters import LoopRecord, PerfCounters, Timer
-from repro.common.profiling import LoopEvent, active_counters, notify_loop
+from repro.common.profiling import (
+    LoopEvent,
+    active_counters,
+    notify_loop,
+    observers_active,
+)
 from repro.common.tokens import kernel_token
+from repro.telemetry import tracer as _trace
 from repro.ops.block import Block
 from repro.ops.dat import Dat
 from repro.ops.reduction import Reduction
@@ -114,6 +120,16 @@ class CompiledOpsLoop:
 
         # (b) the prebuilt event, reduction slots, written-dat list
         self.event: LoopEvent = _parloop._event_for(loop_name, args)
+        # span attributes are part of the plan too: formatting descriptors
+        # per call would dominate a traced fast path
+        self.trace_attrs = {
+            "kernel": loop_name,
+            "block": block.name,
+            "backend": backend,
+            "n": _parloop._npoints(ranges),
+            "descriptors": _parloop.describe_args(args),
+            "compiled": True,
+        }
         self.red_slots = [i for i, a in enumerate(args) if isinstance(a, Reduction)]
         self.written_dats = []
         for a in args:
@@ -162,29 +178,36 @@ class CompiledOpsLoop:
 
     def execute(self, args: Sequence) -> None:
         """Replay the plan with this call's reduction handles bound in."""
-        event = self.event
-        for i in self.red_slots:
-            red = args[i]
-            ev = event.args[i]
-            ev.name = red.name
-            ev.data_ref = red
-        event.skip = False
-        notify_loop(event)
-        if event.skip:
-            # recovery fast-forward: same contract as the interpreted path
-            for dat in self.written_dats:
-                dat.halo_dirty = True
-            return
+        if observers_active():
+            event = self.event
+            for i in self.red_slots:
+                red = args[i]
+                ev = event.args[i]
+                ev.name = red.name
+                ev.data_ref = red
+            event.skip = False
+            notify_loop(event)
+            if event.skip:
+                # recovery fast-forward: same contract as the interpreted path
+                for dat in self.written_dats:
+                    dat.halo_dirty = True
+                return
 
         counters = active_counters()
         rec = counters.loop(self.name)
         kernel = self.kernel
         red_slots = self.red_slots
-        with Timer(rec):
-            for accs in self.tile_accessors:
-                for i in red_slots:
-                    accs[i] = args[i]
-                kernel(*accs)
+        trc = _trace.ACTIVE
+        span = trc.begin("par_loop", "ops", **self.trace_attrs) if trc is not None else None
+        try:
+            with Timer(rec):
+                for accs in self.tile_accessors:
+                    for i in red_slots:
+                        accs[i] = args[i]
+                    kernel(*accs)
+        finally:
+            if span is not None:
+                trc.end(span)
         rec.merge(self.acct)
 
         for dat in self.written_dats:
@@ -250,6 +273,7 @@ def lookup(
         return None
 
     counters = active_counters()
+    trc = _trace.ACTIVE
     with _lock:
         compiled = _registry.get(key)
         if compiled is not None:
@@ -261,6 +285,10 @@ def lookup(
             del _registry[key]
             _stats["invalidations"] += 1
             counters.record_plan_invalidation()
+            if trc is not None:
+                trc.instant(
+                    "plan_invalidation", "plan", kernel=loop_name, backend=backend
+                )
 
     # compile outside the lock: slicing every tile's views can be expensive
     # and simulated MPI ranks compile distinct per-rank signatures concurrently
@@ -271,11 +299,15 @@ def lookup(
         _registry[key] = compiled
         _stats["misses"] += 1
         counters.record_plan_miss()
+        if trc is not None:
+            trc.instant("plan_miss", "plan", kernel=loop_name, backend=backend)
         limit = get_config().execplan_cache_size
         while len(_registry) > limit:
-            _registry.popitem(last=False)
+            _, evicted = _registry.popitem(last=False)
             _stats["evictions"] += 1
             counters.record_plan_eviction()
+            if trc is not None:
+                trc.instant("plan_eviction", "plan", kernel=evicted.name)
     return compiled
 
 

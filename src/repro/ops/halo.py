@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.common.errors import APIError
 from repro.ops.dat import Dat
+from repro.telemetry import tracer as _trace
 
 
 class Halo:
@@ -90,8 +91,18 @@ class HaloGroup:
         self.name = name
 
     def apply(self) -> None:
-        for h in self.halos:
-            h.apply()
+        trc = _trace.ACTIVE
+        if trc is None:
+            for h in self.halos:
+                h.apply()
+            return
+        nbytes = sum(
+            h.to_dat.region(h.to_ranges).nbytes for h in self.halos
+        )
+        with trc.span("halo_transfer", "halo", group=self.name,
+                      halos=len(self.halos), bytes=nbytes):
+            for h in self.halos:
+                h.apply()
 
     def __len__(self) -> int:
         return len(self.halos)

@@ -23,8 +23,15 @@ from typing import Callable, Sequence
 from repro.common.access import Access, validate_argument_access
 from repro.common.config import get_config
 from repro.common.counters import PerfCounters, Timer
-from repro.common.errors import APIError
-from repro.common.profiling import ArgEvent, LoopEvent, active_counters, notify_loop
+from repro.common.errors import APIError, DescriptorViolation
+from repro.common.profiling import (
+    ArgEvent,
+    LoopEvent,
+    active_counters,
+    notify_loop,
+    observers_active,
+)
+from repro.telemetry import tracer as _trace
 from repro.ops import execplan
 from repro.ops.accessor import PointAccessor, RangeAccessor
 from repro.ops.block import Block
@@ -136,6 +143,17 @@ def _event_for(name: str, args: Sequence[LoopArg]) -> LoopEvent:
     return LoopEvent(name, evs, api="ops")
 
 
+def describe_args(args: Sequence[LoopArg]) -> str:
+    """Compact descriptor summary for trace spans: ``dat:access[:g]``."""
+    parts = []
+    for a in args:
+        if isinstance(a, Reduction):
+            parts.append(f"{a.name}:{a.access.value}:g")
+        else:
+            parts.append(f"{a.dat.name}:{a.access.value}")
+    return ",".join(parts)
+
+
 def _run_vec(
     kernel: Callable,
     ranges: list[tuple[int, int]],
@@ -224,18 +242,22 @@ def par_loop(
             return
     _validate(block, ranges_t, args, loop_name)
 
-    event = _event_for(loop_name, args)
-    notify_loop(event)
-    if event.skip:
-        # recovery fast-forward: no computation, observers have already
-        # restored any recorded reduction values.  Halo staleness must still
-        # advance as if the loop ran, or a distributed replay's exchange
-        # schedule diverges from the original run's
-        for arg in args:
-            if isinstance(arg, DatArg) and arg.access.writes:
-                arg.dat.halo_dirty = True
-        return
+    # only build the LoopEvent (and its per-arg descriptor list) when an
+    # observer is actually listening — nothing else can set event.skip
+    if observers_active():
+        event = _event_for(loop_name, args)
+        notify_loop(event)
+        if event.skip:
+            # recovery fast-forward: no computation, observers have already
+            # restored any recorded reduction values.  Halo staleness must
+            # still advance as if the loop ran, or a distributed replay's
+            # exchange schedule diverges from the original run's
+            for arg in args:
+                if isinstance(arg, DatArg) and arg.access.writes:
+                    arg.dat.halo_dirty = True
+            return
 
+    trc = _trace.ACTIVE
     counters = active_counters()
     rec = counters.loop(loop_name)
     tiles = 1
@@ -246,21 +268,39 @@ def par_loop(
 
         do_check = True
         snaps = ops_snapshot(args)
-    with Timer(rec):
-        if chosen == "seq":
-            _run_seq(kernel, ranges_t, args, do_check, guard_loop)
-        elif chosen == "vec":
-            _run_vec(kernel, ranges_t, args, do_check, guard_loop)
-        elif chosen == "tiled":
-            tile_list = tiled_ranges(ranges_t, tile_shape)
-            tiles = len(tile_list)
-            for tile in tile_list:
-                _run_vec(kernel, tile, args, do_check, guard_loop)
-        else:
-            raise APIError(f"unknown OPS backend {chosen!r}; available: seq, vec, tiled")
-        if sanitize:
-            ops_post_check(loop_name, ranges_t, args, snaps)
-            counters.record_sanitized_loop()
+    span = None
+    if trc is not None:
+        span = trc.begin(
+            "par_loop", "ops",
+            kernel=loop_name, block=block.name, backend=chosen,
+            n=_npoints(ranges_t), descriptors=describe_args(args),
+        )
+    try:
+        with Timer(rec):
+            if chosen == "seq":
+                _run_seq(kernel, ranges_t, args, do_check, guard_loop)
+            elif chosen == "vec":
+                _run_vec(kernel, ranges_t, args, do_check, guard_loop)
+            elif chosen == "tiled":
+                tile_list = tiled_ranges(ranges_t, tile_shape)
+                tiles = len(tile_list)
+                for tile in tile_list:
+                    _run_vec(kernel, tile, args, do_check, guard_loop)
+            else:
+                raise APIError(f"unknown OPS backend {chosen!r}; available: seq, vec, tiled")
+            if sanitize:
+                ops_post_check(loop_name, ranges_t, args, snaps)
+                counters.record_sanitized_loop()
+    except DescriptorViolation as err:
+        if trc is not None:
+            trc.instant(
+                "verify_violation", "verify",
+                loop=err.loop, kind=err.kind, arg_index=err.arg_index,
+            )
+        raise
+    finally:
+        if span is not None:
+            trc.end(span)
     _account(loop_name, ranges_t, args, counters, flops_per_point, tiles)
 
     for arg in args:

@@ -39,6 +39,7 @@ from repro.resilience.detection import RetryPolicy
 from repro.resilience.faults import FaultPlan
 from repro.simmpi.comm import DeadlockError
 from repro.simmpi.executor import World, run_spmd
+from repro.telemetry import tracer as _trace
 
 
 class SpmdJob:
@@ -201,6 +202,14 @@ def run_resilient_spmd(
                 ) from err
             available = _latest_common_round(ckpt_dir, nranks)
             recovered_rounds.append(available[0] if available is not None else -1)
+            trc = _trace.ACTIVE
+            if trc is not None:
+                trc.instant(
+                    "restart", "resilience",
+                    attempt=restarts + 1,
+                    recovered_round=recovered_rounds[-1],
+                    cause=type(cause).__name__,
+                )
             continue
 
         aggregate.merge(world.total_counters())

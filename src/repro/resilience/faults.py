@@ -29,6 +29,14 @@ from dataclasses import dataclass, field
 from repro.common.counters import PerfCounters
 from repro.common.errors import RankKilledError
 from repro.simmpi.comm import ANY
+from repro.telemetry import tracer as _trace
+
+
+def _trace_fault(kind: str, rank: int, **attrs) -> None:
+    """Record a fault firing as a telemetry instant (one branch when off)."""
+    trc = _trace.ACTIVE
+    if trc is not None:
+        trc.instant("fault_injected", "resilience", kind=kind, rank=rank, **attrs)
 
 
 @dataclass
@@ -151,12 +159,14 @@ class FaultPlan:
                         self.fired_log.append(f"slow rank {rank} by {s.seconds}s/{s.every} loops")
                         if counters is not None:
                             counters.record_fault("slow")
+                        _trace_fault("slow", rank, seconds=s.seconds, every=s.every)
             kill = self._match_kill(rank, n, None)
         if sleep_for:
             time.sleep(sleep_for)
         if kill is not None:
             if counters is not None:
                 counters.record_fault("kill")
+            _trace_fault("kill", rank, at="loop", n=n)
             raise RankKilledError(f"rank {rank} killed at loop {n} (injected)")
 
     def on_send(self, rank: int, dest: int, tag: int, counters: PerfCounters | None = None):
@@ -175,9 +185,12 @@ class FaultPlan:
         if kill is not None:
             if counters is not None:
                 counters.record_fault("kill")
+            _trace_fault("kill", rank, at="send", n=n)
             raise RankKilledError(f"rank {rank} killed at send {n} (injected)")
-        if fault is not None and counters is not None:
-            counters.record_fault(fault.kind)
+        if fault is not None:
+            if counters is not None:
+                counters.record_fault(fault.kind)
+            _trace_fault(fault.kind, rank, dest=dest, tag=tag)
         return fault
 
     # -- matching (lock held) -----------------------------------------------------

@@ -21,8 +21,10 @@ deadlock timeout.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
+# bound once at import: monotonic runs on every blocking-receive wakeup
+from time import monotonic as _monotonic
+from time import sleep as _sleep
 from typing import Any, Callable, Optional
 
 import numpy as np
@@ -30,6 +32,7 @@ import numpy as np
 from repro.common.config import get_config
 from repro.common.counters import PerfCounters
 from repro.common.errors import MessageLostError, RankFailedError, ReproError
+from repro.telemetry import tracer as _trace
 
 #: matches any source / any tag, like MPI_ANY_SOURCE / MPI_ANY_TAG
 ANY = -1
@@ -112,7 +115,7 @@ class _Mailbox:
         immediately: a contribution from a dead rank can never arrive.
         """
         limit = threading.TIMEOUT_MAX if timeout is None else timeout
-        deadline = time.monotonic() + limit
+        deadline = _monotonic() + limit
         with self._cond:
             while True:
                 idx = self._find(src, tag)
@@ -128,7 +131,7 @@ class _Mailbox:
                             f"recv(src=ANY, tag={tag}): rank(s) "
                             f"{sorted(failed)} failed with no message pending"
                         )
-                remaining = deadline - time.monotonic()
+                remaining = deadline - _monotonic()
                 if remaining <= 0:
                     raise DeadlockError(
                         f"recv(src={src}, tag={tag}) timed out after {timeout}s"
@@ -251,28 +254,47 @@ class SimComm:
                                 f"send(dest={dest}, tag={tag}) dropped "
                                 f"{attempts + 1} times; retries exhausted"
                             )
-                        time.sleep(retry.delay(attempts))
+                        _sleep(retry.delay(attempts))
                         attempts += 1
                         self.counters.record_message_retried()
                         continue
                     return  # silent loss: nobody is watching this send
                 if fault.kind == "delay":
-                    time.sleep(fault.seconds)
+                    _sleep(fault.seconds)
                     break
                 if fault.kind == "duplicate":
                     copies = 2
                     break
                 raise ValueError(f"unknown message-fault kind {fault.kind!r}")
         nbytes = _payload_nbytes(payload)
+        trc = _trace.ACTIVE
+        if trc is not None:
+            trc.instant("mpi_send", "mpi", dest=dest, tag=tag, bytes=nbytes)
         for _ in range(copies):
             self.counters.record_message(nbytes)
             st.mailboxes[dest].put(_Envelope(self.rank, tag, _copy_payload(payload)))
 
+    def _get_env(self, source: int, tag: int, timeout: float | None) -> _Envelope:
+        """Blocking mailbox pop, recorded as an ``mpi_recv`` span when traced.
+
+        The span covers the whole blocking wait — the "wait time" the report
+        CLI attributes to halo exchanges or general communication.
+        """
+        trc = _trace.ACTIVE
+        if trc is None:
+            return self._world.mailboxes[self.rank].get(
+                source, tag, _deadlock_timeout(timeout), failed=self._world.failed
+            )
+        span = trc.begin("mpi_recv", "mpi", src=source, tag=tag)
+        try:
+            return self._world.mailboxes[self.rank].get(
+                source, tag, _deadlock_timeout(timeout), failed=self._world.failed
+            )
+        finally:
+            trc.end(span)
+
     def recv(self, source: int = ANY, tag: int = ANY, timeout: float | None = None) -> Any:
-        env = self._world.mailboxes[self.rank].get(
-            source, tag, _deadlock_timeout(timeout), failed=self._world.failed
-        )
-        return env.payload
+        return self._get_env(source, tag, timeout).payload
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
         # buffered sends complete immediately
@@ -292,7 +314,15 @@ class SimComm:
     # -- collectives --------------------------------------------------------
 
     def barrier(self) -> None:
-        self._world.barrier.wait()
+        trc = _trace.ACTIVE
+        if trc is None:
+            self._world.barrier.wait()
+            return
+        span = trc.begin("mpi_barrier", "mpi")
+        try:
+            self._world.barrier.wait()
+        finally:
+            trc.end(span)
 
     def _next_tag(self) -> int:
         # every collective call consumes one tag slot; SPMD code calls
@@ -316,9 +346,7 @@ class SimComm:
             out: list = [None] * self.size
             out[root] = _copy_payload(payload)
             for _ in range(self.size - 1):
-                env = self._world.mailboxes[self.rank].get(
-                    ANY, tag, _deadlock_timeout(None), failed=self._world.failed
-                )
+                env = self._get_env(ANY, tag, None)
                 out[env.src] = env.payload
             return out
         self.send(payload, root, tag)
@@ -366,9 +394,7 @@ class SimComm:
         out: list = [None] * self.size
         out[self.rank] = _copy_payload(payloads[self.rank])
         for _ in range(self.size - 1):
-            env = self._world.mailboxes[self.rank].get(
-                ANY, tag, _deadlock_timeout(None), failed=self._world.failed
-            )
+            env = self._get_env(ANY, tag, None)
             out[env.src] = env.payload
         return out
 

@@ -23,6 +23,7 @@ from repro.common.counters import PerfCounters
 from repro.common.errors import RankFailedError
 from repro.common.profiling import add_loop_observer, counters_scope, remove_loop_observer
 from repro.simmpi.comm import SimComm, _WorldState, _Mailbox
+from repro.telemetry import tracer as _trace
 
 
 class World:
@@ -86,6 +87,11 @@ def run_spmd(
 
     def call(rank: int) -> Any:
         extra = rank_args[rank] if rank_args is not None else ()
+        trc = _trace.ACTIVE
+        if trc is not None:
+            # tag this thread's trace events with its simulated rank so the
+            # exporters can lay ranks out as separate timeline processes
+            trc.set_rank(rank)
         observer = None
         if plan is not None:
             def observer(event, _rank=rank):  # noqa: ARG001 - loop-event hook

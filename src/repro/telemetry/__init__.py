@@ -1,0 +1,87 @@
+"""Structured tracing, metrics export and timeline profiling.
+
+Quickstart::
+
+    from repro import telemetry
+
+    with telemetry.tracing() as trc:
+        app.run()
+    telemetry.write_chrome_trace("trace.json", trc.events())
+
+then load ``trace.json`` in ``chrome://tracing`` / Perfetto, or run
+``python -m repro.telemetry report trace.json`` for a text breakdown.
+"""
+
+from repro.telemetry.export import (
+    MetricsSnapshot,
+    SpanStats,
+    chrome_trace,
+    counters_dict,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.report import load_trace, render_report
+from repro.telemetry.tracer import (
+    DEFAULT_RING_SIZE,
+    InstantEvent,
+    SpanEvent,
+    Tracer,
+    active,
+    disable,
+    enable,
+    tracing,
+)
+
+__all__ = [
+    "Tracer",
+    "SpanEvent",
+    "InstantEvent",
+    "DEFAULT_RING_SIZE",
+    "active",
+    "enable",
+    "disable",
+    "tracing",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "validate_chrome_trace",
+    "counters_dict",
+    "SpanStats",
+    "MetricsSnapshot",
+    "load_trace",
+    "render_report",
+    "summary",
+]
+
+
+def summary() -> str | None:
+    """One-paragraph digest of the active tracer, or None when tracing is off.
+
+    ``timing_report`` appends this so a traced run's text report says what
+    was recorded and how to inspect it.
+    """
+    trc = active()
+    if trc is None:
+        return None
+    events = trc.events()
+    spans = sum(1 for ev in events if isinstance(ev, SpanEvent))
+    instants = len(events) - spans
+    ranks = sorted({ev.rank for ev in events})
+    parts = [
+        f"telemetry: {spans} spans, {instants} instants across "
+        f"{len(ranks) or 1} rank(s)"
+    ]
+    snap = MetricsSnapshot.from_events(events)
+    for name in ("par_loop", "halo_exchange", "mpi_recv", "mpi_barrier"):
+        st = snap.spans.get(name)
+        if st is not None:
+            q = st.quantiles()
+            parts.append(
+                f"  {name:<14} x{st.count:<6} total {st.total_seconds:.4f} s  "
+                f"p50 {q['p50'] * 1e3:.3f} ms  p95 {q['p95'] * 1e3:.3f} ms  "
+                f"p99 {q['p99'] * 1e3:.3f} ms"
+            )
+    if trc.dropped_possible():
+        parts.append("  (ring buffer reached capacity: oldest events dropped)")
+    return "\n".join(parts)

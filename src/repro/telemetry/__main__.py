@@ -1,0 +1,44 @@
+"""CLI: ``python -m repro.telemetry report <trace> [--top N] [--rank R]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.errors import TelemetryError
+from repro.telemetry.report import load_trace, render_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Analyse traces recorded by repro.telemetry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    rep = sub.add_parser(
+        "report", help="per-rank / per-kernel breakdown of a trace file"
+    )
+    rep.add_argument("trace", help="Chrome trace JSON or JSONL event log")
+    rep.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the N most expensive kernels",
+    )
+    rep.add_argument(
+        "--rank", type=int, default=None, metavar="R",
+        help="restrict the report to one simulated rank",
+    )
+    ns = parser.parse_args(argv)
+
+    try:
+        events = load_trace(ns.trace)
+    except (TelemetryError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if ns.rank is not None:
+        events = [e for e in events if e["rank"] == ns.rank]
+    print(render_report(events, top=ns.top))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,345 @@
+"""Trace exporters and the merged metrics snapshot.
+
+Three output forms, all fed from :meth:`Tracer.events`:
+
+* **Chrome trace JSON** (:func:`chrome_trace`) — the ``chrome://tracing`` /
+  Perfetto "JSON Array with metadata" format.  Every simulated MPI rank
+  becomes one ``pid``, so a distributed Airfoil run renders as a real
+  multi-rank timeline with nested par_loop / halo-exchange / mpi spans.
+* **JSONL** (:func:`write_jsonl`) — one event per line, trivially
+  greppable/streamable, with an optional trailing ``metrics`` record.
+* **Metrics snapshot** (:class:`MetricsSnapshot`) — counters plus span
+  duration histograms (count/total/p50/p95/p99 per span name).  Snapshots
+  merge across ranks the same way :meth:`PerfCounters.merge` folds
+  per-rank counter sets into one aggregate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.common.counters import PerfCounters
+from repro.common.errors import TelemetryError
+from repro.telemetry.tracer import InstantEvent, SpanEvent
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "validate_chrome_trace",
+    "SpanStats",
+    "MetricsSnapshot",
+    "counters_dict",
+]
+
+
+def counters_dict(counters: PerfCounters) -> dict[str, Any]:
+    """Flatten the scalar PerfCounters fields (no per-loop records)."""
+    return {
+        "messages_sent": counters.messages_sent,
+        "bytes_sent": counters.bytes_sent,
+        "reductions": counters.reductions,
+        "halo_exchanges": counters.halo_exchanges,
+        "faults_injected": counters.faults_injected,
+        "messages_dropped": counters.messages_dropped,
+        "messages_retried": counters.messages_retried,
+        "restarts": counters.restarts,
+        "recovery_seconds": counters.recovery_seconds,
+        "loops_sanitized": counters.loops_sanitized,
+        "shadow_runs": counters.shadow_runs,
+        "plan_hits": counters.plan_hits,
+        "plan_misses": counters.plan_misses,
+        "plan_invalidations": counters.plan_invalidations,
+        "plan_evictions": counters.plan_evictions,
+    }
+
+
+# -- Chrome trace --------------------------------------------------------------
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce attr values to something json.dumps accepts deterministically."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace(
+    events: Sequence,
+    *,
+    counters: PerfCounters | None = None,
+) -> dict:
+    """Build a ``chrome://tracing`` JSON object from recorded events.
+
+    Spans become complete (``"ph": "X"``) events, instants become
+    ``"ph": "i"`` with thread scope; one metadata record names each rank's
+    process.  Timestamps are microseconds since the tracer epoch.  When
+    ``counters`` is given its scalar fields land in ``otherData`` so one
+    trace file also carries the run's aggregate statistics.
+    """
+    trace_events: list[dict] = []
+    ranks: set[int] = set()
+    for ev in events:
+        ranks.add(ev.rank)
+        args = {k: _json_safe(v) for k, v in ev.attrs.items()}
+        if isinstance(ev, SpanEvent):
+            if ev.t1 is None:
+                continue  # still open: not renderable as a complete event
+            trace_events.append(
+                {
+                    "name": ev.name,
+                    "cat": ev.cat,
+                    "ph": "X",
+                    "ts": round(ev.t0 * 1e6, 3),
+                    "dur": round(ev.duration * 1e6, 3),
+                    "pid": ev.rank,
+                    "tid": ev.tid,
+                    "args": args,
+                }
+            )
+        else:
+            trace_events.append(
+                {
+                    "name": ev.name,
+                    "cat": ev.cat,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": round(ev.ts * 1e6, 3),
+                    "pid": ev.rank,
+                    "tid": ev.tid,
+                    "args": args,
+                }
+            )
+    for rank in sorted(ranks):
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    out: dict = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if counters is not None:
+        out["otherData"] = {"counters": counters_dict(counters)}
+    return out
+
+
+def write_chrome_trace(
+    path: str | Path,
+    events: Sequence,
+    *,
+    counters: PerfCounters | None = None,
+) -> Path:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(events, counters=counters)) + "\n")
+    return path
+
+
+_PHASES = {"X", "i", "M"}
+
+
+def validate_chrome_trace(obj: Any) -> None:
+    """Check the shape of a Chrome trace object; raise :class:`TelemetryError`.
+
+    Validates the subset of the format this package emits: a traceEvents
+    list whose entries have the mandatory fields with the right types, and
+    non-negative microsecond timestamps/durations.
+    """
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        raise TelemetryError("trace must be an object with a 'traceEvents' list")
+    evs = obj["traceEvents"]
+    if not isinstance(evs, list):
+        raise TelemetryError("'traceEvents' must be a list")
+    for i, ev in enumerate(evs):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise TelemetryError(f"{where}: not an object")
+        if not isinstance(ev.get("name"), str):
+            raise TelemetryError(f"{where}: missing/invalid 'name'")
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            raise TelemetryError(f"{where}: 'ph' must be one of {sorted(_PHASES)}, got {ph!r}")
+        if not isinstance(ev.get("pid"), int):
+            raise TelemetryError(f"{where}: missing/invalid 'pid'")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            raise TelemetryError(f"{where}: 'args' must be an object")
+        if ph == "M":
+            continue
+        if not isinstance(ev.get("tid"), int):
+            raise TelemetryError(f"{where}: missing/invalid 'tid'")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise TelemetryError(f"{where}: 'ts' must be a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise TelemetryError(f"{where}: 'dur' must be a non-negative number")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            raise TelemetryError(f"{where}: instant scope 's' must be t/p/g")
+
+
+# -- JSONL ---------------------------------------------------------------------
+
+
+def write_jsonl(
+    path: str | Path,
+    events: Sequence,
+    *,
+    metrics: "MetricsSnapshot | None" = None,
+) -> Path:
+    """Write one JSON record per event (plus an optional metrics trailer)."""
+    path = Path(path)
+    with open(path, "w") as fh:
+        for ev in events:
+            if isinstance(ev, SpanEvent):
+                if ev.t1 is None:
+                    continue
+                rec = {
+                    "type": "span",
+                    "name": ev.name,
+                    "cat": ev.cat,
+                    "ts": ev.t0,
+                    "dur": ev.duration,
+                    "rank": ev.rank,
+                    "tid": ev.tid,
+                    "depth": ev.depth,
+                    "args": {k: _json_safe(v) for k, v in ev.attrs.items()},
+                }
+            else:
+                rec = {
+                    "type": "instant",
+                    "name": ev.name,
+                    "cat": ev.cat,
+                    "ts": ev.ts,
+                    "rank": ev.rank,
+                    "tid": ev.tid,
+                    "args": {k: _json_safe(v) for k, v in ev.attrs.items()},
+                }
+            fh.write(json.dumps(rec) + "\n")
+        if metrics is not None:
+            fh.write(json.dumps({"type": "metrics", **metrics.to_dict()}) + "\n")
+    return path
+
+
+# -- metrics snapshot ----------------------------------------------------------
+
+#: per-key cap on retained durations; beyond it the histogram keeps summary
+#: statistics exact (count/total) and quantiles approximate over the head
+_RESERVOIR = 4096
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending list (0 for empty)."""
+    if not sorted_values:
+        return 0.0
+    k = max(0, min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[k]
+
+
+@dataclass
+class SpanStats:
+    """Duration histogram for one span name."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+    durations: list[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+        if len(self.durations) < _RESERVOIR:
+            self.durations.append(seconds)
+
+    def merge(self, other: "SpanStats") -> None:
+        self.count += other.count
+        self.total_seconds += other.total_seconds
+        self.max_seconds = max(self.max_seconds, other.max_seconds)
+        room = _RESERVOIR - len(self.durations)
+        if room > 0:
+            self.durations.extend(other.durations[:room])
+
+    def quantiles(self) -> dict[str, float]:
+        ordered = sorted(self.durations)
+        return {
+            "p50": _quantile(ordered, 0.50),
+            "p95": _quantile(ordered, 0.95),
+            "p99": _quantile(ordered, 0.99),
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "max_seconds": self.max_seconds,
+            **self.quantiles(),
+        }
+
+
+@dataclass
+class MetricsSnapshot:
+    """Counters + span histograms; merges across ranks like PerfCounters."""
+
+    spans: dict[str, SpanStats] = field(default_factory=dict)
+    instants: dict[str, int] = field(default_factory=dict)
+    counters: dict[str, Any] = field(default_factory=dict)
+    ranks: set[int] = field(default_factory=set)
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Sequence,
+        *,
+        rank: int | None = None,
+        counters: PerfCounters | None = None,
+    ) -> "MetricsSnapshot":
+        """Aggregate ``events`` (optionally one rank's slice) into a snapshot."""
+        snap = cls()
+        for ev in events:
+            if rank is not None and ev.rank != rank:
+                continue
+            snap.ranks.add(ev.rank)
+            if isinstance(ev, SpanEvent):
+                if ev.t1 is None:
+                    continue
+                st = snap.spans.get(ev.name)
+                if st is None:
+                    st = snap.spans[ev.name] = SpanStats()
+                st.add(ev.duration)
+            elif isinstance(ev, InstantEvent):
+                snap.instants[ev.name] = snap.instants.get(ev.name, 0) + 1
+        if counters is not None:
+            snap.counters = counters_dict(counters)
+        return snap
+
+    def merge(self, other: "MetricsSnapshot") -> None:
+        """Fold another snapshot (e.g. another rank's) into this one."""
+        for name, st in other.spans.items():
+            mine = self.spans.get(name)
+            if mine is None:
+                self.spans[name] = SpanStats(
+                    st.count, st.total_seconds, st.max_seconds, list(st.durations)
+                )
+            else:
+                mine.merge(st)
+        for name, n in other.instants.items():
+            self.instants[name] = self.instants.get(name, 0) + n
+        for key, val in other.counters.items():
+            cur = self.counters.get(key, 0)
+            self.counters[key] = cur + val if isinstance(val, (int, float)) else val
+        self.ranks |= other.ranks
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ranks": sorted(self.ranks),
+            "spans": {k: v.to_dict() for k, v in sorted(self.spans.items())},
+            "instants": dict(sorted(self.instants.items())),
+            "counters": dict(sorted(self.counters.items())),
+        }

@@ -1,0 +1,231 @@
+"""Trace analysis: per-rank/per-kernel breakdown, critical path, halo wait.
+
+Consumes either exporter format (Chrome trace JSON or JSONL — detected by
+content) and renders the text report behind
+``python -m repro.telemetry report <trace>``:
+
+* a per-rank timeline summary (par_loop compute, halo-exchange time, the
+  mpi-recv/barrier *wait* portion inside and outside halo exchanges,
+  checkpoint time),
+* a per-kernel table across ranks (calls, total, mean, p95, and which rank
+  spent longest in the kernel),
+* critical-path attribution: the busiest rank sets the run's pace; the
+  report names it and says how much of its time was halo wait — the first
+  question a stalled distributed run raises.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from pathlib import Path
+
+from repro.common.errors import TelemetryError
+from repro.telemetry.export import _quantile
+
+__all__ = ["load_trace", "render_report"]
+
+#: span names counted as communication *wait* (blocked, not computing)
+_WAIT_SPANS = ("mpi_recv", "mpi_barrier")
+
+
+def _from_chrome(obj: dict) -> list[dict]:
+    events = []
+    for ev in obj.get("traceEvents", []):
+        ph = ev.get("ph")
+        if ph == "X":
+            events.append(
+                {
+                    "kind": "span",
+                    "name": ev["name"],
+                    "cat": ev.get("cat", ""),
+                    "ts": ev["ts"] / 1e6,
+                    "dur": ev.get("dur", 0.0) / 1e6,
+                    "rank": ev.get("pid", 0),
+                    "tid": ev.get("tid", 0),
+                    "args": ev.get("args", {}),
+                }
+            )
+        elif ph == "i":
+            events.append(
+                {
+                    "kind": "instant",
+                    "name": ev["name"],
+                    "cat": ev.get("cat", ""),
+                    "ts": ev["ts"] / 1e6,
+                    "dur": 0.0,
+                    "rank": ev.get("pid", 0),
+                    "tid": ev.get("tid", 0),
+                    "args": ev.get("args", {}),
+                }
+            )
+    return events
+
+
+def _from_jsonl(lines: list[str]) -> list[dict]:
+    events = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        kind = rec.get("type")
+        if kind not in ("span", "instant"):
+            continue  # metrics trailer etc.
+        events.append(
+            {
+                "kind": kind,
+                "name": rec["name"],
+                "cat": rec.get("cat", ""),
+                "ts": rec["ts"],
+                "dur": rec.get("dur", 0.0),
+                "rank": rec.get("rank", 0),
+                "tid": rec.get("tid", 0),
+                "args": rec.get("args", {}),
+            }
+        )
+    return events
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Load a trace file in either exporter format into normalised records.
+
+    Records are dicts with ``kind`` ("span"/"instant"), ``name``, ``cat``,
+    ``ts``/``dur`` in seconds, ``rank``, ``tid`` and ``args``.
+    """
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if not stripped:
+        raise TelemetryError(f"{path}: empty trace file")
+    try:
+        if stripped.startswith("{") and "traceEvents" in text:
+            return _from_chrome(json.loads(text))
+        return _from_jsonl(text.splitlines())
+    except (json.JSONDecodeError, KeyError, TypeError) as err:
+        raise TelemetryError(f"{path}: not a recognisable trace file: {err}") from err
+
+
+def _contained_wait(waits: list[dict], containers: list[dict]) -> float:
+    """Seconds of wait spans lying inside any container span (same rank sweep)."""
+    if not waits or not containers:
+        return 0.0
+    spans = sorted(containers, key=lambda e: e["ts"])
+    starts = [s["ts"] for s in spans]
+    total = 0.0
+    for w in waits:
+        i = bisect.bisect_right(starts, w["ts"]) - 1
+        if i >= 0:
+            c = spans[i]
+            if w["ts"] + w["dur"] <= c["ts"] + c["dur"] + 1e-12:
+                total += w["dur"]
+    return total
+
+
+def _fmt_s(seconds: float) -> str:
+    return f"{seconds:10.4f}"
+
+
+def render_report(events: list[dict], *, top: int | None = None) -> str:
+    """Render the per-rank / per-kernel breakdown of a loaded trace."""
+    if not events:
+        return "trace contains no events"
+
+    ranks = sorted({e["rank"] for e in events})
+    spans = [e for e in events if e["kind"] == "span"]
+    instants = [e for e in events if e["kind"] == "instant"]
+    t_lo = min(e["ts"] for e in events)
+    t_hi = max(e["ts"] + e["dur"] for e in events)
+
+    lines: list[str] = []
+    lines.append(
+        f"trace: {len(ranks)} rank(s), {len(spans)} spans, "
+        f"{len(instants)} instants, wall {t_hi - t_lo:.4f} s"
+    )
+
+    # -- per-rank timeline summary ------------------------------------------
+    header = (
+        f"{'rank':>4}{'wall[s]':>11}{'par_loop[s]':>13}{'halo[s]':>11}"
+        f"{'halo-wait[s]':>14}{'mpi-wait[s]':>13}{'ckpt[s]':>11}{'events':>8}"
+    )
+    lines.append("")
+    lines.append("per-rank timeline")
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    busy: dict[int, float] = {}
+    halo_wait_of: dict[int, float] = {}
+    for rank in ranks:
+        revs = [e for e in events if e["rank"] == rank]
+        rspans = [e for e in revs if e["kind"] == "span"]
+        wall = max(e["ts"] + e["dur"] for e in revs) - min(e["ts"] for e in revs)
+        par = sum(e["dur"] for e in rspans if e["name"] == "par_loop")
+        halos = [e for e in rspans if e["cat"] == "halo"]
+        halo = sum(e["dur"] for e in halos)
+        waits = [e for e in rspans if e["name"] in _WAIT_SPANS]
+        halo_wait = _contained_wait(waits, halos)
+        other_wait = sum(e["dur"] for e in waits) - halo_wait
+        ckpt = sum(e["dur"] for e in rspans if e["cat"] == "checkpoint")
+        busy[rank] = par + halo
+        halo_wait_of[rank] = halo_wait
+        lines.append(
+            f"{rank:>4}{_fmt_s(wall)[-10:]:>11}{_fmt_s(par)[-12:]:>13}"
+            f"{_fmt_s(halo)[-10:]:>11}{_fmt_s(halo_wait)[-13:]:>14}"
+            f"{_fmt_s(other_wait)[-12:]:>13}{_fmt_s(ckpt)[-10:]:>11}{len(revs):>8}"
+        )
+
+    # -- per-kernel breakdown ------------------------------------------------
+    kernels: dict[str, dict] = {}
+    for e in spans:
+        if e["name"] != "par_loop":
+            continue
+        key = str(e["args"].get("kernel") or e["args"].get("loop") or "?")
+        k = kernels.setdefault(key, {"durs": [], "by_rank": {}})
+        k["durs"].append(e["dur"])
+        k["by_rank"][e["rank"]] = k["by_rank"].get(e["rank"], 0.0) + e["dur"]
+
+    if kernels:
+        ordered = sorted(
+            kernels.items(), key=lambda kv: (-sum(kv[1]["durs"]), kv[0])
+        )
+        if top is not None:
+            ordered = ordered[:top]
+        lines.append("")
+        lines.append("per-kernel breakdown (par_loop spans, all ranks)")
+        khead = (
+            f"{'kernel':<24}{'calls':>7}{'total[s]':>11}{'mean[ms]':>10}"
+            f"{'p95[ms]':>9}{'slowest-rank':>14}"
+        )
+        lines.append(khead)
+        lines.append("-" * len(khead))
+        for name, k in ordered:
+            durs = sorted(k["durs"])
+            total = sum(durs)
+            mean_ms = 1e3 * total / len(durs)
+            p95_ms = 1e3 * _quantile(durs, 0.95)
+            slowest = max(k["by_rank"].items(), key=lambda rv: (rv[1], -rv[0]))[0]
+            lines.append(
+                f"{name:<24}{len(durs):>7}{total:>11.4f}{mean_ms:>10.3f}"
+                f"{p95_ms:>9.3f}{slowest:>14}"
+            )
+
+    # -- instant-event tallies ----------------------------------------------
+    if instants:
+        tally: dict[str, int] = {}
+        for e in instants:
+            tally[e["name"]] = tally.get(e["name"], 0) + 1
+        parts = ", ".join(f"{name} x{n}" for name, n in sorted(tally.items()))
+        lines.append("")
+        lines.append(f"instant events: {parts}")
+
+    # -- critical path --------------------------------------------------------
+    crit = max(busy.items(), key=lambda rv: (rv[1], -rv[0]))[0]
+    b = busy[crit]
+    hw = halo_wait_of[crit]
+    share = 100.0 * hw / b if b > 0 else 0.0
+    lines.append("")
+    lines.append(
+        f"critical path: rank {crit} — {b:.4f} s busy "
+        f"(slowest rank sets the pace); halo-wait {hw:.4f} s "
+        f"({share:.1f}% of its busy time)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""Structured tracer: nestable spans and typed instant events, per thread.
+
+The access-execute description of every parallel loop gives the runtime
+enough semantic context to emit *meaningful* trace events — a span knows
+its kernel, iteration set and descriptors, a halo exchange knows its bytes
+moved — rather than the opaque timers of a generic profiler.  This module
+is the recording half of :mod:`repro.telemetry`; exporters and the report
+CLI live next door.
+
+Design constraints (DESIGN.md "Telemetry"):
+
+* **one branch when off** — instrumentation sites read the module global
+  :data:`ACTIVE` and skip everything on ``None``; no event objects, no
+  attribute formatting, no locks,
+* **bounded per-thread ring buffers** — each thread (each simulated MPI
+  rank runs on its own thread) records into its own ``deque(maxlen=...)``,
+  so tracing never contends across ranks and memory stays bounded: when a
+  ring fills, the *oldest* events fall off,
+* **monotonic timestamps** — all times come from ``time.perf_counter``
+  relative to the tracer's epoch, so spans order correctly even if the
+  wall clock steps,
+* **strict nesting** — :meth:`Tracer.end` must close the innermost open
+  span of the calling thread; anything else raises
+  :class:`~repro.common.errors.TelemetryError`.  This keeps every thread's
+  span set a proper forest, which the exporters and the timeline report
+  rely on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import threading
+from collections import deque
+from time import perf_counter as _perf_counter
+from typing import Any, Iterator
+
+from repro.common.errors import TelemetryError
+
+__all__ = [
+    "SpanEvent",
+    "InstantEvent",
+    "Tracer",
+    "ACTIVE",
+    "active",
+    "enable",
+    "disable",
+    "tracing",
+    "DEFAULT_RING_SIZE",
+]
+
+#: default per-thread ring capacity (events); a 4-rank Airfoil run with
+#: checkpointing emits a few thousand events per rank, well under this
+DEFAULT_RING_SIZE = 65536
+
+
+class SpanEvent:
+    """One nested span: ``[t0, t1]`` seconds since the tracer epoch.
+
+    ``t1`` is ``None`` while the span is still open; open spans live on the
+    owning thread's stack, not in the ring.
+    """
+
+    __slots__ = ("name", "cat", "t0", "t1", "rank", "tid", "depth", "attrs")
+
+    def __init__(self, name: str, cat: str, t0: float, rank: int, tid: int,
+                 depth: int, attrs: dict[str, Any]):
+        self.name = name
+        self.cat = cat
+        self.t0 = t0
+        self.t1: float | None = None
+        self.rank = rank
+        self.tid = tid
+        self.depth = depth
+        self.attrs = attrs
+
+    @property
+    def ts(self) -> float:
+        return self.t0
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        return 0.0 if self.t1 is None else self.t1 - self.t0
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanEvent({self.name!r}, cat={self.cat!r}, rank={self.rank}, "
+            f"t0={self.t0:.6f}, dur={self.duration:.6f}, attrs={self.attrs!r})"
+        )
+
+
+class InstantEvent:
+    """A point-in-time typed event (plan miss, fault injection, ...)."""
+
+    __slots__ = ("name", "cat", "ts", "rank", "tid", "attrs")
+
+    def __init__(self, name: str, cat: str, ts: float, rank: int, tid: int,
+                 attrs: dict[str, Any]):
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        self.rank = rank
+        self.tid = tid
+        self.attrs = attrs
+
+    def __repr__(self) -> str:
+        return (
+            f"InstantEvent({self.name!r}, cat={self.cat!r}, rank={self.rank}, "
+            f"ts={self.ts:.6f}, attrs={self.attrs!r})"
+        )
+
+
+class _ThreadState:
+    __slots__ = ("rank", "tid", "ring", "stack")
+
+    def __init__(self, tid: int, ring_size: int):
+        self.rank = 0
+        self.tid = tid
+        self.ring: deque = deque(maxlen=ring_size)
+        self.stack: list[SpanEvent] = []
+
+
+class Tracer:
+    """Records spans and instants into per-thread bounded ring buffers."""
+
+    def __init__(self, ring_size: int = DEFAULT_RING_SIZE):
+        if ring_size < 1:
+            raise TelemetryError("ring_size must be >= 1")
+        self.ring_size = ring_size
+        self._epoch = _perf_counter()
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._states: list[_ThreadState] = []
+        self._tid_counter = itertools.count()
+
+    # -- per-thread state -------------------------------------------------------
+
+    def _state(self) -> _ThreadState:
+        st = getattr(self._tls, "state", None)
+        if st is None:
+            with self._lock:
+                st = _ThreadState(next(self._tid_counter), self.ring_size)
+                self._states.append(st)
+            self._tls.state = st
+        return st
+
+    def set_rank(self, rank: int) -> None:
+        """Tag this thread's events with a simulated MPI rank (default 0)."""
+        self._state().rank = int(rank)
+
+    def current_rank(self) -> int:
+        return self._state().rank
+
+    # -- recording --------------------------------------------------------------
+
+    def begin(self, name: str, cat: str = "span", **attrs: Any) -> SpanEvent:
+        """Open a span; returns the handle :meth:`end` must receive back."""
+        st = self._state()
+        sp = SpanEvent(
+            name, cat, _perf_counter() - self._epoch, st.rank, st.tid,
+            len(st.stack), attrs,
+        )
+        st.stack.append(sp)
+        return sp
+
+    def end(self, span: SpanEvent) -> SpanEvent:
+        """Close ``span``.  It must be the calling thread's innermost open span."""
+        st = self._state()
+        if not st.stack:
+            raise TelemetryError(
+                f"end({span.name!r}): no span is open on this thread"
+            )
+        if st.stack[-1] is not span:
+            raise TelemetryError(
+                f"end({span.name!r}): innermost open span is "
+                f"{st.stack[-1].name!r} — spans must close innermost-first"
+            )
+        st.stack.pop()
+        span.t1 = _perf_counter() - self._epoch
+        st.ring.append(span)
+        return span
+
+    @contextlib.contextmanager
+    def span(self, name: str, cat: str = "span", **attrs: Any) -> Iterator[SpanEvent]:
+        """``with tracer.span("par_loop", kernel=...):`` — begin/end pair."""
+        sp = self.begin(name, cat, **attrs)
+        try:
+            yield sp
+        finally:
+            self.end(sp)
+
+    def instant(self, name: str, cat: str = "event", **attrs: Any) -> InstantEvent:
+        """Record a point event (plan miss, fault firing, checkpoint, ...)."""
+        st = self._state()
+        ev = InstantEvent(
+            name, cat, _perf_counter() - self._epoch, st.rank, st.tid, attrs
+        )
+        st.ring.append(ev)
+        return ev
+
+    # -- inspection -------------------------------------------------------------
+
+    def open_spans(self) -> list[SpanEvent]:
+        """This thread's currently open spans, outermost first."""
+        return list(self._state().stack)
+
+    def events(self) -> list:
+        """All completed events across every thread, ordered by timestamp."""
+        with self._lock:
+            states = list(self._states)
+        out: list = []
+        for st in states:
+            out.extend(st.ring)
+        out.sort(key=lambda ev: ev.ts)
+        return out
+
+    def dropped_possible(self) -> bool:
+        """True if any thread's ring ever reached capacity (oldest events lost)."""
+        with self._lock:
+            return any(len(st.ring) == st.ring.maxlen for st in self._states)
+
+    def clear(self) -> None:
+        """Drop all recorded events (open spans stay open)."""
+        with self._lock:
+            for st in self._states:
+                st.ring.clear()
+
+
+# -- process-wide activation ---------------------------------------------------
+#
+# Instrumentation sites read this module global directly:
+#
+#     trc = tracer.ACTIVE
+#     if trc is not None:
+#         ...
+#
+# so a disabled tracer costs one attribute load and one branch per event.
+
+ACTIVE: Tracer | None = None
+
+
+def active() -> Tracer | None:
+    """The tracer currently receiving events, or None when tracing is off."""
+    return ACTIVE
+
+
+def enable(tracer: Tracer | None = None, *, ring_size: int = DEFAULT_RING_SIZE) -> Tracer:
+    """Turn tracing on (idempotent: an already-active tracer is kept)."""
+    global ACTIVE
+    if tracer is not None:
+        ACTIVE = tracer
+    elif ACTIVE is None:
+        ACTIVE = Tracer(ring_size=ring_size)
+    return ACTIVE
+
+
+def disable() -> Tracer | None:
+    """Turn tracing off; returns the tracer so its events can be exported."""
+    global ACTIVE
+    trc, ACTIVE = ACTIVE, None
+    return trc
+
+
+@contextlib.contextmanager
+def tracing(*, ring_size: int = DEFAULT_RING_SIZE) -> Iterator[Tracer]:
+    """Trace the enclosed code: ``with tracing() as trc: ... trc.events()``."""
+    prev = ACTIVE
+    trc = enable(Tracer(ring_size=ring_size))
+    try:
+        yield trc
+    finally:
+        globals()["ACTIVE"] = prev

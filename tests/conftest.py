@@ -62,6 +62,16 @@ def _clear_plan_cache():
     clear_ops()
 
 
+@pytest.fixture(autouse=True)
+def _disable_tracer():
+    """Tracing is process-global; never let one test's tracer leak into another."""
+    from repro.telemetry import tracer as _trace
+
+    _trace.disable()
+    yield
+    _trace.disable()
+
+
 @pytest.fixture
 def line_mesh():
     """A 1-D chain mesh: N nodes, N-1 edges, useful for tiny OP2 tests."""

@@ -1,0 +1,434 @@
+"""Telemetry subsystem: tracer invariants, exporters, merging, report CLI.
+
+Covers the PR-5 acceptance surface: span nesting is strictly LIFO (a
+hypothesis property drives random well-nested and ill-nested action
+sequences), exported Chrome traces validate against the schema checker, a
+distributed Airfoil run (ranks 1-4) produces per-rank metrics that merge
+like PerfCounters, checkpointed runs show checkpoint spans on every rank's
+timeline, and the report CLI renders all of it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import op2, telemetry
+from repro.common.counters import PerfCounters
+from repro.common.errors import DescriptorViolation, TelemetryError
+from repro.common.profiling import counters_scope
+from repro.common.report import timing_report
+from repro.telemetry import tracer as trace_mod
+from repro.telemetry.__main__ import main as cli_main
+from repro.telemetry.export import MetricsSnapshot
+from repro.telemetry.report import load_trace, render_report
+from repro.resilience.driver import run_resilient_spmd
+from repro.resilience.jobs import AirfoilJob
+from repro.verify import sanitized
+
+
+def run_traced_loop(trc=None):
+    """One tiny op2 loop executed under tracing; returns the tracer."""
+    nodes = op2.Set(16, "nodes")
+    x = op2.Dat(nodes, 1, np.arange(16, dtype=float), name="x")
+    k = op2.Kernel(lambda u: None, name="touch",
+                   vec_func=lambda u: np.multiply(u, 1.0, out=u))
+    with telemetry.tracing() as t:
+        op2.par_loop(k, nodes, x(op2.RW), backend="vec")
+    return t
+
+
+class TestTracer:
+    def test_span_records_duration_and_attrs(self):
+        trc = telemetry.Tracer()
+        with trc.span("work", "test", kernel="k1", n=4) as sp:
+            assert sp.duration == 0.0  # still open
+        events = trc.events()
+        assert len(events) == 1
+        ev = events[0]
+        assert ev.name == "work" and ev.cat == "test"
+        assert ev.attrs == {"kernel": "k1", "n": 4}
+        assert ev.t1 is not None and ev.duration >= 0.0
+
+    def test_nesting_depth_recorded(self):
+        trc = telemetry.Tracer()
+        with trc.span("outer"):
+            with trc.span("inner"):
+                pass
+        by_name = {e.name: e for e in trc.events()}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+
+    def test_end_without_open_span_raises(self):
+        trc = telemetry.Tracer()
+        sp = trc.begin("a")
+        trc.end(sp)
+        with pytest.raises(TelemetryError):
+            trc.end(sp)
+
+    def test_end_out_of_order_raises(self):
+        trc = telemetry.Tracer()
+        outer = trc.begin("outer")
+        inner = trc.begin("inner")
+        with pytest.raises(TelemetryError, match="innermost"):
+            trc.end(outer)
+        trc.end(inner)
+        trc.end(outer)
+
+    def test_ring_buffer_bounded(self):
+        trc = telemetry.Tracer(ring_size=8)
+        for i in range(20):
+            trc.instant("tick", n=i)
+        events = trc.events()
+        assert len(events) == 8
+        assert [e.attrs["n"] for e in events] == list(range(12, 20))
+        assert trc.dropped_possible()
+
+    def test_clear_keeps_open_spans(self):
+        trc = telemetry.Tracer()
+        sp = trc.begin("outer")
+        trc.instant("x")
+        trc.clear()
+        assert trc.events() == []
+        assert trc.open_spans() == [sp]
+        trc.end(sp)
+
+    def test_enable_disable_idempotent(self):
+        assert telemetry.active() is None
+        t1 = trace_mod.enable()
+        t2 = trace_mod.enable()
+        assert t1 is t2 is telemetry.active()
+        assert trace_mod.disable() is t1
+        assert telemetry.active() is None
+        assert trace_mod.disable() is None
+
+    def test_tracing_restores_previous(self):
+        outer = trace_mod.enable()
+        with telemetry.tracing() as inner:
+            assert telemetry.active() is inner
+            assert inner is not outer
+        assert telemetry.active() is outer
+        trace_mod.disable()
+
+    def test_invalid_ring_size(self):
+        with pytest.raises(TelemetryError):
+            telemetry.Tracer(ring_size=0)
+
+
+class TestNestingProperty:
+    """Hypothesis: every exit must match the innermost open span."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3), max_size=40))
+    def test_well_nested_sequences_always_succeed(self, actions):
+        # action k>0: open a span; action 0: close the innermost (if any)
+        trc = telemetry.Tracer()
+        model: list = []
+        for a in actions:
+            if a == 0 and model:
+                trc.end(model.pop())
+            else:
+                model.append(trc.begin(f"s{a}"))
+        assert [s.name for s in trc.open_spans()] == [s.name for s in model]
+        while model:
+            trc.end(model.pop())
+        events = trc.events()
+        # every recorded span closed after it opened, and nesting depth
+        # equals the number of still-open ancestors at begin time
+        for ev in events:
+            assert ev.t1 >= ev.t0
+            assert ev.depth >= 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=6),  # open spans
+        st.data(),
+    )
+    def test_closing_non_innermost_raises(self, depth, data):
+        trc = telemetry.Tracer()
+        spans = [trc.begin(f"s{i}") for i in range(depth)]
+        victim = data.draw(st.integers(min_value=0, max_value=depth - 2))
+        with pytest.raises(TelemetryError):
+            trc.end(spans[victim])
+        # the stack is untouched by the failed close: unwinding still works
+        for sp in reversed(spans):
+            trc.end(sp)
+        assert trc.open_spans() == []
+
+
+class TestExporters:
+    def test_chrome_trace_validates(self, tmp_path):
+        trc = run_traced_loop()
+        path = tmp_path / "trace.json"
+        telemetry.write_chrome_trace(path, trc.events(), counters=PerfCounters())
+        obj = json.loads(path.read_text())
+        telemetry.validate_chrome_trace(obj)
+        phases = {e["ph"] for e in obj["traceEvents"]}
+        assert "X" in phases and "M" in phases
+        assert obj["otherData"]["counters"]["plan_hits"] == 0
+
+    def test_validate_rejects_malformed(self):
+        with pytest.raises(TelemetryError):
+            telemetry.validate_chrome_trace([])
+        with pytest.raises(TelemetryError):
+            telemetry.validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        with pytest.raises(TelemetryError, match="'ph'"):
+            telemetry.validate_chrome_trace(
+                {"traceEvents": [{"name": "a", "ph": "Q", "pid": 0}]}
+            )
+        with pytest.raises(TelemetryError, match="'dur'"):
+            telemetry.validate_chrome_trace(
+                {"traceEvents": [
+                    {"name": "a", "ph": "X", "pid": 0, "tid": 0, "ts": 1.0, "dur": -2.0}
+                ]}
+            )
+
+    def test_open_spans_not_exported(self):
+        trc = telemetry.Tracer()
+        trc.begin("open_forever")
+        trc.instant("tick")
+        obj = telemetry.chrome_trace(trc.events())
+        names = [e["name"] for e in obj["traceEvents"] if e["ph"] != "M"]
+        assert names == ["tick"]
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        trc = run_traced_loop()
+        snap = MetricsSnapshot.from_events(trc.events())
+        path = tmp_path / "trace.jsonl"
+        telemetry.write_jsonl(path, trc.events(), metrics=snap)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records[-1]["type"] == "metrics"
+        assert any(r["type"] == "span" and r["name"] == "par_loop" for r in records)
+        # the loader understands the jsonl form too (metrics trailer skipped)
+        events = load_trace(path)
+        assert all(e["kind"] in ("span", "instant") for e in events)
+        assert any(e["name"] == "par_loop" for e in events)
+
+    def test_load_trace_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("")
+        with pytest.raises(TelemetryError):
+            load_trace(bad)
+        bad.write_text("not json at all")
+        with pytest.raises(TelemetryError):
+            load_trace(bad)
+
+
+class TestMetricsSnapshot:
+    def test_quantiles_and_merge(self):
+        a = MetricsSnapshot()
+        b = MetricsSnapshot()
+        sa = a.spans.setdefault("k", telemetry.SpanStats())
+        sb = b.spans.setdefault("k", telemetry.SpanStats())
+        for d in (0.1, 0.2, 0.3):
+            sa.add(d)
+        for d in (0.4, 0.5):
+            sb.add(d)
+        a.instants["plan_miss"] = 2
+        b.instants["plan_miss"] = 3
+        a.ranks = {0}
+        b.ranks = {1}
+        a.merge(b)
+        st_ = a.spans["k"]
+        assert st_.count == 5
+        assert st_.max_seconds == pytest.approx(0.5)
+        assert st_.total_seconds == pytest.approx(1.5)
+        assert a.instants["plan_miss"] == 5
+        assert a.ranks == {0, 1}
+        q = st_.quantiles()
+        assert q["p50"] == pytest.approx(0.3)
+        assert q["p99"] == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4])
+    def test_per_rank_merge_distributed_airfoil(self, nranks, tmp_path):
+        job = AirfoilJob(nranks, 4, nx=10, ny=6)
+        with telemetry.tracing() as trc:
+            run_resilient_spmd(nranks, job, ckpt_dir=tmp_path, frequency=None)
+        events = trc.events()
+        ranks = sorted({e.rank for e in events})
+        assert ranks == list(range(nranks))
+        per_rank = [
+            MetricsSnapshot.from_events(events, rank=r) for r in ranks
+        ]
+        for r, snap in zip(ranks, per_rank):
+            assert snap.ranks == {r}
+            assert snap.spans["par_loop"].count > 0
+        merged = per_rank[0]
+        for snap in per_rank[1:]:
+            merged.merge(snap)
+        total = MetricsSnapshot.from_events(events)
+        assert merged.ranks == set(ranks)
+        assert merged.spans["par_loop"].count == total.spans["par_loop"].count
+        assert merged.spans["par_loop"].total_seconds == pytest.approx(
+            total.spans["par_loop"].total_seconds
+        )
+        assert merged.instants == total.instants
+        if nranks > 1:
+            assert merged.spans["halo_exchange"].count == total.spans["halo_exchange"].count
+
+
+class TestInstrumentation:
+    def test_interpreted_and_compiled_op2_spans(self):
+        trc = run_traced_loop()
+        spans = [e for e in trc.events() if isinstance(e, telemetry.SpanEvent)]
+        par = [s for s in spans if s.name == "par_loop"]
+        assert par, "no par_loop span recorded"
+        attrs = par[0].attrs
+        assert attrs["kernel"] == "touch"
+        assert attrs["set"] == "nodes"
+        assert "x:rw" in attrs["descriptors"]
+        # second run under the same tracer hits the compiled plan
+        instants = [e.name for e in trc.events() if isinstance(e, telemetry.InstantEvent)]
+        assert "plan_miss" in instants
+
+    def test_ops_loop_span(self):
+        from repro import ops
+
+        block = ops.Block(1, "line")
+        d = ops.Dat(block, 8, name="u")
+
+        def fill(u):
+            u[0] = 1.0
+
+        with telemetry.tracing() as trc:
+            ops.par_loop(fill, block, [(0, 8)], d(ops.WRITE),
+                         backend="seq", name="fill")
+        par = [e for e in trc.events() if e.name == "par_loop"]
+        assert par and par[0].cat == "ops"
+        assert par[0].attrs["kernel"] == "fill"
+
+    def test_verify_violation_instant(self):
+        nodes = op2.Set(8, "nodes")
+        src = op2.Dat(nodes, 1, np.ones(8), name="src")
+        dst = op2.Dat(nodes, 1, np.zeros(8), name="dst")
+
+        def bad(s, d):
+            s[0] = 9.0
+
+        k = op2.Kernel(bad, name="writes_read")
+        with telemetry.tracing() as trc:
+            with sanitized():
+                with pytest.raises(DescriptorViolation):
+                    op2.par_loop(k, nodes, src(op2.READ), dst(op2.WRITE), backend="seq")
+        viol = [e for e in trc.events() if e.name == "verify_violation"]
+        assert len(viol) == 1
+        assert viol[0].attrs["kind"] == "read-arg-written"
+        assert trc.open_spans() == [], "par_loop span leaked open on error"
+
+    def test_checkpoint_spans_on_every_rank(self, tmp_path):
+        job = AirfoilJob(4, 6, nx=10, ny=6)
+        with telemetry.tracing() as trc:
+            run_resilient_spmd(4, job, ckpt_dir=tmp_path, frequency=10)
+        events = trc.events()
+        for rank in range(4):
+            names = {e.name for e in events if e.rank == rank}
+            assert "par_loop" in names
+            assert "halo_exchange" in names
+            assert "checkpoint_save" in names, f"rank {rank} has no checkpoint span"
+            assert "checkpoint_enter" in names
+
+    def test_fault_and_restart_instants(self, tmp_path):
+        from repro.resilience.faults import FaultPlan
+
+        plan = FaultPlan().kill(1, at_loop=12)
+        job = AirfoilJob(2, 5, nx=10, ny=6)
+        with telemetry.tracing() as trc:
+            res = run_resilient_spmd(
+                2, job, ckpt_dir=tmp_path, frequency=8, plan=plan
+            )
+        assert res.restarts == 1
+        names = [e.name for e in trc.events()]
+        assert "fault_injected" in names
+        assert "restart" in names
+
+    def test_disabled_tracer_records_nothing(self):
+        assert telemetry.active() is None
+        nodes = op2.Set(8, "nodes")
+        x = op2.Dat(nodes, 1, np.zeros(8), name="x")
+        k = op2.Kernel(lambda u: None, name="noop",
+                       vec_func=lambda u: np.multiply(u, 1.0, out=u))
+        op2.par_loop(k, nodes, x(op2.RW), backend="vec")
+        assert telemetry.active() is None
+
+
+class TestReportAndCLI:
+    def _trace_file(self, tmp_path, nranks=2):
+        job = AirfoilJob(nranks, 4, nx=10, ny=6)
+        with telemetry.tracing() as trc:
+            res = run_resilient_spmd(nranks, job, ckpt_dir=tmp_path, frequency=8)
+        path = tmp_path / "trace.json"
+        telemetry.write_chrome_trace(path, trc.events(), counters=res.counters)
+        return path
+
+    def test_render_report_sections(self, tmp_path):
+        path = self._trace_file(tmp_path)
+        text = render_report(load_trace(path))
+        assert "per-rank timeline" in text
+        assert "per-kernel breakdown" in text
+        assert "critical path" in text
+        assert "halo-wait" in text
+        assert "adt_calc" in text
+
+    def test_cli_report(self, tmp_path, capsys):
+        path = self._trace_file(tmp_path)
+        assert cli_main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-rank timeline" in out
+        assert "critical path" in out
+
+    def test_cli_rank_filter_and_top(self, tmp_path, capsys):
+        path = self._trace_file(tmp_path)
+        assert cli_main(["report", str(path), "--rank", "1", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "1 rank(s)" in out
+
+    def test_cli_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "nope.json"
+        bad.write_text("garbage")
+        assert cli_main(["report", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_empty(self):
+        assert render_report([]) == "trace contains no events"
+
+
+class TestTimingReportIntegration:
+    def _counters(self):
+        c = PerfCounters()
+        for name, secs in (("zeta", 0.5), ("alpha", 2.0), ("mid", 1.0)):
+            rec = c.loop(name)
+            rec.invocations = 1
+            rec.iterations = 10
+            rec.wall_seconds = secs
+        return c
+
+    def test_rows_sorted_by_name(self):
+        lines = timing_report(self._counters()).splitlines()
+        names = [ln.split()[0] for ln in lines[2:5]]
+        assert names == ["alpha", "mid", "zeta"]
+
+    def test_top_selects_by_time_renders_by_name(self):
+        lines = timing_report(self._counters(), top=2).splitlines()
+        names = [ln.split()[0] for ln in lines[2:4]]
+        assert names == ["alpha", "mid"]  # zeta (cheapest) dropped
+
+    def test_telemetry_section_when_tracing(self):
+        trc = run_traced_loop()
+        trace_mod.enable(trc)
+        try:
+            with counters_scope(PerfCounters()) as c:
+                text = timing_report(c)
+        finally:
+            trace_mod.disable()
+        assert "telemetry:" in text
+        assert "par_loop" in text
+
+    def test_no_telemetry_section_when_off(self):
+        assert "telemetry:" not in timing_report(self._counters())
+
+    def test_summary_none_when_off(self):
+        assert telemetry.summary() is None
