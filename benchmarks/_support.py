@@ -72,6 +72,59 @@ def emit(name: str, lines: list[str], data: dict | None = None) -> str:
     return text
 
 
+def compare_to_previous(name: str, current: dict) -> dict:
+    """Diff ``current`` result data against the committed ``<name>.json``.
+
+    Walks the two payloads in parallel and reports every numeric leaf
+    present in both as ``{"previous", "current", "ratio"}`` keyed by its
+    dotted path.  Call *before* :func:`emit` (emit overwrites the committed
+    file).  Returns ``{"previous_found": False}`` when no baseline is
+    committed yet, so first runs of a new benchmark stay green.
+    """
+    path = RESULTS_DIR / f"{name}.json"
+    if not path.exists():
+        return {"previous_found": False, "deltas": {}}
+    previous = json.loads(path.read_text())
+    deltas: dict[str, dict] = {}
+
+    def walk(prev, cur, prefix):
+        for key, c in cur.items():
+            if key not in prev:
+                continue
+            p = prev[key]
+            if isinstance(c, dict) and isinstance(p, dict):
+                walk(p, c, f"{prefix}{key}.")
+            elif (
+                isinstance(c, (int, float)) and isinstance(p, (int, float))
+                and not isinstance(c, bool) and not isinstance(p, bool)
+            ):
+                deltas[f"{prefix}{key}"] = {
+                    "previous": p,
+                    "current": c,
+                    "ratio": c / p if p else None,
+                }
+
+    walk(previous, current, "")
+    return {"previous_found": True, "deltas": deltas}
+
+
+def comparison_lines(cmp: dict, keys: list[str], *, label_width: int = 40) -> list[str]:
+    """Render selected :func:`compare_to_previous` deltas as table rows."""
+    if not cmp.get("previous_found"):
+        return ["no committed baseline to compare against (first run)"]
+    out = []
+    for key in keys:
+        d = cmp["deltas"].get(key)
+        if d is None:
+            out.append(f"{key:<{label_width}} (new metric)")
+            continue
+        ratio = f"{d['ratio']:.2f}x" if d["ratio"] is not None else "n/a"
+        out.append(
+            f"{key:<{label_width}}{d['previous']:>12.4g}{d['current']:>12.4g}{ratio:>8}"
+        )
+    return out
+
+
 def counters_summary(counters: PerfCounters) -> dict:
     """Aggregate measured counters into the JSON result schema."""
     recs = list(counters.loops.values())

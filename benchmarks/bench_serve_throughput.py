@@ -1,0 +1,117 @@
+"""Serving-layer throughput: multi-tenant load on a bounded worker pool.
+
+Drives the ``repro.serve`` stack through the canonical load scenario —
+3 tenants x 8 jobs on a 4-worker pool over a handful of warm sessions,
+with a deliberately long job preempted mid-run and a late high-priority
+wave — and reports throughput, latency quantiles, preemption/resume
+counts and the cross-job plan-cache hit rate.
+
+The asserted gates mirror the serving layer's design contract:
+
+* **zero lost jobs**: every accepted submission reaches ``completed``,
+  including the preempted one and any that saw typed backpressure (the
+  client retry loop in the load generator absorbs rejections);
+* **preempt -> resume works end to end**: the long job is preempted at a
+  checkpoint round, re-queued, resumed from that round and completed;
+* **warm sessions pay off**: >= 90% of par_loop executions across all jobs
+  hit compiled plans cached by earlier jobs on the same session.
+
+Writes ``benchmarks/results/serve_throughput.{txt,json}`` and diffs the
+run against the committed JSON via ``compare_to_previous``.
+"""
+
+import asyncio
+import tempfile
+
+from _support import compare_to_previous, comparison_lines, emit
+from repro import op2
+from repro.serve.api import ServeService
+from repro.serve.loadgen import run_load
+from repro.telemetry import tracer as trace_mod
+
+TENANTS = 3
+JOBS_PER_TENANT = 8
+WORKERS = 4
+ITERATIONS = 12
+TENANT_QUOTA = 5  # < jobs_per_tenant: the burst must hit backpressure
+MIN_HIT_RATE = 0.90
+
+
+async def _scenario(ckpt_dir: str) -> dict:
+    service = ServeService(
+        workers=WORKERS,
+        max_depth=32,
+        tenant_quota=TENANT_QUOTA,
+        ckpt_dir=ckpt_dir,
+        id_seed=2015,
+    )
+    async with service:
+        return await run_load(
+            service,
+            tenants=TENANTS,
+            jobs_per_tenant=JOBS_PER_TENANT,
+            iterations=ITERATIONS,
+        )
+
+
+def test_serve_throughput():
+    op2.clear_plan_cache()
+    trace_mod.disable()
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as ckpt_dir:
+        report = asyncio.run(_scenario(ckpt_dir))
+    trace_mod.disable()
+
+    lat = report["latency_seconds"]
+    plan = report["plan_cache"]
+    sched = report["scheduler"]
+    data = {
+        "config": {
+            "tenants": TENANTS,
+            "jobs_per_tenant": JOBS_PER_TENANT,
+            "workers": WORKERS,
+            "iterations": ITERATIONS,
+            "tenant_quota": TENANT_QUOTA,
+            "min_hit_rate": MIN_HIT_RATE,
+        },
+        "results": report,
+    }
+    cmp = compare_to_previous("serve_throughput", data)
+
+    rows = [
+        f"{TENANTS} tenants x {JOBS_PER_TENANT} jobs, {WORKERS} workers, "
+        f"{ITERATIONS} iterations/job (+1 long job, preempted mid-run)",
+        f"{'completed':<28}{report['jobs_completed']}/{report['jobs_submitted']}"
+        f" jobs in {report['wall_seconds']:.2f}s "
+        f"({report['throughput_jobs_per_s']:.2f} jobs/s)",
+        f"{'latency p50/p95/p99':<28}{lat['p50'] * 1e3:.0f} / "
+        f"{lat['p95'] * 1e3:.0f} / {lat['p99'] * 1e3:.0f} ms",
+        f"{'preemptions/resumes':<28}{sched['preemptions']} / {sched['resumes']}"
+        f" (long job resumed from round {report['long_job']['last_resume_round']})",
+        f"{'backpressure':<28}{report['admission_retries']} client retries, "
+        f"rejections {report['rejections']}",
+        f"{'plan cache':<28}{plan['cross_job_hit_rate']:.1%} hit rate, "
+        f"{plan['fully_warm_jobs']} fully-warm jobs, "
+        f"{report['sessions']['sessions']} sessions",
+        "",
+        f"{'vs committed baseline':<40}{'previous':>12}{'current':>12}{'ratio':>8}",
+        *comparison_lines(cmp, [
+            "results.throughput_jobs_per_s",
+            "results.latency_seconds.p50",
+            "results.latency_seconds.p95",
+            "results.plan_cache.cross_job_hit_rate",
+            "results.scheduler.preemptions",
+        ]),
+    ]
+    emit("serve_throughput", rows, data=data)
+
+    # acceptance gates (see module docstring)
+    assert not report["lost_jobs"], f"lost jobs: {report['lost_jobs']}"
+    assert report["jobs_submitted"] >= TENANTS * JOBS_PER_TENANT
+    assert sched["preemptions"] >= 1, "no job was preempted"
+    assert report["long_job"]["state"] == "completed"
+    assert report["long_job"]["resumes"] >= 1, "preempted job never resumed"
+    assert plan["cross_job_hit_rate"] >= MIN_HIT_RATE, (
+        f"plan-cache hit rate {plan['cross_job_hit_rate']:.1%} "
+        f"below {MIN_HIT_RATE:.0%}"
+    )
+    assert plan["fully_warm_jobs"] >= 1, "no job ran fully warm"

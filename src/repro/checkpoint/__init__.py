@@ -28,7 +28,13 @@ from repro.checkpoint.analysis import (
 )
 from repro.checkpoint.speculative import detect_period, best_entry_points
 from repro.checkpoint.manager import CheckpointManager, RecoveryReplayer
-from repro.checkpoint.store import MemoryStore, FileStore
+from repro.checkpoint.store import (
+    FileStore,
+    MemoryStore,
+    latest_common_round,
+    round_glob,
+    round_path,
+)
 
 __all__ = [
     "ChainLoop",
@@ -39,6 +45,9 @@ __all__ = [
     "detect_period",
     "best_entry_points",
     "CheckpointManager",
+    "latest_common_round",
+    "round_glob",
+    "round_path",
     "RecoveryReplayer",
     "MemoryStore",
     "FileStore",

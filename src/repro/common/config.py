@@ -1,14 +1,30 @@
 """Global runtime configuration knobs.
 
 Kept intentionally tiny: a plain dataclass instance that subsystems read at
-call time, so tests can flip flags with ``swap()``.
+call time, so tests can flip flags with ``swap()``.  Fields marked with an
+environment variable below are initialised from the process environment, so
+deployments (the serving layer in particular) can size caches without code
+changes; :func:`configure` applies persistent in-process overrides on top.
 """
 
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 from typing import Iterator
+
+
+def _env_int(name: str, default: int) -> int:
+    """An integer default overridable from the environment (bad values ignored)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 1 else default
 
 
 @dataclass
@@ -34,8 +50,14 @@ class Config:
     #: means every call takes the interpreted path (the pre-plan behaviour;
     #: benchmarks toggle this to measure the amortisation win)
     use_execplan: bool = True
-    #: maximum number of compiled loops kept per registry (LRU eviction)
-    execplan_cache_size: int = 512
+    #: maximum number of compiled loops kept per registry (LRU eviction).
+    #: Default 512 plans per registry (op2 and ops each keep their own);
+    #: override per process with ``REPRO_EXECPLAN_CACHE_SIZE`` or at runtime
+    #: with :func:`configure` / ``op2.set_plan_cache_capacity`` — the serving
+    #: layer sizes this to hold every tenant's warm plans simultaneously
+    execplan_cache_size: int = field(
+        default_factory=lambda: _env_int("REPRO_EXECPLAN_CACHE_SIZE", 512)
+    )
     #: below this many scattered entries an OP_INC scatter keeps using
     #: ``np.add.at``: the sort/segment machinery only pays off on bulk
     #: scatters, and tiny loops (boundary conditions) stay on the simple path
@@ -57,6 +79,19 @@ _config = Config()
 
 def get_config() -> Config:
     """Return the live configuration object."""
+    return _config
+
+
+def configure(**overrides) -> Config:
+    """Apply persistent configuration overrides (unlike the scoped ``swap``).
+
+    >>> configure(execplan_cache_size=2048)
+
+    Returns the new live configuration.  Unknown field names raise
+    ``TypeError`` exactly as ``dataclasses.replace`` would.
+    """
+    global _config
+    _config = replace(_config, **overrides)
     return _config
 
 

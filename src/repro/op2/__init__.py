@@ -42,7 +42,7 @@ from repro.op2.args import Arg
 from repro.op2.kernel import Kernel
 from repro.op2.parloop import par_loop, loop_chain_record, set_default_backend
 from repro.op2.plan import Plan, build_plan
-from repro.op2.execplan import CompiledLoop, clear_plan_cache, plan_cache_stats
+from repro.op2.execplan import CompiledLoop, clear_plan_cache, plan_cache_stats, set_plan_cache_capacity
 from repro.op2.partition import partition_set, PartitionResult
 from repro.op2.renumber import renumber_mesh, locality_score
 from repro.op2.halo import PartitionedMesh, RankMesh, build_partitioned_mesh
@@ -71,6 +71,7 @@ __all__ = [
     "CompiledLoop",
     "clear_plan_cache",
     "plan_cache_stats",
+    "set_plan_cache_capacity",
     "partition_set",
     "PartitionResult",
     "renumber_mesh",

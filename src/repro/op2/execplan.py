@@ -55,7 +55,13 @@ from repro.op2.args import Arg
 from repro.op2.kernel import Kernel
 from repro.op2.set import Set
 
-__all__ = ["CompiledLoop", "lookup", "clear_plan_cache", "plan_cache_stats"]
+__all__ = [
+    "CompiledLoop",
+    "lookup",
+    "clear_plan_cache",
+    "plan_cache_stats",
+    "set_plan_cache_capacity",
+]
 
 #: backends the compiled path covers; ``seq`` deliberately stays the
 #: untouched interpreted semantic baseline, ``cuda`` keeps its staged
@@ -423,6 +429,24 @@ def clear_plan_cache() -> None:
         _registry.clear()
     colour_plan.clear_plan_cache()
     _parloop._unique_count_cache.clear()
+
+
+def set_plan_cache_capacity(limit: int) -> None:
+    """Resize the per-process plan LRU (persistently; evicts down to fit).
+
+    The default capacity is 512 compiled loops (``Config.execplan_cache_size``,
+    overridable at startup with ``REPRO_EXECPLAN_CACHE_SIZE``); the serving
+    layer calls this so one process can hold every tenant's warm plans.
+    """
+    if limit < 1:
+        raise ValueError("plan cache capacity must be >= 1")
+    from repro.common.config import configure
+
+    configure(execplan_cache_size=limit)
+    with _lock:
+        while len(_registry) > limit:
+            _registry.popitem(last=False)
+            _stats["evictions"] += 1
 
 
 def plan_cache_stats() -> dict[str, int]:

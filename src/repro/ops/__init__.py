@@ -37,7 +37,7 @@ from repro.ops.dat import Dat
 from repro.ops.stencil import Stencil, S2D_00, S2D_5PT, S1D_0, S1D_3PT
 from repro.ops.reduction import Reduction
 from repro.ops.parloop import par_loop, set_default_backend
-from repro.ops.execplan import CompiledOpsLoop, clear_plan_cache, plan_cache_stats
+from repro.ops.execplan import CompiledOpsLoop, clear_plan_cache, plan_cache_stats, set_plan_cache_capacity
 from repro.ops.halo import Halo, HaloGroup
 from repro.ops.decomp import DecomposedBlock
 from repro.ops.tiling import tiled_ranges
@@ -63,6 +63,7 @@ __all__ = [
     "CompiledOpsLoop",
     "clear_plan_cache",
     "plan_cache_stats",
+    "set_plan_cache_capacity",
     "Halo",
     "HaloGroup",
     "DecomposedBlock",

@@ -49,7 +49,14 @@ from repro.ops.dat import Dat
 from repro.ops.reduction import Reduction
 from repro.ops.tiling import tiled_ranges
 
-__all__ = ["CompiledOpsLoop", "FastAccessor", "lookup", "clear_plan_cache", "plan_cache_stats"]
+__all__ = [
+    "CompiledOpsLoop",
+    "FastAccessor",
+    "lookup",
+    "clear_plan_cache",
+    "plan_cache_stats",
+    "set_plan_cache_capacity",
+]
 
 #: backends the compiled path covers; ``seq`` deliberately stays the
 #: untouched interpreted semantic baseline
@@ -315,6 +322,24 @@ def clear_plan_cache() -> None:
     """Drop every compiled structured loop (tests / reconfiguration)."""
     with _lock:
         _registry.clear()
+
+
+def set_plan_cache_capacity(limit: int) -> None:
+    """Resize the per-process plan LRU (persistently; evicts down to fit).
+
+    Shares ``Config.execplan_cache_size`` with the op2 registry (default 512,
+    ``REPRO_EXECPLAN_CACHE_SIZE`` at startup), so sizing either registry
+    sizes both.
+    """
+    if limit < 1:
+        raise ValueError("plan cache capacity must be >= 1")
+    from repro.common.config import configure
+
+    configure(execplan_cache_size=limit)
+    with _lock:
+        while len(_registry) > limit:
+            _registry.popitem(last=False)
+            _stats["evictions"] += 1
 
 
 def plan_cache_stats() -> dict[str, int]:

@@ -32,7 +32,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.checkpoint.manager import CheckpointManager, RecoveryReplayer
-from repro.checkpoint.store import FileStore
+from repro.checkpoint.store import FileStore, latest_common_round, round_glob, round_path
 from repro.common.counters import PerfCounters
 from repro.common.errors import ResilienceError
 from repro.resilience.detection import RetryPolicy
@@ -78,32 +78,10 @@ class ResilientResult:
     counters: PerfCounters  #: aggregate over all attempts, incl. resilience counters
 
 
-def _round_path(ckpt_dir: Path, rank: int, round_no: int) -> Path:
-    return ckpt_dir / f"ckpt-r{rank:03d}-n{round_no:04d}.npz"
-
-
-def _latest_common_round(ckpt_dir: Path, nranks: int) -> tuple[int, int] | None:
-    """Newest round flushed by every rank, as (round_no, entry_index).
-
-    Rounds whose per-rank entry indices disagree (a crash interleaved two
-    rounds) are skipped in favour of an older consistent one.
-    """
-    rounds: set[int] = set()
-    for p in ckpt_dir.glob("ckpt-r*-n*.npz"):
-        rounds.add(int(p.stem.split("-n")[1]))
-    for round_no in sorted(rounds, reverse=True):
-        paths = [_round_path(ckpt_dir, r, round_no) for r in range(nranks)]
-        if not all(p.exists() for p in paths):
-            continue
-        entries = []
-        try:
-            for p in paths:
-                entries.append(FileStore.load(p).entry_index)
-        except Exception:
-            continue  # torn file: fall back to an older round
-        if len(set(entries)) == 1:
-            return round_no, entries[0]
-    return None
+# the round-file layout now lives in repro.checkpoint.store (shared with
+# repro.serve); these aliases keep the driver's historical private surface
+_round_path = round_path
+_latest_common_round = latest_common_round
 
 
 def run_resilient_spmd(
@@ -115,18 +93,21 @@ def run_resilient_spmd(
     plan: FaultPlan | None = None,
     retry: RetryPolicy | None = RetryPolicy(),
     max_restarts: int = 3,
+    job_id: str | None = None,
 ) -> ResilientResult:
     """Run ``job`` over ``nranks`` simulated ranks, surviving injected failures.
 
     ``frequency`` is the checkpoint cadence in loops (None disables
     checkpointing, so every restart replays from scratch).  ``plan`` injects
     faults; ``retry`` masks transient message drops at the send site.
-    Raises :class:`ResilienceError` once ``max_restarts`` is exceeded, and
-    re-raises immediately on non-simulated (organic) errors.
+    ``job_id`` namespaces the on-disk rounds so several jobs can share one
+    checkpoint directory (stale files from *other* namespaces are left
+    alone).  Raises :class:`ResilienceError` once ``max_restarts`` is
+    exceeded, and re-raises immediately on non-simulated (organic) errors.
     """
     ckpt_dir = Path(ckpt_dir)
     ckpt_dir.mkdir(parents=True, exist_ok=True)
-    for stale in ckpt_dir.glob("ckpt-r*-n*.npz"):
+    for stale in round_glob(ckpt_dir, job_id=job_id):
         stale.unlink()
 
     aggregate = PerfCounters()
@@ -137,11 +118,11 @@ def run_resilient_spmd(
     while True:
         attempt_start = time.perf_counter()
         state = job.setup()
-        recovery = _latest_common_round(ckpt_dir, nranks) if restarts else None
+        recovery = latest_common_round(ckpt_dir, nranks, job_id=job_id) if restarts else None
         # a crash can leave ranks with different flushed-round counts; restart
         # the numbering past every existing file so rank rounds stay aligned
         # (round k always means the same entry loop on every rank)
-        existing = [int(p.stem.split("-n")[1]) for p in ckpt_dir.glob("ckpt-r*-n*.npz")]
+        existing = [int(p.stem.split("-n")[1]) for p in round_glob(ckpt_dir, job_id=job_id)]
         base = max(existing) + 1 if existing else 0
         next_round.update({r: base for r in range(nranks)})
         world = World(nranks, fault_plan=plan, retry=retry)
@@ -153,7 +134,7 @@ def run_resilient_spmd(
             replayer = None
             manager = None
             if _recovery is not None:
-                store = FileStore.load(_round_path(ckpt_dir, rank, _recovery[0]))
+                store = FileStore.load(round_path(ckpt_dir, rank, _recovery[0], job_id=job_id))
                 replayer = RecoveryReplayer(
                     store, job.datasets(rank, _state), job.globals_(rank, _state)
                 )
@@ -162,15 +143,16 @@ def run_resilient_spmd(
 
                 def flush_round(mgr, _rank=rank):
                     round_no = next_round[_rank]
-                    mgr.store.path = _round_path(ckpt_dir, _rank, round_no)
+                    mgr.store.path = round_path(ckpt_dir, _rank, round_no, job_id=job_id)
                     mgr.store.flush()
                     next_round[_rank] = round_no + 1
-                    mgr.restart(FileStore(_round_path(ckpt_dir, _rank, round_no + 1)))
+                    mgr.restart(FileStore(round_path(ckpt_dir, _rank, round_no + 1, job_id=job_id)))
 
                 manager = CheckpointManager(
-                    FileStore(_round_path(ckpt_dir, rank, next_round[rank])),
+                    FileStore(round_path(ckpt_dir, rank, next_round[rank], job_id=job_id)),
                     frequency=frequency,
                     on_complete=flush_round,
+                    job_id=job_id,
                 )
                 if replayer is not None:
                     # carry the recovered global series into the new round so
@@ -200,7 +182,7 @@ def run_resilient_spmd(
                 raise ResilienceError(
                     f"giving up after {max_restarts} restart(s); last failure: {cause}"
                 ) from err
-            available = _latest_common_round(ckpt_dir, nranks)
+            available = latest_common_round(ckpt_dir, nranks, job_id=job_id)
             recovered_rounds.append(available[0] if available is not None else -1)
             trc = _trace.ACTIVE
             if trc is not None:

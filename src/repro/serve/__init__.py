@@ -1,0 +1,77 @@
+"""repro.serve — simulation-as-a-service on the simulated runtime.
+
+Long-running solver services (the industrial OP2 deployments the paper
+describes) don't run one simulation per process: they keep the runtime warm
+and stream configurations through it.  This package models that mode of
+operation end to end on the proxy runtime:
+
+* :mod:`repro.serve.jobs` — job specs, deterministic IDs, the lifecycle
+  state machine;
+* :mod:`repro.serve.queue` — priority + tenant-fair admission with typed
+  backpressure;
+* :mod:`repro.serve.session` — warm per-configuration sessions, the
+  mechanism behind cross-job execplan cache sharing;
+* :mod:`repro.serve.scheduler` — bounded worker pool, checkpoint-based
+  preemption with bitwise-identical resume, fault retry;
+* :mod:`repro.serve.api` — the async submit/status/result/cancel facade
+  plus a telemetry-fed dashboard;
+* :mod:`repro.serve.loadgen` — the multi-tenant load scenario used by
+  ``python -m repro.serve demo`` and the throughput benchmark.
+"""
+
+from repro.common.errors import (
+    AdmissionRejected,
+    QueueFullRejected,
+    ServeError,
+    TenantQuotaRejected,
+)
+from repro.serve.api import ServeService
+from repro.serve.jobs import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    PREEMPTED,
+    PREEMPTING,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobSpec,
+    deterministic_job_id,
+)
+from repro.serve.queue import FairShareQueue
+from repro.serve.scheduler import JobPreempted, Scheduler
+from repro.serve.session import (
+    AppAdapter,
+    SessionCache,
+    SimulationSession,
+    app_adapter,
+    register_app,
+)
+
+__all__ = [
+    "ServeService",
+    "JobSpec",
+    "Job",
+    "deterministic_job_id",
+    "FairShareQueue",
+    "Scheduler",
+    "JobPreempted",
+    "SessionCache",
+    "SimulationSession",
+    "AppAdapter",
+    "app_adapter",
+    "register_app",
+    "ServeError",
+    "AdmissionRejected",
+    "QueueFullRejected",
+    "TenantQuotaRejected",
+    "QUEUED",
+    "RUNNING",
+    "PREEMPTING",
+    "PREEMPTED",
+    "COMPLETED",
+    "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+]

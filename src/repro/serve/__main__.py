@@ -1,0 +1,117 @@
+"""CLI for the serving layer: ``python -m repro.serve demo``.
+
+Runs the multi-tenant load scenario from :mod:`repro.serve.loadgen` against
+an in-process service and prints a human summary; ``--json`` and
+``--trace`` write the machine-readable report and the Chrome trace of the
+run (the same artifacts the CI serve-smoke job uploads).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.serve.api import ServeService
+from repro.serve.loadgen import run_load
+from repro.telemetry import tracer as _trace
+from repro.telemetry.export import write_chrome_trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="simulation-as-a-service demo on the simulated runtime",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    demo = sub.add_parser("demo", help="run the multi-tenant serving demo")
+    demo.add_argument("--tenants", type=int, default=3)
+    demo.add_argument("--jobs", type=int, default=8, help="jobs per tenant")
+    demo.add_argument("--workers", type=int, default=4)
+    demo.add_argument("--iterations", type=int, default=12)
+    demo.add_argument(
+        "--tenant-quota", type=int, default=5,
+        help="pending-job quota per tenant (small by default so the demo "
+             "exercises typed backpressure and client retry)",
+    )
+    demo.add_argument("--max-depth", type=int, default=48)
+    demo.add_argument("--id-seed", type=int, default=0)
+    demo.add_argument("--json", type=Path, default=None,
+                      help="write the full load report as JSON")
+    demo.add_argument("--trace", type=Path, default=None,
+                      help="write a chrome://tracing view of the run")
+    return parser
+
+
+async def _demo(args: argparse.Namespace) -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as ckpt_dir:
+        service = ServeService(
+            workers=args.workers,
+            max_depth=args.max_depth,
+            tenant_quota=args.tenant_quota,
+            ckpt_dir=ckpt_dir,
+            id_seed=args.id_seed,
+        )
+        async with service:
+            report = await run_load(
+                service,
+                tenants=args.tenants,
+                jobs_per_tenant=args.jobs,
+                iterations=args.iterations,
+            )
+        trc = _trace.ACTIVE
+
+    lat = report["latency_seconds"]
+    plan = report["plan_cache"]
+    print(
+        f"serve demo: {report['jobs_completed']}/{report['jobs_submitted']} jobs "
+        f"completed on {report['workers']} workers "
+        f"({report['tenants']} tenants, {report['wall_seconds']:.2f}s, "
+        f"{report['throughput_jobs_per_s']:.1f} jobs/s)"
+    )
+    print(
+        f"  latency  p50={lat['p50'] * 1e3:.0f}ms p95={lat['p95'] * 1e3:.0f}ms "
+        f"p99={lat['p99'] * 1e3:.0f}ms"
+    )
+    print(
+        f"  preempt  {report['scheduler']['preemptions']} preemption(s), "
+        f"{report['scheduler']['resumes']} resume(s); long job "
+        f"{report['long_job']['state']} after "
+        f"{report['long_job']['preemptions']} preemption(s) "
+        f"(resumed from round {report['long_job']['last_resume_round']})"
+    )
+    print(
+        f"  backpressure  {report['admission_retries']} client retries, "
+        f"rejections={report['rejections']}"
+    )
+    print(
+        f"  plan cache  hit rate {plan['cross_job_hit_rate']:.1%}, "
+        f"{plan['fully_warm_jobs']} fully-warm job(s), "
+        f"{report['sessions']['sessions']} warm session(s)"
+    )
+    if report["lost_jobs"]:
+        print(f"  LOST JOBS: {report['lost_jobs']}", file=sys.stderr)
+
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"  report -> {args.json}")
+    if args.trace is not None and trc is not None:
+        args.trace.parent.mkdir(parents=True, exist_ok=True)
+        write_chrome_trace(args.trace, trc.events())
+        print(f"  trace  -> {args.trace}")
+    return 1 if report["lost_jobs"] else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "demo":
+        return asyncio.run(_demo(args))
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,224 @@
+"""The async service facade: submit/status/result/cancel plus a dashboard.
+
+:class:`ServeService` wires the serving stack together — admission queue,
+warm-session cache, scheduler — behind the five calls a client needs::
+
+    service = ServeService(workers=4)
+    async with service:
+        job_id = await service.submit(JobSpec(tenant="acme", iterations=20))
+        ...                       # live: service.status(job_id), dashboard()
+        result = await service.result(job_id)
+
+Job IDs are deterministic (``id_seed`` + accepted-submission order), and a
+*rejected* submission consumes no sequence number — backpressured clients
+that retry later get the same IDs a never-backpressured run would mint.
+
+The dashboard is fed by :mod:`repro.telemetry`: every serve event carries
+``job=``/``tenant=`` attrs, so :meth:`ServeService.dashboard` can slice the
+one shared trace into per-job and per-tenant
+:class:`~repro.telemetry.export.MetricsSnapshot` views without the
+scheduler maintaining a second bookkeeping path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.common.errors import ServeError
+from repro.op2.execplan import plan_cache_stats, set_plan_cache_capacity
+from repro.resilience.detection import RetryPolicy
+from repro.serve.jobs import Job, JobSpec, deterministic_job_id
+from repro.serve.queue import FairShareQueue
+from repro.serve.scheduler import Scheduler
+from repro.serve.session import SessionCache
+from repro.telemetry import tracer as _trace
+from repro.telemetry.export import MetricsSnapshot
+
+__all__ = ["ServeService"]
+
+
+class ServeService:
+    """Simulation-as-a-service: async submissions over a warm worker pool."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 4,
+        max_depth: int = 64,
+        tenant_quota: int = 16,
+        ckpt_dir: str | Path = ".repro-serve",
+        id_seed: int = 0,
+        preemption: bool = True,
+        retry: RetryPolicy | None = None,
+        plan_cache_capacity: int | None = None,
+    ):
+        if plan_cache_capacity is not None:
+            # per-service override of the process-wide plan LRU (satellite 1);
+            # the env default is REPRO_EXECPLAN_CACHE_SIZE, see common.config
+            set_plan_cache_capacity(plan_cache_capacity)
+        self.queue = FairShareQueue(max_depth=max_depth, tenant_quota=tenant_quota)
+        self.sessions = SessionCache()
+        self.scheduler = Scheduler(
+            self.queue,
+            self.sessions,
+            workers=workers,
+            ckpt_dir=ckpt_dir,
+            preemption=preemption,
+            retry=retry,
+        )
+        self.id_seed = id_seed
+        self._jobs: dict[str, Job] = {}
+        self._seq = 0  # accepted submissions only — rejections don't burn IDs
+        self._seq_lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        _trace.enable()
+        await self.scheduler.start()
+
+    async def stop(self) -> None:
+        """Stop accepting dispatches and drain in-flight jobs."""
+        await self.scheduler.stop()
+
+    async def __aenter__(self) -> "ServeService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.stop()
+
+    # -- the client surface ----------------------------------------------------
+
+    async def submit(self, spec: JobSpec) -> str:
+        """Admit one job; returns its ID or raises a typed rejection.
+
+        Raises :class:`~repro.common.errors.QueueFullRejected` /
+        :class:`~repro.common.errors.TenantQuotaRejected` under
+        backpressure — the job is *not* accepted and no sequence number is
+        consumed, so admission failures never perturb later job IDs.
+        """
+        with self._seq_lock:
+            job_id = deterministic_job_id(self.id_seed, spec.tenant, self._seq, spec)
+            job = Job(spec, job_id, self._seq)
+            self.queue.push(job)  # raises on backpressure, before any commit
+            self._seq += 1
+            self._jobs[job_id] = job
+        trc = _trace.ACTIVE
+        if trc is not None:
+            trc.instant(
+                "job_submitted", "serve",
+                job=job_id, tenant=spec.tenant, priority=spec.priority,
+            )
+        self.scheduler.poke()
+        return job_id
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """JSON-safe snapshot of one job's lifecycle."""
+        return self._job(job_id).to_dict()
+
+    async def result(self, job_id: str, timeout: float | None = None) -> Any:
+        """Await the job's terminal state; returns the per-rank results.
+
+        Raises the job's error for failed jobs, :class:`ServeError` for a
+        cancelled job or on timeout.
+        """
+        job = self._job(job_id)
+        done = await asyncio.to_thread(job.wait, timeout)
+        if not done:
+            raise ServeError(f"job {job_id} still {job.state} after {timeout}s")
+        if job.state == "completed":
+            return job.result
+        if job.state == "cancelled":
+            raise ServeError(f"job {job_id} was cancelled")
+        assert job.error is not None
+        raise job.error
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job: pending jobs drop out; running preemptible jobs stop
+        at their next checkpoint round. Returns False once it's too late."""
+        job = self._job(job_id)
+        if job.done:
+            return False
+        if self.queue.cancel(job_id) is not None:
+            return True
+        job.cancel_requested = True
+        if job.state == "preempting":
+            return True  # already unwinding; the cancel flag redirects it
+        return self.scheduler.request_preempt(job)
+
+    def preempt(self, job_id: str) -> bool:
+        """Explicitly ask a running job to yield (it re-queues and resumes)."""
+        return self.scheduler.request_preempt(self._job(job_id))
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """All accepted jobs, submission order."""
+        return [j.to_dict() for j in self._jobs.values()]
+
+    # -- dashboard -------------------------------------------------------------
+
+    def dashboard(self) -> dict[str, Any]:
+        """Live service view: per-job and per-tenant metrics from telemetry.
+
+        Slices the shared trace by the ``job=``/``tenant=`` attrs that every
+        serve-category event carries, then aggregates each slice into a
+        :class:`MetricsSnapshot` (span quantiles + instant counts).
+        """
+        trc = _trace.ACTIVE
+        events = trc.events() if trc is not None else []
+        serve_events = [e for e in events if e.cat == "serve"]
+        per_job: dict[str, list] = {}
+        per_tenant: dict[str, list] = {}
+        for ev in serve_events:
+            job = ev.attrs.get("job")
+            tenant = ev.attrs.get("tenant")
+            if job is not None:
+                per_job.setdefault(job, []).append(ev)
+            if tenant is not None:
+                per_tenant.setdefault(tenant, []).append(ev)
+        jobs_view = {}
+        for job_id, evs in sorted(per_job.items()):
+            snap = MetricsSnapshot.from_events(evs)
+            rec = self._jobs.get(job_id)
+            jobs_view[job_id] = {
+                "state": rec.state if rec is not None else "?",
+                "metrics": snap.to_dict(),
+            }
+        tenants_view = {}
+        for tenant, evs in sorted(per_tenant.items()):
+            snap = MetricsSnapshot.from_events(evs)
+            tenants_view[tenant] = {
+                "pending": self.queue.pending_by_tenant().get(tenant, 0),
+                "metrics": snap.to_dict(),
+            }
+        return {
+            "queue_depth": len(self.queue),
+            "running": [j.job_id for j in self.scheduler.running_jobs],
+            "jobs": jobs_view,
+            "tenants": tenants_view,
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate service counters (scheduler, queue, sessions, plan cache)."""
+        hits = sum(j.counters.plan_hits for j in self._jobs.values())
+        misses = sum(j.counters.plan_misses for j in self._jobs.values())
+        total = hits + misses
+        return {
+            "jobs_accepted": len(self._jobs),
+            "scheduler": dict(self.scheduler.stats),
+            "rejections": dict(self.queue.rejections),
+            "sessions": self.sessions.stats(),
+            "plan_cache": plan_cache_stats(),
+            "cross_job_plan_hit_rate": hits / total if total else 0.0,
+        }
+
+    # -- internals -------------------------------------------------------------
+
+    def _job(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ServeError(f"unknown job {job_id!r}") from None

@@ -1,0 +1,202 @@
+"""Job model for the serving layer: specs, state machine, deterministic IDs.
+
+A :class:`JobSpec` describes *what* to simulate (app, mesh/deck parameters,
+rank count, length) and *how* the service may treat it (tenant, priority,
+preemptibility, checkpoint cadence, fault-retry budget).  A :class:`Job` is
+one accepted submission: the spec plus the live state machine the scheduler
+drives::
+
+    queued -> running -> completed
+                |  \\-> failed
+                |-> preempting -> preempted -> queued   (checkpoint resume)
+    queued/preempted -> cancelled
+
+Transitions are enforced — an illegal move raises
+:class:`~repro.common.errors.ServeError` — so scheduler bugs surface as
+typed errors instead of silently corrupted bookkeeping.
+
+Job IDs are deterministic and seedable: given the service's ``id_seed`` and
+the order of *accepted* submissions, every run mints the same IDs.  That
+makes multi-job traces, checkpoint namespaces (the ID is the
+:func:`repro.checkpoint.store.round_path` namespace) and test assertions
+reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.counters import PerfCounters
+from repro.common.errors import ServeError
+
+__all__ = ["JobSpec", "Job", "deterministic_job_id", "QUEUED", "RUNNING",
+           "PREEMPTING", "PREEMPTED", "COMPLETED", "FAILED", "CANCELLED",
+           "TERMINAL_STATES"]
+
+QUEUED = "queued"
+RUNNING = "running"
+PREEMPTING = "preempting"
+PREEMPTED = "preempted"
+COMPLETED = "completed"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED})
+
+_ALLOWED: dict[str, frozenset] = {
+    QUEUED: frozenset({RUNNING, CANCELLED}),
+    RUNNING: frozenset({COMPLETED, FAILED, PREEMPTING}),
+    # a preempt request can land just as the job finishes (or faults out):
+    # preempting may therefore resolve to any outcome, not just preempted
+    PREEMPTING: frozenset({PREEMPTED, COMPLETED, FAILED, CANCELLED}),
+    PREEMPTED: frozenset({QUEUED, CANCELLED}),
+    COMPLETED: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+
+@dataclass
+class JobSpec:
+    """One simulation submission: application + deck/mesh parameters."""
+
+    app: str = "airfoil"
+    tenant: str = "default"
+    #: larger wins; a queued job with higher priority than a running
+    #: preemptible one triggers preemption when no worker is free
+    priority: int = 0
+    nranks: int = 1
+    iterations: int = 10
+    #: app-specific mesh/deck parameters (nx, ny, jitter, seed, method...)
+    params: dict[str, Any] = field(default_factory=dict)
+    #: preemptible jobs checkpoint every ``checkpoint_frequency`` loops and
+    #: can be paused/resumed bitwise-identically; non-preemptible jobs never
+    #: install a checkpoint manager and always run to completion
+    preemptible: bool = True
+    checkpoint_frequency: int = 10
+    #: simulated-fault retries before the job is failed
+    max_retries: int = 2
+    #: optional :class:`~repro.resilience.faults.FaultPlan` injected into the
+    #: job's simulated world (tests / chaos drills; not part of the wire spec)
+    fault_plan: Any = None
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ServeError("nranks must be >= 1")
+        if self.iterations < 1:
+            raise ServeError("iterations must be >= 1")
+        if self.preemptible and self.checkpoint_frequency < 1:
+            raise ServeError("preemptible jobs need checkpoint_frequency >= 1")
+        if self.max_retries < 0:
+            raise ServeError("max_retries must be >= 0")
+
+    def session_key(self) -> str:
+        """Stable key of the warm state this job can share (see serve.session).
+
+        Everything that shapes the mesh/partition is in the key; run length,
+        tenant and priority are not — jobs of any length share one warm
+        session, which is what makes the cross-job plan cache hit.
+        """
+        items = ",".join(f"{k}={self.params[k]!r}" for k in sorted(self.params))
+        return f"{self.app}/r{self.nranks}/{items}"
+
+
+def deterministic_job_id(seed: int, tenant: str, seq: int, spec: JobSpec) -> str:
+    """Mint the job ID: stable given (service seed, accepted-submission order)."""
+    digest = hashlib.sha256(
+        f"{seed}:{tenant}:{seq}:{spec.session_key()}:{spec.iterations}".encode()
+    ).hexdigest()[:8]
+    return f"{tenant}-{seq:05d}-{digest}"
+
+
+class Job:
+    """One accepted submission and its full service-side lifecycle."""
+
+    def __init__(self, spec: JobSpec, job_id: str, seq: int):
+        self.spec = spec
+        self.job_id = job_id
+        self.seq = seq
+        self.state = QUEUED
+        #: asks the running attempt to stop at its next flushed checkpoint
+        #: round; read from the worker thread, set from the scheduler
+        self.preempt_requested = threading.Event()
+        self.cancel_requested = False
+        self.attempts = 0
+        self.preemptions = 0
+        self.resumes = 0
+        self.retries = 0
+        self.rounds_flushed = 0
+        self.last_resume_round: int | None = None
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.counters = PerfCounters()
+        self.submitted_at = time.perf_counter()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._flush_lock = threading.Lock()
+        self._done = threading.Event()
+
+    # -- state machine ---------------------------------------------------------
+
+    def transition(self, new_state: str) -> None:
+        if new_state not in _ALLOWED:
+            raise ServeError(f"unknown job state {new_state!r}")
+        if new_state not in _ALLOWED[self.state]:
+            raise ServeError(
+                f"job {self.job_id}: illegal transition {self.state} -> {new_state}"
+            )
+        self.state = new_state
+        if new_state in TERMINAL_STATES:
+            self.finished_at = time.perf_counter()
+            self._done.set()
+
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block (a thread, not the event loop) until the job is terminal."""
+        return self._done.wait(timeout)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def note_round_flushed(self) -> None:
+        """Called from worker threads each time a checkpoint round hits disk."""
+        with self._flush_lock:
+            self.rounds_flushed += 1
+
+    @property
+    def latency(self) -> float | None:
+        """Submit-to-terminal wall seconds (None while still in flight)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe view for the status API / dashboard / CLI."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.spec.tenant,
+            "app": self.spec.app,
+            "state": self.state,
+            "priority": self.spec.priority,
+            "nranks": self.spec.nranks,
+            "iterations": self.spec.iterations,
+            "attempts": self.attempts,
+            "preemptions": self.preemptions,
+            "resumes": self.resumes,
+            "retries": self.retries,
+            "rounds_flushed": self.rounds_flushed,
+            "last_resume_round": self.last_resume_round,
+            "latency_seconds": self.latency,
+            "plan_hits": self.counters.plan_hits,
+            "plan_misses": self.counters.plan_misses,
+            "error": repr(self.error) if self.error is not None else None,
+        }
+
+    def __repr__(self) -> str:
+        return f"Job({self.job_id!r}, state={self.state!r}, tenant={self.spec.tenant!r})"

@@ -1,0 +1,193 @@
+"""Multi-tenant load generator for the serving layer (CLI demo + bench).
+
+:func:`run_load` drives one :class:`~repro.serve.api.ServeService` through a
+repeatable serving scenario:
+
+* ``tenants`` tenants each submit ``jobs_per_tenant`` jobs over a small set
+  of mesh decks, so several warm sessions keep the whole worker pool busy
+  while same-deck jobs replay each other's compiled plans;
+* clients handle typed backpressure (:class:`~repro.common.errors.`
+  ``AdmissionRejected``) with retry/backoff — under-provisioned queue
+  limits slow submission down but never lose a job;
+* one deliberately long job is preempted mid-run once it is observed
+  running, then resumes from its checkpoint round and completes — the
+  deterministic preempt→resume the acceptance gate requires;
+* a late wave of high-priority jobs exercises the scheduler's
+  priority-preemption policy opportunistically.
+
+The returned report is plain JSON-safe data: throughput, latency
+quantiles, preemption/resume/retry counts, backpressure retries, plan-hit
+rate and warm-job counts — the bench script writes it out verbatim.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any
+
+from repro.common.errors import AdmissionRejected
+from repro.serve.api import ServeService
+from repro.serve.jobs import JobSpec
+
+__all__ = ["run_load", "default_decks"]
+
+
+def default_decks() -> list[dict[str, Any]]:
+    """Four small distinct meshes: four warm sessions to fill a 4-worker pool."""
+    return [
+        {"nx": 14, "ny": 10},
+        {"nx": 16, "ny": 11},
+        {"nx": 18, "ny": 12},
+        {"nx": 15, "ny": 13},
+    ]
+
+
+def _quantile(sorted_vals: list[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, max(0, round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+async def run_load(
+    service: ServeService,
+    *,
+    tenants: int = 3,
+    jobs_per_tenant: int = 8,
+    iterations: int = 12,
+    checkpoint_frequency: int = 10,
+    long_iterations: int = 150,
+    decks: list[dict[str, Any]] | None = None,
+    high_priority_wave: bool = True,
+    preempt_timeout: float = 30.0,
+) -> dict[str, Any]:
+    """Run the scenario against a started ``service``; returns the report."""
+    decks = decks if decks is not None else default_decks()
+    tenant_names = [f"tenant{chr(ord('a') + i)}" for i in range(tenants)]
+    admission_retries = 0
+    t0 = time.perf_counter()
+
+    async def submit_with_retry(spec: JobSpec) -> str:
+        nonlocal admission_retries
+        while True:
+            try:
+                return await service.submit(spec)
+            except AdmissionRejected:
+                # typed backpressure: back off and retry — never drop the job
+                admission_retries += 1
+                await asyncio.sleep(0.01)
+
+    job_ids: list[str] = []
+
+    # the preemption target: long enough to be observed running and asked to
+    # yield, on its own deck so it doesn't serialise the short jobs
+    long_spec = JobSpec(
+        tenant=tenant_names[0],
+        iterations=long_iterations,
+        params={"nx": 21, "ny": 14},
+        checkpoint_frequency=checkpoint_frequency,
+    )
+    long_id = await submit_with_retry(long_spec)
+    job_ids.append(long_id)
+
+    # main wave: every tenant, decks round-robin, base priority
+    for t_idx, tenant in enumerate(tenant_names):
+        count = jobs_per_tenant - 1 if t_idx == 0 else jobs_per_tenant
+        if high_priority_wave:
+            count -= 1
+        for k in range(count):
+            deck = decks[(t_idx + k) % len(decks)]
+            job_ids.append(
+                await submit_with_retry(
+                    JobSpec(
+                        tenant=tenant,
+                        iterations=iterations,
+                        params=dict(deck),
+                        checkpoint_frequency=checkpoint_frequency,
+                    )
+                )
+            )
+
+    # deterministic preempt -> resume: wait for the long job to run, yield it
+    preempted = False
+    deadline = time.perf_counter() + preempt_timeout
+    while time.perf_counter() < deadline:
+        state = service.status(long_id)["state"]
+        if state == "running" and service.preempt(long_id):
+            preempted = True
+            break
+        if state in ("completed", "failed", "cancelled"):
+            break
+        await asyncio.sleep(0.002)
+
+    # late high-priority wave: arrives while the pool is saturated, so the
+    # scheduler may preempt a lower-priority victim to make room
+    if high_priority_wave:
+        for t_idx, tenant in enumerate(tenant_names):
+            deck = decks[t_idx % len(decks)]
+            job_ids.append(
+                await submit_with_retry(
+                    JobSpec(
+                        tenant=tenant,
+                        priority=5,
+                        iterations=iterations,
+                        params=dict(deck),
+                        checkpoint_frequency=checkpoint_frequency,
+                    )
+                )
+            )
+
+    for jid in job_ids:
+        await service.result(jid, timeout=300.0)
+    wall = time.perf_counter() - t0
+
+    jobs = [service.status(jid) for jid in job_ids]
+    lost = [j["job_id"] for j in jobs if j["state"] != "completed"]
+    latencies = sorted(
+        j["latency_seconds"] for j in jobs if j["latency_seconds"] is not None
+    )
+    stats = service.stats()
+    long_job = service.status(long_id)
+    per_tenant: dict[str, dict[str, Any]] = {}
+    for j in jobs:
+        rec = per_tenant.setdefault(
+            j["tenant"], {"jobs": 0, "preemptions": 0, "plan_misses": 0}
+        )
+        rec["jobs"] += 1
+        rec["preemptions"] += j["preemptions"]
+        rec["plan_misses"] += j["plan_misses"]
+
+    return {
+        "tenants": tenants,
+        "jobs_submitted": len(job_ids),
+        "jobs_completed": sum(1 for j in jobs if j["state"] == "completed"),
+        "lost_jobs": lost,
+        "workers": service.scheduler.workers,
+        "wall_seconds": wall,
+        "throughput_jobs_per_s": len(job_ids) / wall if wall > 0 else 0.0,
+        "latency_seconds": {
+            "p50": _quantile(latencies, 0.50),
+            "p95": _quantile(latencies, 0.95),
+            "p99": _quantile(latencies, 0.99),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+        "preempt_requested": preempted,
+        "long_job": {
+            "job_id": long_id,
+            "state": long_job["state"],
+            "preemptions": long_job["preemptions"],
+            "resumes": long_job["resumes"],
+            "last_resume_round": long_job["last_resume_round"],
+        },
+        "scheduler": stats["scheduler"],
+        "admission_retries": admission_retries,
+        "rejections": stats["rejections"],
+        "plan_cache": {
+            **stats["plan_cache"],
+            "cross_job_hit_rate": stats["cross_job_plan_hit_rate"],
+            "fully_warm_jobs": sum(1 for j in jobs if j["plan_misses"] == 0),
+        },
+        "sessions": stats["sessions"],
+        "per_tenant": per_tenant,
+    }

@@ -1,0 +1,151 @@
+"""Priority queue with per-tenant fair-share admission and backpressure.
+
+Admission control is the service's first line of defence: a global depth
+limit bounds total queued work (whole-service backpressure) and a per-tenant
+quota stops one tenant from monopolising the queue.  Both reject with
+*typed* errors (:class:`~repro.common.errors.QueueFullRejected`,
+:class:`~repro.common.errors.TenantQuotaRejected`) carrying the limit and
+observed depth, so clients implement retry/backoff without parsing strings.
+
+Scheduling order is deterministic: highest priority first, then the tenant
+with the fewest in-flight jobs (fair share — in-flight counts jobs popped
+but not yet finished), then submission order.  ``pop`` takes an optional
+eligibility predicate so the scheduler can skip jobs whose warm session is
+momentarily busy instead of head-of-line blocking a worker on it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.common.errors import QueueFullRejected, ServeError, TenantQuotaRejected
+from repro.serve.jobs import CANCELLED, Job
+from repro.telemetry import tracer as _trace
+
+__all__ = ["FairShareQueue"]
+
+
+class FairShareQueue:
+    """Bounded, tenant-fair, priority-ordered pending-job queue."""
+
+    def __init__(self, *, max_depth: int = 64, tenant_quota: int = 16):
+        if max_depth < 1 or tenant_quota < 1:
+            raise ServeError("queue limits must be >= 1")
+        self.max_depth = max_depth
+        self.tenant_quota = tenant_quota
+        self._pending: list[Job] = []
+        self._inflight: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.rejections = {"queue_full": 0, "tenant_quota": 0}
+
+    # -- admission -------------------------------------------------------------
+
+    def push(self, job: Job) -> None:
+        """Admit a new submission, or reject with a typed backpressure error."""
+        with self._lock:
+            depth = len(self._pending)
+            if depth >= self.max_depth:
+                self.rejections["queue_full"] += 1
+                self._note_reject("queue_full", job)
+                raise QueueFullRejected(
+                    f"queue depth {depth} at limit {self.max_depth}",
+                    tenant=job.spec.tenant, limit=self.max_depth, depth=depth,
+                )
+            tenant_depth = sum(
+                1 for j in self._pending if j.spec.tenant == job.spec.tenant
+            )
+            if tenant_depth >= self.tenant_quota:
+                self.rejections["tenant_quota"] += 1
+                self._note_reject("tenant_quota", job)
+                raise TenantQuotaRejected(
+                    f"tenant {job.spec.tenant!r} has {tenant_depth} pending jobs "
+                    f"(quota {self.tenant_quota})",
+                    tenant=job.spec.tenant, limit=self.tenant_quota,
+                    depth=tenant_depth,
+                )
+            self._pending.append(job)
+
+    def requeue(self, job: Job) -> None:
+        """Re-enqueue a preempted job; resumption bypasses admission control.
+
+        A preempted job already holds admitted work (and on-disk checkpoint
+        rounds) — bouncing it on backpressure would turn preemption into job
+        loss, so resume slots are exempt from the depth limits.
+        """
+        with self._lock:
+            self._pending.append(job)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def pop(self, eligible: Callable[[Job], bool] | None = None) -> Job | None:
+        """Deterministically pick the next job to run, or None.
+
+        Order: priority desc, tenant in-flight count asc (fair share),
+        submission sequence asc.  ``eligible`` filters candidates (e.g. jobs
+        whose warm session is busy); when every pending job is ineligible the
+        queue returns None rather than blocking.
+        """
+        with self._lock:
+            candidates = [
+                j for j in self._pending if eligible is None or eligible(j)
+            ]
+            if not candidates:
+                return None
+            job = min(
+                candidates,
+                key=lambda j: (
+                    -j.spec.priority,
+                    self._inflight.get(j.spec.tenant, 0),
+                    j.seq,
+                ),
+            )
+            self._pending.remove(job)
+            self._inflight[job.spec.tenant] = (
+                self._inflight.get(job.spec.tenant, 0) + 1
+            )
+            return job
+
+    def release(self, tenant: str) -> None:
+        """A popped job stopped consuming a worker (finished or preempted)."""
+        with self._lock:
+            count = self._inflight.get(tenant, 0)
+            if count > 0:
+                self._inflight[tenant] = count - 1
+
+    def cancel(self, job_id: str) -> Job | None:
+        """Remove (and mark cancelled) a still-pending job."""
+        with self._lock:
+            for job in self._pending:
+                if job.job_id == job_id:
+                    self._pending.remove(job)
+                    job.transition(CANCELLED)
+                    return job
+        return None
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def max_pending_priority(self) -> int | None:
+        with self._lock:
+            if not self._pending:
+                return None
+            return max(j.spec.priority for j in self._pending)
+
+    def pending_by_tenant(self) -> dict[str, int]:
+        with self._lock:
+            out: dict[str, int] = {}
+            for j in self._pending:
+                out[j.spec.tenant] = out.get(j.spec.tenant, 0) + 1
+            return out
+
+    def _note_reject(self, reason: str, job: Job) -> None:
+        trc = _trace.ACTIVE
+        if trc is not None:
+            trc.instant(
+                "job_rejected", "serve", reason=reason,
+                tenant=job.spec.tenant, job=job.job_id,
+            )

@@ -1,0 +1,395 @@
+"""Scheduler: bounded worker pool, checkpoint preemption, fault retry.
+
+The scheduler is an asyncio dispatcher over blocking simulation attempts:
+each attempt runs in a worker thread (``asyncio.to_thread``) while the event
+loop keeps admitting, dispatching, preempting and reporting.
+
+**Preemption protocol.**  A preemptible job runs with one
+:class:`~repro.checkpoint.manager.CheckpointManager` per rank flushing
+job-namespaced :class:`~repro.checkpoint.store.FileStore` rounds every
+``checkpoint_frequency`` loops.  A preempt request sets a flag the job's
+ranks poll at exactly one place: *right after a round is flushed*.  The
+first rank to observe it raises :class:`JobPreempted`; in a multi-rank
+world the simulated-MPI executor marks that rank failed so peers unwind
+promptly (the same prompt-failure path resilience uses), and the attempt
+returns with every flushed round intact.  Resume re-runs the job with a
+:class:`~repro.checkpoint.manager.RecoveryReplayer` fast-forwarding to the
+newest round completed by *all* ranks — so a preempted-and-resumed job is
+bitwise identical to an uninterrupted one (PR-1's recovery guarantee, here
+in service of fair scheduling rather than fault tolerance).
+
+**Priority preemption policy.**  When no worker is free and a queued job
+outranks a running preemptible job, the lowest-priority running victim is
+asked to yield.  Its re-queued continuation bypasses admission control (the
+work is already admitted and on disk).
+
+**Fault retry.**  Attempts that die of *simulated* faults (injected kills,
+lost messages, deadlock timeouts) are retried with
+:class:`~repro.resilience.detection.RetryPolicy` backoff up to the spec's
+``max_retries`` — and since retries run under the same checkpoint
+machinery, a retry also resumes from the latest complete round instead of
+losing the job's progress.  Organic errors propagate and fail the job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.checkpoint.manager import CheckpointManager, RecoveryReplayer
+from repro.checkpoint.store import (
+    FileStore,
+    latest_common_round,
+    round_glob,
+    round_path,
+)
+from repro.common.errors import ResilienceError, ServeError
+from repro.common.profiling import counters_scope
+from repro.resilience.detection import RetryPolicy
+from repro.serve.jobs import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    PREEMPTED,
+    PREEMPTING,
+    QUEUED,
+    RUNNING,
+    Job,
+)
+from repro.serve.queue import FairShareQueue
+from repro.serve.session import SessionCache, SimulationSession
+from repro.simmpi.comm import DeadlockError
+from repro.simmpi.executor import World, run_spmd
+from repro.telemetry import tracer as _trace
+
+__all__ = ["JobPreempted", "Scheduler", "run_attempt"]
+
+
+class JobPreempted(ServeError):
+    """Raised inside a rank to unwind a job after its checkpoint flushed."""
+
+
+def _instant(name: str, **attrs: Any) -> None:
+    trc = _trace.ACTIVE
+    if trc is not None:
+        trc.instant(name, "serve", **attrs)
+
+
+def run_attempt(
+    job: Job, session: SimulationSession, ckpt_dir: Path
+) -> tuple[str, Any]:
+    """One blocking attempt at ``job`` on its warm session (worker thread).
+
+    Returns ``("done", per-rank results)``, ``("preempted", None)`` or
+    ``("fault", cause)``; organic errors propagate.  The session must be
+    held exclusively by the caller.
+    """
+    spec = job.spec
+    adapter, state = session.adapter, session.state
+    nranks = spec.nranks
+    jid = job.job_id
+    frequency = spec.checkpoint_frequency if spec.preemptible else None
+
+    # resume from the newest round every rank completed, if any attempt of
+    # this job flushed one; a fresh job (or one preempted before its first
+    # flush) starts from scratch — bitwise the same, just slower
+    resume = None
+    if job.preemptions or job.retries:
+        resume = latest_common_round(ckpt_dir, nranks, job_id=jid)
+    existing = [int(p.stem.split("-n")[1]) for p in round_glob(ckpt_dir, job_id=jid)]
+    base = max(existing) + 1 if existing else 0
+    next_round = {r: base for r in range(nranks)}
+
+    session.reset()
+    job.attempts += 1
+    if resume is not None:
+        job.resumes += 1
+        job.last_resume_round = resume[0]
+    session.jobs_served += 1
+
+    if spec.fault_plan is not None:
+        spec.fault_plan.begin_attempt()
+    world = World(nranks, fault_plan=spec.fault_plan)
+
+    def rank_body(comm):
+        rank = comm.rank
+        replayer = None
+        manager = None
+        if resume is not None:
+            store = FileStore.load(round_path(ckpt_dir, rank, resume[0], job_id=jid))
+            replayer = RecoveryReplayer(
+                store, adapter.datasets(rank, state), adapter.globals_(rank, state)
+            )
+            replayer.install(local=True)
+        if frequency is not None:
+
+            def flush_round(mgr, _rank=rank):
+                round_no = next_round[_rank]
+                mgr.store.path = round_path(ckpt_dir, _rank, round_no, job_id=jid)
+                mgr.store.flush()
+                next_round[_rank] = round_no + 1
+                job.note_round_flushed()
+                mgr.restart(
+                    FileStore(round_path(ckpt_dir, _rank, round_no + 1, job_id=jid))
+                )
+                # the one preemption point: a complete round is on disk, so
+                # yielding here can never lose progress
+                if job.preempt_requested.is_set():
+                    raise JobPreempted(
+                        f"job {jid} rank {_rank} yielded after round {round_no}"
+                    )
+
+            manager = CheckpointManager(
+                FileStore(round_path(ckpt_dir, rank, base, job_id=jid)),
+                frequency=frequency,
+                on_complete=flush_round,
+                job_id=jid,
+            )
+            if replayer is not None:
+                # carry the recovered global series forward so a later
+                # resume can replay globals from loop 0
+                for name, series in replayer.store.globals.items():
+                    for idx, val in series:
+                        manager.store.record_global(name, idx, val)
+            manager.install(local=True)
+        try:
+            return adapter.run(comm, state, spec)
+        finally:
+            if manager is not None:
+                manager.remove()
+            if replayer is not None:
+                replayer.remove()
+
+    trc = _trace.ACTIVE
+    span = None
+    if trc is not None:
+        span = trc.begin(
+            "serve_job", "serve",
+            job=jid, tenant=spec.tenant, app=spec.app, nranks=nranks,
+            attempt=job.attempts, resumed_round=resume[0] if resume else None,
+        )
+    try:
+        with counters_scope(job.counters):
+            try:
+                results = run_spmd(nranks, rank_body, world=world)
+            finally:
+                if nranks > 1:
+                    job.counters.merge(world.total_counters())
+        return ("done", results)
+    except JobPreempted:
+        # single-rank jobs raise straight through run_spmd's inline path
+        return ("preempted", None)
+    except (RuntimeError, DeadlockError, ResilienceError) as err:
+        cause = err.__cause__ if isinstance(err, RuntimeError) else err
+        if isinstance(cause, JobPreempted):
+            return ("preempted", None)
+        if isinstance(cause, (ResilienceError, DeadlockError)):
+            return ("fault", cause)
+        raise
+    finally:
+        if span is not None:
+            trc.end(span)
+
+
+class Scheduler:
+    """Asyncio dispatcher: queue -> bounded workers, with preemption."""
+
+    def __init__(
+        self,
+        queue: FairShareQueue,
+        sessions: SessionCache,
+        *,
+        workers: int = 4,
+        ckpt_dir: str | Path,
+        preemption: bool = True,
+        retry: RetryPolicy | None = None,
+    ):
+        if workers < 1:
+            raise ServeError("worker pool size must be >= 1")
+        self.queue = queue
+        self.sessions = sessions
+        self.workers = workers
+        self.ckpt_dir = Path(ckpt_dir)
+        self.ckpt_dir.mkdir(parents=True, exist_ok=True)
+        self.preemption = preemption
+        self.retry = retry if retry is not None else RetryPolicy(base_delay=0.01)
+        self._free = workers
+        self._running: dict[str, Job] = {}
+        self._wake = asyncio.Event()
+        self._stopping = False
+        self._dispatcher: asyncio.Task | None = None
+        self._job_tasks: set[asyncio.Task] = set()
+        self.stats = {
+            "completed": 0, "failed": 0, "cancelled": 0,
+            "preemptions": 0, "resumes": 0, "retries": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._dispatcher is None:
+            self._stopping = False
+            self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Stop dispatching and wait for in-flight jobs to finish."""
+        self._stopping = True
+        self._wake.set()
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        if self._job_tasks:
+            await asyncio.gather(*self._job_tasks)
+
+    def poke(self) -> None:
+        """Wake the dispatcher (new submission, external preempt, ...)."""
+        self._wake.set()
+
+    @property
+    def running_jobs(self) -> list[Job]:
+        return list(self._running.values())
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _eligible(self, job: Job) -> bool:
+        # skip jobs whose warm session is held by a running job; they would
+        # only pin a worker while waiting on the session lock
+        return not self.sessions.busy(job.spec.session_key())
+
+    async def _dispatch_loop(self) -> None:
+        while not self._stopping:
+            dispatched = False
+            if self._free > 0:
+                job = self.queue.pop(eligible=self._eligible)
+                if job is not None:
+                    self._free -= 1
+                    task = asyncio.create_task(self._run_job(job))
+                    self._job_tasks.add(task)
+                    task.add_done_callback(self._job_tasks.discard)
+                    dispatched = True
+            if not dispatched:
+                if self.preemption and self._free == 0:
+                    self._maybe_preempt()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=0.05)
+                except (asyncio.TimeoutError, TimeoutError):
+                    pass
+                self._wake.clear()
+
+    def _maybe_preempt(self) -> None:
+        """Yield the weakest running job to a strictly stronger queued one."""
+        top = self.queue.max_pending_priority()
+        if top is None:
+            return
+        victims = [
+            j for j in self._running.values()
+            if j.spec.preemptible
+            and j.state == RUNNING
+            and j.spec.priority < top
+            and not j.preempt_requested.is_set()
+        ]
+        if not victims:
+            return
+        victim = min(victims, key=lambda j: (j.spec.priority, j.seq))
+        self.request_preempt(victim)
+
+    def request_preempt(self, job: Job) -> bool:
+        """Ask a running job to yield at its next flushed checkpoint round."""
+        if job.state != RUNNING or not job.spec.preemptible:
+            return False
+        job.transition(PREEMPTING)
+        job.preempt_requested.set()
+        _instant(
+            "job_preempt_request", job=job.job_id, tenant=job.spec.tenant,
+        )
+        return True
+
+    # -- one job, all attempts -------------------------------------------------
+
+    async def _run_job(self, job: Job) -> None:
+        try:
+            session = await self.sessions.get(job.spec)
+            async with session.lock:
+                await self._attempt_until_settled(job, session)
+        except Exception as err:  # organic failure: surface on the job
+            job.error = err
+            if job.state in (RUNNING, PREEMPTING):
+                job.transition(FAILED)
+            self.stats["failed"] += 1
+            _instant("job_failed", job=job.job_id, error=type(err).__name__)
+        finally:
+            self._running.pop(job.job_id, None)
+            self.queue.release(job.spec.tenant)
+            self._free += 1
+            self._wake.set()
+
+    async def _attempt_until_settled(self, job: Job, session) -> None:
+        """Run attempts (with fault retries) until the job settles or yields."""
+        job.transition(RUNNING)
+        if job.started_at is None:
+            job.started_at = time.perf_counter()
+        self._running[job.job_id] = job
+        _instant(
+            "job_started", job=job.job_id, tenant=job.spec.tenant,
+            attempt=job.attempts + 1,
+        )
+        while True:
+            resumes_before = job.resumes
+            outcome, payload = await asyncio.to_thread(
+                run_attempt, job, session, self.ckpt_dir
+            )
+            self.stats["resumes"] += job.resumes - resumes_before
+            if outcome == "done":
+                job.result = payload
+                job.transition(COMPLETED)  # from RUNNING or PREEMPTING
+                self.stats["completed"] += 1
+                self._cleanup_rounds(job)
+                _instant(
+                    "job_completed", job=job.job_id, tenant=job.spec.tenant,
+                    attempts=job.attempts, preemptions=job.preemptions,
+                )
+                return
+            if outcome == "preempted":
+                job.preemptions += 1
+                job.preempt_requested.clear()
+                self.stats["preemptions"] += 1
+                job.transition(PREEMPTED)
+                _instant(
+                    "job_preempted", job=job.job_id, tenant=job.spec.tenant,
+                    rounds_flushed=job.rounds_flushed,
+                )
+                if job.cancel_requested:
+                    job.transition(CANCELLED)
+                    self.stats["cancelled"] += 1
+                    self._cleanup_rounds(job)
+                else:
+                    job.transition(QUEUED)
+                    self.queue.requeue(job)
+                return
+            # simulated fault: retry with backoff, resuming from checkpoints
+            cause = payload
+            job.retries += 1
+            self.stats["retries"] += 1
+            _instant(
+                "job_retry", job=job.job_id, tenant=job.spec.tenant,
+                retry=job.retries, cause=type(cause).__name__,
+            )
+            if job.retries > job.spec.max_retries:
+                job.error = cause
+                job.transition(FAILED)
+                self.stats["failed"] += 1
+                _instant("job_failed", job=job.job_id, error=type(cause).__name__)
+                return
+            delays = self.retry.delays()
+            if delays:
+                await asyncio.sleep(delays[min(job.retries - 1, len(delays) - 1)])
+
+    def _cleanup_rounds(self, job: Job) -> None:
+        """Drop a settled job's checkpoint rounds (its namespace only)."""
+        for p in round_glob(self.ckpt_dir, job_id=job.job_id):
+            try:
+                p.unlink()
+            except OSError:
+                pass

@@ -1,0 +1,506 @@
+"""Tests for the serving layer (repro.serve).
+
+Covers the queue's admission and fairness rules, deterministic job IDs,
+the job state machine, end-to-end scheduling on warm sessions (including
+cross-job plan-cache sharing), cancel, fault retry, the telemetry-fed
+dashboard, the demo CLI, checkpoint-round namespacing, and — the load-
+bearing guarantee — bitwise-identical preempt -> resume at 1 and 4 ranks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro import op2
+from repro.checkpoint.store import latest_common_round, round_glob, round_path
+from repro.common.config import Config, configure, get_config
+from repro.common.errors import (
+    QueueFullRejected,
+    ServeError,
+    TenantQuotaRejected,
+)
+from repro.resilience.faults import FaultPlan
+from repro.serve import (
+    CANCELLED,
+    COMPLETED,
+    FairShareQueue,
+    Job,
+    JobSpec,
+    ServeService,
+    deterministic_job_id,
+)
+from repro.telemetry import tracer as trace_mod
+
+
+@pytest.fixture(autouse=True)
+def _quiet_tracer():
+    """Services enable the global tracer; don't leak it across tests."""
+    trace_mod.disable()
+    yield
+    trace_mod.disable()
+
+
+def _job(tenant="t", priority=0, seq=0, **kw) -> Job:
+    spec = JobSpec(tenant=tenant, priority=priority, **kw)
+    return Job(spec, f"{tenant}-{seq:05d}-deadbeef", seq)
+
+
+# ---------------------------------------------------------------------------
+# specs, IDs, state machine
+# ---------------------------------------------------------------------------
+
+
+class TestJobSpec:
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            JobSpec(nranks=0)
+        with pytest.raises(ServeError):
+            JobSpec(iterations=0)
+        with pytest.raises(ServeError):
+            JobSpec(checkpoint_frequency=0)  # preemptible by default
+        with pytest.raises(ServeError):
+            JobSpec(max_retries=-1)
+        JobSpec(preemptible=False, checkpoint_frequency=0)  # fine when inert
+
+    def test_session_key_shape(self):
+        a = JobSpec(params={"nx": 10, "ny": 4}, iterations=5, tenant="a")
+        b = JobSpec(params={"ny": 4, "nx": 10}, iterations=50, tenant="b", priority=9)
+        # run length / tenant / priority don't split warm sessions;
+        # param order doesn't matter
+        assert a.session_key() == b.session_key()
+        assert a.session_key() != JobSpec(params={"nx": 11, "ny": 4}).session_key()
+        assert a.session_key() != JobSpec(params={"nx": 10, "ny": 4}, nranks=2).session_key()
+
+    def test_deterministic_ids(self):
+        spec = JobSpec(tenant="acme", iterations=7)
+        a = deterministic_job_id(42, "acme", 3, spec)
+        assert a == deterministic_job_id(42, "acme", 3, spec)
+        assert a.startswith("acme-00003-")
+        assert a != deterministic_job_id(43, "acme", 3, spec)
+        assert a != deterministic_job_id(42, "acme", 4, spec)
+
+
+class TestStateMachine:
+    def test_happy_path(self):
+        job = _job()
+        for state in ("running", "preempting", "preempted", "queued",
+                      "running", "completed"):
+            job.transition(state)
+        assert job.done and job.latency is not None
+
+    def test_illegal_transition(self):
+        job = _job()
+        with pytest.raises(ServeError, match="illegal transition"):
+            job.transition(COMPLETED)  # queued -> completed skips running
+        job.transition("running")
+        job.transition("completed")
+        with pytest.raises(ServeError):
+            job.transition("running")  # terminal states are final
+
+    def test_unknown_state(self):
+        with pytest.raises(ServeError, match="unknown job state"):
+            _job().transition("paused")
+
+
+# ---------------------------------------------------------------------------
+# queue: admission, fairness, backpressure
+# ---------------------------------------------------------------------------
+
+
+class TestFairShareQueue:
+    def test_priority_then_fairness_then_seq(self):
+        q = FairShareQueue()
+        lo = _job(tenant="a", priority=0, seq=0)
+        hi = _job(tenant="b", priority=5, seq=1)
+        q.push(lo)
+        q.push(hi)
+        assert q.pop() is hi  # priority wins over submission order
+        # tenant b now has one in-flight job; at equal priority tenant a wins
+        a2 = _job(tenant="a", priority=0, seq=2)
+        b2 = _job(tenant="b", priority=0, seq=3)
+        q.push(b2)
+        q.push(a2)
+        assert q.pop() is lo  # tenant a preferred, oldest of a's jobs first
+        # in-flight now equal (a:1, b:1): submission order breaks the tie
+        assert q.pop() is a2
+        assert q.pop() is b2
+
+    def test_queue_full_rejection_is_typed(self):
+        q = FairShareQueue(max_depth=2)
+        q.push(_job(seq=0))
+        q.push(_job(seq=1))
+        with pytest.raises(QueueFullRejected) as exc:
+            q.push(_job(seq=2))
+        assert exc.value.limit == 2 and exc.value.depth == 2
+        assert q.rejections["queue_full"] == 1
+
+    def test_tenant_quota_rejection_is_typed(self):
+        q = FairShareQueue(tenant_quota=1)
+        q.push(_job(tenant="a", seq=0))
+        q.push(_job(tenant="b", seq=1))  # other tenants unaffected
+        with pytest.raises(TenantQuotaRejected) as exc:
+            q.push(_job(tenant="a", seq=2))
+        assert exc.value.tenant == "a" and exc.value.limit == 1
+        assert q.rejections["tenant_quota"] == 1
+
+    def test_requeue_bypasses_admission(self):
+        q = FairShareQueue(max_depth=1)
+        q.push(_job(seq=0))
+        preempted = _job(seq=1)
+        q.requeue(preempted)  # over depth limit, still accepted
+        assert len(q) == 2
+
+    def test_cancel_pending(self):
+        q = FairShareQueue()
+        job = _job(seq=0)
+        q.push(job)
+        assert q.cancel(job.job_id) is job
+        assert job.state == CANCELLED and len(q) == 0
+        assert q.cancel("nope") is None
+
+    def test_eligibility_filter(self):
+        q = FairShareQueue()
+        a, b = _job(tenant="a", seq=0), _job(tenant="b", seq=1)
+        q.push(a)
+        q.push(b)
+        assert q.pop(eligible=lambda j: j is b) is b
+        assert q.pop(eligible=lambda j: False) is None
+        assert len(q) == 1
+
+
+# ---------------------------------------------------------------------------
+# end-to-end service
+# ---------------------------------------------------------------------------
+
+SMALL = {"nx": 8, "ny": 6}
+
+
+async def _serve(tmp_path, coro, **service_kw):
+    service = ServeService(
+        workers=service_kw.pop("workers", 2),
+        ckpt_dir=tmp_path / "ckpt",
+        **service_kw,
+    )
+    async with service:
+        return await coro(service)
+
+
+class TestServiceEndToEnd:
+    def test_basic(self, tmp_path):
+        async def scenario(service):
+            spec = JobSpec(iterations=4, params=dict(SMALL))
+            first = await service.submit(spec)
+            second = await service.submit(JobSpec(iterations=4, params=dict(SMALL)))
+            r1 = await service.result(first, timeout=60)
+            r2 = await service.result(second, timeout=60)
+            return (
+                first,
+                second,
+                r1,
+                r2,
+                service.status(first),
+                service.status(second),
+                service.stats(),
+                service.dashboard(),
+            )
+
+        first, second, r1, r2, st1, st2, stats, dash = asyncio.run(
+            _serve(tmp_path, scenario)
+        )
+        # same session, reset between jobs: bitwise-identical results
+        assert np.array_equal(np.asarray(r1[0][0]), np.asarray(r2[0][0]))
+        assert np.array_equal(r1[0][1], r2[0][1])
+        assert st1["state"] == st2["state"] == "completed"
+        # the second job replayed the first job's compiled plans
+        assert st2["plan_misses"] == 0 and st2["plan_hits"] > 0
+        assert stats["jobs_accepted"] == 2
+        assert stats["scheduler"]["completed"] == 2
+        assert stats["sessions"]["sessions"] == 1
+        # dashboard slices telemetry per job and per tenant
+        assert first in dash["jobs"] and second in dash["jobs"]
+        metrics = dash["jobs"][first]["metrics"]
+        assert metrics["spans"]["serve_job"]["count"] == 1
+        assert dash["tenants"]["default"]["metrics"]["instants"]["job_submitted"] == 2
+
+    def test_rejected_submission_burns_no_sequence_number(self, tmp_path):
+        async def scenario(service):
+            a = await service.submit(JobSpec(iterations=2, params=dict(SMALL)))
+            with pytest.raises(TenantQuotaRejected):
+                await service.submit(JobSpec(iterations=2, params=dict(SMALL)))
+            await service.result(a, timeout=60)  # drain the queue
+            b = await service.submit(JobSpec(iterations=2, params=dict(SMALL)))
+            return a, b
+
+        a, b = asyncio.run(_serve(tmp_path, scenario, tenant_quota=1, workers=1))
+        assert a.split("-")[1] == "00000"
+        assert b.split("-")[1] == "00001"  # the rejection consumed nothing
+
+    def test_cancel_pending_job(self, tmp_path):
+        async def scenario(service):
+            # one worker busy on a long job; the second submission stays queued
+            runner = await service.submit(
+                JobSpec(iterations=40, params=dict(SMALL), preemptible=False)
+            )
+            victim = await service.submit(
+                JobSpec(iterations=40, params={"nx": 9, "ny": 7})
+            )
+            assert service.cancel(victim)
+            with pytest.raises(ServeError, match="cancelled"):
+                await service.result(victim, timeout=60)
+            await service.result(runner, timeout=60)
+            return service.status(victim)
+
+        status = asyncio.run(_serve(tmp_path, scenario, workers=1))
+        assert status["state"] == "cancelled"
+
+    def test_unknown_job(self, tmp_path):
+        async def scenario(service):
+            with pytest.raises(ServeError, match="unknown job"):
+                service.status("nope")
+
+        asyncio.run(_serve(tmp_path, scenario))
+
+    def test_retry_on_injected_fault(self, tmp_path):
+        plan = FaultPlan().kill(0, at_loop=12)
+
+        async def scenario(service):
+            faulty = await service.submit(
+                JobSpec(iterations=6, params=dict(SMALL), fault_plan=plan,
+                        checkpoint_frequency=4, max_retries=2)
+            )
+            clean = await service.submit(
+                JobSpec(iterations=6, params=dict(SMALL), checkpoint_frequency=4)
+            )
+            rf = await service.result(faulty, timeout=60)
+            rc = await service.result(clean, timeout=60)
+            return rf, rc, service.status(faulty), service.stats()
+
+        rf, rc, status, stats = asyncio.run(_serve(tmp_path, scenario, workers=1))
+        assert status["state"] == "completed"
+        assert status["retries"] == 1  # the kill budget fires exactly once
+        assert stats["scheduler"]["retries"] == 1
+        # the retried job resumed from its checkpoint and matched the clean run
+        assert np.array_equal(np.asarray(rf[0][0]), np.asarray(rc[0][0]))
+        assert np.array_equal(rf[0][1], rc[0][1])
+
+    def test_fault_exhausts_retry_budget(self, tmp_path):
+        plan = (
+            FaultPlan()
+            .kill(0, at_loop=5)
+            .kill(0, at_loop=6)
+            .kill(0, at_loop=7)
+        )
+
+        async def scenario(service):
+            jid = await service.submit(
+                JobSpec(iterations=6, params=dict(SMALL), fault_plan=plan,
+                        checkpoint_frequency=4, max_retries=1)
+            )
+            with pytest.raises(Exception, match="killed"):
+                await service.result(jid, timeout=60)
+            return service.status(jid)
+
+        status = asyncio.run(_serve(tmp_path, scenario, workers=1))
+        assert status["state"] == "failed"
+
+
+# ---------------------------------------------------------------------------
+# preempt -> resume: bitwise equivalence (the tentpole guarantee)
+# ---------------------------------------------------------------------------
+
+
+async def _preempted_run(service, spec):
+    """Submit ``spec``, preempt it once mid-run, await its result."""
+    jid = await service.submit(spec)
+    deadline = time.perf_counter() + 60
+    while time.perf_counter() < deadline:
+        if service.status(jid)["state"] == "running" and service.preempt(jid):
+            break
+        await asyncio.sleep(0.001)
+    result = await service.result(jid, timeout=120)
+    return jid, result
+
+
+class TestPreemptResumeBitwise:
+    @pytest.mark.parametrize("nranks", [1, 4])
+    def test_preempted_equals_uninterrupted(self, tmp_path, nranks):
+        spec_kw = dict(
+            iterations=40,
+            nranks=nranks,
+            params={"nx": 10, "ny": 8},
+            checkpoint_frequency=5,
+        )
+
+        async def reference(service):
+            jid = await service.submit(JobSpec(**spec_kw))
+            return await service.result(jid, timeout=120)
+
+        async def preempted(service):
+            return await _preempted_run(service, JobSpec(**spec_kw))
+
+        ref = asyncio.run(_serve(tmp_path / "ref", reference, workers=1))
+        jid, got = asyncio.run(_serve(tmp_path / "pre", preempted, workers=1))
+
+        assert len(got) == nranks
+        for rank in range(nranks):
+            ref_rms, ref_q = ref[rank]
+            got_rms, got_q = got[rank]
+            assert np.array_equal(np.asarray(ref_rms), np.asarray(got_rms))
+            assert np.array_equal(ref_q, got_q), (
+                f"rank {rank}: resumed state diverged from uninterrupted run"
+            )
+
+    def test_preemption_actually_happened(self, tmp_path):
+        # guard against the bitwise test passing vacuously
+        async def preempted(service):
+            return await _preempted_run(
+                service,
+                JobSpec(iterations=40, params={"nx": 10, "ny": 8},
+                        checkpoint_frequency=5),
+            )
+
+        async def scenario(service):
+            jid, _ = await preempted(service)
+            return service.status(jid), service.stats()
+
+        status, stats = asyncio.run(_serve(tmp_path, scenario, workers=1))
+        assert status["state"] == "completed"
+        assert status["preemptions"] >= 1
+        assert status["resumes"] >= 1
+        assert status["last_resume_round"] is not None
+        assert stats["scheduler"]["preemptions"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# checkpoint-round namespacing (concurrent jobs share one FileStore dir)
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointNamespacing:
+    def test_round_path_namespacing(self, tmp_path):
+        plain = round_path(tmp_path, 0, 3)
+        spaced = round_path(tmp_path, 0, 3, job_id="t-00001-abc")
+        assert plain.name == "ckpt-r000-n0003.npz"
+        assert spaced.name == "ckpt-jt-00001-abc-r000-n0003.npz"
+
+    def test_round_glob_separates_namespaces(self, tmp_path):
+        for name in (
+            "ckpt-r000-n0000.npz",
+            "ckpt-ja-00000-x-r000-n0000.npz",
+            "ckpt-jb-00001-y-r000-n0000.npz",
+        ):
+            (tmp_path / name).touch()
+        assert [p.name for p in round_glob(tmp_path)] == ["ckpt-r000-n0000.npz"]
+        assert [p.name for p in round_glob(tmp_path, job_id="a-00000-x")] == [
+            "ckpt-ja-00000-x-r000-n0000.npz"
+        ]
+
+    def test_concurrent_jobs_do_not_collide(self, tmp_path):
+        # two preemptible jobs on distinct sessions share one ckpt dir;
+        # namespaced rounds keep their recovery state disjoint
+        async def scenario(service):
+            a = await service.submit(
+                JobSpec(iterations=30, params={"nx": 9, "ny": 6},
+                        checkpoint_frequency=4)
+            )
+            b = await service.submit(
+                JobSpec(iterations=30, params={"nx": 11, "ny": 7},
+                        checkpoint_frequency=4)
+            )
+            for jid in (a, b):
+                deadline = time.perf_counter() + 60
+                while time.perf_counter() < deadline:
+                    if (service.status(jid)["state"] == "running"
+                            and service.preempt(jid)):
+                        break
+                    await asyncio.sleep(0.001)
+            ra = await service.result(a, timeout=120)
+            rb = await service.result(b, timeout=120)
+            return a, b, ra, rb, service.status(a), service.status(b)
+
+        a, b, ra, rb, sa, sb = asyncio.run(_serve(tmp_path, scenario, workers=2))
+        assert sa["state"] == sb["state"] == "completed"
+        # both resumed; a job recovering from the other's rounds would
+        # either crash (mesh sizes differ) or silently diverge
+        assert ra[0][1].shape != rb[0][1].shape
+
+    def test_latest_common_round_respects_namespace(self, tmp_path):
+        from repro.checkpoint.store import FileStore
+
+        for job, rounds in (("a-00000-x", 2), ("b-00001-y", 1)):
+            for r in range(rounds):
+                store = FileStore(round_path(tmp_path, 0, r, job_id=job))
+                store.set_entry(r * 10)
+                store.save_dataset("q", np.zeros(3))
+                store.flush()
+        assert latest_common_round(tmp_path, 1, job_id="a-00000-x")[0] == 1
+        assert latest_common_round(tmp_path, 1, job_id="b-00001-y")[0] == 0
+        assert latest_common_round(tmp_path, 1) is None
+
+
+# ---------------------------------------------------------------------------
+# plan-cache capacity (env var + API)
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCacheCapacity:
+    def teardown_method(self):
+        configure(execplan_cache_size=Config().execplan_cache_size)
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECPLAN_CACHE_SIZE", "7")
+        assert Config().execplan_cache_size == 7
+        monkeypatch.setenv("REPRO_EXECPLAN_CACHE_SIZE", "garbage")
+        assert Config().execplan_cache_size == 512  # bad values ignored
+        monkeypatch.delenv("REPRO_EXECPLAN_CACHE_SIZE")
+        assert Config().execplan_cache_size == 512
+
+    def test_api_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            op2.set_plan_cache_capacity(0)
+
+    def test_capacity_shrink_evicts_now(self, tmp_path):
+        async def scenario(service):
+            jid = await service.submit(JobSpec(iterations=2, params=dict(SMALL)))
+            await service.result(jid, timeout=60)
+            return service.stats()
+
+        stats = asyncio.run(_serve(tmp_path, scenario))
+        assert stats["plan_cache"]["size"] > 1
+        before = stats["plan_cache"]["evictions"]
+        op2.set_plan_cache_capacity(1)
+        after = op2.plan_cache_stats()
+        assert after["size"] == 1
+        assert after["evictions"] > before
+        assert get_config().execplan_cache_size == 1
+
+
+# ---------------------------------------------------------------------------
+# demo CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_demo_smoke(self, tmp_path):
+        out = tmp_path / "report.json"
+        trace = tmp_path / "trace.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.serve", "demo",
+             "--tenants", "2", "--jobs", "2", "--iterations", "3",
+             "--json", str(out), "--trace", str(trace)],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "serve demo:" in proc.stdout
+        report = json.loads(out.read_text())
+        assert report["lost_jobs"] == []
+        assert report["jobs_completed"] == report["jobs_submitted"]
+        trace_obj = json.loads(trace.read_text())
+        assert any(e.get("cat") == "serve" for e in trace_obj["traceEvents"])
