@@ -1,0 +1,149 @@
+"""Lazy cross-loop tiling: modelled data-movement win over eager execution.
+
+Runs CloverLeaf and the Sod shock tube on the ``vec`` backend, eager vs
+lazy (``configure(lazy=True)``), and reports:
+
+* **bitwise equality** of the final fields — the hard gate; laziness must
+  be invisible;
+* the **modelled DRAM traffic reduction**: a dat touched by ``k`` loops of
+  a fused tile group is streamed from memory once instead of ``k`` times
+  (``PerfCounters.lazy_bytes_saved``, the same cache-residency argument as
+  arXiv:1704.00693).  This substrate executes tiles as NumPy sub-range
+  ufuncs, so the win is reported as modelled traffic, not host wall time —
+  wall time on test-sized meshes is dominated by Python dispatch;
+* fusion and chain-cache effectiveness: fused groups/tiles per flush and
+  the schedule-cache hit rate across timesteps.
+
+Writes ``benchmarks/results/lazy_tiling.{txt,json}``; the CI lazy-smoke
+job fails on any divergence or if no tiles fuse (a vacuous run).
+"""
+
+import time
+
+import numpy as np
+
+from _support import collect, compare_to_previous, comparison_lines, emit
+from repro.common.config import swap
+from repro.ops import lazy as lazy_mod
+
+CLOVER_MESH = (48, 48)
+CLOVER_STEPS = 20
+SOD_CELLS = 600
+SOD_STEPS = 40
+REPEATS = 3
+
+
+def _cloverleaf_run():
+    from repro.apps.cloverleaf import CloverLeafApp
+
+    app = CloverLeafApp(nx=CLOVER_MESH[0], ny=CLOVER_MESH[1], backend="vec")
+
+    def run():
+        app.run(CLOVER_STEPS)
+        lazy_mod.flush("bench_end")
+        return {
+            "density": app.st.density0.interior.copy(),
+            "energy": app.st.energy0.interior.copy(),
+            "xvel": app.st.xvel0.interior.copy(),
+            "yvel": app.st.yvel0.interior.copy(),
+        }
+
+    return run
+
+
+def _sod_run():
+    from repro.apps.sod import SodApp
+
+    app = SodApp(n=SOD_CELLS, backend="vec")
+
+    def run():
+        for _ in range(SOD_STEPS):
+            app.step()
+        lazy_mod.flush("bench_end")
+        return {k: v.copy() for k, v in app.profiles().items()}
+
+    return run
+
+
+def _measure(make_run, lazy: bool):
+    """Best-of-N wall time plus counters, on a fresh app per mode."""
+    lazy_mod.clear_chain_cache()
+    best, counters, state = float("inf"), None, None
+    with swap(lazy=lazy):
+        run = make_run()
+        collect(run)  # warm-up: plan compilation, chain-schedule build
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            counters, state = collect(run)
+            best = min(best, time.perf_counter() - t0)
+    return best, counters, state
+
+
+def test_lazy_tiling_movement():
+    results = {}
+    diverged = []
+    for label, make_run in (("cloverleaf_vec", _cloverleaf_run), ("sod_vec", _sod_run)):
+        eager_s, eager_c, eager_state = _measure(make_run, lazy=False)
+        lazy_s, lazy_c, lazy_state = _measure(make_run, lazy=True)
+
+        for key in eager_state:
+            if not np.array_equal(eager_state[key], lazy_state[key]):
+                diverged.append(f"{label}:{key}")
+
+        recs = list(lazy_c.loops.values())
+        moved = sum(r.bytes_moved for r in recs)
+        saved = lazy_c.lazy_bytes_saved
+        results[label] = {
+            "eager_seconds": eager_s,
+            "lazy_seconds": lazy_s,
+            "bytes_moved": moved,
+            "bytes_saved_model": saved,
+            "movement_reduction": saved / moved if moved else 0.0,
+            "lazy_flushes": lazy_c.lazy_flushes,
+            "lazy_loops": lazy_c.lazy_loops,
+            "fused_groups": lazy_c.lazy_groups,
+            "fused_tiles": lazy_c.lazy_tiles,
+            "chain_hits": lazy_c.chain_hits,
+            "chain_misses": lazy_c.chain_misses,
+            "chain_hit_rate": lazy_c.chain_hit_rate,
+            "bitwise_equal": all(not d.startswith(label) for d in diverged),
+        }
+
+    # hard gates: laziness must be invisible and must actually fuse
+    assert not diverged, f"lazy diverged from eager: {diverged}"
+    for label, r in results.items():
+        assert r["fused_tiles"] > 0, f"{label}: no fused tiles (vacuous run)"
+        assert r["bytes_saved_model"] > 0, f"{label}: no modelled movement win"
+        assert r["chain_hits"] > 0, f"{label}: schedule cache never hit"
+
+    cmp = compare_to_previous("lazy_tiling", results)
+    rows = [
+        f"{'app':<16}{'eager s':>9}{'lazy s':>9}{'GB moved':>10}"
+        f"{'GB saved':>10}{'saved %':>9}{'tiles':>7}{'cache':>10}",
+        "-" * 80,
+    ]
+    for label, r in results.items():
+        rows.append(
+            f"{label:<16}{r['eager_seconds']:>9.4f}{r['lazy_seconds']:>9.4f}"
+            f"{r['bytes_moved'] / 1e9:>10.3f}{r['bytes_saved_model'] / 1e9:>10.3f}"
+            f"{100 * r['movement_reduction']:>8.1f}%{r['fused_tiles']:>7}"
+            f"{r['chain_hits']:>5}/{r['chain_misses']:<4}"
+        )
+    rows.append("")
+    rows.append("vs committed baseline (previous -> current):")
+    rows.extend(
+        comparison_lines(
+            cmp,
+            [
+                "cloverleaf_vec.movement_reduction",
+                "cloverleaf_vec.fused_tiles",
+                "sod_vec.movement_reduction",
+                "sod_vec.fused_tiles",
+            ],
+        )
+    )
+    emit("lazy_tiling", rows, results)
+
+
+if __name__ == "__main__":
+    test_lazy_tiling_movement()

@@ -110,6 +110,12 @@ class CheckpointManager:
 
     def trigger(self) -> None:
         """Request a checkpoint at the next (or next-cheapest) loop."""
+        # a snapshot decision is a data observation: loops queued by the
+        # lazy runtime (possibly before this manager was installed) must
+        # land before their state can be saved
+        from repro.ops import lazy as _lazy
+
+        _lazy.flush_point("checkpoint_trigger")
         if self.state == self.OBSERVING:
             self.state = self.ARMED
 
@@ -232,6 +238,9 @@ class CheckpointManager:
 
     def finalize(self) -> None:
         """Flush trailing global records (call after the run finishes)."""
+        from repro.ops import lazy as _lazy
+
+        _lazy.flush_point("checkpoint_finalize")
         self._flush_globals()
 
     def restart(self, store: MemoryStore | None = None) -> "CheckpointManager":

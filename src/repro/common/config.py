@@ -27,6 +27,14 @@ def _env_int(name: str, default: int) -> int:
     return value if value >= 1 else default
 
 
+def _env_bool(name: str, default: bool) -> bool:
+    """A boolean default overridable from the environment (``1``/``true`` on)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() in ("1", "true", "yes", "on")
+
+
 @dataclass
 class Config:
     """Runtime options shared across subsystems."""
@@ -64,6 +72,23 @@ class Config:
     execplan_scatter_min: int = 64
     #: default CUDA-sim thread-block size
     cuda_block_size: int = 128
+    #: queue OPS par_loops instead of executing them eagerly; the queue
+    #: drains in skewed cross-loop tiles at the first data observation
+    #: (``repro.ops.lazy``).  ``REPRO_LAZY=1`` enables it process-wide
+    lazy: bool = field(default_factory=lambda: _env_bool("REPRO_LAZY", False))
+    #: per-dimension cross-loop tile shape for lazy flushes; ``None`` picks
+    #: an adaptive default (``tileplan.DEFAULT_TILE`` capped to the chain's
+    #: extents)
+    lazy_tile: tuple[int, ...] | None = None
+    #: maximum loops fused into one cross-loop tile group
+    lazy_max_group: int = 16
+    #: queued loops per thread before a forced flush (bounds deferral of a
+    #: program that never observes its data)
+    lazy_queue_limit: int = 512
+    #: maximum cached chain schedules (LRU; ``REPRO_CHAIN_CACHE_SIZE``)
+    chain_cache_size: int = field(
+        default_factory=lambda: _env_int("REPRO_CHAIN_CACHE_SIZE", 128)
+    )
     #: collect per-loop performance counters
     profiling: bool = True
     #: verbose diagnostics to stdout

@@ -85,6 +85,15 @@ class PerfCounters:
     plan_misses: int = 0
     plan_invalidations: int = 0
     plan_evictions: int = 0
+    # -- lazy execution: queue flushes, fusion and schedule-cache traffic ---------
+    lazy_flushes: int = 0
+    lazy_loops: int = 0
+    lazy_groups: int = 0
+    lazy_tiles: int = 0
+    #: modelled DRAM traffic avoided by keeping fused tiles cache-resident
+    lazy_bytes_saved: int = 0
+    chain_hits: int = 0
+    chain_misses: int = 0
 
     def loop(self, name: str) -> LoopRecord:
         """Return (creating if needed) the record for loop ``name``."""
@@ -139,6 +148,29 @@ class PerfCounters:
     def record_plan_eviction(self) -> None:
         self.plan_evictions += 1
 
+    def record_lazy_flush(self, nloops: int) -> None:
+        """Account one lazy-queue flush executing ``nloops`` deferred loops."""
+        self.lazy_flushes += 1
+        self.lazy_loops += int(nloops)
+
+    def record_lazy_group(self, ntiles: int, bytes_saved: int) -> None:
+        """Account one fused group executed as ``ntiles`` cross-loop tiles."""
+        self.lazy_groups += 1
+        self.lazy_tiles += int(ntiles)
+        self.lazy_bytes_saved += int(bytes_saved)
+
+    def record_chain_hit(self) -> None:
+        self.chain_hits += 1
+
+    def record_chain_miss(self) -> None:
+        self.chain_misses += 1
+
+    @property
+    def chain_hit_rate(self) -> float:
+        """Fraction of flushes served from the chain-schedule cache."""
+        total = self.chain_hits + self.chain_misses
+        return self.chain_hits / total if total else 0.0
+
     @property
     def plan_hit_rate(self) -> float:
         """Fraction of fast-path lookups served from the compiled-loop cache."""
@@ -166,6 +198,13 @@ class PerfCounters:
         self.plan_misses += other.plan_misses
         self.plan_invalidations += other.plan_invalidations
         self.plan_evictions += other.plan_evictions
+        self.lazy_flushes += other.lazy_flushes
+        self.lazy_loops += other.lazy_loops
+        self.lazy_groups += other.lazy_groups
+        self.lazy_tiles += other.lazy_tiles
+        self.lazy_bytes_saved += other.lazy_bytes_saved
+        self.chain_hits += other.chain_hits
+        self.chain_misses += other.chain_misses
 
     def reset(self) -> None:
         self.loops.clear()
@@ -186,6 +225,13 @@ class PerfCounters:
         self.plan_misses = 0
         self.plan_invalidations = 0
         self.plan_evictions = 0
+        self.lazy_flushes = 0
+        self.lazy_loops = 0
+        self.lazy_groups = 0
+        self.lazy_tiles = 0
+        self.lazy_bytes_saved = 0
+        self.chain_hits = 0
+        self.chain_misses = 0
 
     def summary_rows(self) -> list[tuple[str, int, int, int, float]]:
         """Rows of (loop, iterations, bytes, flops, seconds), insertion order."""

@@ -82,13 +82,29 @@ def global_counters() -> PerfCounters:
 
 @contextlib.contextmanager
 def counters_scope(counters: PerfCounters) -> Iterator[PerfCounters]:
-    """Route this thread's loop statistics to ``counters`` within the scope."""
+    """Route this thread's loop statistics to ``counters`` within the scope.
+
+    Leaving the scope is an observation point for lazily queued loops:
+    the caller is about to read ``counters``, so work queued inside the
+    scope must execute (and account) before the routing is popped.  On an
+    exceptional exit the queue is left alone — it drains at the next
+    observation point — so the flush can never mask the original error.
+    """
     stack = _counters_stack()
     stack.append(counters)
     try:
         yield counters
-    finally:
+    except BaseException:
         stack.pop()
+        raise
+    else:
+        # deferred import: repro.ops depends on repro.common, not vice versa
+        from repro.ops import lazy as _lazy
+
+        try:
+            _lazy.flush_point("counters_scope_exit")
+        finally:
+            stack.pop()
 
 
 def add_loop_observer(fn: Callable[[LoopEvent], None], *, local: bool = False) -> None:

@@ -17,6 +17,12 @@ def timing_report(counters: PerfCounters, *, top: int | None = None) -> str:
     selected rows render sorted by loop name: wall times jitter from run to
     run, so a time-ordered table would make report goldens unstable.
     """
+    # reporting is an observation point: queued lazy loops must execute (and
+    # account) before their rows are rendered.  Deferred import — repro.ops
+    # depends on repro.common, not vice versa
+    from repro.ops import lazy as _lazy
+
+    _lazy.flush_point("timing_report")
     rows = []
     for rec in counters.loops.values():
         gb = rec.bytes_moved / 1e9
@@ -70,6 +76,15 @@ def timing_report(counters: PerfCounters, *, top: int | None = None) -> str:
         lines.append(
             f"verify: {counters.loops_sanitized} loops sanitized, "
             f"{counters.shadow_runs} shadow runs"
+        )
+    if counters.lazy_flushes:
+        lines.append(
+            f"lazy: {counters.lazy_flushes} flushes, "
+            f"{counters.lazy_loops} loops queued, "
+            f"{counters.lazy_groups} fused groups in {counters.lazy_tiles} tiles, "
+            f"chain cache {counters.chain_hits}/{counters.chain_misses} hit/miss "
+            f"({100.0 * counters.chain_hit_rate:.1f}%), "
+            f"{counters.lazy_bytes_saved / 1e6:.2f} MB movement saved"
         )
     # deferred import: repro.telemetry depends on repro.common, not vice versa
     from repro import telemetry

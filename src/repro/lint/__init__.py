@@ -14,15 +14,25 @@ See :mod:`repro.lint.diagnostics` for the full code catalogue and
 
 from repro.lint.baseline import apply_baseline, load_baseline
 from repro.lint.cli import lint_app, lint_many, lint_path, main
+from repro.lint.dataflow import (
+    AccessRecord,
+    DependenceEdge,
+    DependenceGraph,
+    build_dependence_graph,
+)
 from repro.lint.diagnostics import RULES, Diagnostic, LintResult, Rule, Severity
 
 __all__ = [
     "RULES",
+    "AccessRecord",
+    "DependenceEdge",
+    "DependenceGraph",
     "Diagnostic",
     "LintResult",
     "Rule",
     "Severity",
     "apply_baseline",
+    "build_dependence_graph",
     "lint_app",
     "lint_many",
     "lint_path",

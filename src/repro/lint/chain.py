@@ -31,6 +31,7 @@ from repro.checkpoint.analysis import (
     format_table,
 )
 from repro.common.access import Access
+from repro.lint.dataflow import AccessRecord, build_dependence_graph
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.kernel_checks import declared_args
 from repro.lint.resolve import ModuleIndex, Program
@@ -122,6 +123,21 @@ class Chain:
                 out.setdefault(dat, []).append(ev)
         return out
 
+    def access_records(self) -> list[tuple[AccessRecord, ...]]:
+        """The chain as :mod:`repro.lint.dataflow` access records.
+
+        The same representation the lazy runtime builds from live loop
+        queues — so the static dead-write pass and the runtime tile
+        scheduler consume one dependence analysis.
+        """
+        return [
+            tuple(
+                AccessRecord(ref=dat, reads=ev.reads, writes=ev.writes)
+                for dat, ev in per_site.items()
+            )
+            for per_site in self.events
+        ]
+
     def to_chain_loops(self) -> list[ChainLoop]:
         loops = []
         for site, per_site in zip(self.sites, self.events):
@@ -172,16 +188,28 @@ def check_chain(idx: ModuleIndex, chain: Chain) -> list[Diagnostic]:
     diags: list[Diagnostic] = []
     fname = idx.filename
 
+    # one dependence graph over the chain doubled back on itself: the
+    # second copy's edges model the periodic wrap-around (the same
+    # build_dependence_graph the lazy runtime schedules tiles from)
+    records = chain.access_records()
+    n = len(records)
+    graph = build_dependence_graph(records + records)
+
     for dat, events in chain.dat_events().items():
         if any(ev.is_global for ev in events):
             continue
 
-        # OPL101: dead writes (linear, then the periodic wrap-around)
-        for i, ev in enumerate(events):
-            if not ev.writes:
+        # OPL101: dead writes — a WAW edge out of a write that has no RAW
+        # edge (nobody reads the value before the next writer lands),
+        # linearly within the chain and then across the periodic wrap
+        dat_edges = graph.edges_for(dat)
+        raw_src = {e.src for e in dat_edges if e.kind == "raw"}
+        for e in dat_edges:
+            if e.kind != "waw" or e.src >= n or e.src in raw_src:
                 continue
-            if i + 1 < len(events):
-                nxt = events[i + 1]
+            ev = chain.events[e.src][dat]
+            if e.dst < n:
+                nxt = chain.events[e.dst][dat]
                 if nxt.pure_write:
                     diags.append(Diagnostic(
                         "OPL101",

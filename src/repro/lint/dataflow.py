@@ -1,0 +1,154 @@
+"""Reusable loop-chain dependence analysis.
+
+The linter's level-2 pass (:mod:`repro.lint.chain`) and the lazy runtime
+(:mod:`repro.ops.lazy`) both need the same question answered: given an
+ordered chain of loops, each with declared per-dat access descriptors,
+which pairs of loops are connected by a dataflow dependence, and through
+which stencil offsets?  This module is the shared, representation-agnostic
+answer — the static analyser feeds it events lifted from the AST, the lazy
+queue feeds it live :class:`~repro.ops.parloop.DatArg` descriptors, and
+both get back the same :class:`DependenceGraph`.
+
+The model matches the OPS/OP2 access-descriptor semantics:
+
+* every access names a dataset ``ref`` (any hashable identity — a
+  ``Dat.token`` at runtime, a dat name in the linter);
+* reads may go through a stencil (a set of relative ``offsets``);
+* writes always target the centre point (the structured-mesh race-freedom
+  rule enforced at declaration time), so every dependence's spatial reach
+  is determined entirely by the *read* stencils involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+__all__ = [
+    "AccessRecord",
+    "DependenceEdge",
+    "DependenceGraph",
+    "build_dependence_graph",
+]
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One loop's merged access to one dataset.
+
+    ``offsets`` are the declared read stencil points (tuples of per-dim
+    relative offsets); pure writes carry the centre point only.
+    """
+
+    ref: Hashable
+    reads: bool
+    writes: bool
+    offsets: tuple[tuple[int, ...], ...] = ()
+
+
+@dataclass(frozen=True)
+class DependenceEdge:
+    """A dataflow dependence from chain position ``src`` to ``dst``.
+
+    ``kind`` is ``"raw"`` (true), ``"war"`` (anti) or ``"waw"`` (output);
+    ``offsets`` are the read-stencil points through which the dependence
+    reaches (empty for WAW, whose endpoints are both centre writes).
+    """
+
+    src: int
+    dst: int
+    ref: Hashable
+    kind: str
+    offsets: tuple[tuple[int, ...], ...] = ()
+
+
+@dataclass
+class DependenceGraph:
+    """All pairwise dependences over one ordered loop chain."""
+
+    n_loops: int
+    edges: list[DependenceEdge] = field(default_factory=list)
+
+    def edges_for(self, ref: Hashable) -> list[DependenceEdge]:
+        return [e for e in self.edges if e.ref == ref]
+
+    def predecessors(self, dst: int) -> set[int]:
+        return {e.src for e in self.edges if e.dst == dst}
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return any(e.src == src and e.dst == dst for e in self.edges)
+
+    def max_extent(self, ndim: int) -> tuple[int, ...]:
+        """Per-dimension maximum |offset| across all dependence edges.
+
+        This is the spatial reach a cross-loop execution reordering (tile
+        skewing, sliced execution) must respect; zero in every dimension
+        means all dependences are centre-to-centre and any point-preserving
+        reordering that keeps program order per point is legal.
+        """
+        ext = [0] * ndim
+        for e in self.edges:
+            for off in e.offsets:
+                for d, c in enumerate(off):
+                    if d < ndim:
+                        ext[d] = max(ext[d], abs(int(c)))
+        return tuple(ext)
+
+
+def build_dependence_graph(
+    accesses: Sequence[Sequence[AccessRecord]],
+) -> DependenceGraph:
+    """Build the dependence graph for an ordered chain of loops.
+
+    ``accesses[i]`` lists loop *i*'s per-dataset access records (merged:
+    one record per dataset per loop).  For every dataset and every ordered
+    pair ``i < j`` the classic three dependences are emitted:
+
+    * RAW — ``i`` writes, ``j`` reads (through ``j``'s read stencil);
+    * WAR — ``i`` reads (through ``i``'s stencil), ``j`` writes;
+    * WAW — both write (centre-to-centre, no stencil reach).
+
+    Only the *nearest* conflicting pair per (dataset, kind) is emitted in
+    each direction; transitive edges add no constraint a scheduler could
+    use (program order already covers them) but would bloat the graph
+    quadratically on long chains.
+    """
+    graph = DependenceGraph(n_loops=len(accesses))
+    refs: set[Hashable] = set()
+    for per_loop in accesses:
+        for rec in per_loop:
+            refs.add(rec.ref)
+
+    for ref in refs:
+        touched = [
+            (i, rec)
+            for i, per_loop in enumerate(accesses)
+            for rec in per_loop
+            if rec.ref == ref
+        ]
+        # nearest-pair scan: for each later access, link back to the most
+        # recent earlier access that conflicts with it
+        for jdx, (j, rec_j) in enumerate(touched):
+            seen_raw = seen_war = seen_waw = False
+            for i, rec_i in reversed(touched[:jdx]):
+                if rec_j.reads and rec_i.writes and not seen_raw:
+                    graph.edges.append(DependenceEdge(
+                        i, j, ref, "raw",
+                        tuple(tuple(o) for o in rec_j.offsets),
+                    ))
+                    seen_raw = True
+                if rec_j.writes and rec_i.reads and not seen_war:
+                    graph.edges.append(DependenceEdge(
+                        i, j, ref, "war",
+                        tuple(tuple(o) for o in rec_i.offsets),
+                    ))
+                    seen_war = True
+                if rec_j.writes and rec_i.writes and not seen_waw:
+                    graph.edges.append(DependenceEdge(i, j, ref, "waw"))
+                    seen_waw = True
+                if (seen_raw or not rec_j.reads) and (
+                    (seen_war and seen_waw) or not rec_j.writes
+                ):
+                    break
+    graph.edges.sort(key=lambda e: (e.src, e.dst, str(e.ref), e.kind))
+    return graph

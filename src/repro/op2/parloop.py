@@ -33,6 +33,7 @@ from repro.common.profiling import (
 )
 from repro.telemetry import tracer as _trace
 from repro.op2 import execplan
+from repro.ops import lazy as _ops_lazy
 from repro.op2.args import Arg
 # the backend table is resolved once at import: the per-call `from ... import
 # BACKENDS` used to run on every single loop invocation
@@ -187,7 +188,13 @@ def par_loop(
     scatter schedule are all amortised).  ``verify_descriptors`` bypasses
     the compiled path so the sanitizer always sees raw execution, and
     ``seq`` remains the untouched interpreted reference.
+
+    op2 loops stay eager, but a mixed-API program may have OPS loops
+    queued by the lazy runtime; they precede this loop in program order,
+    so drain them first (the op2-aware queue hook).
     """
+    if _ops_lazy.ACTIVE:
+        _ops_lazy.flush_point("op2_par_loop")
     cfg = get_config()
     name = backend if backend is not None else _default_backend
     if (

@@ -42,6 +42,14 @@ from repro.ops.halo import Halo, HaloGroup
 from repro.ops.decomp import DecomposedBlock
 from repro.ops.tiling import tiled_ranges
 from repro.ops.fusion import LoopChain
+from repro.ops.lazy import (
+    chain_cache_stats,
+    clear_chain_cache,
+    flush as lazy_flush,
+    lazy_scope,
+    queued_loops,
+)
+from repro.ops.tileplan import build_tile_schedule
 
 __all__ = [
     "READ",
@@ -69,4 +77,10 @@ __all__ = [
     "DecomposedBlock",
     "tiled_ranges",
     "LoopChain",
+    "build_tile_schedule",
+    "chain_cache_stats",
+    "clear_chain_cache",
+    "lazy_flush",
+    "lazy_scope",
+    "queued_loops",
 ]

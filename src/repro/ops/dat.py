@@ -7,6 +7,7 @@ import numpy as np
 from repro.common.access import Access, validate_argument_access
 from repro.common.errors import APIError
 from repro.common.tokens import next_token
+from repro.ops import lazy as _lazy
 from repro.ops.block import Block
 from repro.ops.stencil import Stencil
 
@@ -46,7 +47,7 @@ class Dat:
         self.halo_depth = int(halo_depth)
         self.name = name if name is not None else f"dat_{block.name}"
         storage = tuple(s + 2 * self.halo_depth for s in size_t)
-        self.data = np.zeros(storage, dtype=dtype)
+        self._storage = np.zeros(storage, dtype=dtype)
         if initial is not None:
             if np.isscalar(initial):
                 self.interior[...] = initial
@@ -55,12 +56,34 @@ class Dat:
                 if arr.shape != size_t:
                     raise APIError(f"initial data shape {arr.shape} != {size_t}")
                 self.interior[...] = arr
-        self.dtype = self.data.dtype
+        self.dtype = self._storage.dtype
         #: owned data changed since the last halo exchange (MPI runtime flag)
         self.halo_dirty = True
         #: process-unique identity for cache keys (never reused, unlike id())
         self.token = next_token()
         block.register(self)
+
+    @property
+    def data(self) -> np.ndarray:
+        """The padded storage array.
+
+        Every access is a lazy-execution observation point: loops this dat
+        (or any other) is queued on must land before the caller can look at
+        or mutate the values.  The guard is one module-attribute check when
+        nothing is queued, and re-entrant reads during a flush (accessors,
+        plan guards) bypass it.
+        """
+        if _lazy.ACTIVE:
+            _lazy.flush_point("dat_data")
+        return self._storage
+
+    @data.setter
+    def data(self, array) -> None:
+        # replacing the storage invalidates queued loops' eventual views
+        # the same way it invalidates compiled plans: flush first
+        if _lazy.ACTIVE:
+            _lazy.flush_point("dat_data_set")
+        self._storage = array
 
     @property
     def interior(self) -> np.ndarray:

@@ -1,0 +1,432 @@
+"""Lazy par_loop queueing with cross-loop tiled execution.
+
+The runtime half of ROADMAP item 1 ("Loop Tiling in Large-Scale Stencil
+Codes at Run-time with OPS", arXiv:1704.00693).  With ``configure(lazy=
+True)`` (or ``REPRO_LAZY=1``) an ``ops.par_loop`` call does not execute:
+it validates, appends a :class:`QueuedLoop` to the calling thread's queue,
+and returns.  The queue drains at the first *observation point* — any
+``Dat.data`` access, any ``Reduction.value`` read or write, a halo
+exchange, a checkpoint save, ``timing_report``, an ``op2.par_loop`` in a
+mixed-API program, or an explicit :func:`flush` — at which moment:
+
+1. the chain's dependence graph is built from the recorded access
+   descriptors (:func:`repro.lint.dataflow.build_dependence_graph`, the
+   same analysis the static linter runs over source),
+2. :func:`repro.ops.tileplan.build_tile_schedule` fuses runs of
+   compatible loops and cuts them into skewed cross-loop tiles,
+3. each tile executes through the normal dispatch
+   (:func:`repro.ops.parloop._execute_loop`), so the ``execplan`` compiled
+   path caches one plan per (loop, tile) and replays it every timestep.
+
+Schedules are cached in a bounded LRU keyed by the chain's structural
+signature — per loop: kernel code identity, block/dat tokens, ranges,
+access modes and stencil points.  Closure *values* are deliberately
+excluded (unlike ``execplan``'s plan keys): the schedule depends only on
+the descriptors, so a kernel factory that bakes a fresh ``dt`` every step
+still hits.  A replaced dat draws a new token and misses, which is the
+invalidation path.
+
+Exactness rules (what may fuse):
+
+* ``vec``/``tiled`` loops over a real :class:`~repro.ops.block.Block`
+  fuse; ``seq`` is the interpreted reference semantics and stays whole;
+* loops folding an ``inc`` reduction never fuse — float addition is not
+  associative, and tiling would reorder the partial sums (``min``/``max``
+  are exact under any partition and do fuse);
+* when loop observers are installed (checkpointing, ``LoopTrace``), the
+  flush replays every loop whole in program order instead of fusing, so
+  each observer sees exactly the eager event sequence and state.
+
+Failure semantics: a kernel error (or injected fault) during a flush
+propagates at the observation point, not the original call site; the rest
+of that queue is dropped, exactly as if the program had crashed mid-chain.
+Recovery paths re-execute from the last checkpoint, which re-enqueues the
+lost tail.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.common.config import get_config
+from repro.common.profiling import active_counters, observers_active
+from repro.lint.dataflow import AccessRecord
+from repro.ops.tileplan import ChainSchedule, LoopSpec, build_tile_schedule
+from repro.telemetry import tracer as _trace
+
+__all__ = [
+    "ACTIVE",
+    "QueuedLoop",
+    "enqueue",
+    "flush",
+    "flush_point",
+    "abandon",
+    "queued_loops",
+    "lazy_scope",
+    "chain_cache_stats",
+    "clear_chain_cache",
+]
+
+#: total loops currently queued across all threads.  Read (unlocked, GIL)
+#: by every flush hook as the zero-cost "is lazy even in play" gate: when 0
+#: a ``Dat.data`` access pays one module-attribute check and nothing else.
+ACTIVE = 0
+
+
+class _ThreadState(threading.local):
+    """Per-thread queue: simulated MPI ranks are threads, and every
+    cross-rank data movement (send buffers, gathers, halo strips) is read
+    on the owning rank's thread, so a thread only ever needs to flush its
+    own queue."""
+
+    queue: list
+    flushing: bool
+
+    def __init__(self):
+        self.queue = []
+        self.flushing = False
+
+
+_state = _ThreadState()
+
+
+@dataclass
+class QueuedLoop:
+    """One deferred ``par_loop`` invocation, plus its scheduling metadata."""
+
+    kernel: Callable
+    block: object
+    ranges: list
+    args: tuple
+    backend: str
+    name: str
+    flops_per_point: int
+    tile_shape: tuple | None
+    sig: tuple
+    spec: LoopSpec
+    #: (dat token, itemsize) per distinct dat argument — the bytes-saved model
+    dat_items: tuple
+
+
+def _kernel_code_id(kernel: Callable):
+    """Kernel identity for the chain cache: the *code*, not the closure.
+
+    Two closures of one factory (``make_pdv(dt)`` each step) share a code
+    object and therefore a schedule; schedule legality depends only on the
+    declared descriptors, never on captured values.
+    """
+    code = getattr(kernel, "__code__", None)
+    if code is None:
+        return ("obj", getattr(kernel, "__name__", repr(type(kernel))))
+    return (code.co_filename, code.co_firstlineno, code.co_name)
+
+
+def enqueue(
+    kernel: Callable,
+    block,
+    ranges: list,
+    args: Sequence,
+    backend: str,
+    name: str,
+    flops_per_point: int,
+    tile_shape: tuple | None,
+) -> bool:
+    """Queue one loop; False means the caller must execute it eagerly.
+
+    Only ``vec``/``tiled`` loops queue: ``seq`` is the per-point
+    interpreted reference and unknown backends must raise eagerly with
+    their usual diagnostics.  Validation runs here so malformed loops
+    still fail at the call site, not at some distant flush.
+    """
+    from repro.ops.parloop import DatArg, _validate
+    from repro.ops.reduction import Reduction
+
+    if backend not in ("vec", "tiled"):
+        return False
+    _validate(block, ranges, args, name)
+
+    fusable = True
+    merged: dict = {}  # dat token -> [reads, writes, offsets set, itemsize]
+    sig_args = []
+    for a in args:
+        if isinstance(a, Reduction):
+            if a.kind == "inc":
+                # float sums are order-sensitive; tiling would reorder them
+                fusable = False
+            sig_args.append(("r", a.kind))
+            continue
+        assert isinstance(a, DatArg)
+        tok = a.dat.token
+        points = tuple(tuple(p) for p in a.stencil.points)
+        rec = merged.get(tok)
+        if rec is None:
+            rec = merged[tok] = [False, False, set(), a.dat.dtype.itemsize]
+        rec[0] = rec[0] or a.access.reads
+        rec[1] = rec[1] or a.access.writes
+        if a.access.reads:
+            rec[2].update(points)
+        sig_args.append(("d", tok, a.access.value, points))
+
+    accesses = tuple(
+        AccessRecord(ref=tok, reads=r, writes=w, offsets=tuple(sorted(offs)))
+        for tok, (r, w, offs, _item) in merged.items()
+    )
+    ranges_key = tuple(tuple(r) for r in ranges)
+    spec = LoopSpec(
+        ranges=ranges_key,
+        accesses=accesses,
+        fusable=fusable,
+        block_id=block.token,
+    )
+    sig = (
+        _kernel_code_id(kernel),
+        block.token,
+        ranges_key,
+        backend,
+        tile_shape,
+        fusable,
+        tuple(sig_args),
+    )
+    item = QueuedLoop(
+        kernel=kernel,
+        block=block,
+        ranges=ranges,
+        args=tuple(args),
+        backend=backend,
+        name=name,
+        flops_per_point=flops_per_point,
+        tile_shape=tile_shape,
+        sig=sig,
+        spec=spec,
+        dat_items=tuple((tok, rec[3]) for tok, rec in merged.items()),
+    )
+
+    # eager execution sets halo_dirty after running; queueing must mark it
+    # *now* so a distributed runtime's on-demand exchange check (which runs
+    # before the next loop is even queued) still sees the pending write
+    for a in args:
+        if isinstance(a, DatArg) and a.access.writes:
+            a.dat.halo_dirty = True
+
+    st = _state
+    st.queue.append(item)
+    global ACTIVE
+    ACTIVE += 1
+    if len(st.queue) >= get_config().lazy_queue_limit:
+        flush("queue_limit")
+    return True
+
+
+def flush_point(reason: str = "observe") -> None:
+    """Drain the calling thread's queue if it has one (observation hook).
+
+    This is the function behind every transparent flush trigger; it is
+    safe (and cheap) to call from hot paths — re-entrant calls during a
+    flush, and calls from threads with empty queues, return immediately.
+    """
+    if ACTIVE:
+        st = _state
+        if st.queue and not st.flushing:
+            flush(reason)
+
+
+def flush(reason: str = "explicit") -> None:
+    """Execute and clear the calling thread's queued loops, in order."""
+    st = _state
+    if st.flushing or not st.queue:
+        return
+    queue = st.queue
+    st.queue = []
+    global ACTIVE
+    ACTIVE -= len(queue)
+    st.flushing = True
+    try:
+        _run_queue(queue, reason)
+    finally:
+        st.flushing = False
+
+
+def abandon() -> None:
+    """Drop the calling thread's queue without executing (dead-rank cleanup).
+
+    Used by the simulated-MPI runtime when a rank thread is torn down by an
+    injected failure: its queued tail must not execute (the eager program
+    would have crashed before reaching it) and must not leak into the
+    global ``ACTIVE`` count.
+    """
+    st = _state
+    n = len(st.queue)
+    if n:
+        st.queue = []
+        global ACTIVE
+        ACTIVE -= n
+
+
+def queued_loops() -> int:
+    """Number of loops queued on the calling thread (tests/diagnostics)."""
+    return len(_state.queue)
+
+
+@contextlib.contextmanager
+def lazy_scope(**overrides):
+    """Run a block under ``lazy=True``, flushing on exit.
+
+    >>> with lazy_scope(lazy_tile=(32, 32)):
+    ...     app.step()
+    """
+    from repro.common.config import swap
+
+    with swap(lazy=True, **overrides):
+        try:
+            yield
+        finally:
+            flush("scope_exit")
+
+
+# -- chain-schedule cache -----------------------------------------------------
+
+_chains: OrderedDict[tuple, tuple[ChainSchedule, tuple]] = OrderedDict()
+_chain_lock = threading.Lock()
+_chain_stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def _group_bytes_saved(queue: list, loops: tuple) -> int:
+    """Modelled DRAM traffic a fused group avoids, relative to eager.
+
+    Eager execution streams every touched dat from memory once per loop;
+    a fused tile's working set stays cache-resident across the group, so a
+    dat touched by ``k`` loops of the group is streamed once instead of
+    ``k`` times.  Each re-touch after the first saves one full stream of
+    that loop's iteration footprint.
+    """
+    seen: set = set()
+    saved = 0
+    for li in loops:
+        q = queue[li]
+        n = 1
+        for lo, hi in q.ranges:
+            n *= max(hi - lo, 0)
+        for tok, itemsize in q.dat_items:
+            if tok in seen:
+                saved += n * itemsize
+            else:
+                seen.add(tok)
+    return saved
+
+
+def _schedule_for(queue: list) -> tuple[ChainSchedule, tuple]:
+    cfg = get_config()
+    key = (
+        tuple(q.sig for q in queue),
+        tuple(cfg.lazy_tile) if cfg.lazy_tile else None,
+        cfg.lazy_max_group,
+    )
+    counters = active_counters()
+    with _chain_lock:
+        cached = _chains.get(key)
+        if cached is not None:
+            _chains.move_to_end(key)
+            _chain_stats["hits"] += 1
+            counters.record_chain_hit()
+            return cached
+
+    schedule = build_tile_schedule(
+        [q.spec for q in queue],
+        tile_shape=cfg.lazy_tile,
+        max_group=cfg.lazy_max_group,
+    )
+    group_saved = tuple(
+        _group_bytes_saved(queue, g.loops) if g.fused else 0
+        for g in schedule.groups
+    )
+    trc = _trace.ACTIVE
+    with _chain_lock:
+        _chains[key] = (schedule, group_saved)
+        _chain_stats["misses"] += 1
+        counters.record_chain_miss()
+        if trc is not None:
+            trc.instant(
+                "chain_miss", "lazy",
+                loops=len(queue), groups=len(schedule.groups),
+                fused_tiles=schedule.fused_tiles,
+            )
+        limit = cfg.chain_cache_size
+        while len(_chains) > limit:
+            _chains.popitem(last=False)
+            _chain_stats["evictions"] += 1
+    return schedule, group_saved
+
+
+def chain_cache_stats() -> dict[str, int]:
+    """Process-lifetime chain-schedule cache statistics."""
+    with _chain_lock:
+        return {"size": len(_chains), **_chain_stats}
+
+
+def clear_chain_cache() -> None:
+    """Drop every cached chain schedule (tests / reconfiguration)."""
+    with _chain_lock:
+        _chains.clear()
+
+
+# -- flush execution ----------------------------------------------------------
+
+
+def _execute_whole(q: QueuedLoop) -> None:
+    from repro.ops.parloop import _execute_loop
+
+    _execute_loop(
+        q.kernel, q.block, q.ranges, q.args, q.backend, q.name,
+        q.flops_per_point, False, q.tile_shape,
+    )
+
+
+def _run_queue(queue: list, reason: str) -> None:
+    from repro.ops.parloop import _execute_loop
+
+    counters = active_counters()
+    counters.record_lazy_flush(len(queue))
+    trc = _trace.ACTIVE
+    span = (
+        trc.begin("lazy_flush", "lazy", reason=reason, loops=len(queue))
+        if trc is not None
+        else None
+    )
+    try:
+        if observers_active():
+            # an observer (checkpoint manager, LoopTrace) must see the
+            # eager event sequence: one notify per loop, in program order,
+            # with state at each event identical to eager execution —
+            # replay whole loops and skip fusion entirely
+            for q in queue:
+                _execute_whole(q)
+            return
+        schedule, group_saved = _schedule_for(queue)
+        for gi, group in enumerate(schedule.groups):
+            if not group.fused:
+                _execute_whole(queue[group.loops[0]])
+                continue
+            counters.record_lazy_group(group.n_tiles, group_saved[gi])
+            for t_idx, tile in enumerate(group.tiles):
+                tspan = (
+                    trc.begin("lazy_tile", "lazy", tile=t_idx, loops=len(tile))
+                    if trc is not None
+                    else None
+                )
+                try:
+                    for entry in tile:
+                        q = queue[group.loops[entry.loop]]
+                        _execute_loop(
+                            q.kernel, q.block, list(entry.ranges), q.args,
+                            "vec", q.name, q.flops_per_point, False, None,
+                        )
+                finally:
+                    if tspan is not None:
+                        trc.end(tspan)
+    finally:
+        if span is not None:
+            trc.end(span)

@@ -33,6 +33,7 @@ from repro.common.profiling import (
 )
 from repro.telemetry import tracer as _trace
 from repro.ops import execplan
+from repro.ops import lazy as _lazy
 from repro.ops.accessor import PointAccessor, RangeAccessor
 from repro.ops.block import Block
 from repro.ops.dat import Dat
@@ -120,7 +121,9 @@ def _account(
     for i, arg in enumerate(args):
         if isinstance(arg, Reduction):
             continue
-        item = arg.dat.data.dtype.itemsize
+        # dtype attribute, not ``data.dtype``: the storage property is a
+        # lazy-flush observation point and accounting must never trigger one
+        item = arg.dat.dtype.itemsize
         if arg.access.reads:
             # every stencil point is a load, but the neighbour loads are
             # re-references of values streamed once: they are recorded as
@@ -221,12 +224,54 @@ def par_loop(
     accounting are all amortised).  Stencil checking and
     ``verify_descriptors`` bypass the compiled path so the checkers always
     see raw execution, and ``seq`` remains the interpreted reference.
+
+    Under ``configure(lazy=True)`` (``REPRO_LAZY=1``) the loop does not
+    execute here: it is validated and appended to the calling thread's
+    queue (:mod:`repro.ops.lazy`), to run — possibly fused with its
+    neighbours into skewed cross-loop tiles — at the next data
+    observation.  Loops the queue cannot take (``seq`` backend, stencil
+    checking, descriptor verification, active loop observers) first drain
+    the queue, preserving program order, then execute eagerly.
     """
     ranges_t = [tuple(int(c) for c in r) for r in ranges]
     loop_name = name or getattr(kernel, "__name__", "ops_loop")
     cfg = get_config()
     do_check = cfg.check_stencils if check is None else check
     chosen = backend if backend is not None else _default_backend
+    if cfg.lazy or _lazy.ACTIVE:
+        if (
+            cfg.lazy
+            and not do_check
+            and not cfg.verify_descriptors
+            and not observers_active()
+            and _lazy.enqueue(
+                kernel, block, ranges_t, args, chosen, loop_name,
+                flops_per_point, tile_shape,
+            )
+        ):
+            return
+        # this loop runs eagerly; anything still queued precedes it in
+        # program order and must land first
+        _lazy.flush_point("eager_par_loop")
+    _execute_loop(
+        kernel, block, ranges_t, args, chosen, loop_name, flops_per_point,
+        do_check, tile_shape,
+    )
+
+
+def _execute_loop(
+    kernel: Callable,
+    block: Block,
+    ranges_t: Sequence[tuple[int, int]],
+    args: Sequence[LoopArg],
+    chosen: str,
+    loop_name: str,
+    flops_per_point: int,
+    do_check: bool,
+    tile_shape: tuple[int, ...] | None,
+) -> None:
+    """Eager execution of one loop (the dispatch target of lazy flushes too)."""
+    cfg = get_config()
     if (
         cfg.use_execplan
         and chosen in execplan.FAST_BACKENDS

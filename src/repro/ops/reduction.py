@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.common.access import Access
 from repro.common.errors import APIError
+from repro.ops import lazy as _lazy
 
 
 class Reduction:
@@ -32,7 +33,29 @@ class Reduction:
         self.name = name if name is not None else f"red_{kind}"
         if initial is None:
             initial = {"inc": 0.0, "min": np.inf, "max": -np.inf}[kind]
-        self.value = float(initial)
+        # a brand-new handle cannot be referenced by any queued loop, so
+        # the initial assignment bypasses the observation hook
+        self._value = float(initial)
+
+    @property
+    def value(self) -> float:
+        """The reduction result — a lazy-execution observation point.
+
+        Reading (or externally assigning) the value forces queued loops to
+        land first, so ``dt = dt_min.value`` after a queued timestep loop
+        can never see a stale partial.  Kernel-side folds during a flush
+        re-enter through the same property but the flush guard makes that
+        a no-op.
+        """
+        if _lazy.ACTIVE:
+            _lazy.flush_point("reduction_value")
+        return self._value
+
+    @value.setter
+    def value(self, v: float) -> None:
+        if _lazy.ACTIVE:
+            _lazy.flush_point("reduction_value_set")
+        self._value = v
 
     # -- kernel-facing fold operations ---------------------------------------
 

@@ -47,6 +47,7 @@ from repro.checkpoint.store import (
 )
 from repro.common.errors import ResilienceError, ServeError
 from repro.common.profiling import counters_scope
+from repro.ops import lazy as _ops_lazy
 from repro.resilience.detection import RetryPolicy
 from repro.serve.jobs import (
     CANCELLED,
@@ -155,7 +156,13 @@ def run_attempt(
                         manager.store.record_global(name, idx, val)
             manager.install(local=True)
         try:
-            return adapter.run(comm, state, spec)
+            result = adapter.run(comm, state, spec)
+            # the job result is an observation point: any OPS loops still
+            # queued by the lazy runtime on this rank thread must land
+            # before the result is returned (and before this pool thread
+            # is reused for another job)
+            _ops_lazy.flush_point("serve_job_result")
+            return result
         finally:
             if manager is not None:
                 manager.remove()

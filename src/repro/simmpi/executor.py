@@ -98,8 +98,22 @@ def run_spmd(
                 plan.on_loop(_rank, world.counters[_rank])
 
             add_loop_observer(observer, local=True)
+        # deferred: repro.ops.decomp imports simmpi, so this module cannot
+        # import repro.ops at load time
+        from repro.ops import lazy as _ops_lazy
+
         try:
-            return fn(world.comms[rank], *args, *extra)
+            result = fn(world.comms[rank], *args, *extra)
+            # a rank returning from the collective is an observation point:
+            # loops it queued lazily must land while its thread still exists
+            _ops_lazy.flush_point("rank_return")
+            return result
+        except BaseException:
+            # dead rank (injected kill, deadlock, kernel error): its queued
+            # tail must not execute — the eager program would have crashed
+            # before reaching it — and must not leak the global queue count
+            _ops_lazy.abandon()
+            raise
         finally:
             if observer is not None:
                 remove_loop_observer(observer, local=True)
