@@ -113,7 +113,19 @@ def add_loop_observer(fn: Callable[[LoopEvent], None], *, local: bool = False) -
     With ``local=True`` the observer only sees loops executed by the
     registering thread — how per-rank observers (checkpoint managers,
     recovery replayers, fault plans) coexist inside a threaded SPMD run.
+
+    Installation is an observation point for the lazy runtime: loops the
+    calling thread queued *before* this call drain first, because eager
+    execution would have run them before the observer existed — so the
+    observer sees exactly the eager event stream from installation
+    onwards.  (A global observer installed from another thread cannot
+    drain that thread's queue; such a queue falls back to whole-loop
+    replay at its next flush.)
     """
+    # deferred import: repro.ops depends on repro.common, not vice versa
+    from repro.ops import lazy as _lazy
+
+    _lazy.flush_point("observer_install")
     (_local_observers() if local else _observers).append(fn)
 
 

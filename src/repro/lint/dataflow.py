@@ -108,10 +108,21 @@ def build_dependence_graph(
     * WAR — ``i`` reads (through ``i``'s stencil), ``j`` writes;
     * WAW — both write (centre-to-centre, no stencil reach).
 
-    Only the *nearest* conflicting pair per (dataset, kind) is emitted in
-    each direction; transitive edges add no constraint a scheduler could
-    use (program order already covers them) but would bloat the graph
-    quadratically on long chains.
+    Transitively-implied edges are pruned, but only where an explicit
+    edge chain *through the same points* already enforces the ordering —
+    which is all a point-wise scheduler (tile skewing) guarantees:
+
+    * RAW and WAW link each access back to the **nearest** earlier writer
+      only: earlier writers are chained to that writer by their own
+      centre-to-centre WAW edges, so the per-point ordering composes.
+    * WAR links a writer back to **every** earlier reader up to and
+      including the most recent earlier writer.  Read-read pairs create
+      no edge, so stopping at the nearest reader would silently drop a
+      farther reader's (possibly wider) stencil from the graph — and
+      from :meth:`DependenceGraph.max_extent`, under-skewing the tile
+      schedule.  Readers before that writer *are* covered: each holds a
+      WAR edge to it (emitted by this same rule) and the writer chains
+      forward centre-to-centre.
     """
     graph = DependenceGraph(n_loops=len(accesses))
     refs: set[Hashable] = set()
@@ -126,10 +137,13 @@ def build_dependence_graph(
             for rec in per_loop
             if rec.ref == ref
         ]
-        # nearest-pair scan: for each later access, link back to the most
-        # recent earlier access that conflicts with it
+        # backwards scan per access: RAW/WAW stop at the nearest earlier
+        # writer; WAR keeps fanning out to every earlier reader until a
+        # writer has been *passed* (readers before it are ordered through
+        # that writer's own WAR/WAW edges)
         for jdx, (j, rec_j) in enumerate(touched):
-            seen_raw = seen_war = seen_waw = False
+            seen_raw = seen_waw = False
+            war_done = not rec_j.writes
             for i, rec_i in reversed(touched[:jdx]):
                 if rec_j.reads and rec_i.writes and not seen_raw:
                     graph.edges.append(DependenceEdge(
@@ -137,17 +151,18 @@ def build_dependence_graph(
                         tuple(tuple(o) for o in rec_j.offsets),
                     ))
                     seen_raw = True
-                if rec_j.writes and rec_i.reads and not seen_war:
+                if not war_done and rec_i.reads:
                     graph.edges.append(DependenceEdge(
                         i, j, ref, "war",
                         tuple(tuple(o) for o in rec_i.offsets),
                     ))
-                    seen_war = True
                 if rec_j.writes and rec_i.writes and not seen_waw:
                     graph.edges.append(DependenceEdge(i, j, ref, "waw"))
                     seen_waw = True
-                if (seen_raw or not rec_j.reads) and (
-                    (seen_war and seen_waw) or not rec_j.writes
+                if rec_i.writes:
+                    war_done = True
+                if (seen_raw or not rec_j.reads) and war_done and (
+                    seen_waw or not rec_j.writes
                 ):
                     break
     graph.edges.sort(key=lambda e: (e.src, e.dst, str(e.ref), e.kind))

@@ -33,9 +33,13 @@ Exactness rules (what may fuse):
 * loops folding an ``inc`` reduction never fuse — float addition is not
   associative, and tiling would reorder the partial sums (``min``/``max``
   are exact under any partition and do fuse);
-* when loop observers are installed (checkpointing, ``LoopTrace``), the
-  flush replays every loop whole in program order instead of fusing, so
-  each observer sees exactly the eager event sequence and state.
+* when loop observers are installed (checkpointing, ``LoopTrace``), loops
+  don't queue, and installing an observer is itself an observation point
+  that drains the installer's queue first (eager execution would have run
+  those loops before the observer existed); a queue that still finds
+  observers active at flush time — a global observer installed from
+  another thread — replays every loop whole in program order instead of
+  fusing, so each observer sees per-loop events in eager order.
 
 Failure semantics: a kernel error (or injected fault) during a flush
 propagates at the observation point, not the original call site; the rest
@@ -71,10 +75,22 @@ __all__ = [
     "clear_chain_cache",
 ]
 
-#: total loops currently queued across all threads.  Read (unlocked, GIL)
-#: by every flush hook as the zero-cost "is lazy even in play" gate: when 0
-#: a ``Dat.data`` access pays one module-attribute check and nothing else.
+#: total loops currently queued across all threads.  Read (unlocked — an
+#: int load is atomic) by every flush hook as the zero-cost "is lazy even
+#: in play" gate: when 0 a ``Dat.data`` access pays one module-attribute
+#: check and nothing else.  Mutated only through :func:`_active_add`:
+#: ``ACTIVE += 1`` is a read-modify-write, and a lost update between
+#: concurrent simmpi rank threads could drive the count to 0 with loops
+#: still queued, silently disabling every flush gate.
 ACTIVE = 0
+
+_active_lock = threading.Lock()
+
+
+def _active_add(n: int) -> None:
+    global ACTIVE
+    with _active_lock:
+        ACTIVE += n
 
 
 class _ThreadState(threading.local):
@@ -214,8 +230,7 @@ def enqueue(
 
     st = _state
     st.queue.append(item)
-    global ACTIVE
-    ACTIVE += 1
+    _active_add(1)
     if len(st.queue) >= get_config().lazy_queue_limit:
         flush("queue_limit")
     return True
@@ -241,8 +256,7 @@ def flush(reason: str = "explicit") -> None:
         return
     queue = st.queue
     st.queue = []
-    global ACTIVE
-    ACTIVE -= len(queue)
+    _active_add(-len(queue))
     st.flushing = True
     try:
         _run_queue(queue, reason)
@@ -262,8 +276,7 @@ def abandon() -> None:
     n = len(st.queue)
     if n:
         st.queue = []
-        global ACTIVE
-        ACTIVE -= n
+        _active_add(-n)
 
 
 def queued_loops() -> int:
@@ -398,10 +411,11 @@ def _run_queue(queue: list, reason: str) -> None:
     )
     try:
         if observers_active():
-            # an observer (checkpoint manager, LoopTrace) must see the
-            # eager event sequence: one notify per loop, in program order,
-            # with state at each event identical to eager execution —
-            # replay whole loops and skip fusion entirely
+            # fallback: an observer installed from *another* thread after
+            # these loops queued (installation on this thread would have
+            # drained them).  It must see one notify per loop, in program
+            # order, with state at each event identical to eager execution
+            # — replay whole loops and skip fusion entirely
             for q in queue:
                 _execute_whole(q)
             return

@@ -22,6 +22,8 @@ replacement, counters in the report footer.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -36,7 +38,7 @@ from repro.common.config import get_config, swap
 from repro.common.counters import PerfCounters
 from repro.common.profiling import counters_scope
 from repro.common.report import timing_report
-from repro.lint.dataflow import AccessRecord
+from repro.lint.dataflow import AccessRecord, build_dependence_graph
 from repro.ops import lazy as lazy_mod
 from repro.ops.decomp import DecomposedBlock
 from repro.ops.tileplan import LoopSpec, build_tile_schedule
@@ -168,6 +170,45 @@ class TestDifferentialBattery:
         assert c.lazy_tiles > 0, "no fused tiles: battery is vacuous"
         assert c.lazy_bytes_saved > 0
 
+    def test_wide_then_narrow_reader_then_write(self):
+        """Runtime regression for the WAR pruning hole (review): a wide
+        read of ``u``, then a centre read, then a write to ``u``.  The
+        write's tiles must be skewed by the *wide* stencil even though
+        the centre read is the nearer WAR source — under-skewing clobbers
+        ``u`` before the logically-earlier wide read consumes it."""
+        wide5 = ops.Stencil(2, [(0, 0), (2, 0), (-2, 0), (0, 2), (0, -2)],
+                            "S2D_5PT_W2")
+
+        def wide(a, b):
+            b[0, 0] = a[2, 0] + a[-2, 0] + a[0, 2] + a[0, -2]
+
+        def narrow(a, c):
+            c[0, 0] = 0.5 * a[0, 0]
+
+        def clobber(a):
+            a[0, 0] = 7.0
+
+        n = 32
+
+        def run():
+            blk = ops.Block(2)
+            u = ops.Dat(blk, (n, n), halo_depth=2, name="u")
+            b = ops.Dat(blk, (n, n), halo_depth=2, name="b")
+            c = ops.Dat(blk, (n, n), halo_depth=2, name="c")
+            u.interior[...] = np.random.default_rng(7).random((n, n))
+            r = [(2, n - 2), (2, n - 2)]
+            with swap(lazy_tile=(8, 8)):
+                ops.par_loop(wide, blk, r, u(ops.READ, wide5), b(ops.WRITE),
+                             backend="vec")
+                ops.par_loop(narrow, blk, r, u(ops.READ), c(ops.WRITE),
+                             backend="vec")
+                ops.par_loop(clobber, blk, r, u(ops.WRITE), backend="vec")
+                out = {"b": b.interior.copy(), "c": c.interior.copy(),
+                       "u": u.interior.copy()}
+            return out
+
+        _lazy_vs_eager(run).assert_agree()
+
     @pytest.mark.parametrize("nranks", [1, 4])
     def test_cloverleaf_ranks(self, nranks):
         def run(mode):
@@ -257,6 +298,49 @@ def chains(draw):
     return _synthetic_chain(draw)
 
 
+def _assert_no_reachable_inversion(seq, src, dst, ext, label):
+    """No ``src``-loop entry in the flat execution ``seq`` may run after a
+    ``dst``-loop entry whose points it can reach through extent ``ext``."""
+    for pos_dst, (l_dst, r_dst) in enumerate(seq):
+        if l_dst != dst:
+            continue
+        for pos_src in range(pos_dst + 1, len(seq)):
+            l_src, r_src = seq[pos_src]
+            if l_src != src:
+                continue
+            overlap = all(
+                min(sa[1], da[1] + e) > max(sa[0], da[0] - e)
+                for sa, da, e in zip(r_src, r_dst, ext)
+            )
+            assert not overlap, (
+                f"{label}: src slice {r_src} runs after dependent "
+                f"dst slice {r_dst}"
+            )
+
+
+def _pairwise_conflicts(specs):
+    """Every ordered conflicting loop pair, *unpruned*: (src, dst, offsets).
+
+    RAW carries the destination's read stencil, WAR the source's, WAW
+    none — the full relation a legal schedule must respect, independent
+    of whatever pruning ``build_dependence_graph`` applies.
+    """
+    out = []
+    for j, sj in enumerate(specs):
+        for i, si in enumerate(specs[:j]):
+            for rj in sj.accesses:
+                for ri in si.accesses:
+                    if ri.ref != rj.ref:
+                        continue
+                    if ri.writes and rj.reads:
+                        out.append((i, j, rj.offsets))
+                    if ri.reads and rj.writes:
+                        out.append((i, j, ri.offsets))
+                    if ri.writes and rj.writes:
+                        out.append((i, j, ()))
+    return out
+
+
 class TestSchedulerProperties:
     @given(chain=chains())
     @settings(max_examples=60, deadline=None)
@@ -307,24 +391,35 @@ class TestSchedulerProperties:
                     max((abs(p[d]) for p in edge.offsets), default=0)
                     for d in range(ndim)
                 ]
-                for pos_dst, (l_dst, r_dst) in enumerate(seq):
-                    if l_dst != edge.dst:
-                        continue
-                    for pos_src in range(pos_dst + 1, len(seq)):
-                        l_src, r_src = seq[pos_src]
-                        if l_src != edge.src:
-                            continue
-                        # src entry runs after dst entry: illegal if any dst
-                        # point can reach a src point through the offsets
-                        overlap = all(
-                            min(sa[1], da[1] + e) > max(sa[0], da[0] - e)
-                            for sa, da, e in zip(r_src, r_dst, ext)
-                        )
-                        assert not overlap, (
-                            f"edge {edge.src}->{edge.dst} ({edge.kind}, "
-                            f"ext {ext}): src slice {r_src} runs after "
-                            f"dependent dst slice {r_dst}"
-                        )
+                _assert_no_reachable_inversion(
+                    seq, edge.src, edge.dst, ext,
+                    f"edge {edge.src}->{edge.dst} ({edge.kind}, ext {ext})",
+                )
+
+    @given(chain=chains())
+    @settings(max_examples=60, deadline=None)
+    def test_all_pairwise_conflicts_respected(self, chain):
+        """Same legality check as above, but against the *unpruned*
+        pairwise conflict relation instead of the graph the schedule was
+        built from — a pruning rule that drops a needed constraint (e.g.
+        a far reader's wide stencil before a later write) cannot hide
+        behind its own graph here."""
+        specs, tile = chain
+        schedule = build_tile_schedule(specs, tile_shape=tile)
+        for group in schedule.groups:
+            if not group.fused:
+                continue
+            gspecs = [specs[i] for i in group.loops]
+            seq = [(e.loop, e.ranges) for t in group.tiles for e in t]
+            ndim = len(gspecs[0].ranges)
+            for src, dst, offsets in _pairwise_conflicts(gspecs):
+                ext = [
+                    max((abs(p[d]) for p in offsets), default=0)
+                    for d in range(ndim)
+                ]
+                _assert_no_reachable_inversion(
+                    seq, src, dst, ext, f"pair {src}->{dst} (ext {ext})"
+                )
 
     @given(chain=chains())
     @settings(max_examples=30, deadline=None)
@@ -361,6 +456,48 @@ class TestSchedulerProperties:
         ]
         schedule = build_tile_schedule(specs, tile_shape=(4,))
         assert not any(g.fused for g in schedule.groups)
+
+
+class TestDependenceGraphPruning:
+    """The pruning in build_dependence_graph must never drop a constraint
+    that is not carried point-wise by an explicit edge chain."""
+
+    def test_war_fans_out_to_all_prior_readers(self):
+        """Regression (review): two readers with different stencils, no
+        intervening write, then a writer — both stencils must reach the
+        graph, or max_extent under-computes the tile skew."""
+        g = build_dependence_graph([
+            [AccessRecord("a", True, False, ((-2,), (2,)))],
+            [AccessRecord("a", True, False, ((0,),))],
+            [AccessRecord("a", False, True, ((0,),))],
+        ])
+        war = {(e.src, e.dst): e.offsets for e in g.edges if e.kind == "war"}
+        assert set(war) == {(0, 2), (1, 2)}
+        assert war[(0, 2)] == ((-2,), (2,))
+        assert g.max_extent(1) == (2,)
+
+    def test_war_stops_after_most_recent_writer(self):
+        """Readers behind the last writer stay pruned: each holds its own
+        WAR edge to that writer, which chains forward centre-to-centre."""
+        g = build_dependence_graph([
+            [AccessRecord("a", True, False, ((-2,),))],
+            [AccessRecord("a", False, True, ((0,),))],
+            [AccessRecord("a", True, False, ((1,),))],
+            [AccessRecord("a", False, True, ((0,),))],
+        ])
+        war = {(e.src, e.dst) for e in g.edges if e.kind == "war"}
+        assert war == {(0, 1), (2, 3)}
+
+    def test_read_write_loop_joins_war_fanout(self):
+        """A read-write loop terminates the fan-out but contributes its
+        own read's WAR edge first."""
+        g = build_dependence_graph([
+            [AccessRecord("a", True, False, ((2,),))],
+            [AccessRecord("a", True, True, ((0,),))],
+            [AccessRecord("a", False, True, ((0,),))],
+        ])
+        war = {(e.src, e.dst) for e in g.edges if e.kind == "war"}
+        assert war == {(0, 1), (1, 2)}
 
 
 # ---------------------------------------------------------------------------
@@ -463,9 +600,11 @@ class TestFlushSemantics:
         op2.par_loop(k, nodes, x(op2.RW), backend="vec")
         assert lazy_mod.queued_loops() == 0
 
-    def test_observers_force_whole_loop_replay(self):
-        """With a loop observer installed at flush time the queue replays
-        whole loops: the observer sees the eager event sequence."""
+    def test_observer_install_drains_queue(self):
+        """Installing an observer is an observation point: loops queued
+        before the install execute *unobserved* (eager execution would
+        have run them before the observer existed), so the observer sees
+        exactly the eager event stream from installation onwards."""
         from repro.common.profiling import add_loop_observer, remove_loop_observer
 
         ref_u, _ = self._eager_reference()
@@ -477,6 +616,30 @@ class TestFlushSemantics:
 
         add_loop_observer(obs)
         try:
+            assert lazy_mod.queued_loops() == 0
+            assert seen == []
+            np.testing.assert_array_equal(u.interior, ref_u)
+        finally:
+            remove_loop_observer(obs)
+
+    def test_cross_thread_observer_forces_whole_loop_replay(self):
+        """A global observer installed from another thread cannot drain
+        this thread's queue; the flush falls back to whole-loop replay so
+        the observer still sees per-loop events in eager order."""
+        from repro.common.profiling import add_loop_observer, remove_loop_observer
+
+        ref_u, _ = self._eager_reference()
+        blk, u, v = self._queued()
+        seen = []
+
+        def obs(event):
+            seen.append(event.name)
+
+        t = threading.Thread(target=add_loop_observer, args=(obs,))
+        t.start()
+        t.join()
+        try:
+            assert lazy_mod.queued_loops() == 4
             np.testing.assert_array_equal(u.interior, ref_u)
         finally:
             remove_loop_observer(obs)
