@@ -1,0 +1,880 @@
+"""Abstract interpretation of the kernel IR.
+
+Three coupled domains run over :class:`repro.lint.ir.KernelIR` in a
+single walk:
+
+* an **interval domain** on integer-valued locals and subscript indices,
+  proving per-parameter access offset sets ("extents") through branches
+  and ``range``-loop index arithmetic;
+* a **dtype lattice** (bool < intNN < floatNN, with weak Python-literal
+  scalars that never widen array dtypes), propagating declared Dat
+  dtypes through the body to catch silent narrowing and int/float
+  division surprises;
+* an **effects/purity analysis** recording every call, free-name read
+  and opaque region, and flagging RNG use.
+
+The result is distilled into a :class:`KernelCertificate` — a
+machine-readable, cacheable statement of what was *proven* about one
+kernel body.  Soundness contract: the proven read/write offset sets
+over-approximate every concrete execution's accesses (``None`` means
+"could not bound" and must be treated as unbounded); on branch-free,
+loop-free bodies with constant offsets the sets are exact.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.lint.ir import (
+    EBin,
+    ECall,
+    ECmp,
+    EConst,
+    EIf,
+    ELoad,
+    EName,
+    EOpaque,
+    ETuple,
+    EUn,
+    KernelIR,
+    SAssign,
+    SAug,
+    SExpr,
+    SFold,
+    SFor,
+    SIf,
+    SOpaque,
+    SReturn,
+    TLocal,
+    TOpaque,
+    TParam,
+    lower_kernel,
+)
+
+__all__ = [
+    "Interval",
+    "KernelAnalysis",
+    "KernelCertificate",
+    "ParamAbstract",
+    "analyze_ir",
+    "analyze_kernel",
+    "box_points",
+    "certificate_from_analysis",
+    "certify_callable",
+    "clear_certificate_cache",
+]
+
+#: cap on enumerating an interval box into explicit offset points
+_ENUM_CAP = 128
+
+
+# -- interval domain ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class Interval:
+    """A bounded integer interval; ``dense`` claims every integer in
+    ``[lo, hi]`` is actually taken (needed for exactness, not soundness)."""
+
+    lo: int
+    hi: int
+    dense: bool = True
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+
+def _iv_add(a, b, sub=False):
+    if a is None or b is None:
+        return None
+    if sub:
+        return Interval(a.lo - b.hi, a.hi - b.lo, a.dense and b.dense)
+    return Interval(a.lo + b.lo, a.hi + b.hi, a.dense and b.dense)
+
+
+def _iv_neg(a):
+    return None if a is None else Interval(-a.hi, -a.lo, a.dense)
+
+
+def _iv_mul(a, b):
+    if a is None or b is None:
+        return None
+    prods = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi]
+    dense = (a.is_point and b.is_point) or (
+        (a.dense and b.is_point and abs(b.lo) == 1)
+        or (b.dense and a.is_point and abs(a.lo) == 1)
+    )
+    return Interval(min(prods), max(prods), dense)
+
+
+def _iv_join(a, b):
+    if a is None or b is None:
+        return None
+    lo, hi = min(a.lo, b.lo), max(a.hi, b.hi)
+    overlap = a.dense and b.dense and not (a.hi + 1 < b.lo or b.hi + 1 < a.lo)
+    return Interval(lo, hi, overlap)
+
+
+def _iv_minmax(ivs, use_max):
+    if any(v is None for v in ivs) or not ivs:
+        return None
+    pick = max if use_max else min
+    return Interval(pick(v.lo for v in ivs), pick(v.hi for v in ivs),
+                    all(v.is_point for v in ivs))
+
+
+# -- dtype lattice -----------------------------------------------------------
+
+#: weak (Python-literal) scalars: participate in promotion without widening
+W_INT = "~int"
+W_FLOAT = "~float"
+
+_FLOATS = {"float16": 16, "float32": 32, "float64": 64}
+_INTS = {"int8": 8, "int16": 16, "int32": 32, "int64": 64,
+         "uint8": 8, "uint16": 16, "uint32": 32, "uint64": 64}
+
+
+def _kind(dt: str) -> str:
+    if dt in (W_FLOAT,) or dt in _FLOATS:
+        return "f"
+    if dt in (W_INT,) or dt in _INTS:
+        return "i"
+    if dt == "bool":
+        return "b"
+    return "?"
+
+
+def dt_promote(a: str | None, b: str | None) -> str | None:
+    """Join two abstract dtypes (NEP-50-style weak-scalar promotion)."""
+    if a is None or b is None:
+        return None
+    if a == b:
+        return a
+    weak_a, weak_b = a in (W_INT, W_FLOAT), b in (W_INT, W_FLOAT)
+    if weak_a and weak_b:
+        return W_FLOAT if W_FLOAT in (a, b) else W_INT
+    if weak_a or weak_b:
+        weak, conc = (a, b) if weak_a else (b, a)
+        ck = _kind(conc)
+        if ck == "?":
+            return None
+        if weak == W_INT:
+            return "int64" if ck == "b" else conc
+        return conc if ck == "f" else "float64"
+    try:
+        import numpy as np
+
+        return np.promote_types(a, b).name
+    except Exception:
+        return None
+
+
+def dt_div(a: str | None, b: str | None) -> str | None:
+    """Result dtype of true division."""
+    joined = dt_promote(a, b)
+    if joined is None:
+        return None
+    if joined in (W_INT, W_FLOAT):
+        # a quotient of Python literals is itself a weak Python float
+        return W_FLOAT
+    if _kind(joined) in ("i", "b"):
+        return "float64"
+    return joined if joined in _FLOATS else "float64"
+
+
+def _narrows(value: str | None, target: str | None) -> bool:
+    """Whether storing ``value`` into ``target`` silently loses information."""
+    if value is None or target is None or value in (W_INT, W_FLOAT):
+        return False
+    vk, tk = _kind(value), _kind(target)
+    if "?" in (vk, tk):
+        return False
+    if vk == "f" and tk in ("i", "b"):
+        return True
+    if vk == tk == "f":
+        return _FLOATS[value] > _FLOATS[target]
+    if vk == tk == "i":
+        return _INTS[value] > _INTS[target]
+    return False
+
+
+# -- call whitelist / effects ------------------------------------------------
+
+_PURE_BUILTINS = {"min", "max", "abs", "float", "int", "bool", "round", "len",
+                  "divmod", "pow", "sum", "range"}
+_FLOAT_CALLS = {"float", "sum"}
+
+
+def _classify_call(name: str) -> str:
+    """"pure" | "rng" | "unknown" for a dotted callee name."""
+    parts = name.split(".")
+    if "random" in parts or parts[-1] in ("rand", "randn", "randint",
+                                          "normal", "uniform", "choice"):
+        return "rng"
+    if parts[0] in ("math", "np", "numpy") and len(parts) > 1:
+        return "pure"
+    if len(parts) == 1 and name in _PURE_BUILTINS:
+        return "pure"
+    return "unknown"
+
+
+# -- per-parameter accumulation ----------------------------------------------
+
+@dataclass
+class Access:
+    """One proven parameter access: an interval box per dimension."""
+
+    box: tuple | None  # tuple[Interval, ...] or None (unbounded)
+    kind: str  # "load" | "store" | "aug" | "fold"
+    lineno: int
+    must: bool
+    syntactic: tuple[int, ...] | None
+    value_dtype: str | None = None  # for writes: dtype of the stored value
+    int_division: bool = False  # value came from int/int true division
+    synthetic: bool = False  # the implied read of a read-modify-write
+
+    @property
+    def exact(self) -> bool:
+        return (self.must and self.box is not None
+                and all(iv.dense for iv in self.box))
+
+
+def box_points(box, cap: int = _ENUM_CAP) -> tuple | None:
+    """Enumerate an interval box into explicit offset points.
+
+    ``None`` when the box is unbounded or too large to enumerate.
+    """
+    if box is None:
+        return None
+    ranges = []
+    total = 1
+    for iv in box:
+        total *= iv.hi - iv.lo + 1
+        if total > cap:
+            return None
+        ranges.append(range(iv.lo, iv.hi + 1))
+    return tuple(product(*ranges))
+
+
+@dataclass
+class ParamAbstract:
+    """Everything proven about one kernel parameter."""
+
+    name: str
+    reads: list[Access] = field(default_factory=list)
+    writes: list[Access] = field(default_factory=list)
+    #: reasons the parameter's accesses could not all be bounded
+    unbounded: list[str] = field(default_factory=list)
+
+    @property
+    def bounded(self) -> bool:
+        return not self.unbounded and all(
+            a.box is not None for a in self.reads + self.writes
+        )
+
+    def _points(self, accs: list[Access]) -> tuple | None:
+        pts: set[tuple[int, ...]] = set()
+        for a in accs:
+            enum = box_points(a.box)
+            if enum is None:
+                return None
+            pts.update(enum)
+        return tuple(sorted(pts))
+
+    def read_points(self) -> tuple | None:
+        """Proven read offsets (loads, augs and folds observe old values)."""
+        if self.unbounded:
+            return None
+        return self._points([a for a in self.reads + self.writes
+                             if a.kind in ("load", "aug", "fold")])
+
+    def write_points(self) -> tuple | None:
+        if self.unbounded:
+            return None
+        return self._points(self.writes)
+
+    def load_points(self) -> tuple | None:
+        """Proven offsets of plain loads only."""
+        if self.unbounded:
+            return None
+        return self._points([
+            a for a in self.reads if a.kind == "load" and not a.synthetic
+        ])
+
+    @property
+    def exact(self) -> bool:
+        return self.bounded and all(
+            a.exact for a in self.reads + self.writes
+        )
+
+
+@dataclass
+class KernelAnalysis:
+    """Raw abstract-interpretation result over one kernel IR."""
+
+    ir: KernelIR
+    params: dict[str, ParamAbstract]
+    calls: set[str] = field(default_factory=set)
+    unknown_calls: set[str] = field(default_factory=set)
+    free_reads: set[str] = field(default_factory=set)
+    rng: bool = False
+    opaque: list[str] = field(default_factory=list)
+    #: declared per-parameter dtypes the dtype lattice was seeded with
+    dtypes: dict[str, str | None] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return self.ir.complete and not self.opaque
+
+    @property
+    def pure(self) -> bool:
+        return not self.rng and not self.unknown_calls and self.complete
+
+
+# -- the walker --------------------------------------------------------------
+
+class _State:
+    __slots__ = ("iv", "dt", "assigned")
+
+    def __init__(self, iv=None, dt=None, assigned=None):
+        self.iv: dict[str, Interval | None] = iv if iv is not None else {}
+        self.dt: dict[str, str | None] = dt if dt is not None else {}
+        self.assigned: set[str] = assigned if assigned is not None else set()
+
+    def copy(self) -> "_State":
+        return _State(dict(self.iv), dict(self.dt), set(self.assigned))
+
+
+def _merge(pre: _State, a: _State, b: _State) -> _State:
+    out = _State(assigned=a.assigned | b.assigned)
+    for k in set(a.iv) | set(b.iv):
+        out.iv[k] = _iv_join(a.iv[k], b.iv[k]) \
+            if k in a.iv and k in b.iv else None
+    for k in set(a.dt) | set(b.dt):
+        out.dt[k] = dt_promote(a.dt[k], b.dt[k]) \
+            if k in a.dt and k in b.dt else None
+    return out
+
+
+class _Walker:
+    def __init__(self, ir: KernelIR, dtypes: dict[str, str | None],
+                 scalars: frozenset[str] = frozenset()):
+        self.ir = ir
+        self.res = KernelAnalysis(
+            ir=ir, params={p: ParamAbstract(p) for p in ir.params},
+        )
+        self.dtypes = dtypes
+        #: defaulted params not bound to descriptors: plain closure scalars,
+        #: so a bare reference is their intended use, not an escape
+        self.scalars = scalars
+
+    # -- helpers -------------------------------------------------------------
+
+    def _unbound(self, param: str, reason: str) -> None:
+        pa = self.res.params.get(param)
+        if pa is not None and reason not in pa.unbounded:
+            pa.unbounded.append(reason)
+
+    def _access(self, param: str, kind: str, index, lineno: int, must: bool,
+                syntactic, st: _State, value_dtype=None,
+                int_division=False) -> None:
+        pa = self.res.params[param]
+        box = None
+        if index is not None:
+            ivs = []
+            for comp in index:
+                iv, _ = self.expr(comp, st, must)
+                ivs.append(iv)
+            if all(iv is not None for iv in ivs):
+                box = tuple(ivs)
+        if box is None:
+            self._unbound(param, f"unbounded {kind} index at line {lineno}")
+        acc = Access(box, kind, lineno, must, syntactic,
+                     value_dtype=value_dtype, int_division=int_division)
+        (pa.writes if kind in ("store", "aug", "fold") else pa.reads).append(acc)
+        if kind in ("aug", "fold"):
+            # read-modify-write also observes the old value
+            pa.reads.append(Access(box, "load", lineno, must, syntactic,
+                                   synthetic=True))
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, e, st: _State, must: bool):
+        """Evaluate one expression: (interval, dtype), recording accesses."""
+        if isinstance(e, EConst):
+            v = e.value
+            if isinstance(v, bool):
+                return (Interval(int(v), int(v)), "bool")
+            if isinstance(v, int):
+                return (Interval(v, v), W_INT)
+            if isinstance(v, float):
+                return (None, W_FLOAT)
+            return (None, None)
+        if isinstance(e, EName):
+            if e.kind == "param":
+                if e.name in self.scalars:
+                    return (None, None)
+                # a bare parameter reference escapes the abstraction
+                self._unbound(e.name, "parameter escapes (bare reference)")
+                return (None, None)
+            if e.name in st.assigned:
+                return (st.iv.get(e.name), st.dt.get(e.name))
+            self.res.free_reads.add(e.name)
+            return (None, None)
+        if isinstance(e, ELoad):
+            self._access(e.param, "load", e.index, e.lineno, must,
+                         e.syntactic, st)
+            return (None, self.dtypes.get(e.param))
+        if isinstance(e, EBin):
+            liv, ldt = self.expr(e.left, st, must)
+            riv, rdt = self.expr(e.right, st, must)
+            if e.op == "+":
+                return (_iv_add(liv, riv), dt_promote(ldt, rdt))
+            if e.op == "-":
+                return (_iv_add(liv, riv, sub=True), dt_promote(ldt, rdt))
+            if e.op == "*":
+                return (_iv_mul(liv, riv), dt_promote(ldt, rdt))
+            if e.op == "/":
+                return (None, dt_div(ldt, rdt))
+            if e.op == "//":
+                iv = None
+                if (liv is not None and riv is not None and riv.is_point
+                        and riv.lo > 0):
+                    iv = Interval(liv.lo // riv.lo, liv.hi // riv.lo,
+                                  dense=liv.dense)
+                return (iv, dt_promote(ldt, rdt))
+            if e.op == "%":
+                iv = None
+                if riv is not None and riv.is_point and riv.lo > 0:
+                    iv = Interval(0, riv.lo - 1, dense=False)
+                return (iv, dt_promote(ldt, rdt))
+            return (None, dt_promote(ldt, rdt))
+        if isinstance(e, EUn):
+            iv, dt = self.expr(e.operand, st, must)
+            if e.op == "-":
+                return (_iv_neg(iv), dt)
+            if e.op == "not":
+                return (None, "bool")
+            return (iv if e.op == "+" else None, dt)
+        if isinstance(e, ECmp):
+            for o in e.operands:
+                self.expr(o, st, must)
+            return (None, "bool")
+        if isinstance(e, EIf):
+            self.expr(e.test, st, must)
+            biv, bdt = self.expr(e.body, st, False)
+            oiv, odt = self.expr(e.orelse, st, False)
+            return (_iv_join(biv, oiv), dt_promote(bdt, odt))
+        if isinstance(e, ETuple):
+            for el in e.elts:
+                self.expr(el, st, must)
+            return (None, None)
+        if isinstance(e, ECall):
+            results = [self.expr(a, st, must) for a in e.args]
+            self.res.calls.add(e.func)
+            cls = _classify_call(e.func)
+            if cls == "rng":
+                self.res.rng = True
+            elif cls == "unknown":
+                self.res.unknown_calls.add(e.func)
+            base = e.func.split(".")[-1]
+            if base in ("min", "max") and results:
+                return (_iv_minmax([r[0] for r in results], base == "max"),
+                        self._fold_dt(results))
+            if base == "abs" and len(results) == 1:
+                iv, dt = results[0]
+                if iv is not None:
+                    m = max(abs(iv.lo), abs(iv.hi))
+                    iv = Interval(0 if iv.lo <= 0 <= iv.hi
+                                  else min(abs(iv.lo), abs(iv.hi)), m,
+                                  dense=False)
+                return (iv, dt)
+            if base == "int":
+                return (results[0][0] if results else None, "int64")
+            if base == "bool":
+                return (None, "bool")
+            if base in _FLOAT_CALLS:
+                return (None, "float64")
+            if e.func.split(".")[0] in ("math",):
+                return (None, "float64")
+            if e.func.split(".")[0] in ("np", "numpy"):
+                dt = self._fold_dt(results)
+                if base in ("sqrt", "exp", "log", "sin", "cos", "tan",
+                            "fabs", "power", "arctan2", "hypot"):
+                    dt = dt_div(dt, dt)  # transcendentals produce floats
+                return (None, dt)
+            return (None, None)
+        if isinstance(e, EOpaque):
+            for p in e.hidden_params:
+                self._unbound(p, f"opaque expression ({e.reason})")
+            if e.hidden_params:
+                self.res.opaque.append(f"expression: {e.reason}")
+            return (None, None)
+        return (None, None)
+
+    def _fold_dt(self, results):
+        dt = None
+        for _, d in results:
+            dt = d if dt is None else dt_promote(dt, d)
+        return dt
+
+    # -- statements ----------------------------------------------------------
+
+    def block(self, body: list, st: _State, must: bool) -> _State:
+        for s in body:
+            st = self.stmt(s, st, must)
+        return st
+
+    def stmt(self, s, st: _State, must: bool) -> _State:
+        if isinstance(s, SAssign):
+            iv, dt = self.expr(s.value, st, must)
+            int_div = isinstance(s.value, EBin) and s.value.op == "/" and \
+                self._int_operands(s.value, st)
+            for t in s.targets:
+                self._store(t, iv, dt, st, must, int_div)
+            return st
+        if isinstance(s, SAug):
+            iv, dt = self.expr(s.value, st, must)
+            t = s.target
+            if isinstance(t, TParam):
+                self._access(t.param, "aug", t.index, t.lineno, must,
+                             t.syntactic,
+                             st, value_dtype=dt)
+            elif isinstance(t, TLocal):
+                old_iv, old_dt = st.iv.get(t.name), st.dt.get(t.name)
+                if s.op == "+":
+                    st.iv[t.name] = _iv_add(old_iv, iv)
+                elif s.op == "-":
+                    st.iv[t.name] = _iv_add(old_iv, iv, sub=True)
+                else:
+                    st.iv[t.name] = None
+                st.dt[t.name] = dt_promote(old_dt, dt) \
+                    if s.op != "/" else dt_div(old_dt, dt)
+                st.assigned.add(t.name)
+            else:
+                for p in t.hidden_params:
+                    self._unbound(p, f"opaque aug target ({t.reason})")
+            return st
+        if isinstance(s, SFold):
+            for a in s.args:
+                self.expr(a, st, must)
+            self._access(s.param, "fold", s.index, s.lineno, must,
+                         s.syntactic, st)
+            return st
+        if isinstance(s, SIf):
+            self.expr(s.test, st, must)
+            a = self.block(s.body, st.copy(), False)
+            b = self.block(s.orelse, st.copy(), False)
+            return _merge(st, a, b)
+        if isinstance(s, SFor):
+            return self._for(s, st, must)
+        if isinstance(s, (SExpr, SReturn)):
+            self.expr(s.value, st, must)
+            return st
+        if isinstance(s, SOpaque):
+            for p in s.hidden_params:
+                self._unbound(p, f"opaque region ({s.reason})")
+            if s.hidden_params:
+                self.res.opaque.append(f"statement: {s.reason}")
+            for name in s.killed_locals:
+                st.iv[name] = None
+                st.dt[name] = None
+                st.assigned.add(name)
+            return st
+        return st
+
+    def _int_operands(self, e: EBin, st: _State) -> bool:
+        probe = _Probe(self)
+        ldt = probe.dtype(e.left, st)
+        rdt = probe.dtype(e.right, st)
+        return (ldt is not None and rdt is not None
+                and _kind(ldt) in ("i", "b") and _kind(rdt) in ("i", "b"))
+
+    def _store(self, t, iv, dt, st: _State, must: bool,
+               int_div: bool) -> None:
+        if isinstance(t, TParam):
+            self._access(t.param, "store", t.index, t.lineno, must,
+                         t.syntactic, st, value_dtype=dt,
+                         int_division=int_div)
+        elif isinstance(t, TLocal):
+            st.iv[t.name] = iv
+            st.dt[t.name] = dt
+            st.assigned.add(t.name)
+        else:
+            for p in t.hidden_params:
+                self._unbound(p, f"opaque store target ({t.reason})")
+
+    def _for(self, s: SFor, st: _State, must: bool) -> _State:
+        probe = _Probe(self)
+        start = probe.interval(s.start, st)
+        stop = probe.interval(s.stop, st)
+        step = probe.interval(s.step, st)
+        var_iv = None
+        body_must = False
+        if (start is not None and stop is not None and step is not None
+                and step.is_point and step.lo != 0):
+            sv = step.lo
+            if sv > 0:
+                lo, hi = start.lo, stop.hi - 1
+            else:
+                lo, hi = stop.lo + 1, start.hi
+            if start.is_point and stop.is_point:
+                if (sv > 0 and start.lo >= stop.lo) or \
+                        (sv < 0 and start.lo <= stop.lo):
+                    return st  # provably empty: body never runs
+                body_must = must
+            if lo <= hi:
+                var_iv = Interval(
+                    lo, hi,
+                    dense=abs(sv) == 1 and start.is_point and stop.is_point,
+                )
+
+        # stabilise locals assigned in the body before the recording pass:
+        # iterate probe passes to a fixpoint; anything still widening after
+        # a few rounds (a genuinely loop-carried value) degrades to TOP
+        env = st.copy()
+        env.iv[s.var] = var_iv
+        env.dt[s.var] = W_INT
+        env.assigned.add(s.var)
+        converged = False
+        for _ in range(4):
+            trial = _Probe(self).block(s.body, env.copy(), False)
+            merged = env.copy()
+            changed = False
+            for k in trial.assigned - {s.var}:
+                if k in env.assigned:
+                    new_iv = _iv_join(env.iv.get(k), trial.iv.get(k))
+                    new_dt = dt_promote(env.dt.get(k), trial.dt.get(k))
+                else:
+                    # first binding flows from this body alone
+                    new_iv = trial.iv.get(k)
+                    new_dt = trial.dt.get(k)
+                if (merged.iv.get(k) != new_iv
+                        or merged.dt.get(k) != new_dt
+                        or k not in merged.assigned):
+                    changed = True
+                merged.iv[k] = new_iv
+                merged.dt[k] = new_dt
+                merged.assigned.add(k)
+            env = merged
+            if not changed:
+                converged = True
+                break
+        if not converged:
+            trial = _Probe(self).block(s.body, env.copy(), False)
+            for k in trial.assigned - {s.var}:
+                env.iv[k] = None
+                env.dt[k] = None
+                env.assigned.add(k)
+
+        out = self.block(s.body, env, body_must and var_iv is not None)
+        # after the loop the loop var holds its last value; keep the range
+        result = st.copy()
+        for k in out.assigned:
+            result.iv[k] = out.iv.get(k)
+            result.dt[k] = out.dt.get(k)
+            result.assigned.add(k)
+        return result
+
+
+class _Probe(_Walker):
+    """A side-effect-free evaluator sharing the walker's logic.
+
+    Used for look-ahead passes (loop stabilisation, operand dtype
+    probing) that must not pollute the accumulated accesses/effects.
+    """
+
+    def __init__(self, parent: _Walker):
+        self.ir = parent.ir
+        self.dtypes = parent.dtypes
+        self.scalars = parent.scalars
+        self.res = KernelAnalysis(
+            ir=parent.ir,
+            params={p: ParamAbstract(p) for p in parent.ir.params},
+        )
+
+    def interval(self, e, st: _State):
+        return self.expr(e, st, False)[0]
+
+    def dtype(self, e, st: _State):
+        return self.expr(e, st, False)[1]
+
+
+# -- public entry points -----------------------------------------------------
+
+def analyze_ir(ir: KernelIR,
+               dtypes: dict[str, str | None] | None = None,
+               n_bound: int | None = None) -> KernelAnalysis:
+    """Run all three abstract domains over one lowered kernel.
+
+    ``n_bound`` is the number of leading parameters bound to loop
+    descriptors, when the caller knows it; trailing defaulted parameters
+    beyond it are closure scalars (``frac=0.5 * dt``) whose bare
+    references are not escapes.  Without it every parameter is treated
+    as a dat (conservative).
+    """
+    scalars: frozenset[str] = frozenset()
+    if n_bound is not None and 0 <= n_bound < len(ir.params):
+        scalars = frozenset(ir.params[n_bound:])
+    w = _Walker(ir, dtypes or {}, scalars)
+    w.res.dtypes = dict(dtypes or {})
+    st = _State()
+    w.block(ir.body, st, True)
+    for p, fp in ir.footprints.items():
+        if p in scalars:
+            continue
+        if fp.escaped:
+            w._unbound(p, "parameter escapes")
+        if fp.rebound:
+            w._unbound(p, "parameter rebound")
+    return w.res
+
+
+def analyze_kernel(fn: ast.FunctionDef,
+                   dtypes: dict[str, str | None] | None = None
+                   ) -> KernelAnalysis:
+    """Lower and analyse one kernel definition."""
+    return analyze_ir(lower_kernel(fn), dtypes)
+
+
+# -- the certificate ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class KernelCertificate:
+    """What the analyzer proved about one kernel body.
+
+    ``read_extents``/``write_extents`` map parameters to proven offset
+    point sets (``None`` = could not bound; treat as unbounded).  The
+    sets over-approximate every concrete execution; ``exact`` marks
+    parameters whose sets are also lower bounds.  ``translatable`` is
+    the gate for native codegen: complete lowering, bounded extents,
+    whitelisted calls only, no RNG, no escapes.
+    """
+
+    kernel: str
+    params: tuple[str, ...]
+    read_extents: tuple  # ((param, points | None), ...)
+    write_extents: tuple
+    exact: tuple  # ((param, bool), ...)
+    dtypes: tuple  # ((param, dtype | None), ...)
+    pure: bool
+    rng: bool
+    complete: bool
+    translatable: bool
+    calls: tuple[str, ...] = ()
+    free_reads: tuple[str, ...] = ()
+    reasons: tuple[str, ...] = ()
+
+    def reads_of(self, param: str) -> tuple | None:
+        return dict(self.read_extents).get(param)
+
+    def writes_of(self, param: str) -> tuple | None:
+        return dict(self.write_extents).get(param)
+
+    def exact_for(self, param: str) -> bool:
+        return dict(self.exact).get(param, False)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (manifests, SARIF properties, caches)."""
+        return {
+            "kernel": self.kernel,
+            "params": list(self.params),
+            "read_extents": {
+                p: None if pts is None else [list(o) for o in pts]
+                for p, pts in self.read_extents
+            },
+            "write_extents": {
+                p: None if pts is None else [list(o) for o in pts]
+                for p, pts in self.write_extents
+            },
+            "exact": dict(self.exact),
+            "dtypes": dict(self.dtypes),
+            "pure": self.pure,
+            "rng": self.rng,
+            "complete": self.complete,
+            "translatable": self.translatable,
+            "calls": sorted(self.calls),
+            "free_reads": sorted(self.free_reads),
+            "reasons": list(self.reasons),
+        }
+
+
+def certificate_from_analysis(an: KernelAnalysis,
+                              name: str | None = None) -> KernelCertificate:
+    reads, writes, exact, reasons = [], [], [], list(an.opaque)
+    for p in an.ir.params:
+        pa = an.params[p]
+        reads.append((p, pa.read_points()))
+        writes.append((p, pa.write_points()))
+        exact.append((p, an.complete and pa.exact))
+        reasons.extend(f"{p}: {r}" for r in pa.unbounded)
+    if an.rng:
+        reasons.append("uses a random-number generator")
+    reasons.extend(f"unwhitelisted call: {c}" for c in sorted(an.unknown_calls))
+    bounded = all(pts is not None for _, pts in reads) and \
+        all(pts is not None for _, pts in writes)
+    translatable = an.complete and an.pure and bounded
+    return KernelCertificate(
+        kernel=name or an.ir.name,
+        params=tuple(an.ir.params),
+        read_extents=tuple(reads),
+        write_extents=tuple(writes),
+        exact=tuple(exact),
+        dtypes=tuple((p, an.dtypes.get(p)) for p in an.ir.params),
+        pure=an.pure,
+        rng=an.rng,
+        complete=an.complete,
+        translatable=translatable,
+        calls=tuple(sorted(an.calls)),
+        free_reads=tuple(sorted(an.free_reads)),
+        reasons=tuple(dict.fromkeys(reasons)),
+    )
+
+
+_CERT_CACHE: dict[object, KernelCertificate] = {}
+
+
+def clear_certificate_cache() -> None:
+    _CERT_CACHE.clear()
+
+
+def _unverifiable(name: str, reason: str) -> KernelCertificate:
+    return KernelCertificate(
+        kernel=name, params=(), read_extents=(), write_extents=(),
+        exact=(), dtypes=(), pure=False, rng=False, complete=False,
+        translatable=False, reasons=(reason,),
+    )
+
+
+def certify_callable(fn) -> KernelCertificate:
+    """Certificate for a runtime kernel callable, cached by code object.
+
+    Unwraps :class:`repro.op2.kernel.Kernel` wrappers.  Never raises:
+    kernels whose source cannot be recovered (REPL definitions,
+    builtins) get an incomplete, untranslatable certificate.
+    """
+    inner = getattr(fn, "func", None)
+    if callable(inner) and hasattr(inner, "__code__"):
+        fn = inner
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return _unverifiable(getattr(fn, "__name__", "<kernel>"),
+                             "no source available")
+    cert = _CERT_CACHE.get(code)
+    if cert is not None:
+        return cert
+    name = getattr(fn, "__name__", "<kernel>")
+    try:
+        src = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(src)
+        fndef = next(n for n in ast.walk(tree)
+                     if isinstance(n, ast.FunctionDef))
+        cert = certificate_from_analysis(analyze_kernel(fndef), name=name)
+    except (OSError, SyntaxError, StopIteration, ValueError):
+        cert = _unverifiable(name, "source unavailable or unparsable")
+    _CERT_CACHE[code] = cert
+    return cert

@@ -91,3 +91,21 @@ def unused_entries(result: LintResult, entries: list[dict]) -> list[dict]:
         e for e in entries
         if not any(matches(e, d) for d in result.diagnostics)
     ]
+
+
+def rewrite_baseline(path: str | Path, result: LintResult) -> tuple[int, int]:
+    """Rewrite a baseline file, pruning entries that match nothing.
+
+    A fixed finding leaves its suppression behind; left in place, the
+    stale entry would silently swallow the next genuine finding that
+    happens to match its pattern.  Returns ``(kept, pruned)`` counts.
+    Top-level keys other than ``suppressions`` are preserved verbatim.
+    """
+    p = Path(path)
+    entries = load_baseline(p)
+    data = json.loads(p.read_text())
+    stale = unused_entries(result, entries)
+    kept = [e for e in entries if e not in stale]
+    data["suppressions"] = kept
+    p.write_text(json.dumps(data, indent=2) + "\n")
+    return len(kept), len(stale)

@@ -16,7 +16,13 @@ from pathlib import Path
 
 from repro.lint import chain as chain_mod
 from repro.lint import kernel_checks
-from repro.lint.baseline import BaselineError, apply_baseline, load_baseline, unused_entries
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    rewrite_baseline,
+    unused_entries,
+)
 from repro.lint.diagnostics import Diagnostic, LintResult, Severity
 from repro.lint.emit import EMITTERS, emit_text
 from repro.lint.resolve import LintResolutionError, Program, locate_module
@@ -39,9 +45,10 @@ def lint_path(path: str | Path, program: Program | None = None) -> LintResult:
         ))
 
     for site in parsed.sites:
-        diags, n_kernels = kernel_checks.check_site(program, idx, site)
+        diags, n_kernels, certs = kernel_checks.check_site(program, idx, site)
         result.diagnostics.extend(diags)
         result.n_kernels += n_kernels
+        result.certificates.update(certs)
 
     chains = chain_mod.build_chains(program, idx, parsed.sites)
     result.n_chains = len(chains)
@@ -87,6 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the report to FILE instead of stdout")
     p.add_argument("--baseline", metavar="FILE",
                    help="JSON baseline of suppressed findings")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the --baseline file, pruning entries that "
+                        "no longer match any finding")
+    p.add_argument("--fail-on-stale", action="store_true",
+                   help="exit non-zero when the baseline contains stale "
+                        "suppressions (CI hygiene gate)")
     p.add_argument("--fail-on", choices=sorted(_FAIL_LEVEL), default="error",
                    help="minimum severity that fails the run "
                         "(default: error)")
@@ -107,6 +120,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro.lint: {exc}", file=sys.stderr)
         return 2
 
+    if args.update_baseline and not args.baseline:
+        print("repro.lint: --update-baseline requires --baseline",
+              file=sys.stderr)
+        return 2
+
     stale: list[dict] = []
     if args.baseline:
         try:
@@ -116,6 +134,11 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         apply_baseline(result, entries)
         stale = unused_entries(result, entries)
+        if args.update_baseline:
+            kept, pruned = rewrite_baseline(args.baseline, result)
+            print(f"repro.lint: rewrote {args.baseline}: {kept} entries "
+                  f"kept, {pruned} stale entries pruned", file=sys.stderr)
+            stale = []
 
     if args.format == "text":
         report = emit_text(result, with_hints=not args.no_hints)
@@ -139,5 +162,7 @@ def main(argv: list[str] | None = None) -> int:
 
     level = _FAIL_LEVEL[args.fail_on]
     if level is not None and result.active(level):
+        return 1
+    if args.fail_on_stale and stale:
         return 1
     return 0

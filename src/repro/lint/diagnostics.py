@@ -134,6 +134,63 @@ RULES: dict[str, Rule] = {
             "checkpoint save/drop decision (paper Fig 8)",
         ),
         Rule(
+            "OPL201", Severity.ERROR,
+            "abstract interpretation proves an access outside the declared "
+            "stencil / halo depth",
+            "the offending index is computed (loop variable or arithmetic), "
+            "so the syntactic check cannot see it; widen the declared "
+            "stencil or fix the index computation",
+            "halo derivation: a proven out-of-stencil access reads halo "
+            "cells the declared extents never exchange — a silent "
+            "wrong-answer on rank boundaries",
+        ),
+        Rule(
+            "OPL202", Severity.WARNING,
+            "kernel reads a neighbour offset of a dataset it also writes",
+            "split the loop (write to a second dataset), or declare the "
+            "read through a separate READ argument so the planner orders "
+            "the sweep explicitly",
+            "tiling and colouring: a same-loop neighbour read of a written "
+            "field observes stale or already-updated values depending on "
+            "traversal order — the result is schedule-dependent",
+        ),
+        Rule(
+            "OPL203", Severity.NOTE,
+            "declared stencil point is provably never accessed",
+            "shrink the declared stencil to the proven extent; "
+            "over-declaration widens halo exchanges and tile skew for "
+            "accesses that never happen",
+            "halo exchange volume and tile-skew extents both derive from "
+            "declared stencils; unused points cost bandwidth and fusion",
+        ),
+        Rule(
+            "OPL301", Severity.WARNING,
+            "store silently narrows the value's dtype",
+            "cast explicitly, or widen the destination Dat's dtype; silent "
+            "float64->float32 (or float->int) truncation accumulates over "
+            "timesteps",
+            "bitwise reproducibility across backends: implicit narrowing "
+            "is where vectorised and scalar paths first disagree",
+        ),
+        Rule(
+            "OPL302", Severity.WARNING,
+            "true division of integer operands feeds an integer store",
+            "use // for integer division, or declare the destination Dat "
+            "as a float dtype; Python's / always produces a float, which "
+            "the store then truncates",
+            "dtype discipline: C codegen would compute an integer "
+            "division here while Python computes a float — the two "
+            "backends silently diverge",
+        ),
+        Rule(
+            "OPL303", Severity.WARNING,
+            "subscript dimensionality disagrees with the declared stencil",
+            "index the dat with one component per declared stencil "
+            "dimension (e.g. q[0, 0] for a 2-D stencil)",
+            "halo derivation and tiling reason per dimension; a "
+            "rank-mismatched index defeats both",
+        ),
+        Rule(
             "OPL900", Severity.WARNING,
             "unliftable parallel-loop call site",
             "rewrite the call with explicit descriptors (no *args/**kwargs "
@@ -200,6 +257,8 @@ class LintResult:
     n_chains: int = 0
     n_kernels: int = 0
     checkpoint_tables: dict[str, str] = field(default_factory=dict)
+    #: kernel name -> KernelCertificate proven for it (one per analysed body)
+    certificates: dict[str, object] = field(default_factory=dict)
 
     def active(self, at_least: Severity = Severity.NOTE) -> list[Diagnostic]:
         """Non-suppressed findings at or above a severity."""
@@ -224,3 +283,4 @@ class LintResult:
         self.n_chains += other.n_chains
         self.n_kernels += other.n_kernels
         self.checkpoint_tables.update(other.checkpoint_tables)
+        self.certificates.update(other.certificates)

@@ -140,140 +140,6 @@ def _const_offset(node: ast.expr) -> tuple[int, ...] | None:
 _AUG_OPS = {ast.Add: "add", ast.Sub: "sub"}
 
 
-class _FootprintVisitor(ast.NodeVisitor):
-    """Collects access events for a set of parameter names."""
-
-    def __init__(self, params: list[str]) -> None:
-        self.fp = {p: ParamFootprint(p) for p in params}
-        self._order = 0
-        self._aug_op: str | None = None
-
-    def _next(self) -> int:
-        self._order += 1
-        return self._order
-
-    def _param_of(self, node: ast.expr) -> ParamFootprint | None:
-        if isinstance(node, ast.Name):
-            return self.fp.get(node.id)
-        return None
-
-    def _record(self, p: ParamFootprint, kind: str, node: ast.AST,
-                offset: tuple[int, ...] | None = None,
-                op: str | None = None) -> None:
-        p.events.append(AccessEvent(
-            kind=kind, order=self._next(),
-            lineno=getattr(node, "lineno", 0), offset=offset, op=op,
-        ))
-
-    # -- statements ----------------------------------------------------------
-
-    def _try_fold_assign(self, node: ast.Assign) -> bool:
-        """Recognise ``p[i] = min(p[i], x)`` / ``max`` as a fold.
-
-        This is the op2 idiom for MIN/MAX reduction contributions (the C
-        API's ``*lo = MIN(*lo, x)``); reading it as load-then-store would
-        wrongly flag every legal MIN kernel as non-additive."""
-        if len(node.targets) != 1:
-            return False
-        t = node.targets[0]
-        if not isinstance(t, ast.Subscript):
-            return False
-        p = self._param_of(t.value)
-        if p is None:
-            return False
-        v = node.value
-        if not (isinstance(v, ast.Call) and isinstance(v.func, ast.Name)
-                and v.func.id in ("min", "max")):
-            return False
-        self_args = [
-            a for a in v.args
-            if isinstance(a, ast.Subscript) and self._param_of(a.value) is p
-        ]
-        if not self_args:
-            return False
-        for a in v.args:  # other operands are ordinary reads
-            if a not in self_args:
-                self.visit(a)
-        self._record(p, "fold", node, _const_offset(t.slice), v.func.id)
-        return True
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        if self._try_fold_assign(node):
-            return
-        self.visit(node.value)  # reads happen before the store
-        for t in node.targets:
-            self.visit(t)
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        if node.value is not None:
-            self.visit(node.value)
-        self.visit(node.target)
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        self.visit(node.value)
-        self._aug_op = _AUG_OPS.get(type(node.op), "other")
-        self.visit(node.target)
-        self._aug_op = None
-
-    # -- expressions ---------------------------------------------------------
-
-    def visit_Subscript(self, node: ast.Subscript) -> None:
-        p = self._param_of(node.value)
-        if p is None:
-            self.generic_visit(node)
-            return
-        offset = _const_offset(node.slice)
-        if isinstance(node.ctx, ast.Store):
-            if self._aug_op is not None:
-                self._record(p, "aug", node, offset, self._aug_op)
-            else:
-                self._record(p, "store", node, offset)
-        elif isinstance(node.ctx, ast.Del):
-            p.escaped = True
-        else:
-            self._record(p, "load", node, offset)
-        if not isinstance(node.slice, (ast.Constant, ast.UnaryOp, ast.Tuple)):
-            self.visit(node.slice)  # index expressions may read params too
-
-    def visit_Call(self, node: ast.Call) -> None:
-        f = node.func
-        if isinstance(f, ast.Attribute):
-            p = self._param_of(f.value)
-            if p is not None and f.attr in _FOLD_METHODS:
-                self._record(p, "fold", node, None, _FOLD_METHODS[f.attr])
-                for a in node.args:
-                    self.visit(a)
-                for k in node.keywords:
-                    self.visit(k.value)
-                return
-        self.generic_visit(node)
-
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        p = self._param_of(node.value)
-        if p is not None:
-            # attribute access other than a recognised fold: treat the
-            # value as escaping (e.g. ``q.shape``, ``g.value``)
-            p.escaped = True
-            return
-        self.generic_visit(node)
-
-    def visit_Name(self, node: ast.Name) -> None:
-        p = self.fp.get(node.id)
-        if p is None:
-            return
-        if isinstance(node.ctx, ast.Store):
-            p.rebound = True
-        else:
-            # a bare reference: aliased, returned, or passed along —
-            # anything could happen to it
-            p.escaped = True
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        # nested defs shadow nothing we track in the bundled kernels;
-        # analyse their bodies too (closures over the params)
-        self.generic_visit(node)
-
-
 def kernel_params(fn: ast.FunctionDef) -> list[str]:
     """Positional parameter names of a kernel definition."""
     return [a.arg for a in fn.args.posonlyargs + fn.args.args]
@@ -285,9 +151,13 @@ def kernel_defaults(fn: ast.FunctionDef) -> int:
 
 
 def infer_footprints(fn: ast.FunctionDef) -> dict[str, ParamFootprint]:
-    """Infer per-parameter footprints for one kernel body."""
-    params = kernel_params(fn)
-    v = _FootprintVisitor(params)
-    for stmt in fn.body:
-        v.visit(stmt)
-    return v.fp
+    """Infer per-parameter footprints for one kernel body.
+
+    The footprint is a by-product of IR lowering: the single traversal in
+    :func:`repro.lint.ir.lower_kernel` emits the event stream this module
+    has always defined, alongside the structured IR the abstract
+    interpreter consumes.
+    """
+    from repro.lint.ir import lower_kernel  # deferred: ir imports our types
+
+    return lower_kernel(fn).footprints

@@ -1,0 +1,670 @@
+"""A small typed stencil IR lowered from kernel-body ASTs.
+
+One lowering pass produces two coupled views of a kernel body:
+
+* the ordered per-parameter **access-event stream** (the exact stream
+  :mod:`repro.lint.footprint` has always produced — the lowering visitor
+  reproduces ``_FootprintVisitor``'s traversal order verbatim, so the
+  OPL001–OPL007 diagnostics built on it stay byte-identical), and
+* a **structured statement/expression IR** — straight-line assignments,
+  constant-offset subscripts, branches, ``range`` loops and reduction
+  folds — which :mod:`repro.lint.abstract` interprets abstractly to
+  *prove* per-argument stencil extents, dtypes and purity.
+
+Anything the IR cannot express precisely (``while``, ``try``, nested
+function bodies, comprehensions, aliasing) is wrapped in an *opaque*
+node that remembers which parameters and locals it may touch, so the
+abstract interpreter can degrade to "unbounded" for exactly those names
+instead of silently under-approximating.  Soundness is by construction:
+every parameter access is either lowered precisely or covered by an
+opaque node's ``hidden_params``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.footprint import (
+    _AUG_OPS,
+    _FOLD_METHODS,
+    AccessEvent,
+    ParamFootprint,
+    _const_offset,
+    kernel_defaults,
+    kernel_params,
+)
+
+__all__ = [
+    "KernelIR",
+    "lower_kernel",
+    # expressions
+    "EBin", "ECall", "ECmp", "EConst", "EIf", "ELoad", "EName", "EOpaque",
+    "ETuple", "EUn",
+    # statements / targets
+    "SAssign", "SAug", "SExpr", "SFold", "SFor", "SIf", "SOpaque", "SReturn",
+    "TLocal", "TOpaque", "TParam",
+]
+
+
+# -- expression nodes --------------------------------------------------------
+
+@dataclass
+class EConst:
+    """A literal constant."""
+
+    value: object
+
+
+@dataclass
+class EName:
+    """A name read: a kernel parameter, a local, or a free name.
+
+    ``kind`` is ``"param"`` for kernel parameters; ``"name"`` covers both
+    body locals and free (closure/global) reads — the abstract
+    interpreter tells them apart through its environment.
+    """
+
+    name: str
+    kind: str
+
+
+@dataclass
+class ELoad:
+    """A subscript read of a kernel parameter: ``p[<index>]``."""
+
+    param: str
+    index: tuple | None  # per-dimension index expressions, None if opaque
+    lineno: int
+    syntactic: tuple[int, ...] | None  # _const_offset result, for dedup
+
+
+@dataclass
+class EBin:
+    op: str  # "+", "-", "*", "/", "//", "%", "**", "?"
+    left: object
+    right: object
+
+
+@dataclass
+class EUn:
+    op: str  # "-", "+", "not", "~"
+    operand: object
+
+
+@dataclass
+class ECmp:
+    """A comparison or boolean combination — always bool-valued."""
+
+    operands: tuple
+
+
+@dataclass
+class ECall:
+    func: str | None  # dotted callee name when statically known
+    args: tuple
+    lineno: int
+
+
+@dataclass
+class EIf:
+    test: object
+    body: object
+    orelse: object
+
+
+@dataclass
+class ETuple:
+    elts: tuple
+
+
+@dataclass
+class EOpaque:
+    """An expression the IR cannot model.
+
+    ``hidden_params`` lists kernel parameters referenced anywhere inside,
+    so the abstract interpreter can mark exactly those unbounded.
+    """
+
+    reason: str
+    hidden_params: tuple[str, ...] = ()
+
+
+# -- store targets -----------------------------------------------------------
+
+@dataclass
+class TParam:
+    """A subscript store target on a kernel parameter."""
+
+    param: str
+    index: tuple | None
+    lineno: int
+    syntactic: tuple[int, ...] | None
+
+
+@dataclass
+class TLocal:
+    name: str
+
+
+@dataclass
+class TOpaque:
+    reason: str
+    hidden_params: tuple[str, ...] = ()
+
+
+# -- statement nodes ---------------------------------------------------------
+
+@dataclass
+class SAssign:
+    targets: list
+    value: object
+    lineno: int
+
+
+@dataclass
+class SAug:
+    target: object
+    op: str
+    value: object
+    lineno: int
+
+
+@dataclass
+class SFold:
+    """A reduction fold: ``p[i] = min(p[i], x)`` or ``p.inc(x)``."""
+
+    param: str
+    index: tuple | None
+    method: str  # "inc" | "min" | "max"
+    args: tuple
+    lineno: int
+    syntactic: tuple[int, ...] | None
+
+
+@dataclass
+class SIf:
+    test: object
+    body: list
+    orelse: list
+    lineno: int
+
+
+@dataclass
+class SFor:
+    """A ``for var in range(...)`` loop with lowered bound expressions."""
+
+    var: str
+    start: object
+    stop: object
+    step: object
+    body: list
+    lineno: int
+
+
+@dataclass
+class SExpr:
+    value: object
+    lineno: int
+
+
+@dataclass
+class SReturn:
+    value: object
+    lineno: int
+
+
+@dataclass
+class SOpaque:
+    """A statement (or region) the IR cannot model precisely.
+
+    The abstract interpreter treats ``hidden_params`` as unbounded and
+    forgets ``killed_locals``; ``body`` keeps any nested statements that
+    *were* lowered, for inspection only.
+    """
+
+    reason: str
+    body: list
+    lineno: int
+    hidden_params: tuple[str, ...] = ()
+    killed_locals: tuple[str, ...] = ()
+
+
+@dataclass
+class KernelIR:
+    """The lowered kernel: structured body + the classic event stream."""
+
+    name: str
+    params: list[str]
+    n_defaults: int
+    body: list = field(default_factory=list)
+    footprints: dict[str, ParamFootprint] = field(default_factory=dict)
+    #: False when any opaque region may touch a parameter — the abstract
+    #: domains then degrade to "unbounded" for those parameters
+    complete: bool = True
+    notes: list[str] = field(default_factory=list)
+
+
+# -- pure structural lowering (no event side effects) ------------------------
+
+_BINOPS = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+    ast.FloorDiv: "//", ast.Mod: "%", ast.Pow: "**",
+}
+_UNOPS = {ast.USub: "-", ast.UAdd: "+", ast.Not: "not", ast.Invert: "~"}
+
+
+def _params_in(node: ast.AST, params: set[str]) -> tuple[str, ...]:
+    """Kernel parameters referenced anywhere in a subtree."""
+    found = {
+        n.id for n in ast.walk(node)
+        if isinstance(n, ast.Name) and n.id in params
+    }
+    return tuple(sorted(found))
+
+
+def _locals_stored_in(node: ast.AST) -> tuple[str, ...]:
+    """Plain names bound (Store context) anywhere in a subtree."""
+    found = {
+        n.id for n in ast.walk(node)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store)
+    }
+    return tuple(sorted(found))
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """``math.sqrt`` / ``np.random.rand`` as a dotted string, if static."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted_name(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def _lower_index(node: ast.expr, params: set[str]) -> tuple | None:
+    """A subscript slice as per-dimension index expressions."""
+    elts = node.elts if isinstance(node, ast.Tuple) else (node,)
+    out = []
+    for e in elts:
+        if isinstance(e, (ast.Slice, ast.Starred)):
+            return None
+        out.append(_lower_expr(e, params))
+    return tuple(out)
+
+
+def _lower_expr(node: ast.expr, params: set[str]) -> object:
+    """Structural expression lowering; never records access events."""
+    if isinstance(node, ast.Constant):
+        return EConst(node.value)
+    if isinstance(node, ast.Name):
+        return EName(node.id, "param" if node.id in params else "name")
+    if isinstance(node, ast.Subscript):
+        if isinstance(node.value, ast.Name) and node.value.id in params:
+            return ELoad(
+                node.value.id, _lower_index(node.slice, params),
+                node.lineno, _const_offset(node.slice),
+            )
+        return EOpaque("subscript", _params_in(node, params))
+    if isinstance(node, ast.BinOp):
+        return EBin(
+            _BINOPS.get(type(node.op), "?"),
+            _lower_expr(node.left, params), _lower_expr(node.right, params),
+        )
+    if isinstance(node, ast.UnaryOp):
+        return EUn(_UNOPS.get(type(node.op), "?"),
+                   _lower_expr(node.operand, params))
+    if isinstance(node, ast.Compare):
+        ops = [_lower_expr(node.left, params)]
+        ops.extend(_lower_expr(c, params) for c in node.comparators)
+        return ECmp(tuple(ops))
+    if isinstance(node, ast.BoolOp):
+        return ECmp(tuple(_lower_expr(v, params) for v in node.values))
+    if isinstance(node, ast.IfExp):
+        return EIf(_lower_expr(node.test, params),
+                   _lower_expr(node.body, params),
+                   _lower_expr(node.orelse, params))
+    if isinstance(node, ast.Tuple):
+        return ETuple(tuple(_lower_expr(e, params) for e in node.elts))
+    if isinstance(node, ast.Call):
+        name = _dotted_name(node.func)
+        if name is not None and not node.keywords and not any(
+            isinstance(a, ast.Starred) for a in node.args
+        ):
+            root = name.split(".", 1)[0]
+            if root not in params:
+                return ECall(
+                    name,
+                    tuple(_lower_expr(a, params) for a in node.args),
+                    node.lineno,
+                )
+        return EOpaque("call", _params_in(node, params))
+    if isinstance(node, ast.Attribute):
+        name = _dotted_name(node)
+        if name is not None and name.split(".", 1)[0] not in params:
+            return EName(name, "name")  # e.g. math.pi, a free dotted read
+        return EOpaque("attribute", _params_in(node, params))
+    return EOpaque(type(node).__name__, _params_in(node, params))
+
+
+def _lower_target(node: ast.expr, params: set[str]) -> object:
+    if isinstance(node, ast.Name):
+        if node.id in params:
+            return TOpaque("parameter rebound", (node.id,))
+        return TLocal(node.id)
+    if isinstance(node, ast.Subscript):
+        if isinstance(node.value, ast.Name) and node.value.id in params:
+            return TParam(
+                node.value.id, _lower_index(node.slice, params),
+                node.lineno, _const_offset(node.slice),
+            )
+        return TOpaque("subscript", _params_in(node, params))
+    return TOpaque(type(node).__name__, _params_in(node, params))
+
+
+def _range_args(node: ast.expr, params: set[str]) -> tuple | None:
+    """(start, stop, step) expressions of a ``range(...)`` call."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "range" and not node.keywords):
+        return None
+    n = len(node.args)
+    if n not in (1, 2, 3):
+        return None
+    lowered = [_lower_expr(a, params) for a in node.args]
+    if n == 1:
+        return EConst(0), lowered[0], EConst(1)
+    if n == 2:
+        return lowered[0], lowered[1], EConst(1)
+    return lowered[0], lowered[1], lowered[2]
+
+
+# -- the lowering visitor ----------------------------------------------------
+
+class _LowerVisitor(ast.NodeVisitor):
+    """Single traversal producing events *and* structured statements.
+
+    The event-recording logic — which methods visit which children, in
+    which order — is carried over verbatim from the historical
+    ``_FootprintVisitor``; IR construction only ever *adds* pure
+    (side-effect-free) lowering around it, so the event stream and every
+    diagnostic derived from it are byte-identical to the pre-IR linter.
+    """
+
+    def __init__(self, params: list[str]) -> None:
+        self.fp = {p: ParamFootprint(p) for p in params}
+        self._params = set(params)
+        self._order = 0
+        self._aug_op: str | None = None
+        self._blocks: list[list] = [[]]
+        self.notes: list[str] = []
+
+    # -- event machinery (identical to the classic footprint visitor) -------
+
+    def _next(self) -> int:
+        self._order += 1
+        return self._order
+
+    def _param_of(self, node: ast.expr) -> ParamFootprint | None:
+        if isinstance(node, ast.Name):
+            return self.fp.get(node.id)
+        return None
+
+    def _record(self, p: ParamFootprint, kind: str, node: ast.AST,
+                offset: tuple[int, ...] | None = None,
+                op: str | None = None) -> None:
+        p.events.append(AccessEvent(
+            kind=kind, order=self._next(),
+            lineno=getattr(node, "lineno", 0), offset=offset, op=op,
+        ))
+
+    # -- IR machinery --------------------------------------------------------
+
+    def _emit(self, stmt: object) -> None:
+        self._blocks[-1].append(stmt)
+
+    def _capture(self, stmts: list[ast.stmt]) -> list:
+        self._blocks.append([])
+        for s in stmts:
+            self.visit(s)
+        return self._blocks.pop()
+
+    def _capture_generic(self, node: ast.AST) -> list:
+        """generic_visit with the emitted statements captured aside."""
+        self._blocks.append([])
+        super().generic_visit(node)
+        return self._blocks.pop()
+
+    def _opaque_stmt(self, node: ast.stmt, reason: str) -> None:
+        body = self._capture_generic(node)
+        hidden = _params_in(node, self._params)
+        self._emit(SOpaque(
+            reason, body, getattr(node, "lineno", 0),
+            hidden_params=hidden,
+            killed_locals=_locals_stored_in(node),
+        ))
+        if hidden:
+            self.notes.append(f"{reason} touches {', '.join(hidden)}")
+
+    def generic_visit(self, node: ast.AST) -> None:
+        # statements without a precise lowering become opaque regions;
+        # expression traversal is unchanged
+        if isinstance(node, ast.stmt):
+            self._opaque_stmt(node, type(node).__name__)
+            return
+        super().generic_visit(node)
+
+    # -- statements ----------------------------------------------------------
+
+    def _try_fold_assign(self, node: ast.Assign) -> bool:
+        """Recognise ``p[i] = min(p[i], x)`` / ``max`` as a fold.
+
+        This is the op2 idiom for MIN/MAX reduction contributions (the C
+        API's ``*lo = MIN(*lo, x)``); reading it as load-then-store would
+        wrongly flag every legal MIN kernel as non-additive."""
+        if len(node.targets) != 1:
+            return False
+        t = node.targets[0]
+        if not isinstance(t, ast.Subscript):
+            return False
+        p = self._param_of(t.value)
+        if p is None:
+            return False
+        v = node.value
+        if not (isinstance(v, ast.Call) and isinstance(v.func, ast.Name)
+                and v.func.id in ("min", "max")):
+            return False
+        self_args = [
+            a for a in v.args
+            if isinstance(a, ast.Subscript) and self._param_of(a.value) is p
+        ]
+        if not self_args:
+            return False
+        for a in v.args:  # other operands are ordinary reads
+            if a not in self_args:
+                self.visit(a)
+        self._record(p, "fold", node, _const_offset(t.slice), v.func.id)
+        self._emit(SFold(
+            p.name, _lower_index(t.slice, self._params), v.func.id,
+            tuple(_lower_expr(a, self._params)
+                  for a in v.args if a not in self_args),
+            node.lineno, _const_offset(t.slice),
+        ))
+        return True
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._try_fold_assign(node):
+            return
+        self.visit(node.value)  # reads happen before the store
+        for t in node.targets:
+            self.visit(t)
+        self._emit(SAssign(
+            [_lower_target(t, self._params) for t in node.targets],
+            _lower_expr(node.value, self._params), node.lineno,
+        ))
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+        self.visit(node.target)
+        if node.value is not None:
+            self._emit(SAssign(
+                [_lower_target(node.target, self._params)],
+                _lower_expr(node.value, self._params), node.lineno,
+            ))
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        self._aug_op = _AUG_OPS.get(type(node.op), "other")
+        self.visit(node.target)
+        self._aug_op = None
+        self._emit(SAug(
+            _lower_target(node.target, self._params),
+            _BINOPS.get(type(node.op), "?"),
+            _lower_expr(node.value, self._params), node.lineno,
+        ))
+
+    def visit_If(self, node: ast.If) -> None:
+        self.visit(node.test)  # same child order as generic_visit
+        body = self._capture(node.body)
+        orelse = self._capture(node.orelse)
+        self._emit(SIf(_lower_expr(node.test, self._params),
+                       body, orelse, node.lineno))
+
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.target)  # Store on a param marks it rebound
+        self.visit(node.iter)
+        body = self._capture(node.body)
+        orelse = self._capture(node.orelse)
+        rng = _range_args(node.iter, self._params)
+        if (rng is not None and isinstance(node.target, ast.Name)
+                and not node.orelse):
+            self._emit(SFor(node.target.id, *rng, body, node.lineno))
+            return
+        hidden = _params_in(node, self._params)
+        self._emit(SOpaque(
+            "non-range for loop", body + orelse, node.lineno,
+            hidden_params=hidden,
+            killed_locals=_locals_stored_in(node),
+        ))
+        if hidden:
+            self.notes.append(
+                f"non-range for loop touches {', '.join(hidden)}")
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # detect the method-fold statement form before generic traversal
+        v = node.value
+        fold: SFold | None = None
+        if isinstance(v, ast.Call) and isinstance(v.func, ast.Attribute):
+            p = self._param_of(v.func.value)
+            if p is not None and v.func.attr in _FOLD_METHODS:
+                # a method fold touches the handle itself, not a stencil
+                # point: an empty index box, not an opaque one
+                fold = SFold(
+                    p.name, (), _FOLD_METHODS[v.func.attr],
+                    tuple(_lower_expr(a, self._params) for a in v.args),
+                    node.lineno, None,
+                )
+        self.visit(node.value)
+        if fold is not None:
+            self._emit(fold)
+        else:
+            self._emit(SExpr(_lower_expr(node.value, self._params),
+                             node.lineno))
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+            self._emit(SReturn(_lower_expr(node.value, self._params),
+                               node.lineno))
+        else:
+            self._emit(SReturn(EConst(None), node.lineno))
+
+    def visit_Pass(self, node: ast.Pass) -> None:
+        pass
+
+    # -- expressions (event recording only — verbatim classic logic) --------
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        p = self._param_of(node.value)
+        if p is None:
+            super().generic_visit(node)
+            return
+        offset = _const_offset(node.slice)
+        if isinstance(node.ctx, ast.Store):
+            if self._aug_op is not None:
+                self._record(p, "aug", node, offset, self._aug_op)
+            else:
+                self._record(p, "store", node, offset)
+        elif isinstance(node.ctx, ast.Del):
+            p.escaped = True
+        else:
+            self._record(p, "load", node, offset)
+        if not isinstance(node.slice, (ast.Constant, ast.UnaryOp, ast.Tuple)):
+            self.visit(node.slice)  # index expressions may read params too
+
+    def visit_Call(self, node: ast.Call) -> None:
+        f = node.func
+        if isinstance(f, ast.Attribute):
+            p = self._param_of(f.value)
+            if p is not None and f.attr in _FOLD_METHODS:
+                self._record(p, "fold", node, None, _FOLD_METHODS[f.attr])
+                for a in node.args:
+                    self.visit(a)
+                for k in node.keywords:
+                    self.visit(k.value)
+                return
+        super().generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        p = self._param_of(node.value)
+        if p is not None:
+            # attribute access other than a recognised fold: treat the
+            # value as escaping (e.g. ``q.shape``, ``g.value``)
+            p.escaped = True
+            return
+        super().generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        p = self.fp.get(node.id)
+        if p is None:
+            return
+        if isinstance(node.ctx, ast.Store):
+            p.rebound = True
+        else:
+            # a bare reference: aliased, returned, or passed along —
+            # anything could happen to it
+            p.escaped = True
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # nested defs shadow nothing we track in the bundled kernels;
+        # analyse their bodies too (closures over the params) but keep
+        # the region opaque for the abstract domains
+        self._opaque_stmt(node, f"nested function {node.name!r}")
+
+
+def lower_kernel(fn: ast.FunctionDef) -> KernelIR:
+    """Lower one kernel definition into the stencil IR."""
+    params = kernel_params(fn)
+    v = _LowerVisitor(params)
+    for stmt in fn.body:
+        v.visit(stmt)
+    ir = KernelIR(
+        name=fn.name, params=params, n_defaults=kernel_defaults(fn),
+        body=v._blocks[0], footprints=v.fp, notes=v.notes,
+    )
+    ir.complete = not any(
+        isinstance(s, SOpaque) and s.hidden_params for s in _walk_stmts(ir.body)
+    )
+    return ir
+
+
+def _walk_stmts(body: list):
+    """Every statement node, at any nesting depth."""
+    for s in body:
+        yield s
+        for sub in getattr(s, "body", ()) or ():
+            if isinstance(sub, (SAssign, SAug, SFold, SIf, SFor, SExpr,
+                                SReturn, SOpaque)):
+                yield from _walk_stmts([sub])
+        for sub in getattr(s, "orelse", ()) or ():
+            yield from _walk_stmts([sub])

@@ -16,14 +16,23 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
+from pathlib import Path
 
+from repro.lint.abstract import (
+    KernelAnalysis,
+    _kind,
+    _narrows,
+    analyze_ir,
+    box_points,
+    certificate_from_analysis,
+)
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.footprint import (
     ParamFootprint,
-    infer_footprints,
     kernel_defaults,
     kernel_params,
 )
+from repro.lint.ir import lower_kernel
 from repro.lint.resolve import ModuleIndex, Program, _call_basename
 from repro.translator.frontend import LoopSite, RawArg
 
@@ -101,8 +110,8 @@ def _check_candidate(
     decls: list[DeclaredArg],
     fn: ast.FunctionDef,
     fn_idx: ModuleIndex,
-) -> list[Diagnostic] | None:
-    """Findings for one (site, kernel-candidate) pair.
+) -> tuple[list[Diagnostic], object] | None:
+    """Findings plus the kernel certificate for one (site, candidate) pair.
 
     Returns ``None`` when the candidate's arity cannot match the
     descriptor list (the caller falls back to OPL006 if *no* candidate
@@ -112,7 +121,8 @@ def _check_candidate(
     if not (len(params) - n_opt <= len(decls) <= len(params)):
         return None
 
-    fps = infer_footprints(fn)
+    ir = lower_kernel(fn)
+    fps = ir.footprints
     loop = site.display_name
     kfile = fn_idx.filename
     diags: list[Diagnostic] = []
@@ -183,6 +193,169 @@ def _check_candidate(
                             f"{d.dat!r}",
                             kfile, e.lineno, loop=loop, arg=d.dat,
                         ))
+
+    dtypes = {}
+    for d, pname in zip(decls, params):
+        info = program.resolve_dat_info(idx, d.dat)
+        dtypes[pname] = info.dtype if info is not None else None
+    an = analyze_ir(ir, dtypes, n_bound=len(decls))
+    diags.extend(_abstract_checks(program, idx, site, decls, params,
+                                  fps, an, kfile, loop))
+    cert = certificate_from_analysis(an)
+    return diags, cert
+
+
+def _abstract_checks(
+    program: Program,
+    idx: ModuleIndex,
+    site: LoopSite,
+    decls: list[DeclaredArg],
+    params: list[str],
+    fps: dict[str, ParamFootprint],
+    an: KernelAnalysis,
+    kfile: str,
+    loop: str,
+) -> list[Diagnostic]:
+    """OPL2xx/OPL3xx findings from the abstract-interpretation result.
+
+    Extent findings (OPL201/203/303) are restricted to accesses the
+    syntactic pass could *not* see (non-constant indices) or to facts only
+    the interval domain can establish (never-accessed declared points), so
+    they never duplicate OPL004; dtype findings (OPL301/302) need the
+    dat's declared dtype to resolve statically and stay silent otherwise.
+    """
+    diags: list[Diagnostic] = []
+    for d, pname in zip(decls, params):
+        fp = fps[pname]
+        if fp.opaque or not fp.used:
+            continue
+        pa = an.params[pname]
+        info = program.resolve_dat_info(idx, d.dat)
+
+        # -- dtype lattice: silent narrowing / integer-division stores ------
+        tgt = info.dtype if info is not None else None
+        if tgt is not None:
+            for a in pa.writes:
+                if a.kind != "store":
+                    continue
+                if a.int_division and _kind(tgt) in ("i", "b"):
+                    diags.append(Diagnostic(
+                        "OPL302",
+                        f"kernel parameter {pname!r} stores the result of a "
+                        f"true division of integer operands into integer "
+                        f"dat {d.dat!r} ({tgt}): the float result is "
+                        "silently truncated",
+                        kfile, a.lineno, loop=loop, arg=d.dat,
+                    ))
+                elif _narrows(a.value_dtype, tgt):
+                    diags.append(Diagnostic(
+                        "OPL301",
+                        f"kernel parameter {pname!r} stores a "
+                        f"{a.value_dtype} value into dat {d.dat!r} declared "
+                        f"{tgt}: the store silently narrows",
+                        kfile, a.lineno, loop=loop, arg=d.dat,
+                    ))
+
+        # -- interval domain: stencil extent proofs (OPS structured API) ----
+        if site.api != "ops" or d.is_global:
+            continue
+        points = program.resolve_stencil(idx, d.stencil_text)
+        accs = pa.reads + pa.writes
+
+        # OPL303: proven index rank disagrees with the declared stencil
+        if points is not None:
+            ranks = {len(p) for p in points}
+            flagged: set[int] = set()
+            for a in accs:
+                if a.synthetic:
+                    continue
+                pts = box_points(a.box)
+                if pts is None:
+                    continue
+                for off in pts:
+                    if len(off) not in ranks and a.lineno not in flagged:
+                        diags.append(Diagnostic(
+                            "OPL303",
+                            f"kernel parameter {pname!r} indexes "
+                            f"{len(off)} dimension(s) but the declared "
+                            f"stencil of {d.dat!r} has "
+                            f"{'/'.join(str(r) for r in sorted(ranks))}",
+                            kfile, a.lineno, loop=loop, arg=d.dat,
+                        ))
+                        flagged.add(a.lineno)
+                        break
+
+        # OPL201: proven out-of-stencil access at a computed index
+        if d.stencil_text is None or points is not None:
+            for a in accs:
+                if a.syntactic is not None or a.synthetic:
+                    continue
+                pts = box_points(a.box)
+                if pts is None:
+                    continue
+                bad = [off for off in pts if not _offset_ok(off, points)]
+                if bad:
+                    diags.append(Diagnostic(
+                        "OPL201",
+                        f"abstract interpretation proves kernel parameter "
+                        f"{pname!r} accesses offset {bad[0]} outside the "
+                        f"declared stencil of {d.dat!r}",
+                        kfile, a.lineno, loop=loop, arg=d.dat,
+                    ))
+        elif info is not None and info.halo_depth is not None:
+            for a in accs:
+                if a.syntactic is not None or a.synthetic or a.box is None:
+                    continue
+                reach = max((max(abs(iv.lo), abs(iv.hi)) for iv in a.box),
+                            default=0)
+                if reach > info.halo_depth:
+                    diags.append(Diagnostic(
+                        "OPL201",
+                        f"abstract interpretation proves kernel parameter "
+                        f"{pname!r} reaches offset magnitude {reach}, "
+                        f"beyond the halo depth {info.halo_depth} of "
+                        f"{d.dat!r}",
+                        kfile, a.lineno, loop=loop, arg=d.dat,
+                    ))
+
+        # OPL202: neighbour read of a dataset this same kernel writes
+        if pa.writes:
+            for a in pa.reads:
+                if a.synthetic:
+                    continue
+                pts = box_points(a.box)
+                if pts is None:
+                    continue
+                off = next((o for o in pts if any(c != 0 for c in o)), None)
+                if off is not None:
+                    diags.append(Diagnostic(
+                        "OPL202",
+                        f"kernel parameter {pname!r} reads neighbour offset "
+                        f"{off} of {d.dat!r} while also writing it: the "
+                        "value observed depends on traversal order",
+                        kfile, a.lineno, loop=loop, arg=d.dat,
+                    ))
+                    break
+
+        # OPL203: declared stencil points the kernel provably never touches
+        if (points is not None and d.stencil_text is not None
+                and an.complete and pa.exact and accs):
+            accessed: set[tuple[int, ...]] = set()
+            for a in accs:
+                accessed.update(box_points(a.box) or ())
+            ranks_seen = {len(o) for o in accessed}
+            unused = [p for p in points
+                      if len(p) in ranks_seen and p not in accessed]
+            if unused and accessed:
+                shown = ", ".join(str(p) for p in unused[:4])
+                more = "" if len(unused) <= 4 else f" (+{len(unused) - 4})"
+                diags.append(Diagnostic(
+                    "OPL203",
+                    f"declared stencil of {d.dat!r} includes offset(s) "
+                    f"{shown}{more} that kernel parameter {pname!r} "
+                    "provably never accesses",
+                    idx.filename, d.raw.lineno, loop=loop, arg=d.dat,
+                ))
     return diags
 
 
@@ -192,21 +365,26 @@ def _finding_key(d: Diagnostic) -> tuple:
 
 def check_site(
     program: Program, idx: ModuleIndex, site: LoopSite
-) -> tuple[list[Diagnostic], int]:
+) -> tuple[list[Diagnostic], int, dict[str, object]]:
     """Level-1 findings for one loop site.
 
-    Returns the findings plus the number of kernel bodies analysed (0
-    when the kernel expression could not be resolved statically)."""
+    Returns the findings, the number of kernel bodies analysed (0 when
+    the kernel expression could not be resolved statically), and the
+    certificates proven for those bodies keyed ``<module>.<kernel>``."""
     decls = declared_args(idx, site)
     candidates = program.resolve_kernel(idx, site.kernel)
     if not candidates:
-        return [], 0
+        return [], 0, {}
 
     per_candidate: list[list[Diagnostic]] = []
+    certs: dict[str, object] = {}
     for fn, fn_idx in candidates:
-        diags = _check_candidate(program, idx, site, decls, fn, fn_idx)
-        if diags is not None:
+        res = _check_candidate(program, idx, site, decls, fn, fn_idx)
+        if res is not None:
+            diags, cert = res
             per_candidate.append(diags)
+            kpath = Path(fn_idx.filename)
+            certs[f"{kpath.parent.name}.{kpath.stem}.{fn.name}"] = cert
 
     if not per_candidate:
         # every candidate's arity conflicts with the descriptor list
@@ -220,14 +398,14 @@ def check_site(
             f"{len(decls)} descriptors passed but kernel {site.kernel!r} "
             f"takes {' or '.join(arities)} parameters",
             idx.filename, site.lineno, loop=site.display_name,
-        )], len(candidates)
+        )], len(candidates), {}
 
     if len(per_candidate) == 1:
-        return per_candidate[0], len(candidates)
+        return per_candidate[0], len(candidates), certs
 
     # several bodies may run here: keep findings every candidate agrees on
     common = set.intersection(*(
         {_finding_key(d) for d in diags} for diags in per_candidate
     ))
     kept = [d for d in per_candidate[0] if _finding_key(d) in common]
-    return kept, len(candidates)
+    return kept, len(candidates), certs

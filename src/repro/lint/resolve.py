@@ -221,6 +221,37 @@ class Program:
         except LintResolutionError:
             return None
 
+    # -- dat metadata resolution ---------------------------------------------
+
+    def resolve_dat_info(
+        self, idx: ModuleIndex, dat_text: str
+    ) -> "DatInfo | None":
+        """Declared dtype/halo depth of a dat expression, if derivable.
+
+        Follows the same assignment/import chain as stencil resolution to
+        the ``Dat(...)`` / ``Global(...)`` / ``Reduction(...)`` constructor
+        call and reads its keyword arguments; constructor defaults
+        (``float64``, halo depth 2) fill the gaps.  ``None`` means the
+        constructor could not be located — dtype/extent checks must be
+        skipped, never guessed.
+        """
+        call = self._stencil_value(idx, dat_text, 0)
+        if call is None or not isinstance(call, ast.Call):
+            return None
+        basename = _call_basename(call)
+        if basename not in ("Dat", "Global", "Reduction"):
+            return None
+        dtype: str | None = "float64"
+        halo: int | None = 2 if basename == "Dat" else None
+        for kw in call.keywords:
+            if kw.arg == "dtype":
+                dtype = _dtype_name(kw.value)
+            elif kw.arg == "halo_depth":
+                halo = (kw.value.value
+                        if isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, int) else None)
+        return DatInfo(dtype=dtype, halo_depth=halo)
+
     # -- stencil resolution --------------------------------------------------
 
     def resolve_stencil(
@@ -278,6 +309,33 @@ class Program:
                     return node
             return None
         return None
+
+
+@dataclass(frozen=True)
+class DatInfo:
+    """Statically-resolved dat declaration facts."""
+
+    dtype: str | None
+    halo_depth: int | None
+
+
+_DTYPE_NAMES = {
+    "bool", "bool_", "int8", "int16", "int32", "int64", "uint8", "uint16",
+    "uint32", "uint64", "float16", "float32", "float64", "complex64",
+    "complex128",
+}
+
+
+def _dtype_name(node: ast.expr) -> str | None:
+    """``np.float32`` / ``"float32"`` / ``float`` as a dtype name."""
+    if isinstance(node, ast.Attribute) and node.attr in _DTYPE_NAMES:
+        return "bool" if node.attr == "bool_" else node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str) \
+            and node.value in _DTYPE_NAMES:
+        return node.value
+    if isinstance(node, ast.Name):
+        return {"float": "float64", "int": "int64", "bool": "bool"}.get(node.id)
+    return None
 
 
 def _returned_kernels(factory: ast.FunctionDef) -> list[ast.FunctionDef]:

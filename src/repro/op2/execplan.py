@@ -379,6 +379,13 @@ def lookup(
     Compilation itself runs the full interpreted-path validation and lets
     any :class:`~repro.common.errors.APIError` propagate.
     """
+    from repro.lint.abstract import certify_callable
+
+    if certify_callable(kernel).rng:
+        # the kernel draws random numbers: its output is not a pure
+        # function of the signature, so a replayed plan is not a replay
+        return None
+
     try:
         key = _signature(kernel, iterset, args, backend, n)
     except (AttributeError, TypeError):

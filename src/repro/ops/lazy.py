@@ -141,6 +141,26 @@ def _kernel_code_id(kernel: Callable):
     return (code.co_filename, code.co_firstlineno, code.co_name)
 
 
+def _read_extent(cert, i: int, declared: tuple) -> tuple:
+    """Read offsets for descriptor position ``i``: certified when proven.
+
+    The tile planner skews by read extents; the declared stencil is the
+    conservative (and halo-legality) bound, and the analyzer's proven
+    extent — when the lowering was complete and the offsets bounded —
+    replaces it, tightened to the declared set.  Rank-mismatched proofs
+    (a kernel indexing fewer dims than the block) keep the declaration.
+    """
+    if not cert.complete or i >= len(cert.params):
+        return declared
+    proven = cert.reads_of(cert.params[i])
+    if proven is None:
+        return declared
+    ranks = {len(p) for p in declared}
+    if any(len(p) not in ranks for p in proven):
+        return declared
+    return tuple(p for p in declared if p in set(proven))
+
+
 def enqueue(
     kernel: Callable,
     block,
@@ -158,6 +178,7 @@ def enqueue(
     their usual diagnostics.  Validation runs here so malformed loops
     still fail at the call site, not at some distant flush.
     """
+    from repro.lint.abstract import certify_callable
     from repro.ops.parloop import DatArg, _validate
     from repro.ops.reduction import Reduction
 
@@ -165,10 +186,11 @@ def enqueue(
         return False
     _validate(block, ranges, args, name)
 
-    fusable = True
+    cert = certify_callable(kernel)
+    fusable = not cert.rng  # reordering loops would reorder the RNG stream
     merged: dict = {}  # dat token -> [reads, writes, offsets set, itemsize]
     sig_args = []
-    for a in args:
+    for i, a in enumerate(args):
         if isinstance(a, Reduction):
             if a.kind == "inc":
                 # float sums are order-sensitive; tiling would reorder them
@@ -184,7 +206,7 @@ def enqueue(
         rec[0] = rec[0] or a.access.reads
         rec[1] = rec[1] or a.access.writes
         if a.access.reads:
-            rec[2].update(points)
+            rec[2].update(_read_extent(cert, i, points))
         sig_args.append(("d", tok, a.access.value, points))
 
     accesses = tuple(

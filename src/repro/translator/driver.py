@@ -69,6 +69,27 @@ def lint_gate(app_path: str | Path, baseline: str | Path | None = None) -> None:
         )
 
 
+def _collect_certificates(app_path: str | Path) -> dict:
+    """Kernel certificates for the manifest, best-effort.
+
+    A kernel whose certificate is not ``translatable`` keeps the
+    interpreted reference path; native codegen must consult this section
+    before claiming a loop.  Lint failures degrade to an empty section —
+    the manifest documents proofs, it does not gate generation here
+    (``strict=True`` already gates on findings).
+    """
+    from repro.lint.cli import lint_path
+
+    try:
+        result = lint_path(Path(app_path))
+    except Exception:
+        return {}
+    return {
+        name: cert.to_dict()
+        for name, cert in sorted(result.certificates.items())
+    }
+
+
 def translate_app(
     app_path: str | Path,
     out_dir: str | Path,
@@ -119,9 +140,12 @@ def translate_app(
             p.write_text(generate_opencl_host(site))
             result.files.append(p)
 
+    certificates = _collect_certificates(app_path)
+
     manifest = {
         "application": str(app_path),
         "targets": list(targets),
+        "certificates": certificates,
         "loops": [
             {
                 "kernel": s.kernel,

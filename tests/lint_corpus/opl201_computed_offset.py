@@ -1,0 +1,21 @@
+"""Seeded bug: a loop-computed index provably leaves the declared stencil.
+
+The offset is never a syntactic constant, so the OPL004 check cannot see
+it; the interval domain proves ``n`` ranges over {0, 1} and offset (1,)
+is outside the declared centre stencil.
+"""
+
+import repro.ops as ops
+
+S_CENTRE = ops.Stencil(1, [(0,)], name="centre")
+
+
+def gather(a, b):
+    acc = 0.0
+    for n in range(2):
+        acc = acc + a[n]  # <- OPL201
+    b[0] = acc
+
+
+def run(block, a, b):
+    ops.par_loop(gather, block, [(0, 10)], a(ops.READ, S_CENTRE), b(ops.WRITE))

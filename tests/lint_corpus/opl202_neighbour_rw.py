@@ -1,0 +1,17 @@
+"""Seeded bug: the kernel reads a neighbour of a dataset it also writes.
+
+Every offset is declared, so OPL004 is silent; but a[1] may already hold
+this sweep's updated value depending on traversal order.
+"""
+
+import repro.ops as ops
+
+S_RIGHT = ops.Stencil(1, [(0,), (1,)], name="right")
+
+
+def smooth(a):
+    a[0] = 0.5 * (a[0] + a[1])  # <- OPL202
+
+
+def run(block, a):
+    ops.par_loop(smooth, block, [(0, 10)], a(ops.RW, S_RIGHT))

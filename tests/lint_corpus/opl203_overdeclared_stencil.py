@@ -1,0 +1,17 @@
+"""Seeded inefficiency: the declared stencil is wider than the kernel needs.
+
+Offset (1,) is declared but provably never accessed: the halo exchange it
+forces moves bytes no kernel reads.
+"""
+
+import repro.ops as ops
+
+S_RIGHT = ops.Stencil(1, [(0,), (1,)], name="right")
+
+
+def copy(a, b):
+    b[0] = a[0]
+
+
+def run(block, a, b):
+    ops.par_loop(copy, block, [(0, 10)], a(ops.READ, S_RIGHT), b(ops.WRITE))  # <- OPL203

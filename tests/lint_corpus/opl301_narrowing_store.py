@@ -1,0 +1,15 @@
+"""Seeded bug: a float64 value is silently truncated into a float32 dat."""
+
+import numpy as np
+
+import repro.ops as ops
+
+
+def downcast(a, b):
+    b[0] = a[0] * 0.5  # <- OPL301
+
+
+def run(block):
+    a = ops.Dat(block, 10, dtype=np.float64, name="a")
+    b = ops.Dat(block, 10, dtype=np.float32, name="b")
+    ops.par_loop(downcast, block, [(0, 10)], a(ops.READ), b(ops.WRITE))

@@ -1,0 +1,21 @@
+"""Seeded bug: true division of integers feeds an integer store.
+
+Python's ``/`` produces a float that the int32 store truncates; C codegen
+would compute an integer division instead — the backends diverge.
+"""
+
+import numpy as np
+
+import repro.ops as ops
+
+
+def ratio(n, d, out):
+    out[0] = n[0] / d[0]  # <- OPL302
+
+
+def run(block):
+    n = ops.Dat(block, 10, dtype=np.int32, name="n")
+    d = ops.Dat(block, 10, dtype=np.int32, name="d")
+    out = ops.Dat(block, 10, dtype=np.int32, name="out")
+    ops.par_loop(ratio, block, [(0, 10)],
+                 n(ops.READ), d(ops.READ), out(ops.WRITE))

@@ -1,0 +1,14 @@
+"""Seeded bug: a 1-D subscript on a dat declared with a 2-D stencil."""
+
+import repro.ops as ops
+
+S_CENTRE2 = ops.Stencil(2, [(0, 0)], name="centre2")
+
+
+def flatten(a, b):
+    b[0, 0] = a[0]  # <- OPL303
+
+
+def run(block, a, b):
+    ops.par_loop(flatten, block, [(0, 10), (0, 10)],
+                 a(ops.READ, S_CENTRE2), b(ops.WRITE))

@@ -49,6 +49,12 @@ class TestCorpus:
             ("opl005_unused_arg", "OPL005", Severity.WARNING),
             ("opl006_arity_mismatch", "OPL006", Severity.ERROR),
             ("opl007_min_on_dat", "OPL007", Severity.ERROR),
+            ("opl201_computed_offset", "OPL201", Severity.ERROR),
+            ("opl202_neighbour_rw", "OPL202", Severity.WARNING),
+            ("opl203_overdeclared_stencil", "OPL203", Severity.NOTE),
+            ("opl301_narrowing_store", "OPL301", Severity.WARNING),
+            ("opl302_int_division", "OPL302", Severity.WARNING),
+            ("opl303_rank_mismatch", "OPL303", Severity.WARNING),
             ("opl101_dead_write", "OPL101", Severity.WARNING),
             ("opl102_carried_state", "OPL102", Severity.NOTE),
             ("opl103_redundant_halo", "OPL103", Severity.NOTE),

@@ -1,0 +1,52 @@
+"""Byte-identity of the syntactic diagnostics across the IR rebase.
+
+PR 8 moved OPL001–OPL007 from a dedicated AST visitor onto the kernel
+IR.  The golden file pins their exact output — location, code, context
+and message bytes — over the corpus and all six bundled apps; any drift
+in the lowering's traversal order or event emission shows up here.
+"""
+
+from pathlib import Path
+
+from repro.lint.cli import lint_many, lint_path
+
+REPO = Path(__file__).parents[1]
+CORPUS = Path(__file__).parent / "lint_corpus"
+GOLDEN = Path(__file__).parent / "goldens" / "lint_opl0xx.txt"
+
+SYNTACTIC = {f"OPL00{i}" for i in range(1, 8)}
+
+ALL_APPS = [
+    "repro.apps.airfoil.app",
+    "repro.apps.cloverleaf.app",
+    "repro.apps.cloverleaf3d.app",
+    "repro.apps.sod.app",
+    "repro.apps.hydra.app",
+    "repro.apps.multiblock.app",
+]
+
+
+def _render() -> str:
+    diags = []
+    for path in sorted(CORPUS.glob("*.py")):
+        diags.extend(lint_path(path).diagnostics)
+    diags.extend(lint_many(ALL_APPS).diagnostics)
+    kept = [d for d in diags if d.code in SYNTACTIC]
+    for d in kept:
+        p = Path(d.file).resolve()
+        try:
+            d.file = str(p.relative_to(REPO))
+        except ValueError:
+            pass
+    kept.sort(key=lambda d: (d.file, d.line, d.code))
+    return "".join(d.format(with_hint=False) + "\n" for d in kept)
+
+
+def test_opl00x_output_is_byte_identical_to_golden():
+    assert _render() == GOLDEN.read_text()
+
+
+def test_golden_covers_every_syntactic_code():
+    text = GOLDEN.read_text()
+    for code in sorted(SYNTACTIC):
+        assert code in text, f"golden lost coverage of {code}"
