@@ -89,6 +89,16 @@ class Config:
     chain_cache_size: int = field(
         default_factory=lambda: _env_int("REPRO_CHAIN_CACHE_SIZE", 128)
     )
+    #: compile certified kernels to native C entry points behind the
+    #: execplan tier (repro.native).  Only bitwise-safe loops are admitted,
+    #: so this is on by default; ``REPRO_NATIVE=0`` disables it process-wide
+    #: and every declined loop falls back to the vec path transparently
+    native: bool = field(default_factory=lambda: _env_bool("REPRO_NATIVE", True))
+    #: on-disk shared-object cache directory for compiled kernels; ``None``
+    #: means ``$REPRO_NATIVE_CACHE_DIR`` or ``~/.cache/repro/native``
+    native_cache_dir: str | None = field(
+        default_factory=lambda: os.environ.get("REPRO_NATIVE_CACHE_DIR") or None
+    )
     #: collect per-loop performance counters
     profiling: bool = True
     #: verbose diagnostics to stdout

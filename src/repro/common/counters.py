@@ -94,6 +94,12 @@ class PerfCounters:
     lazy_bytes_saved: int = 0
     chain_hits: int = 0
     chain_misses: int = 0
+    # -- native backend: compiled-kernel dispatch and the .so cache ---------------
+    native_calls: int = 0
+    native_compiles: int = 0
+    native_cache_hits: int = 0
+    native_cache_misses: int = 0
+    native_fallbacks: int = 0
 
     def loop(self, name: str) -> LoopRecord:
         """Return (creating if needed) the record for loop ``name``."""
@@ -165,11 +171,35 @@ class PerfCounters:
     def record_chain_miss(self) -> None:
         self.chain_misses += 1
 
+    def record_native_call(self) -> None:
+        """Account one loop executed through a compiled C entry point."""
+        self.native_calls += 1
+
+    def record_native_compile(self) -> None:
+        """Account one actual C-compiler invocation (a .so cache miss pays it)."""
+        self.native_compiles += 1
+
+    def record_native_cache_hit(self) -> None:
+        self.native_cache_hits += 1
+
+    def record_native_cache_miss(self) -> None:
+        self.native_cache_misses += 1
+
+    def record_native_fallback(self) -> None:
+        """Account one loop declined by the native tier (ran on vec instead)."""
+        self.native_fallbacks += 1
+
     @property
     def chain_hit_rate(self) -> float:
         """Fraction of flushes served from the chain-schedule cache."""
         total = self.chain_hits + self.chain_misses
         return self.chain_hits / total if total else 0.0
+
+    @property
+    def native_cache_hit_rate(self) -> float:
+        """Fraction of compiled-kernel lookups served without running cc."""
+        total = self.native_cache_hits + self.native_cache_misses
+        return self.native_cache_hits / total if total else 0.0
 
     @property
     def plan_hit_rate(self) -> float:
@@ -205,6 +235,11 @@ class PerfCounters:
         self.lazy_bytes_saved += other.lazy_bytes_saved
         self.chain_hits += other.chain_hits
         self.chain_misses += other.chain_misses
+        self.native_calls += other.native_calls
+        self.native_compiles += other.native_compiles
+        self.native_cache_hits += other.native_cache_hits
+        self.native_cache_misses += other.native_cache_misses
+        self.native_fallbacks += other.native_fallbacks
 
     def reset(self) -> None:
         self.loops.clear()
@@ -232,6 +267,11 @@ class PerfCounters:
         self.lazy_bytes_saved = 0
         self.chain_hits = 0
         self.chain_misses = 0
+        self.native_calls = 0
+        self.native_compiles = 0
+        self.native_cache_hits = 0
+        self.native_cache_misses = 0
+        self.native_fallbacks = 0
 
     def summary_rows(self) -> list[tuple[str, int, int, int, float]]:
         """Rows of (loop, iterations, bytes, flops, seconds), insertion order."""

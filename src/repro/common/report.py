@@ -86,6 +86,14 @@ def timing_report(counters: PerfCounters, *, top: int | None = None) -> str:
             f"({100.0 * counters.chain_hit_rate:.1f}%), "
             f"{counters.lazy_bytes_saved / 1e6:.2f} MB movement saved"
         )
+    if counters.native_calls or counters.native_fallbacks:
+        lines.append(
+            f"native: {counters.native_calls} compiled-kernel calls, "
+            f"so-cache {counters.native_cache_hits}/{counters.native_cache_misses} "
+            f"hit/miss ({100.0 * counters.native_cache_hit_rate:.1f}%), "
+            f"{counters.native_compiles} cc runs, "
+            f"{counters.native_fallbacks} fallbacks"
+        )
     # deferred import: repro.telemetry depends on repro.common, not vice versa
     from repro import telemetry
 

@@ -94,9 +94,18 @@ class EUn:
 
 @dataclass
 class ECmp:
-    """A comparison or boolean combination — always bool-valued."""
+    """A comparison or boolean combination — always bool-valued.
+
+    ``ops`` carries the operator spellings so consumers that need the
+    exact operation (native codegen) can reconstruct it: for a chained
+    comparison it holds one entry per comparator (``"<"``, ``"=="``, ...,
+    ``"?"`` when unknown); for a boolean combination it is ``("and",)``
+    or ``("or",)``.  The abstract domains ignore it (comparisons are
+    bool-valued either way), so adding the field changes no diagnostic.
+    """
 
     operands: tuple
+    ops: tuple = ()
 
 
 @dataclass
@@ -252,6 +261,10 @@ _BINOPS = {
     ast.FloorDiv: "//", ast.Mod: "%", ast.Pow: "**",
 }
 _UNOPS = {ast.USub: "-", ast.UAdd: "+", ast.Not: "not", ast.Invert: "~"}
+_CMPOPS = {
+    ast.Lt: "<", ast.LtE: "<=", ast.Gt: ">", ast.GtE: ">=",
+    ast.Eq: "==", ast.NotEq: "!=",
+}
 
 
 def _params_in(node: ast.AST, params: set[str]) -> tuple[str, ...]:
@@ -317,9 +330,15 @@ def _lower_expr(node: ast.expr, params: set[str]) -> object:
     if isinstance(node, ast.Compare):
         ops = [_lower_expr(node.left, params)]
         ops.extend(_lower_expr(c, params) for c in node.comparators)
-        return ECmp(tuple(ops))
+        return ECmp(
+            tuple(ops),
+            tuple(_CMPOPS.get(type(o), "?") for o in node.ops),
+        )
     if isinstance(node, ast.BoolOp):
-        return ECmp(tuple(_lower_expr(v, params) for v in node.values))
+        return ECmp(
+            tuple(_lower_expr(v, params) for v in node.values),
+            ("and",) if isinstance(node.op, ast.And) else ("or",),
+        )
     if isinstance(node, ast.IfExp):
         return EIf(_lower_expr(node.test, params),
                    _lower_expr(node.body, params),

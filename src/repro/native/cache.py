@@ -1,0 +1,325 @@
+"""Compile-and-load machinery: the on-disk shared-object cache.
+
+Generated C is content-addressed: the cache key is a SHA-256 over the
+source text, the compiler path and the exact flag vector, so a source
+change, a toolchain change or a flag change each produce a new entry and
+a stale ``.so`` can never be picked up for new code.  Entries are
+published with write-to-temp + ``os.replace``, which is atomic on POSIX:
+two processes compiling the same kernel concurrently both succeed and one
+rename wins — no locks, no torn files.
+
+Loading prefers cffi's ABI mode (``ffi.dlopen`` — no setuptools, no
+compile-against-Python) and falls back to ``ctypes.CDLL``.  Both release
+the GIL for the duration of the C call.  A cached ``.so`` that fails to
+dlopen (truncated, wrong arch, corrupted) is unlinked and recompiled
+once; only if that also fails does the loop fall back to vec.
+
+Compilation flags pin the FP semantics the bitwise guarantee needs:
+``-ffp-contract=off`` (GCC defaults to ``fast`` in gnu mode, which would
+fuse ``a*b+c`` into FMA and change results) and
+``-fno-unsafe-math-optimizations``.  ``-O2`` is safe under those.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+import time
+
+from repro.common.config import get_config
+
+__all__ = [
+    "NativeUnavailable",
+    "find_compiler",
+    "cache_dir",
+    "load_kernel",
+    "clear_memory_cache",
+    "cache_info",
+    "cache_clear",
+    "cache_prune",
+    "CFLAGS",
+]
+
+
+class NativeUnavailable(Exception):
+    """No working toolchain/loader: the native tier cannot run here."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+#: exact flag vector — part of the cache key
+CFLAGS = (
+    "-O2",
+    "-std=c11",
+    "-fPIC",
+    "-shared",
+    "-ffp-contract=off",
+    "-fno-unsafe-math-optimizations",
+)
+
+_SIG = "void kernel_run(double **p, const long long **m, const long long *n, double *red, const double *cv);"
+
+_lock = threading.Lock()
+_compiler: tuple[bool, str | None] = (False, None)  # (resolved, path)
+_mem: dict[str, "LoadedKernel"] = {}
+
+
+def find_compiler() -> str | None:
+    """The C compiler to use, or None.
+
+    ``REPRO_NATIVE_CC`` overrides discovery: a path/name to use verbatim,
+    or ``none`` to disable compilation (the no-toolchain degradation path,
+    also what CI's compiler-less matrix leg sets).
+    """
+    global _compiler
+    with _lock:
+        resolved, path = _compiler
+        if resolved:
+            return path
+        env = os.environ.get("REPRO_NATIVE_CC")
+        if env is not None:
+            env = env.strip()
+            if env.lower() in ("", "none", "0"):
+                path = None
+            else:
+                path = shutil.which(env) or (env if os.path.exists(env) else None)
+        else:
+            path = next(
+                (p for c in ("cc", "gcc", "clang") if (p := shutil.which(c))),
+                None,
+            )
+        _compiler = (True, path)
+        return path
+
+
+def _reset_compiler_cache() -> None:
+    """Testing hook: re-read REPRO_NATIVE_CC on next find_compiler()."""
+    global _compiler
+    with _lock:
+        _compiler = (False, None)
+
+
+def cache_dir() -> str:
+    """The on-disk cache directory (created on first use)."""
+    cfg = get_config()
+    d = (
+        cfg.native_cache_dir
+        or os.environ.get("REPRO_NATIVE_CACHE_DIR")
+        or os.path.join(os.path.expanduser("~"), ".cache", "repro", "native")
+    )
+    os.makedirs(d, exist_ok=True)
+    return d
+
+
+def source_key(source: str) -> str:
+    """Content hash of one translation unit under the current toolchain."""
+    cc = find_compiler() or "none"
+    h = hashlib.sha256()
+    h.update(source.encode())
+    h.update(b"\0")
+    h.update(" ".join(CFLAGS).encode())
+    h.update(b"\0")
+    h.update(cc.encode())
+    return h.hexdigest()[:32]
+
+
+class LoadedKernel:
+    """A dlopened entry point with pre-castable argument marshalling."""
+
+    __slots__ = ("path", "_make")
+
+    def __init__(self, path: str, make):
+        self.path = path
+        self._make = make
+
+    def make_call(self, p_addr: int, m_addr: int, n_addr: int, red_addr: int, cv_addr: int):
+        """A zero-argument callable bound to five stable buffer addresses."""
+        return self._make(p_addr, m_addr, n_addr, red_addr, cv_addr)
+
+
+def _load_so(path: str) -> LoadedKernel:
+    """dlopen ``path`` via cffi (preferred) or ctypes."""
+    try:
+        import cffi
+
+        ffi = cffi.FFI()
+        ffi.cdef(_SIG)
+        lib = ffi.dlopen(path)
+        raw = lib.kernel_run
+
+        def make(pa, ma, na, ra, ca, _ffi=ffi, _raw=raw):
+            args = (
+                _ffi.cast("double **", pa),
+                _ffi.cast("const long long **", ma),
+                _ffi.cast("const long long *", na),
+                _ffi.cast("double *", ra),
+                _ffi.cast("const double *", ca),
+            )
+            return lambda: _raw(*args)
+
+        return LoadedKernel(path, make)
+    except ImportError:
+        pass  # no cffi in this environment: ctypes below
+    import ctypes
+
+    lib = ctypes.CDLL(path)
+    raw = lib.kernel_run
+    raw.restype = None
+    raw.argtypes = [ctypes.c_void_p] * 5
+
+    def make(pa, ma, na, ra, ca, _raw=raw):
+        return lambda: _raw(pa, ma, na, ra, ca)
+
+    return LoadedKernel(path, make)
+
+
+def _compile(source: str, key: str, cc: str, directory: str) -> str:
+    """Compile ``source`` and atomically publish ``<key>.c`` + ``<key>.so``."""
+    so_path = os.path.join(directory, f"{key}.so")
+    fd, tmp_c = tempfile.mkstemp(suffix=".c", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(source)
+        tmp_so = tmp_c[:-2] + ".so"
+        proc = subprocess.run(
+            [cc, *CFLAGS, "-o", tmp_so, tmp_c, "-lm"],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise NativeUnavailable(
+                f"cc failed ({proc.returncode}): {proc.stderr.strip()[:500]}"
+            )
+        # keep the source next to the object for repro-native / debugging
+        os.replace(tmp_c, os.path.join(directory, f"{key}.c"))
+        tmp_c = None
+        os.replace(tmp_so, so_path)
+    finally:
+        if tmp_c is not None and os.path.exists(tmp_c):
+            os.unlink(tmp_c)
+    return so_path
+
+
+def is_cached(source: str) -> bool:
+    """True when ``source`` would load without running the compiler."""
+    key = source_key(source)
+    with _lock:
+        if key in _mem:
+            return True
+    return os.path.exists(os.path.join(cache_dir(), f"{key}.so"))
+
+
+def load_kernel(source: str) -> tuple[LoadedKernel, bool]:
+    """The compiled entry point for ``source``: ``(kernel, was_cached)``.
+
+    ``was_cached`` is True when the ``.so`` came off disk without running
+    the compiler (the warm-cache case the benchmarks separate out).
+    Raises :class:`NativeUnavailable` when no compiler is available and
+    the object is not already cached, or when compilation/loading fails.
+    """
+    key = source_key(source)
+    with _lock:
+        hit = _mem.get(key)
+    if hit is not None:
+        return hit, True
+
+    directory = cache_dir()
+    so_path = os.path.join(directory, f"{key}.so")
+    was_cached = os.path.exists(so_path)
+    if not was_cached:
+        cc = find_compiler()
+        if cc is None:
+            raise NativeUnavailable("no C compiler available")
+        so_path = _compile(source, key, cc, directory)
+    try:
+        kern = _load_so(so_path)
+    except OSError:
+        # corrupt/stale on-disk object: drop it and compile exactly once
+        try:
+            os.unlink(so_path)
+        except OSError:
+            pass
+        cc = find_compiler()
+        if cc is None:
+            raise NativeUnavailable("cached object unloadable and no compiler")
+        was_cached = False
+        so_path = _compile(source, key, cc, directory)
+        kern = _load_so(so_path)
+    with _lock:
+        _mem[key] = kern
+    return kern, was_cached
+
+
+def clear_memory_cache() -> None:
+    """Drop in-process handles (tests; dlopened objects stay mapped)."""
+    with _lock:
+        _mem.clear()
+
+
+# -- cache maintenance (the repro-native CLI) ---------------------------------
+
+def _entries(directory: str | None = None) -> list[tuple[str, str, int, float]]:
+    d = directory or cache_dir()
+    out = []
+    try:
+        names = os.listdir(d)
+    except OSError:
+        return out
+    for name in sorted(names):
+        if not (name.endswith(".so") or name.endswith(".c")):
+            continue
+        path = os.path.join(d, name)
+        try:
+            st = os.stat(path)
+        except OSError:
+            continue
+        out.append((name, path, st.st_size, st.st_mtime))
+    return out
+
+
+def cache_info() -> dict:
+    """Entry count / byte totals / directory, for ``repro-native info``."""
+    d = cache_dir()
+    entries = _entries(d)
+    sos = [e for e in entries if e[0].endswith(".so")]
+    return {
+        "dir": d,
+        "objects": len(sos),
+        "sources": len(entries) - len(sos),
+        "bytes": sum(e[2] for e in entries),
+        "compiler": find_compiler(),
+        "loaded": len(_mem),
+    }
+
+
+def cache_clear() -> int:
+    """Remove every cached object+source; returns the number removed."""
+    removed = 0
+    for _, path, _, _ in _entries():
+        try:
+            os.unlink(path)
+            removed += 1
+        except OSError:
+            pass
+    clear_memory_cache()
+    return removed
+
+
+def cache_prune(max_age_days: float = 30.0) -> int:
+    """Remove entries older than ``max_age_days``; returns the number removed."""
+    cutoff = time.time() - max_age_days * 86400.0
+    removed = 0
+    for _, path, _, mtime in _entries():
+        if mtime < cutoff:
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+    return removed

@@ -1,0 +1,917 @@
+"""Kernel IR → C translation for the native backend.
+
+This is the code generator the paper's translator architecture points at:
+the same lowered kernel IR that backs the linter and the abstract
+certifier (:mod:`repro.lint.ir`) is walked a third time, now emitting a
+small C translation unit per loop.  Two generators share one expression
+emitter:
+
+* :func:`generate_ops` — a dense loop nest over the block ranges, with
+  per-dat base pointers pre-offset to the range origin and outer strides
+  passed at run time (so one ``.so`` serves every tile shape of a given
+  structural signature), and
+* :func:`generate_op2` — a two-phase loop over an unstructured set:
+  phase A computes each element (indirect reads through the map columns,
+  writes landing in per-arg scratch), phase B replays the scatters in
+  argument order, reproducing the vec executor's gather/compute/scatter
+  schedule bitwise (``np.add.at`` and the segment scatter accumulate in
+  element order; fancy assignment is last-writer-wins in element order).
+
+Bitwise discipline.  The generated C must produce the *same bits* as the
+vec path, so only constructs with an exact NumPy↔C correspondence are
+emitted: ``+ - * /`` (IEEE), ``sqrt`` (correctly rounded on both sides),
+``fabs``, ``x ** 2`` (NumPy's fast scalar power lowers it to ``x*x``),
+ternary selects (``np.where`` computes both branches but selects the
+identical value), and NumPy's NaN-aware ``minimum``/``maximum``, whose C
+loop is ``(a < b || a != a) ? a : b`` — ties keep the accumulator, NaNs
+propagate from either side.  Transcendentals other than ``sqrt``
+(``exp``/``log``/``sin``…) are *declined*: NumPy's SIMD routines are not
+libm.  Everything declined raises :class:`Untranslatable` with a reason
+string that flows into the ``native.fallback`` telemetry instant.
+
+Scalar constants that are not part of the kernel *source* — closure
+cells, module globals, defaulted trailing parameters — are never baked
+into the C text.  They are loaded from the ``cv`` (constant-vector)
+argument at run time, so per-timestep closures (CloverLeaf's ``dt``)
+re-use one cached shared object instead of recompiling every step.
+Integer constants used in *index* position are the exception: they change
+the stencil, i.e. the structure of the loop, and are baked.
+
+Every entry point has one fixed signature::
+
+    void kernel_run(double **p, const long long **m, const long long *n,
+                    double *red, const double *cv)
+
+``p``: data pointers (dats, scratch, globals) — ``m``: integer arrays
+(map columns / ops strides) — ``n``: iteration extents — ``red``:
+reduction cells (in: identity or current value, out: folded) — ``cv``:
+runtime scalar constants.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import inspect
+import math
+import textwrap
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lint.ir import (
+    EBin,
+    ECall,
+    ECmp,
+    EConst,
+    EIf,
+    ELoad,
+    EName,
+    EUn,
+    KernelIR,
+    SAssign,
+    SAug,
+    SExpr,
+    SFold,
+    SFor,
+    SIf,
+    SReturn,
+    TLocal,
+    TParam,
+    lower_kernel,
+)
+
+__all__ = [
+    "Untranslatable",
+    "NativeCode",
+    "ir_for_callable",
+    "generate_ops",
+    "generate_op2",
+]
+
+ENTRY = "kernel_run"
+
+
+class Untranslatable(Exception):
+    """The kernel (or this binding of it) has no bitwise-exact C form."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class NativeCode:
+    """Generated C plus the binding recipe the plan layer marshals."""
+
+    source: str
+    entry: str
+    #: what each ``p[j]`` slot is: ("dat", argidx) | ("scratch", argidx)
+    #: | ("glob", argidx) — in slot order
+    ptr_spec: tuple = ()
+    #: what each ``m[j]`` slot is: ("strides",) for ops, ("cols", argidx)
+    map_spec: tuple = ()
+    #: reduction cells in ``red`` order: ("red", argidx, kind) for ops
+    #: Reduction handles, ("gmm", argidx, cell, kind) for op2 globals
+    red_spec: tuple = ()
+    #: names resolved into ``cv`` slots at plan-build time, in slot order;
+    #: ``"="name`` is a free/closure read, ``"@"name`` a defaulted parameter
+    const_names: tuple = ()
+    #: scratch slots: (argidx, n_components) — op2 only
+    scratch_spec: tuple = ()
+
+
+# -- IR retrieval ------------------------------------------------------------
+
+_IR_CACHE: dict = {}
+
+
+def ir_for_callable(fn) -> KernelIR:
+    """The lowered IR of a kernel function, cached by code object.
+
+    Mirrors ``certify_callable``'s source extraction exactly; raises
+    :class:`Untranslatable` where the certifier would degrade gracefully,
+    because codegen needs the structured body, not just the footprints.
+    """
+    fn = getattr(fn, "func", fn)  # unwrap Kernel-like wrappers
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        raise Untranslatable("not a plain Python function")
+    cached = _IR_CACHE.get(code)
+    if cached is not None:
+        return cached
+    try:
+        src = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(src)
+    except (OSError, TypeError, SyntaxError) as exc:
+        raise Untranslatable(f"kernel source unavailable: {exc}") from exc
+    fndef = next((n for n in tree.body if isinstance(n, ast.FunctionDef)), None)
+    if fndef is None:
+        raise Untranslatable("kernel is not a plain `def` function")
+    ir = _IR_CACHE[code] = lower_kernel(fndef)
+    return ir
+
+
+# -- C literal spelling / free-name resolution --------------------------------
+
+def _c_double(v: float) -> str:
+    f = float(v)
+    if f != f:
+        return "NAN"
+    if f == math.inf:
+        return "INFINITY"
+    if f == -math.inf:
+        return "-INFINITY"
+    # hex float literals round-trip every finite double exactly
+    return float(f).hex()
+
+
+def resolve_free(fn, dotted: str):
+    """Resolve a free (closure / global / builtin) name read by the kernel."""
+    parts = dotted.split(".")
+    root = parts[0]
+    code = fn.__code__
+    if root in code.co_freevars and fn.__closure__ is not None:
+        try:
+            obj = fn.__closure__[code.co_freevars.index(root)].cell_contents
+        except ValueError as exc:  # empty cell
+            raise Untranslatable(f"unbound closure cell {root!r}") from exc
+    elif root in fn.__globals__:
+        obj = fn.__globals__[root]
+    elif hasattr(builtins, root):
+        obj = getattr(builtins, root)
+    else:
+        raise Untranslatable(f"unresolvable free name {dotted!r}")
+    for attr in parts[1:]:
+        try:
+            obj = getattr(obj, attr)
+        except AttributeError as exc:
+            raise Untranslatable(f"unresolvable free name {dotted!r}") from exc
+    return obj
+
+
+#: callables with a bitwise-exact scalar C spelling, matched by identity
+#: (a user shadowing ``sqrt`` with their own function must not be compiled)
+_SQRT_FNS = (math.sqrt, np.sqrt)
+_ABS_FNS = (abs, math.fabs, np.abs, np.absolute)
+_MIN_FNS = (min, np.minimum)
+_MAX_FNS = (max, np.maximum)
+_WHERE_FNS = (np.where,)
+_FLOAT_FNS = (float, np.float64)
+
+
+def _np_select(keep: str, other: str, op: str) -> str:
+    """NumPy's minimum/maximum C loop: ``(a OP b || a != a) ? a : b``.
+
+    The first operand wins ties and propagates its NaN; the second
+    operand's NaN also propagates (the select falls through to it).
+    """
+    return f"(({keep} {op} {other} || {keep} != {keep}) ? {keep} : {other})"
+
+
+# -- bindings ----------------------------------------------------------------
+
+@dataclass
+class _Bind:
+    """How one kernel parameter is realised in C."""
+
+    role: str  # opsdat | opsred | direct | iread | ibuf | gread | gmm | default
+    k: int  # argument position (-1 for defaults)
+    dim: int = 1  # components (op2); unused for ops dats
+    writable: bool = False
+    kind: str = ""  # reduction kind (opsred/gmm) or access name (ibuf)
+
+
+class _Emitter:
+    """Shared statement/expression emitter for both generators."""
+
+    def __init__(self, fn, ir: KernelIR, binds: dict[str, _Bind], kind: str):
+        self.fn = fn
+        self.ir = ir
+        self.binds = binds
+        self.kind = kind  # "ops" | "op2"
+        self.lines: list[str] = []
+        self.loop_vars: set[str] = set()
+        self.locals: set[str] = set()
+        self.const_slots: dict[str, int] = {}  # tagged name -> cv index
+        self._tmp = 0
+        self._depth = 1
+
+    # -- constant-vector slots ----------------------------------------------
+
+    def _cv(self, tagged: str) -> str:
+        j = self.const_slots.setdefault(tagged, len(self.const_slots))
+        return f"cv[{j}]"
+
+    def free_scalar(self, dotted: str) -> str:
+        """A free name that must resolve to a Python/NumPy scalar → cv slot."""
+        obj = resolve_free(self.fn, dotted)
+        if isinstance(obj, bool) or not isinstance(
+            obj, (int, float, np.floating, np.integer)
+        ):
+            raise Untranslatable(f"free name {dotted!r} is not a numeric scalar")
+        return self._cv("=" + dotted)
+
+    # -- expression contexts --------------------------------------------------
+
+    def value(self, e) -> str:
+        """Emit ``e`` as a double-valued C expression."""
+        if isinstance(e, EConst):
+            if isinstance(e.value, bool) or not isinstance(e.value, (int, float)):
+                raise Untranslatable(f"non-numeric constant {e.value!r}")
+            return _c_double(e.value)
+        if isinstance(e, EName):
+            return self._name_value(e)
+        if isinstance(e, ELoad):
+            return self.load(e.param, e.index, store=False)
+        if isinstance(e, EBin):
+            return self._bin(e)
+        if isinstance(e, EUn):
+            if e.op == "-":
+                return f"(-{self.value(e.operand)})"
+            if e.op == "+":
+                return self.value(e.operand)
+            raise Untranslatable(f"unary {e.op!r} in value context")
+        if isinstance(e, EIf):
+            if self.kind == "ops" and self._data_dependent(e.test):
+                # the vec path feeds the original kernel whole arrays; a
+                # per-point ternary only has array semantics via np.where
+                raise Untranslatable("data-dependent ternary (use np.where)")
+            return f"({self.cond(e.test)} ? {self.value(e.body)} : {self.value(e.orelse)})"
+        if isinstance(e, ECall):
+            return self._call(e)
+        if isinstance(e, ECmp):
+            raise Untranslatable("boolean value used arithmetically")
+        raise Untranslatable(f"unsupported expression {type(e).__name__}")
+
+    def _name_value(self, e: EName) -> str:
+        if e.kind == "param":
+            b = self.binds.get(e.name)
+            if b is None:
+                raise Untranslatable(f"unbound parameter {e.name!r}")
+            if b.role == "default":
+                return self._cv("@" + e.name)
+            raise Untranslatable(f"bare reference to array parameter {e.name!r}")
+        if e.name in self.loop_vars:
+            return f"(double)v_{e.name}"
+        if e.name in self.locals:
+            return f"l_{e.name}"
+        return self.free_scalar(e.name)
+
+    def _bin(self, e: EBin) -> str:
+        if e.op in ("+", "-", "*", "/"):
+            return f"({self.value(e.left)} {e.op} {self.value(e.right)})"
+        if e.op == "**":
+            exp = e.right
+            if isinstance(exp, EConst) and not isinstance(exp.value, bool):
+                ev = float(exp.value)
+                x = self.value(e.left)
+                # NumPy's fast_scalar_power: square / identity / sqrt /
+                # reciprocal are the only exactly-mirrorable exponents
+                if ev == 2.0:
+                    t = self._fresh()
+                    self.emit(f"const double {t} = {x};")
+                    return f"({t} * {t})"
+                if ev == 1.0:
+                    return x
+                if ev == 0.5:
+                    return f"sqrt({x})"
+                if ev == -1.0:
+                    return f"(1.0 / {x})"
+            raise Untranslatable("general ** has no bitwise C equivalent")
+        raise Untranslatable(f"operator {e.op!r} has no bitwise C equivalent")
+
+    def cond(self, e) -> str:
+        """Emit ``e`` as an int-valued C condition."""
+        if isinstance(e, ECmp):
+            if e.ops and e.ops[0] in ("and", "or"):
+                j = " && " if e.ops[0] == "and" else " || "
+                return "(" + j.join(self.cond(v) for v in e.operands) + ")"
+            if not e.ops or len(e.ops) != len(e.operands) - 1:
+                raise Untranslatable("comparison with unknown operators")
+            parts = []
+            for i, op in enumerate(e.ops):
+                if op == "?":
+                    raise Untranslatable("unsupported comparison operator")
+                parts.append(
+                    f"({self.value(e.operands[i])} {op} {self.value(e.operands[i + 1])})"
+                )
+            return "(" + " && ".join(parts) + ")"
+        if isinstance(e, EUn) and e.op == "not":
+            return f"(!{self.cond(e.operand)})"
+        if isinstance(e, EConst) and isinstance(e.value, bool):
+            return "1" if e.value else "0"
+        # a numeric expression used for truthiness
+        return f"({self.value(e)} != 0.0)"
+
+    # -- integer index expressions -------------------------------------------
+
+    def _index_const(self, e) -> int:
+        if isinstance(e, EConst) and isinstance(e.value, int) and not isinstance(e.value, bool):
+            return e.value
+        if isinstance(e, EUn) and e.op in ("-", "+"):
+            v = self._index_const(e.operand)
+            return -v if e.op == "-" else v
+        if isinstance(e, EBin) and e.op in ("+", "-", "*"):
+            lv, rv = self._index_const(e.left), self._index_const(e.right)
+            return {"+": lv + rv, "-": lv - rv, "*": lv * rv}[e.op]
+        if (
+            isinstance(e, EName)
+            and e.kind == "name"
+            and e.name not in self.loop_vars
+            and e.name not in self.locals
+        ):
+            obj = resolve_free(self.fn, e.name)
+            if isinstance(obj, (int, np.integer)) and not isinstance(obj, bool):
+                return int(obj)
+        raise Untranslatable("index is not a compile-time integer")
+
+    def index(self, e) -> str:
+        try:
+            return str(self._index_const(e))
+        except Untranslatable:
+            pass
+        if isinstance(e, EName) and e.kind == "name" and e.name in self.loop_vars:
+            return f"v_{e.name}"
+        if isinstance(e, EBin) and e.op in ("+", "-", "*"):
+            return f"({self.index(e.left)} {e.op} {self.index(e.right)})"
+        if isinstance(e, EUn) and e.op in ("-", "+"):
+            return f"({e.op}{self.index(e.operand)})"
+        raise Untranslatable("unsupported index expression")
+
+    # -- calls ----------------------------------------------------------------
+
+    def _call(self, e: ECall) -> str:
+        if e.func is None:
+            raise Untranslatable("dynamic call")
+        try:
+            target = resolve_free(self.fn, e.func)
+        except Untranslatable:
+            target = None
+
+        def _is(group) -> bool:
+            return any(target is g for g in group)
+
+        if _is(_SQRT_FNS):
+            self._arity(e, 1)
+            return f"sqrt({self.value(e.args[0])})"
+        if _is(_ABS_FNS):
+            self._arity(e, 1)
+            return f"fabs({self.value(e.args[0])})"
+        if _is(_FLOAT_FNS):
+            self._arity(e, 1)
+            return self.value(e.args[0])
+        if _is(_MIN_FNS) or _is(_MAX_FNS):
+            if len(e.args) < 2:
+                raise Untranslatable(f"{e.func}() needs >= 2 arguments")
+            is_min = _is(_MIN_FNS)
+            if (target is min or target is max) and self.kind == "ops":
+                # the ops vec path calls the *builtin* on scalars: the new
+                # value wins only on strict compare, ties/NaNs keep the left
+                acc = self.value(e.args[0])
+                for a in e.args[1:]:
+                    ta, tb = self._fresh(), self._fresh()
+                    self.emit(f"const double {ta} = {acc};")
+                    self.emit(f"const double {tb} = {self.value(a)};")
+                    op = "<" if is_min else ">"
+                    acc = f"(({tb} {op} {ta}) ? {tb} : {ta})"
+                return acc
+            # op2's kernelvec rewrites builtin min/max to a left fold of
+            # np.minimum/np.maximum; direct np.minimum calls are the same
+            op = "<" if is_min else ">"
+            acc = self.value(e.args[0])
+            for a in e.args[1:]:
+                ta, tb = self._fresh(), self._fresh()
+                self.emit(f"const double {ta} = {acc};")
+                self.emit(f"const double {tb} = {self.value(a)};")
+                acc = _np_select(ta, tb, op)
+            return acc
+        if _is(_WHERE_FNS):
+            self._arity(e, 3)
+            return (
+                f"({self.cond(e.args[0])} ? {self.value(e.args[1])}"
+                f" : {self.value(e.args[2])})"
+            )
+        raise Untranslatable(f"call to {e.func!r} has no bitwise C equivalent")
+
+    @staticmethod
+    def _arity(e: ECall, n: int) -> None:
+        if len(e.args) != n:
+            raise Untranslatable(f"{e.func}() expects {n} argument(s)")
+
+    # -- parameter loads/stores (provided by the concrete generators) --------
+
+    def load(self, param: str, index, store: bool) -> str:
+        raise NotImplementedError
+
+    # -- statements -----------------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self._depth + line)
+
+    def _fresh(self) -> str:
+        self._tmp += 1
+        return f"t{self._tmp}"
+
+    def body(self, stmts: list) -> None:
+        for i, s in enumerate(stmts):
+            if (
+                isinstance(s, SExpr)
+                and isinstance(s.value, EConst)
+                and isinstance(s.value.value, str)
+            ):
+                continue  # docstring
+            if isinstance(s, SReturn):
+                if (
+                    i == len(stmts) - 1
+                    and isinstance(s.value, EConst)
+                    and s.value.value is None
+                ):
+                    continue  # trailing bare return
+                raise Untranslatable("return inside kernel body")
+            self.stmt(s)
+
+    def stmt(self, s) -> None:
+        if isinstance(s, SAssign):
+            if len(s.targets) != 1:
+                raise Untranslatable("chained assignment")
+            self._assign(s.targets[0], s.value, aug=None)
+        elif isinstance(s, SAug):
+            if s.op not in ("+", "-", "*", "/"):
+                raise Untranslatable(f"augmented {s.op}= has no bitwise C equivalent")
+            self._assign(s.target, s.value, aug=s.op)
+        elif isinstance(s, SFold):
+            self._fold(s)
+        elif isinstance(s, SIf):
+            self._if(s)
+        elif isinstance(s, SFor):
+            self._for(s)
+        elif isinstance(s, SExpr):
+            raise Untranslatable("expression statement with effects")
+        else:
+            raise Untranslatable(f"unsupported statement {type(s).__name__}")
+
+    def _assign(self, target, value, aug: str | None) -> None:
+        if isinstance(target, TLocal):
+            if target.name in self.loop_vars:
+                raise Untranslatable(f"loop variable {target.name!r} reassigned")
+            rhs = self.value(value)
+            lhs = f"l_{target.name}"
+            self.locals.add(target.name)
+        elif isinstance(target, TParam):
+            b = self.binds.get(target.param)
+            if b is None or not b.writable:
+                raise Untranslatable(f"write to read-only parameter {target.param!r}")
+            rhs = self.value(value)
+            lhs = self.load(target.param, target.index, store=True)
+        else:
+            raise Untranslatable("opaque assignment target")
+        if aug is None:
+            self.emit(f"{lhs} = {rhs};")
+        else:
+            self.emit(f"{lhs} {aug}= {rhs};")
+
+    def _fold(self, s: SFold) -> None:
+        raise Untranslatable("reduction fold not supported here")
+
+    def _if(self, s: SIf) -> None:
+        if self.kind == "op2":
+            # kernelvec rejects `if` statements outright: no vec semantics
+            raise Untranslatable("if statement (op2 kernels use ternaries)")
+        if self._data_dependent(s.test):
+            # a data-dependent `if` test on whole arrays has no defined vec
+            # meaning; only uniform (scalar) tests ever ran under vec
+            raise Untranslatable("data-dependent if test")
+        self.emit(f"if {self.cond(s.test)} {{")
+        self._depth += 1
+        self.body(s.body)
+        self._depth -= 1
+        if s.orelse:
+            self.emit("} else {")
+            self._depth += 1
+            self.body(s.orelse)
+            self._depth -= 1
+        self.emit("}")
+
+    def _data_dependent(self, e) -> bool:
+        stack = [e]
+        while stack:
+            x = stack.pop()
+            if isinstance(x, ELoad):
+                return True
+            if isinstance(x, EName) and (x.kind == "param" or x.name in self.locals):
+                return True
+            for attr in ("left", "right", "operand", "test", "body", "orelse"):
+                v = getattr(x, attr, None)
+                if v is not None:
+                    stack.append(v)
+            for attr in ("operands", "args", "elts"):
+                stack.extend(getattr(x, attr, ()) or ())
+        return False
+
+    def _for(self, s: SFor) -> None:
+        var = s.var
+        if var in self.binds or var in self.locals:
+            raise Untranslatable(f"loop variable {var!r} shadows another name")
+        lo, hi, st = self.index(s.start), self.index(s.stop), self.index(s.step)
+        if st != "1":
+            raise Untranslatable("non-unit range step")
+        self.emit(f"for (long long v_{var} = {lo}; v_{var} < {hi}; ++v_{var}) {{")
+        self.loop_vars.add(var)
+        self._depth += 1
+        self.body(s.body)
+        self._depth -= 1
+        self.loop_vars.discard(var)
+        self.emit("}")
+
+    def declared_locals(self) -> list[str]:
+        return sorted(self.locals)
+
+
+# -- ops generator ------------------------------------------------------------
+
+class _OpsEmitter(_Emitter):
+    def __init__(self, fn, ir, binds, ndim: int):
+        super().__init__(fn, ir, binds, "ops")
+        self.ndim = ndim
+        self.red_regs: dict[str, int] = {}  # param name -> red slot
+
+    def load(self, param: str, index, store: bool) -> str:
+        b = self.binds.get(param)
+        if b is None:
+            raise Untranslatable(f"unbound parameter {param!r}")
+        if b.role != "opsdat":
+            raise Untranslatable(f"subscript on non-dat parameter {param!r}")
+        if index is None or len(index) != self.ndim:
+            raise Untranslatable(f"{param!r} indexed with wrong arity")
+        terms = []
+        for d in range(self.ndim):
+            off = self.index(index[d])
+            pos = f"i{d}" if off == "0" else f"(i{d} + ({off}))"
+            if d < self.ndim - 1:
+                terms.append(f"{pos} * s{b.k}_{d}")
+            else:
+                terms.append(pos)
+        return f"p{b.k}[{' + '.join(terms)}]"
+
+    def _fold(self, s: SFold) -> None:
+        b = self.binds.get(s.param)
+        if b is None or b.role != "opsred":
+            raise Untranslatable("fold on a non-reduction parameter")
+        if s.method != b.kind:
+            raise Untranslatable(f".{s.method}() fold on a {b.kind!r} reduction")
+        if b.kind not in ("min", "max"):
+            # Reduction('inc') accumulates via np.sum (pairwise) on the vec
+            # path — a sequential C loop is NOT bitwise-identical
+            raise Untranslatable("inc reduction is pairwise-summed on vec")
+        op = "<" if b.kind == "min" else ">"
+        j = self.red_regs[s.param]
+        for a in s.args:
+            t = self._fresh()
+            self.emit(f"const double {t} = {self.value(a)};")
+            # np.min folds rows sequentially with the NumPy select: the
+            # running register wins ties and propagates its NaN
+            self.emit(f"r{j} = {_np_select(f'r{j}', t, op)};")
+
+
+def generate_ops(fn, argspecs, ndim: int, loop_name: str) -> NativeCode:
+    """Generate C for one OPS structured loop.
+
+    ``argspecs`` classifies each loop argument: ``("dat", writes)`` or
+    ``("red", kind)`` — structure only, never values.
+    """
+    fn = getattr(fn, "func", fn)
+    ir = ir_for_callable(fn)
+    params = ir.params
+    if len(argspecs) > len(params):
+        raise Untranslatable("more loop arguments than kernel parameters")
+    if len(params) - len(argspecs) > ir.n_defaults:
+        raise Untranslatable("unbound kernel parameters without defaults")
+
+    binds: dict[str, _Bind] = {}
+    ptr_spec: list = []
+    red_spec: list = []
+    dat_args: list[int] = []
+    for k, spec in enumerate(argspecs):
+        name = params[k]
+        if spec[0] == "dat":
+            binds[name] = _Bind("opsdat", k, writable=bool(spec[1]))
+            ptr_spec.append(("dat", k))
+            dat_args.append(k)
+        elif spec[0] == "red":
+            binds[name] = _Bind("opsred", k, kind=spec[1])
+            red_spec.append(("red", k, spec[1]))
+        else:
+            raise Untranslatable(f"argument {k} is neither dat nor reduction")
+    for name in params[len(argspecs):]:
+        binds[name] = _Bind("default", -1)
+
+    em = _OpsEmitter(fn, ir, binds, ndim)
+    for j, (_, k, _kind) in enumerate(red_spec):
+        em.red_regs[params[k]] = j
+    em._depth = ndim
+    em.body(ir.body)
+
+    decls: list[str] = []
+    for j, (_, k) in enumerate(ptr_spec):
+        decls.append(f"    double *p{k} = p[{j}];")
+    si = 0
+    for k in dat_args:
+        for d in range(ndim - 1):
+            decls.append(f"    const long long s{k}_{d} = m[0][{si}];")
+            si += 1
+    for j in range(len(red_spec)):
+        decls.append(f"    double r{j} = red[{j}];")
+    for d in range(ndim):
+        decls.append(f"    const long long n{d} = n[{d}];")
+
+    nest_open = [
+        "    " * (d + 1) + f"for (long long i{d} = 0; i{d} < n{d}; ++i{d}) {{"
+        for d in range(ndim)
+    ]
+    local_decls = ["    " * (ndim + 1) + f"double l_{nm};" for nm in em.declared_locals()]
+    body_lines = ["    " + ln for ln in em.lines]
+    nest_close = ["    " * (d + 1) + "}" for d in range(ndim - 1, -1, -1)]
+    epilogue = [f"    red[{j}] = r{j};" for j in range(len(red_spec))]
+
+    source = "\n".join(
+        [
+            "#include <math.h>",
+            "",
+            f"/* ops loop '{loop_name}': kernel '{ir.name}', {ndim}-D nest */",
+            "void kernel_run(double **p, const long long **m, const long long *n,",
+            "                double *red, const double *cv)",
+            "{",
+            "    (void)p; (void)m; (void)red; (void)cv;",
+            *decls,
+            *nest_open,
+            *local_decls,
+            *body_lines,
+            *nest_close,
+            *epilogue,
+            "}",
+            "",
+        ]
+    )
+    return NativeCode(
+        source=source,
+        entry=ENTRY,
+        ptr_spec=tuple(ptr_spec),
+        map_spec=(("strides",),) if dat_args else (),
+        red_spec=tuple(red_spec),
+        const_names=tuple(em.const_slots),
+    )
+
+
+# -- op2 generator -------------------------------------------------------------
+
+class _Op2Emitter(_Emitter):
+    def __init__(self, fn, ir, binds):
+        super().__init__(fn, ir, binds, "op2")
+
+    def load(self, param: str, index, store: bool) -> str:
+        b = self.binds.get(param)
+        if b is None:
+            raise Untranslatable(f"unbound parameter {param!r}")
+        if index is None or len(index) != 1:
+            raise Untranslatable(f"{param!r} indexed with wrong arity")
+        c = self.index(index[0])
+        if b.role == "direct":
+            return f"p{b.k}[e * {b.dim} + {c}]"
+        if b.role == "iread":
+            if store:
+                raise Untranslatable(f"write to READ parameter {param!r}")
+            return f"p{b.k}[t{b.k} * {b.dim} + {c}]"
+        if b.role == "ibuf":
+            return f"S{b.k}[e * {b.dim} + {c}]"
+        if b.role == "gread":
+            if store:
+                raise Untranslatable(f"write to READ global {param!r}")
+            return f"g{b.k}[{c}]"
+        if b.role == "gmm":
+            return f"a{b.k}[{c}]"
+        raise Untranslatable(f"subscript on scalar parameter {param!r}")
+
+    def _fold(self, s: SFold) -> None:
+        # `t[0] = min(t[0], x)` on a MIN/MAX global: kernelvec runs it as
+        # row = np.minimum(row, x) — the row (first operand) wins ties
+        b = self.binds.get(s.param)
+        if b is None or b.role != "gmm":
+            raise Untranslatable("fold on a non-global parameter")
+        if s.method != b.kind:
+            raise Untranslatable(f"{s.method} fold on a {b.kind} global")
+        if s.index is None or len(s.index) != 1:
+            raise Untranslatable("fold with wrong index arity")
+        cell = f"a{b.k}[{self.index(s.index[0])}]"
+        op = "<" if b.kind == "min" else ">"
+        for a in s.args:
+            t = self._fresh()
+            self.emit(f"const double {t} = {self.value(a)};")
+            self.emit(f"{cell} = {_np_select(cell, t, op)};")
+
+
+def generate_op2(fn, argspecs, loop_name: str) -> NativeCode:
+    """Generate two-phase C for one OP2 unstructured loop.
+
+    ``argspecs`` classifies each argument: ``("direct", dim, access)``,
+    ``("ind", dim, access)``, ``("gread", dim)`` or ``("gmm", dim, kind)``.
+    """
+    fn = getattr(fn, "func", fn)
+    ir = ir_for_callable(fn)
+    params = ir.params
+    if len(argspecs) != len(params):
+        raise Untranslatable("argument/parameter count mismatch")
+
+    binds: dict[str, _Bind] = {}
+    ptr_spec: list = []
+    map_spec: list = []
+    red_spec: list = []
+    scratch_spec: list = []
+    gmm_args: list[int] = []
+    for k, spec in enumerate(argspecs):
+        name = params[k]
+        role = spec[0]
+        if role == "gread":
+            binds[name] = _Bind("gread", k, dim=int(spec[1]))
+            ptr_spec.append(("glob", k))
+        elif role == "gmm":
+            dim, kind = int(spec[1]), spec[2]
+            binds[name] = _Bind("gmm", k, dim=dim, writable=True, kind=kind)
+            gmm_args.append(k)
+            for c in range(dim):
+                red_spec.append(("gmm", k, c, kind))
+        elif role in ("direct", "ind"):
+            dim, acc = int(spec[1]), spec[2]
+            if acc not in ("READ", "WRITE", "RW", "INC"):
+                raise Untranslatable(f"access {acc} on a dat argument")
+            writes = acc != "READ"
+            if role == "direct":
+                binds[name] = _Bind("direct", k, dim=dim, writable=writes)
+                ptr_spec.append(("dat", k))
+            else:
+                map_spec.append(("cols", k))
+                if writes:
+                    binds[name] = _Bind("ibuf", k, dim=dim, writable=True, kind=acc)
+                    ptr_spec.append(("dat", k))
+                    ptr_spec.append(("scratch", k))
+                    scratch_spec.append((k, dim))
+                else:
+                    binds[name] = _Bind("iread", k, dim=dim)
+                    ptr_spec.append(("dat", k))
+        else:
+            raise Untranslatable(f"unknown argument role {role!r}")
+
+    em = _Op2Emitter(fn, ir, binds)
+    em._depth = 2
+    em.body(ir.body)
+
+    decls: list[str] = []
+    for j, (role, k) in enumerate(ptr_spec):
+        if role == "dat":
+            decls.append(f"    double *p{k} = p[{j}];")
+        elif role == "scratch":
+            decls.append(f"    double *S{k} = p[{j}];")
+        else:
+            decls.append(f"    const double *g{k} = p[{j}];")
+    for j, (_, k) in enumerate(map_spec):
+        decls.append(f"    const long long *c{k} = m[{j}];")
+    decls.append("    const long long ne = n[0];")
+    for k in gmm_args:
+        b = binds[params[k]]
+        for c in range(b.dim):
+            decls.append(f"    double acc{k}_{c} = red[{_red_slot(red_spec, k, c)}];")
+
+    # phase A prologue per element: map columns, scratch init, global cells
+    pro: list[str] = []
+    for _, k in map_spec:
+        pro.append(f"        const long long t{k} = c{k}[e];")
+    for k, dim in scratch_spec:
+        b = binds[params[k]]
+        if b.kind == "INC":
+            for c in range(dim):
+                pro.append(f"        S{k}[e * {dim} + {c}] = 0.0;")
+        else:
+            # WRITE and RW both gather the current values (the vec path's
+            # _G_TAKE), so an unwritten component scatters back unchanged
+            for c in range(dim):
+                pro.append(
+                    f"        S{k}[e * {dim} + {c}] = p{k}[t{k} * {dim} + {c}];"
+                )
+    for k in gmm_args:
+        b = binds[params[k]]
+        pro.append(f"        double a{k}[{b.dim}];")
+        for c in range(b.dim):
+            pro.append(f"        a{k}[{c}] = red[{_red_slot(red_spec, k, c)}];")
+
+    # per-element epilogue: fold each global row into the running
+    # accumulator the way buf.min(axis=0) does — sequential over elements,
+    # accumulator wins ties (and g_old seeds the chain, matching the final
+    # np.minimum(g, buf.min(axis=0)) exactly)
+    gmm_epi: list[str] = []
+    for k in gmm_args:
+        b = binds[params[k]]
+        op = "<" if b.kind == "min" else ">"
+        for c in range(b.dim):
+            acc = f"acc{k}_{c}"
+            gmm_epi.append(f"        {acc} = {_np_select(acc, f'a{k}[{c}]', op)};")
+
+    local_decls = [f"        double l_{nm};" for nm in em.declared_locals()]
+
+    # phase B: scatters replayed in argument order (np.add.at element
+    # order for INC; fancy-assign last-writer-wins element order otherwise)
+    phase_b: list[str] = []
+    for k, dim in scratch_spec:
+        b = binds[params[k]]
+        assign = "+=" if b.kind == "INC" else "="
+        phase_b.append("    for (long long e = 0; e < ne; ++e) {")
+        phase_b.append(f"        const long long w{k} = c{k}[e];")
+        for c in range(dim):
+            phase_b.append(
+                f"        p{k}[w{k} * {dim} + {c}] {assign} S{k}[e * {dim} + {c}];"
+            )
+        phase_b.append("    }")
+
+    epilogue = [
+        f"    red[{_red_slot(red_spec, k, c)}] = acc{k}_{c};"
+        for k in gmm_args
+        for c in range(binds[params[k]].dim)
+    ]
+
+    source = "\n".join(
+        [
+            "#include <math.h>",
+            "",
+            f"/* op2 loop '{loop_name}': kernel '{ir.name}', two-phase */",
+            "void kernel_run(double **p, const long long **m, const long long *n,",
+            "                double *red, const double *cv)",
+            "{",
+            "    (void)p; (void)m; (void)red; (void)cv;",
+            *decls,
+            "    for (long long e = 0; e < ne; ++e) {",
+            *pro,
+            *local_decls,
+            *em.lines,
+            *gmm_epi,
+            "    }",
+            *phase_b,
+            *epilogue,
+            "}",
+            "",
+        ]
+    )
+    return NativeCode(
+        source=source,
+        entry=ENTRY,
+        ptr_spec=tuple(ptr_spec),
+        map_spec=tuple(map_spec),
+        red_spec=tuple(red_spec),
+        const_names=tuple(em.const_slots),
+        scratch_spec=tuple(scratch_spec),
+    )
+
+
+def _red_slot(red_spec: list, k: int, c: int) -> int:
+    for j, entry in enumerate(red_spec):
+        if entry[0] == "gmm" and entry[1] == k and entry[2] == c:
+            return j
+    raise Untranslatable("missing reduction slot")

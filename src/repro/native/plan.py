@@ -1,0 +1,413 @@
+"""Admission gates and runtime bindings for native loops.
+
+``try_compile_ops`` / ``try_compile_op2`` are the single entry points the
+execplan layer calls while building a plan.  They either return a bound
+``Native*Loop`` (a zero-argument compiled call plus the reduction
+marshalling around it) or record exactly one ``native.fallback`` telemetry
+instant + counter and return ``None`` — the plan then keeps its
+interpreted vec machinery, so a decline is never observable in results.
+
+The admission ladder, in order:
+
+1. ``config.native`` (``REPRO_NATIVE``) must be on.
+2. The kernel's :class:`~repro.lint.abstract.KernelCertificate` must be
+   ``translatable`` (complete lowering, pure, proven-bounded extents).
+3. Structural gates that keep C-vs-vec bitwise: float64 contiguous data
+   only; no pairwise-summed accumulations (global INC, ``Reduction('inc')``
+   — declined in codegen); written dats must not alias other arguments
+   (op2 allows multi-arg writes only when every access to that dat is
+   indirect, which the two-phase schedule orders exactly like the vec
+   scatters); ops written dats must have centre-only proven extents (the
+   per-element/per-statement execution orders coincide only then).
+4. Every certificate-proven offset must land inside the actual storage
+   (ops: within halo-padded bounds for this range; op2: within ``dim``,
+   and map columns within the dat's rows) — the C has no bounds checks,
+   so admission is where memory safety is proven.
+5. Codegen itself (:mod:`.cgen`) declines anything without an exact C
+   spelling, and the toolchain (:mod:`.cache`) declines when there is no
+   compiler.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.config import get_config
+from repro.common.profiling import active_counters
+from repro.lint.abstract import certify_callable
+from repro.native import cache as _cache
+from repro.native import cgen as _cgen
+from repro.telemetry import tracer as _trace
+
+__all__ = ["NativeOpsLoop", "NativeOp2Loop", "try_compile_ops", "try_compile_op2"]
+
+
+def _fallback(domain: str, loop_name: str, reason: str) -> None:
+    """Account one declined loop: counter tick + a single telemetry instant."""
+    active_counters().record_native_fallback()
+    trc = _trace.ACTIVE
+    if trc is not None:
+        trc.instant("native.fallback", "native", domain=domain, loop=loop_name, reason=reason)
+
+
+def _load(source: str, loop_name: str):
+    """Compile-or-load with the compile span and cache-traffic counters."""
+    counters = active_counters()
+    trc = _trace.ACTIVE
+    if _cache.is_cached(source):
+        kern, cached = _cache.load_kernel(source)
+    else:
+        span = (
+            trc.begin("native.compile", "native", loop=loop_name)
+            if trc is not None
+            else None
+        )
+        try:
+            kern, cached = _cache.load_kernel(source)
+        finally:
+            if span is not None:
+                trc.end(span)
+    if cached:
+        counters.record_native_cache_hit()
+        if trc is not None:
+            trc.instant("native.cache_hit", "native", loop=loop_name)
+    else:
+        counters.record_native_cache_miss()
+        counters.record_native_compile()
+        if trc is not None:
+            trc.instant("native.cache_miss", "native", loop=loop_name)
+    return kern
+
+
+def _const_values(fn, code: "_cgen.NativeCode", ir) -> np.ndarray:
+    """Resolve the cv slots (closure/global scalars, defaulted params)."""
+    values = []
+    for tagged in code.const_names:
+        tag, name = tagged[0], tagged[1:]
+        if tag == "=":
+            obj = _cgen.resolve_free(fn, name)
+        else:  # "@": a defaulted trailing parameter
+            defaults = fn.__defaults__ or ()
+            idx = ir.params.index(name) - (len(ir.params) - len(defaults))
+            if idx < 0 or idx >= len(defaults):
+                raise _cgen.Untranslatable(f"parameter {name!r} has no default")
+            obj = defaults[idx]
+        if isinstance(obj, bool) or not isinstance(
+            obj, (int, float, np.floating, np.integer)
+        ):
+            raise _cgen.Untranslatable(f"constant {name!r} is not a numeric scalar")
+        values.append(float(obj))
+    return np.asarray(values, dtype=np.float64)
+
+
+def _addr(arr: np.ndarray) -> int:
+    return arr.ctypes.data
+
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
+
+
+# -- ops ----------------------------------------------------------------------
+
+class NativeOpsLoop:
+    """A compiled structured loop bound to its storage addresses."""
+
+    __slots__ = ("call", "red_info", "red_arr", "_keepalive")
+
+    def __init__(self, call, red_info, red_arr, keepalive):
+        self.call = call
+        self.red_info = red_info  # [(slot, kind, arg_index), ...]
+        self.red_arr = red_arr
+        self._keepalive = keepalive
+
+    def execute(self, args) -> None:
+        red = self.red_arr
+        info = self.red_info
+        for j, kind, _k in info:
+            # seed with the fold identity: the register then equals
+            # np.min/np.max over the swept elements exactly
+            red[j] = math.inf if kind == "min" else -math.inf
+        self.call()
+        for j, kind, k in info:
+            handle = args[k]
+            # the same handle.min(value) fold the vec path performs
+            (handle.min if kind == "min" else handle.max)(red[j])
+
+
+def try_compile_ops(kernel, ranges, args, loop_name: str) -> NativeOpsLoop | None:
+    """Admission + build for one OPS loop site; None means use vec."""
+    if not get_config().native:
+        _fallback("ops", loop_name, "disabled")
+        return None
+    try:
+        return _build_ops(kernel, ranges, args, loop_name)
+    except (_cgen.Untranslatable, _cache.NativeUnavailable) as exc:
+        _fallback("ops", loop_name, exc.reason)
+    except Exception as exc:  # the native tier must never break a plan
+        _fallback("ops", loop_name, f"internal:{type(exc).__name__}: {exc}")
+    return None
+
+
+def _build_ops(kernel, ranges, args, loop_name: str) -> NativeOpsLoop:
+    fn = getattr(kernel, "func", kernel)
+    ndim = len(ranges)
+    if any(hi <= lo for lo, hi in ranges):
+        raise _cgen.Untranslatable("empty range")
+
+    cert = certify_callable(fn)
+    if not cert.translatable:
+        raise _cgen.Untranslatable(
+            "certificate: " + "; ".join(cert.reasons or ("not translatable",))
+        )
+
+    argspecs: list[tuple] = []
+    dat_of: list = []  # per-arg dat or None
+    for arg in args:
+        dat = getattr(arg, "dat", None)
+        if dat is not None:
+            argspecs.append(("dat", bool(arg.access.writes)))
+            dat_of.append(dat)
+        elif getattr(arg, "kind", None) in ("inc", "min", "max"):
+            if arg.kind == "inc":
+                raise _cgen.Untranslatable("inc reduction is pairwise-summed on vec")
+            argspecs.append(("red", arg.kind))
+            dat_of.append(None)
+        else:
+            raise _cgen.Untranslatable("argument is neither dat nor reduction")
+
+    # aliasing: a written dat must be referenced by exactly one argument —
+    # vec's per-statement order and C's per-element order only coincide then
+    for k, (spec, dat) in enumerate(zip(argspecs, dat_of)):
+        if dat is None or not (spec[0] == "dat" and spec[1]):
+            continue
+        if any(d is dat for j, d in enumerate(dat_of) if j != k):
+            raise _cgen.Untranslatable("written dat aliased by another argument")
+
+    params = _cgen.ir_for_callable(fn).params
+    if len(args) > len(params):
+        raise _cgen.Untranslatable("more loop arguments than kernel parameters")
+
+    # storage-bounds proof: every certified offset must stay inside the
+    # halo-padded storage for this range (C performs no checks)
+    for k, (spec, dat) in enumerate(zip(argspecs, dat_of)):
+        if dat is None:
+            continue
+        if dat.dtype != np.float64:
+            raise _cgen.Untranslatable(f"dat {dat.name} is not float64")
+        st = dat._storage
+        if not st.flags["C_CONTIGUOUS"] or st.itemsize != 8 or st.ndim != ndim:
+            raise _cgen.Untranslatable(f"dat {dat.name} storage is not dense {ndim}-D")
+        pname = params[k]
+        reads = cert.reads_of(pname) or ()
+        writes = cert.writes_of(pname) or ()
+        if spec[1] and any(any(c != 0 for c in pt) for pt in (*reads, *writes)):
+            # the Jacobi hazard: reading a neighbour of a dat you write has
+            # different per-element vs per-statement semantics
+            raise _cgen.Untranslatable(f"written dat {dat.name} accessed off-centre")
+        h = dat.halo_depth
+        for pt in (*reads, *writes):
+            if len(pt) != ndim:
+                raise _cgen.Untranslatable(f"{pname}: offset arity != {ndim}")
+            for d, o in enumerate(pt):
+                lo, hi = ranges[d]
+                if lo + o + h < 0 or hi + o + h > st.shape[d]:
+                    raise _cgen.Untranslatable(
+                        f"{pname}: offset {pt} leaves storage for range {ranges[d]}"
+                    )
+
+    code = _cgen.generate_ops(fn, argspecs, ndim, loop_name)
+    cv = _const_values(fn, code, _cgen.ir_for_callable(fn))
+
+    # runtime binding: base pointers pre-offset to the range origin,
+    # outer strides in elements, extents per dimension
+    ptr_vals = []
+    strides: list[int] = []
+    for _, k in code.ptr_spec:
+        dat = dat_of[k]
+        st = dat._storage
+        el = [s // st.itemsize for s in st.strides]
+        off = sum((ranges[d][0] + dat.halo_depth) * el[d] for d in range(ndim))
+        ptr_vals.append(st.ctypes.data + 8 * off)
+        strides.extend(el[:-1])
+    ptrs = np.asarray(ptr_vals, dtype=np.uint64) if ptr_vals else np.empty(0, np.uint64)
+    sarr = np.asarray(strides, dtype=np.int64) if strides else _EMPTY_I64
+    marr = np.asarray([_addr(sarr)], dtype=np.uint64)
+    narr = np.asarray([hi - lo for lo, hi in ranges], dtype=np.int64)
+    red_arr = (
+        np.zeros(len(code.red_spec), dtype=np.float64) if code.red_spec else _EMPTY_F64
+    )
+    cv_arr = cv if cv.size else _EMPTY_F64
+
+    kern = _load(code.source, loop_name)
+    call = kern.make_call(_addr(ptrs), _addr(marr), _addr(narr), _addr(red_arr), _addr(cv_arr))
+    red_info = [(j, kind, k) for j, (_, k, kind) in enumerate(code.red_spec)]
+    keepalive = (kern, ptrs, sarr, marr, narr, cv_arr, args)
+    return NativeOpsLoop(call, red_info, red_arr, keepalive)
+
+
+# -- op2 ----------------------------------------------------------------------
+
+class NativeOp2Loop:
+    """A compiled unstructured loop bound to its storage addresses."""
+
+    __slots__ = ("call", "gmm_cells", "red_arr", "guards", "_keepalive")
+
+    def __init__(self, call, gmm_cells, red_arr, guards, keepalive):
+        self.call = call
+        self.gmm_cells = gmm_cells  # [(slot, glob, cell), ...]
+        self.red_arr = red_arr
+        self.guards = guards  # [(owner, ndarray), ...] — identity checks
+        self._keepalive = keepalive
+
+    def still_valid(self) -> bool:
+        """The baked addresses are only valid while every array survives."""
+        for owner, arr in self.guards:
+            if owner.data is not arr:
+                return False
+        return True
+
+    def execute(self) -> None:
+        red = self.red_arr
+        cells = self.gmm_cells
+        for j, g, c in cells:
+            red[j] = g.data[c]
+        self.call()
+        for j, g, c in cells:
+            g.data[c] = red[j]
+
+
+def try_compile_op2(kernel, args, backend: str, n: int, loop_name: str) -> NativeOp2Loop | None:
+    """Admission + build for one OP2 loop site; None means use vec."""
+    if not get_config().native:
+        _fallback("op2", loop_name, "disabled")
+        return None
+    try:
+        return _build_op2(kernel, args, backend, n, loop_name)
+    except (_cgen.Untranslatable, _cache.NativeUnavailable) as exc:
+        _fallback("op2", loop_name, exc.reason)
+    except Exception as exc:  # the native tier must never break a plan
+        _fallback("op2", loop_name, f"internal:{type(exc).__name__}: {exc}")
+    return None
+
+
+def _build_op2(kernel, args, backend: str, n: int, loop_name: str) -> NativeOp2Loop:
+    if backend != "vec":
+        # openmp runs coloured subsets; only the single vec sweep is mirrored
+        raise _cgen.Untranslatable(f"backend {backend!r} (native mirrors vec)")
+    if n <= 0:
+        raise _cgen.Untranslatable("empty iteration set")
+    fn = getattr(kernel, "func", kernel)
+
+    cert = certify_callable(fn)
+    if not cert.translatable:
+        raise _cgen.Untranslatable(
+            "certificate: " + "; ".join(cert.reasons or ("not translatable",))
+        )
+
+    argspecs: list[tuple] = []
+    for arg in args:
+        acc = arg.access.name
+        if arg.glob is not None:
+            if acc == "READ":
+                argspecs.append(("gread", arg.glob.dim))
+            elif acc in ("MIN", "MAX"):
+                argspecs.append(("gmm", arg.glob.dim, acc.lower()))
+            else:
+                raise _cgen.Untranslatable("global INC is pairwise-summed on vec")
+            if arg.glob.dtype != np.float64:
+                raise _cgen.Untranslatable("global is not float64")
+            continue
+        dat = arg.dat
+        if dat.dtype != np.float64:
+            raise _cgen.Untranslatable(f"dat {dat.name} is not float64")
+        d = dat.data
+        if d.ndim != 2 or not d.flags["C_CONTIGUOUS"] or d.itemsize != 8:
+            raise _cgen.Untranslatable(f"dat {dat.name} storage is not dense (n, dim)")
+        argspecs.append(("direct" if arg.map is None else "ind", dat.dim, acc))
+
+    # aliasing: a dat with any written argument must either appear exactly
+    # once, or be accessed *only* indirectly — indirect reads gather before
+    # the sweep and indirect writes scatter after it, in argument order,
+    # exactly like the vec schedule, so ordering cannot diverge
+    for k, arg in enumerate(args):
+        if arg.dat is None or not arg.access.writes:
+            continue
+        peers = [j for j, a in enumerate(args) if a.dat is arg.dat]
+        if len(peers) > 1 and any(args[j].map is None for j in peers):
+            raise _cgen.Untranslatable("written dat aliased by a direct argument")
+
+    # component-bounds proof: every certified offset within [0, dim)
+    params = _cgen.ir_for_callable(fn).params
+    if len(params) != len(args):
+        raise _cgen.Untranslatable("argument/parameter count mismatch")
+    for k, arg in enumerate(args):
+        dim = arg.glob.dim if arg.glob is not None else arg.dat.dim
+        pname = params[k]
+        for pt in (*(cert.reads_of(pname) or ()), *(cert.writes_of(pname) or ())):
+            if len(pt) != 1 or not (0 <= pt[0] < dim):
+                raise _cgen.Untranslatable(
+                    f"{pname}: component {pt} outside [0, {dim})"
+                )
+
+    code = _cgen.generate_op2(fn, argspecs, loop_name)
+    cv = _const_values(fn, code, _cgen.ir_for_callable(fn))
+
+    # map columns (plan-owned, int64, bounds-checked) and scratch buffers
+    cols: dict[int, np.ndarray] = {}
+    for _, k in code.map_spec:
+        arg = args[k]
+        c = np.ascontiguousarray(arg.map.values[:n, arg.idx], dtype=np.int64)
+        if c.size and (c.min() < 0 or c.max() >= arg.dat.data.shape[0]):
+            raise _cgen.Untranslatable(f"map column {k} leaves dat rows")
+        cols[k] = c
+    scratch: dict[int, np.ndarray] = {
+        k: np.empty(n * dim, dtype=np.float64) for k, dim in code.scratch_spec
+    }
+
+    ptr_vals = []
+    guards: list[tuple] = []
+    seen = set()
+    for role, k in code.ptr_spec:
+        if role == "dat":
+            d = args[k].dat
+            ptr_vals.append(d.data.ctypes.data)
+            if id(d) not in seen:
+                seen.add(id(d))
+                guards.append((d, d.data))
+        elif role == "scratch":
+            ptr_vals.append(scratch[k].ctypes.data)
+        else:  # glob
+            g = args[k].glob
+            ptr_vals.append(g.data.ctypes.data)
+            if id(g) not in seen:
+                seen.add(id(g))
+                guards.append((g, g.data))
+    gmm_cells = []
+    for j, entry in enumerate(code.red_spec):
+        _, k, c, _kind = entry
+        g = args[k].glob
+        gmm_cells.append((j, g, c))
+        if id(g) not in seen:
+            seen.add(id(g))
+            guards.append((g, g.data))
+
+    ptrs = np.asarray(ptr_vals, dtype=np.uint64) if ptr_vals else np.empty(0, np.uint64)
+    col_arrs = [cols[k] for _, k in code.map_spec]
+    marr = (
+        np.asarray([_addr(c) for c in col_arrs], dtype=np.uint64)
+        if col_arrs
+        else np.empty(0, np.uint64)
+    )
+    narr = np.asarray([n], dtype=np.int64)
+    red_arr = (
+        np.zeros(len(code.red_spec), dtype=np.float64) if code.red_spec else _EMPTY_F64
+    )
+    cv_arr = cv if cv.size else _EMPTY_F64
+
+    kern = _load(code.source, loop_name)
+    call = kern.make_call(_addr(ptrs), _addr(marr), _addr(narr), _addr(red_arr), _addr(cv_arr))
+    keepalive = (kern, ptrs, marr, narr, cv_arr, col_arrs, scratch, args)
+    return NativeOp2Loop(call, gmm_cells, red_arr, guards, keepalive)

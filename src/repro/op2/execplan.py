@@ -310,6 +310,15 @@ class CompiledLoop:
         self._dat_guards = list(dat_guards.values())
         self._map_guards = list(map_guards.values())
 
+        # (e) native tier: a compiled C kernel under the same plan.  The
+        # plan's own guards track shape/dtype only, so the native loop keeps
+        # its own storage-identity guards (checked per call in execute).
+        from repro.native import plan as _native  # deferred: optional tier
+
+        self.native = _native.try_compile_op2(kernel, args, backend, n, kernel.name)
+        if self.native is not None:
+            self.trace_attrs["native"] = True
+
     def still_valid(self) -> bool:
         """True while the shapes/arrays the plan was built from are unchanged."""
         for dat, shape, dtype in self._dat_guards:
@@ -334,13 +343,27 @@ class CompiledLoop:
 
         counters = active_counters()
         rec = counters.loop(self.kernel.name)
-        vec_func = self.kernel.vec_func
+        nat = self.native
+        if nat is not None and not nat.still_valid():
+            # a dat/global rebound its storage under the baked addresses:
+            # permanently drop this plan's native tier (the plan itself is
+            # still valid — its views go through dat.data, not addresses)
+            from repro.native import plan as _native
+
+            self.native = nat = None
+            self.trace_attrs.pop("native", None)
+            _native._fallback("op2", self.kernel.name, "storage rebound")
         trc = _trace.ACTIVE
         span = trc.begin("par_loop", "op2", **self.trace_attrs) if trc is not None else None
         try:
             with Timer(rec):
-                for subset in self.subsets:
-                    subset.run(vec_func)
+                if nat is not None:
+                    counters.record_native_call()
+                    nat.execute()
+                else:
+                    vec_func = self.kernel.vec_func
+                    for subset in self.subsets:
+                        subset.run(vec_func)
         finally:
             if span is not None:
                 trc.end(span)

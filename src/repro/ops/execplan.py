@@ -176,6 +176,22 @@ class CompiledOpsLoop:
                 guards[a.dat.token] = (a.dat, a.dat.data)
         self._guards = list(guards.values())
 
+        # (e) native tier: one compiled C kernel per tile, admission-gated.
+        # The identity guards above already pin every baked storage address,
+        # so a native plan needs no extra invalidation machinery here.
+        from repro.native import plan as _native  # deferred: optional tier
+
+        natives: list | None = []
+        for tile in tile_list:
+            nat = _native.try_compile_ops(kernel, tile, args, loop_name)
+            if nat is None:
+                natives = None
+                break
+            natives.append(nat)
+        self.natives = natives
+        if natives:
+            self.trace_attrs["native"] = True
+
     def still_valid(self) -> bool:
         """True while every dat still owns the storage the views were cut from."""
         for dat, data in self._guards:
@@ -208,10 +224,15 @@ class CompiledOpsLoop:
         span = trc.begin("par_loop", "ops", **self.trace_attrs) if trc is not None else None
         try:
             with Timer(rec):
-                for accs in self.tile_accessors:
-                    for i in red_slots:
-                        accs[i] = args[i]
-                    kernel(*accs)
+                if self.natives:
+                    counters.record_native_call()
+                    for nat in self.natives:
+                        nat.execute(args)
+                else:
+                    for accs in self.tile_accessors:
+                        for i in red_slots:
+                            accs[i] = args[i]
+                        kernel(*accs)
         finally:
             if span is not None:
                 trc.end(span)

@@ -1,0 +1,567 @@
+"""Native compiled-kernel backend: admission, bitwise parity, degradation.
+
+The native tier (:mod:`repro.native`) compiles certified kernels to C and
+slots them under the execplan cache.  These tests gate it the only way
+that matters for an active library: **bitwise** against the vec executor
+on every proxy app (rank 1 and rank 4), with every degradation path — no
+compiler, corrupt cached object, untranslatable kernel, ``REPRO_NATIVE=0``
+— falling back to identical results and exactly one fallback record.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import ops, telemetry
+from repro.common.config import swap
+from repro.common.counters import PerfCounters
+from repro.common.profiling import counters_scope
+from repro.common.report import timing_report
+from repro.native import cache as ncache
+from repro.native import cgen as ncgen
+from repro.simmpi import run_spmd
+from repro.verify import diff_backends
+
+#: tests that assert compiled kernels actually ran need a toolchain; on a
+#: compiler-free box (the CI no-compiler leg) everything else still runs
+#: and proves the graceful-degradation story
+requires_cc = pytest.mark.skipif(
+    ncache.find_compiler() is None, reason="no C compiler available"
+)
+
+
+@pytest.fixture(autouse=True)
+def _native_cache_isolation(tmp_path):
+    """Every test compiles into its own disk cache and a fresh memory cache."""
+    ncache.clear_memory_cache()
+    ncache._reset_compiler_cache()
+    with swap(native_cache_dir=str(tmp_path / "natcache")):
+        yield
+    ncache.clear_memory_cache()
+    ncache._reset_compiler_cache()
+
+
+def _clear_plans():
+    from repro.op2.execplan import clear_plan_cache as clear_op2
+    from repro.ops.execplan import clear_plan_cache as clear_ops
+
+    clear_op2()
+    clear_ops()
+
+
+def _native_vs_vec(run_fn, *, trace=True):
+    """Diff one app run with the native tier on vs off — bitwise, no tolerance.
+
+    Admission happens at plan build, so each mode starts from empty plan
+    registries (exactly what a fresh process sees).
+    """
+
+    def run(mode):
+        _clear_plans()
+        with swap(native=(mode == "native")):
+            return run_fn()
+
+    return diff_backends(run, ["vec", "native"], reference="vec", trace=trace)
+
+
+# ---------------------------------------------------------------------------
+# differential battery: native == vec on every proxy app, ranks 1 and 4
+# ---------------------------------------------------------------------------
+
+
+class TestDiffBatteryRank1:
+    def test_airfoil(self):
+        from repro.apps.airfoil.app import AirfoilApp
+        from repro.apps.airfoil.mesh import generate_mesh
+
+        def run():
+            app = AirfoilApp(generate_mesh(8, 6, jitter=0.1), backend="vec")
+            app.run(2)
+            m = app.mesh
+            return {"q": m.q.data, "qold": m.qold.data, "res": m.res.data,
+                    "rms": np.asarray([app.rms.value])}
+
+        _native_vs_vec(run).assert_agree()
+
+    def test_cloverleaf(self):
+        from repro.apps.cloverleaf import CloverLeafApp
+
+        def run():
+            app = CloverLeafApp(nx=12, ny=10, backend="vec")
+            summary = app.run(3)
+            st = app.st
+            out = {k: np.asarray([v]) for k, v in summary.items()}
+            out.update(density=st.density0.interior, energy=st.energy0.interior,
+                       xvel=st.xvel0.interior, yvel=st.yvel0.interior)
+            return out
+
+        _native_vs_vec(run).assert_agree()
+
+    def test_sod(self):
+        from repro.apps.sod.app import SodApp
+
+        def run():
+            app = SodApp(n=120, backend="vec")
+            for _ in range(20):
+                app.step()
+            return app.profiles()
+
+        _native_vs_vec(run).assert_agree()
+
+    def test_multiblock(self):
+        from repro.apps.multiblock.app import MultiBlockDiffusion
+        import repro.ops.parloop as opl
+
+        def run():
+            initial = np.add.outer(np.arange(16.0), np.sin(np.arange(8.0)))
+            mb = MultiBlockDiffusion(8, 8, initial=initial)
+            prev = opl.get_default_backend()
+            opl.set_default_backend("vec")
+            try:
+                mb.run(4)
+            finally:
+                opl.set_default_backend(prev)
+            return {"u": mb.solution()}
+
+        _native_vs_vec(run).assert_agree()
+
+    @requires_cc
+    def test_native_loops_actually_ran(self):
+        """The battery is vacuous if admission quietly declines everything."""
+        from repro.apps.cloverleaf import CloverLeafApp
+
+        _clear_plans()
+        counters = PerfCounters()
+        with counters_scope(counters), swap(native=True):
+            CloverLeafApp(nx=10, ny=8, backend="vec").run(2)
+        assert counters.native_calls > 0
+        assert counters.native_compiles > 0
+
+
+class TestDiffBatteryRank4:
+    """Rank-4 runs: per-rank plans compile per-rank native loops (each rank
+    thread builds its own signatures).  Loop traces interleave across rank
+    threads, so only final states are compared — bitwise."""
+
+    def test_airfoil_rank4(self):
+        from repro.apps.airfoil.app import AirfoilApp
+        from repro.apps.airfoil.mesh import generate_mesh
+
+        def run():
+            mesh = generate_mesh(10, 8, jitter=0.1)
+            app = AirfoilApp(mesh)
+            pm = app.build_partitioned(4, "block")
+
+            def main(comm):
+                rms = app.run_distributed(comm, pm, 2)
+                return rms, pm.local(comm.rank).gather_dat(comm, mesh.q)
+
+            rms, q = run_spmd(4, main)[0]
+            return {"q": q, "rms": np.asarray([rms])}
+
+        _native_vs_vec(run, trace=False).assert_agree()
+
+    def test_cloverleaf_rank4(self):
+        from repro.apps.cloverleaf import clover_bm_state
+        from repro.apps.cloverleaf.app import DistributedCloverLeafApp
+        from repro.ops.decomp import DecomposedBlock
+
+        def run():
+            gstate = clover_bm_state(12, 8)
+            dec = DecomposedBlock(4, gstate.block, gstate.all_dats,
+                                  global_size=(12, 8))
+
+            def main(comm):
+                app = DistributedCloverLeafApp(comm, dec, gstate)
+                s = app.run(2)
+                return s, app.gather_field("density0")
+
+            s, dens = run_spmd(4, main)[0]
+            return {"density": dens, **{k: np.asarray([v]) for k, v in s.items()}}
+
+        _native_vs_vec(run, trace=False).assert_agree()
+
+    @pytest.mark.parametrize("app", ["sod", "multiblock"])
+    def test_decomposed_stencil_rank4(self, app):
+        """sod/multiblock have no distributed driver; their rank-4 leg runs
+        an app-shaped stencil+reduction chain through DecomposedBlock."""
+        if app == "sod":
+            shape, ranges = (64,), [(1, 63)]
+
+            def kern(u, v, t):
+                v[0] = 0.25 * (u[-1] + u[1]) + 0.5 * u[0]
+                t.min(v[0])
+
+            sten = ops.Stencil(1, [(0,), (-1,), (1,)], "S1D_3PT_T")
+        else:
+            shape, ranges = (16, 12), [(1, 15), (1, 11)]
+
+            def kern(u, v, t):
+                v[0, 0] = 0.25 * (u[1, 0] + u[-1, 0] + u[0, 1] + u[0, -1])
+                t.min(v[0, 0])
+
+            sten = ops.S2D_5PT
+
+        def run():
+            from repro.ops.decomp import DecomposedBlock
+
+            blk = ops.Block(len(shape))
+            u = ops.Dat(blk, shape, halo_depth=2, name="u")
+            v = ops.Dat(blk, shape, halo_depth=2, name="v")
+            u.interior[...] = np.random.default_rng(7).random(shape)
+            dec = DecomposedBlock(4, blk, [u, v])
+
+            def main(comm):
+                lb = dec.local(comm.rank)
+                t = ops.Reduction("min")
+                for _ in range(3):
+                    lb.par_loop(comm, kern, ranges, u(ops.READ, sten),
+                                v(ops.WRITE), t)
+                    lb.par_loop(comm, kern, ranges, v(ops.READ, sten),
+                                u(ops.WRITE), t)
+                return t.value, lb.gather(comm, u)
+
+            t, gathered = run_spmd(4, main)[0]
+            return {"u": gathered, "t": np.asarray([t])}
+
+        _native_vs_vec(run, trace=False).assert_agree()
+
+
+class TestLazyThroughNative:
+    @requires_cc
+    def test_lazy_tiles_execute_compiled(self):
+        """Queued loops drain through per-tile vec plans; each tile's plan
+        carries its own native loop, and the result stays bitwise."""
+        from repro.ops import lazy as lazy_mod
+
+        def smooth(a, b):
+            b[0, 0] = 0.25 * (a[1, 0] + a[-1, 0] + a[0, 1] + a[0, -1])
+
+        def accum(b, a):
+            a[0, 0] = a[0, 0] + b[0, 0]
+
+        def run(lazy_on: bool):
+            _clear_plans()
+            lazy_mod.clear_chain_cache()
+            blk = ops.Block(2)
+            u = ops.Dat(blk, (24, 24), halo_depth=2, name="u")
+            v = ops.Dat(blk, (24, 24), halo_depth=2, name="v")
+            u.interior[...] = np.random.default_rng(3).random((24, 24))
+            r = [(1, 23), (1, 23)]
+            counters = PerfCounters()
+            with counters_scope(counters), swap(native=True, lazy=lazy_on):
+                for _ in range(2):
+                    ops.par_loop(smooth, blk, r, u(ops.READ, ops.S2D_5PT),
+                                 v(ops.WRITE), backend="vec")
+                    ops.par_loop(accum, blk, r, v(ops.READ), u(ops.RW),
+                                 backend="vec")
+                lazy_mod.flush("test_end")
+            return u.interior.copy(), counters
+
+        u_eager, c_eager = run(False)
+        u_lazy, c_lazy = run(True)
+        np.testing.assert_array_equal(u_eager, u_lazy)
+        # the lazy drain itself executed through compiled kernels
+        assert c_lazy.native_calls > 0
+        assert c_lazy.lazy_flushes > 0
+
+
+# ---------------------------------------------------------------------------
+# graceful degradation: every refusal path falls back to identical results
+# ---------------------------------------------------------------------------
+
+
+def _run_sod_once():
+    from repro.apps.sod.app import SodApp
+
+    _clear_plans()
+    app = SodApp(n=80, backend="vec")
+    for _ in range(5):
+        app.step()
+    return app.profiles()
+
+
+class TestDegradation:
+    def test_no_compiler_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_CC", "none")
+        ncache._reset_compiler_cache()
+        assert ncache.find_compiler() is None
+        with swap(native=True):
+            with_native = _run_sod_once()
+        monkeypatch.delenv("REPRO_NATIVE_CC")
+        ncache._reset_compiler_cache()
+        with swap(native=False):
+            without = _run_sod_once()
+        for k in without:
+            np.testing.assert_array_equal(with_native[k], without[k])
+
+    def test_no_compiler_records_one_fallback_per_loop(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_CC", "none")
+        ncache._reset_compiler_cache()
+        blk = ops.Block(1)
+        u = ops.Dat(blk, 16, halo_depth=1, name="u")
+
+        def double(a):
+            a[0] = a[0] * 2.0
+
+        counters = PerfCounters()
+        _clear_plans()
+        with counters_scope(counters), swap(native=True), telemetry.tracing() as trc:
+            for _ in range(5):
+                ops.par_loop(double, blk, [(0, 16)], u(ops.RW), backend="vec")
+        # one fallback at plan build, not one per call
+        assert counters.native_fallbacks == 1
+        assert counters.native_calls == 0
+        falls = [e for e in trc.events()
+                 if isinstance(e, telemetry.InstantEvent) and e.name == "native.fallback"]
+        assert len(falls) == 1
+        assert falls[0].attrs["reason"] == "no C compiler available"
+
+    @staticmethod
+    def _plant_corrupt_object(source):
+        """Put garbage at the cache slot for ``source`` WITHOUT dlopening a
+        good object there first — dlopen caches by path in-process, so a
+        previously loaded handle would mask the corrupt file entirely."""
+        import os
+
+        key = ncache.source_key(source)
+        os.makedirs(ncache.cache_dir(), exist_ok=True)
+        so = os.path.join(ncache.cache_dir(), f"{key}.so")
+        bad = so + ".bad"
+        with open(bad, "wb") as f:
+            f.write(b"not an ELF object")
+        os.replace(bad, so)
+        return so
+
+    @requires_cc
+    def test_corrupt_cached_object_recompiles(self):
+        code = ncgen.generate_ops(_square_kernel, [("dat", True)], 1, "corrupt_t")
+        self._plant_corrupt_object(code.source)
+        kern, cached = ncache.load_kernel(code.source)
+        assert not cached  # recompiled, not loaded stale
+        assert kern.make_call is not None
+
+    def test_corrupt_object_without_compiler_raises(self, monkeypatch):
+        code = ncgen.generate_ops(_square_kernel, [("dat", True)], 1, "corrupt_nc")
+        self._plant_corrupt_object(code.source)
+        monkeypatch.setattr(ncache, "find_compiler", lambda: None)
+        with pytest.raises(ncache.NativeUnavailable):
+            ncache.load_kernel(code.source)
+
+    def test_untranslatable_kernel_falls_back(self):
+        """A kernel the certifier declines runs interpreted, same results."""
+        blk = ops.Block(1)
+        u = ops.Dat(blk, 16, halo_depth=1, name="u")
+        u.interior[...] = np.linspace(0.5, 2.0, 16)
+
+        def transcendental(a):
+            a[0] = np.exp(a[0])  # exp: NumPy SIMD is not libm -> declined
+
+        counters = PerfCounters()
+        _clear_plans()
+        with counters_scope(counters), swap(native=True):
+            ops.par_loop(transcendental, blk, [(0, 16)], u(ops.RW), backend="vec")
+        with_native = u.interior.copy()
+        assert counters.native_fallbacks >= 1
+        assert counters.native_calls == 0
+
+        u.interior[...] = np.linspace(0.5, 2.0, 16)
+        _clear_plans()
+        with swap(native=False):
+            ops.par_loop(transcendental, blk, [(0, 16)], u(ops.RW), backend="vec")
+        np.testing.assert_array_equal(with_native, u.interior)
+
+    def test_config_off_disables_and_counts(self):
+        blk = ops.Block(1)
+        u = ops.Dat(blk, 16, halo_depth=1, name="u")
+
+        def double(a):
+            a[0] = a[0] * 2.0
+
+        counters = PerfCounters()
+        _clear_plans()
+        with counters_scope(counters), swap(native=False):
+            ops.par_loop(double, blk, [(0, 16)], u(ops.RW), backend="vec")
+        assert counters.native_calls == 0
+        assert counters.native_fallbacks == 1  # reason: disabled
+
+    @requires_cc
+    def test_storage_rebind_drops_native_tier(self):
+        """Replacing dat.data invalidates the ops plan (identity guards), and
+        the rebuilt plan re-admits native against the new storage."""
+        blk = ops.Block(1)
+        u = ops.Dat(blk, 16, halo_depth=1, name="u")
+        u.interior[...] = 1.0
+
+        def double(a):
+            a[0] = a[0] * 2.0
+
+        counters = PerfCounters()
+        _clear_plans()
+        with counters_scope(counters), swap(native=True):
+            ops.par_loop(double, blk, [(0, 16)], u(ops.RW), backend="vec")
+            u.data = u.data.copy()  # rebind storage under the plan
+            ops.par_loop(double, blk, [(0, 16)], u(ops.RW), backend="vec")
+        np.testing.assert_array_equal(u.interior, np.full(16, 4.0))
+        assert counters.native_calls == 2  # both plans ran natively
+
+
+def _square_kernel(a):
+    a[0] = a[0] * a[0]
+
+
+# ---------------------------------------------------------------------------
+# codegen unit level: exact C idioms the bitwise guarantee rests on
+# ---------------------------------------------------------------------------
+
+
+class TestCodegen:
+    def test_power_two_lowers_to_multiply(self):
+        def k(a, b):
+            b[0] = a[0] ** 2
+
+        code = ncgen.generate_ops(k, [("dat", False), ("dat", True)], 1, "p2")
+        assert "* t1" in code.source and "pow(" not in code.source
+
+    def test_min_fold_uses_numpy_select(self):
+        def k(a, t):
+            t.min(a[0])
+
+        code = ncgen.generate_ops(k, [("dat", False), ("red", "min")], 1, "mn")
+        # accumulator keeps ties and propagates NaN: (r < t || r != r) ? r : t
+        assert "|| r0 != r0) ? r0 :" in code.source
+
+    def test_closure_scalars_go_through_cv(self):
+        dt = 0.125
+
+        def k(a, b):
+            b[0] = a[0] * dt
+
+        code = ncgen.generate_ops(k, [("dat", False), ("dat", True)], 1, "cv")
+        assert "cv[0]" in code.source
+        assert "0.125" not in code.source  # never baked into the text
+        assert code.const_names == ("=dt",)
+
+    def test_inc_reduction_declined(self):
+        def k(a, t):
+            t.inc(a[0])
+
+        with pytest.raises(ncgen.Untranslatable, match="pairwise"):
+            ncgen.generate_ops(k, [("dat", False), ("red", "inc")], 1, "inc")
+
+    def test_transcendental_declined(self):
+        def k(a, b):
+            b[0] = np.sin(a[0])
+
+        with pytest.raises(ncgen.Untranslatable):
+            ncgen.generate_ops(k, [("dat", False), ("dat", True)], 1, "sin")
+
+    def test_op2_two_phase_scatter_order(self):
+        """Indirect INC: phase A computes into scratch, phase B accumulates
+        in element order — the schedule np.add.at is bitwise-equal to."""
+
+        def k(x, r):
+            r[0] += x[0]
+
+        code = ncgen.generate_op2(
+            k, [("ind", 1, "READ"), ("ind", 1, "INC")], "scat")
+        a_phase = code.source.index("S1[e * 1 + 0] = 0.0")
+        b_phase = code.source.index("p1[w1 * 1 + 0] += S1[e * 1 + 0]")
+        assert a_phase < b_phase
+        assert code.scratch_spec == ((1, 1),)
+
+    def test_cache_key_covers_source_and_flags(self):
+        k1 = ncache.source_key("int x;")
+        assert k1 == ncache.source_key("int x;")
+        assert k1 != ncache.source_key("int y;")
+
+    @requires_cc
+    def test_warm_cache_loads_without_compiling(self):
+        code = ncgen.generate_ops(_square_kernel, [("dat", True)], 1, "warm")
+        _, cached0 = ncache.load_kernel(code.source)
+        assert not cached0
+        ncache.clear_memory_cache()  # keep the disk entry, drop the handle
+        _, cached1 = ncache.load_kernel(code.source)
+        assert cached1
+
+
+# ---------------------------------------------------------------------------
+# telemetry and reporting
+# ---------------------------------------------------------------------------
+
+
+class TestNativeTelemetry:
+    @requires_cc
+    def test_compile_span_and_cache_instants(self):
+        blk = ops.Block(1)
+        u = ops.Dat(blk, 16, halo_depth=1, name="u")
+
+        def double(a):
+            a[0] = a[0] * 2.0
+
+        counters = PerfCounters()
+        _clear_plans()
+        with counters_scope(counters), swap(native=True), telemetry.tracing() as trc:
+            ops.par_loop(double, blk, [(0, 16)], u(ops.RW), backend="vec")
+            _clear_plans()  # force a second plan build: warm cache this time
+            ops.par_loop(double, blk, [(0, 16)], u(ops.RW), backend="vec")
+        spans = [e.name for e in trc.events() if isinstance(e, telemetry.SpanEvent)]
+        instants = [e.name for e in trc.events()
+                    if isinstance(e, telemetry.InstantEvent)]
+        assert "native.compile" in spans
+        assert "native.cache_miss" in instants
+        assert "native.cache_hit" in instants
+        assert counters.native_compiles == 1
+        assert counters.native_cache_misses == 1
+        assert counters.native_cache_hits == 1
+        assert counters.native_calls == 2
+
+    def test_timing_report_native_footer(self):
+        counters = PerfCounters()
+        counters.record_native_call()
+        counters.record_native_compile()
+        counters.record_native_cache_miss()
+        counters.record_native_cache_hit()
+        report = timing_report(counters)
+        assert "native: 1 compiled-kernel calls" in report
+        assert "so-cache 1/1 hit/miss (50.0%)" in report
+        assert "1 cc runs" in report
+
+    def test_footer_absent_without_native_activity(self):
+        assert "native:" not in timing_report(PerfCounters())
+
+
+# ---------------------------------------------------------------------------
+# cache CLI
+# ---------------------------------------------------------------------------
+
+
+class TestNativeCli:
+    @requires_cc
+    def test_info_clear_prune_roundtrip(self, tmp_path, monkeypatch):
+        import repro.native.__main__ as cli
+
+        code = ncgen.generate_ops(_square_kernel, [("dat", True)], 1, "cli")
+        ncache.load_kernel(code.source)
+        assert cli.main(["info"]) == 0
+        info = ncache.cache_info()
+        assert info["objects"] == 1 and info["sources"] == 1
+        assert cli.main(["prune", "--days", "30"]) == 0
+        assert ncache.cache_info()["objects"] == 1  # too young to prune
+        assert cli.main(["clear"]) == 0
+        assert ncache.cache_info()["objects"] == 0
+
+    def test_module_entrypoint(self, tmp_path):
+        import os
+
+        env = {**os.environ, "REPRO_NATIVE_CACHE_DIR": str(tmp_path / "cli_cache")}
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.native", "info"],
+            capture_output=True, text=True, env=env,
+        )
+        assert out.returncode == 0
+        assert "cache dir" in out.stdout
