@@ -27,6 +27,18 @@ def _env_int(name: str, default: int) -> int:
     return value if value >= 1 else default
 
 
+def _env_float(name: str, default: float) -> float:
+    """A float default overridable from the environment (bad values ignored)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
 def _env_bool(name: str, default: bool) -> bool:
     """A boolean default overridable from the environment (``1``/``true`` on)."""
     raw = os.environ.get(name)
@@ -107,6 +119,18 @@ class Config:
     #: resilience tests with induced failures lower this so a lost message
     #: does not stall the suite for a minute
     deadlock_timeout: float = 60.0
+    #: seconds between wakeups while a multi-process receive or the worker
+    #: supervisor polls pipes and failure flags (``REPRO_MP_POLL``); the
+    #: upper bound on how late a worker death is noticed
+    mp_poll_interval: float = field(
+        default_factory=lambda: _env_float("REPRO_MP_POLL", 0.05)
+    )
+    #: directory where multi-process workers export their telemetry rings as
+    #: ``trace-rank<NNN>.jsonl`` on exit (``REPRO_MP_TRACE_DIR``); ``None``
+    #: disables per-worker trace export
+    mp_trace_dir: str | None = field(
+        default_factory=lambda: os.environ.get("REPRO_MP_TRACE_DIR") or None
+    )
 
 
 _config = Config()

@@ -98,6 +98,17 @@ class MessageLostError(ResilienceError):
     """A transient message fault persisted through every configured retry."""
 
 
+class WorkerDiedError(ResilienceError):
+    """A real worker process exited without reporting a result (SIGKILL, OOM,
+    segfault...).  Carries the rank and the raw exit code so the resilient
+    driver can classify the death as recoverable."""
+
+    def __init__(self, message: str, *, rank: int, exitcode: int | None = None):
+        super().__init__(message)
+        self.rank = rank
+        self.exitcode = exitcode
+
+
 class TranslatorError(ReproError):
     """Failure while parsing an application or generating backend code."""
 

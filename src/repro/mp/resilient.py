@@ -1,0 +1,162 @@
+"""Checkpoint-restart over real worker processes.
+
+:func:`run_resilient_spmd_mp` is the multi-process twin of
+:func:`repro.resilience.driver.run_resilient_spmd`: same
+:class:`~repro.resilience.driver.SpmdJob` contract, same on-disk round
+layout, same recovery semantics — but failures are *real*.  A worker
+SIGKILLed mid-run trips the supervisor's sentinel watch, surfaces as a
+:class:`~repro.common.errors.WorkerDiedError`, and the driver rebuilds the
+job, fast-forwards every rank through the latest round flushed by *all*
+ranks (those files are on shared disk, so they survive the death), and
+resumes — bitwise-identically to a fault-free run, which the test suite
+asserts.
+
+Checkpoint managers and replayers are installed *inside* each worker (the
+rank body wrapper runs post-fork), so loop observers stay process-local
+exactly as they are thread-local in the in-process driver.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.checkpoint.manager import CheckpointManager, RecoveryReplayer
+from repro.checkpoint.store import FileStore, latest_common_round, round_glob, round_path
+from repro.common.counters import PerfCounters
+from repro.common.errors import ResilienceError
+from repro.mp.executor import MpWorld, run_spmd_mp
+from repro.resilience.driver import ResilientResult, SpmdJob
+from repro.simmpi.comm import DeadlockError
+from repro.telemetry import tracer as _trace
+
+
+def run_resilient_spmd_mp(
+    nranks: int,
+    job: SpmdJob,
+    *,
+    ckpt_dir: str | Path,
+    frequency: int | None = None,
+    max_restarts: int = 3,
+    job_id: str | None = None,
+    share_dats: bool = True,
+    on_attempt_start: Callable[[int, list[int]], None] | None = None,
+) -> ResilientResult:
+    """Run ``job`` over ``nranks`` worker processes, surviving real deaths.
+
+    ``frequency`` is the checkpoint cadence in loops (None disables
+    checkpointing, so every restart replays from scratch).  ``share_dats``
+    moves every rank's checkpoint datasets onto shared-memory segments for
+    the run.  ``on_attempt_start`` receives ``(attempt_number, worker_pids)``
+    once an attempt's ranks are forked — the hook resilience tests use to
+    aim a SIGKILL at a live worker.  Raises :class:`ResilienceError` once
+    ``max_restarts`` is exceeded, and re-raises immediately on organic
+    (non-death, non-deadlock) errors.
+    """
+    ckpt_dir = Path(ckpt_dir)
+    ckpt_dir.mkdir(parents=True, exist_ok=True)
+    for stale in round_glob(ckpt_dir, job_id=job_id):
+        stale.unlink()
+
+    aggregate = PerfCounters()
+    restarts = 0
+    recovered_rounds: list[int] = []
+
+    while True:
+        attempt_start = time.perf_counter()
+        state = job.setup()
+        recovery = latest_common_round(ckpt_dir, nranks, job_id=job_id) if restarts else None
+        # a death can leave ranks with different flushed-round counts; restart
+        # the numbering past every existing file so rank rounds stay aligned
+        existing = [int(p.stem.split("-n")[1]) for p in round_glob(ckpt_dir, job_id=job_id)]
+        base = max(existing) + 1 if existing else 0
+        next_round = {r: base for r in range(nranks)}
+        world = MpWorld(nranks)
+        shared: list[Any] = []
+        if share_dats:
+            for r in range(nranks):
+                shared.extend(job.datasets(r, state).values())
+
+        def rank_body(comm, _state=state, _recovery=recovery, _next=next_round):
+            # runs inside the forked worker: observers and stores are
+            # process-local, only the flushed .npz files are shared
+            rank = comm.rank
+            replayer = None
+            manager = None
+            if _recovery is not None:
+                store = FileStore.load(round_path(ckpt_dir, rank, _recovery[0], job_id=job_id))
+                replayer = RecoveryReplayer(
+                    store, job.datasets(rank, _state), job.globals_(rank, _state)
+                )
+                replayer.install(local=True)
+            if frequency is not None:
+
+                def flush_round(mgr, _rank=rank):
+                    round_no = _next[_rank]
+                    mgr.store.path = round_path(ckpt_dir, _rank, round_no, job_id=job_id)
+                    mgr.store.flush()
+                    _next[_rank] = round_no + 1
+                    mgr.restart(FileStore(round_path(ckpt_dir, _rank, round_no + 1, job_id=job_id)))
+
+                manager = CheckpointManager(
+                    FileStore(round_path(ckpt_dir, rank, _next[rank], job_id=job_id)),
+                    frequency=frequency,
+                    on_complete=flush_round,
+                    job_id=job_id,
+                )
+                if replayer is not None:
+                    for name, series in replayer.store.globals.items():
+                        for idx, val in series:
+                            manager.store.record_global(name, idx, val)
+                manager.install(local=True)
+            try:
+                return job.rank_main(comm, _state)
+            finally:
+                if manager is not None:
+                    manager.remove()
+                if replayer is not None:
+                    replayer.remove()
+
+        attempt_no = restarts + 1
+        on_start = None
+        if on_attempt_start is not None:
+            def on_start(pids, _n=attempt_no):
+                on_attempt_start(_n, pids)
+
+        try:
+            results = run_spmd_mp(
+                nranks, rank_body, world=world,
+                shared_dats=shared or None, on_start=on_start,
+            )
+        except (RuntimeError, ResilienceError, DeadlockError) as err:
+            aggregate.merge(world.total_counters())
+            cause = err.__cause__ if isinstance(err, RuntimeError) else err
+            if not isinstance(cause, (ResilienceError, DeadlockError)):
+                raise  # an organic bug, not a worker death
+            restarts += 1
+            aggregate.record_restart(time.perf_counter() - attempt_start)
+            if restarts > max_restarts:
+                raise ResilienceError(
+                    f"giving up after {max_restarts} restart(s); last failure: {cause}"
+                ) from err
+            available = latest_common_round(ckpt_dir, nranks, job_id=job_id)
+            recovered_rounds.append(available[0] if available is not None else -1)
+            trc = _trace.ACTIVE
+            if trc is not None:
+                trc.instant(
+                    "restart", "resilience",
+                    attempt=restarts + 1,
+                    recovered_round=recovered_rounds[-1],
+                    cause=type(cause).__name__,
+                )
+            continue
+
+        aggregate.merge(world.total_counters())
+        return ResilientResult(
+            results=results,
+            restarts=restarts,
+            attempts=restarts + 1,
+            recovered_rounds=recovered_rounds,
+            counters=aggregate,
+        )

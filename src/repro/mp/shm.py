@@ -1,0 +1,110 @@
+"""Shared-memory Dat storage for multi-process worlds.
+
+Moves a dat's backing array onto a ``multiprocessing.shared_memory``
+segment so worker processes (which inherit the dat object over fork) write
+where the parent can see.  Kernels, execplans, lazy tiling and the native
+backend are oblivious: they only ever see a NumPy array, which here happens
+to view a shared segment.
+
+Ownership and lifetime rules (documented in DESIGN.md):
+
+* The **parent** creates every segment, adopts it into the dat, and is the
+  only process that ever calls ``unlink``.  Workers inherit the mapping
+  over fork and simply exit; they never unlink.
+* A segment stays alive (and the dat's storage valid) until the arena's
+  :meth:`DatArena.release`, which rebinds the dat to a **private copy** of
+  the current shared contents before closing the segment — so dats remain
+  usable after the arena is gone and nothing dangles.
+* Segments and dats are 1:1.  Two ranks never share a dat object (the
+  decomposition layer builds per-rank locals), so there is exactly one
+  writer per segment during a run.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+def snapshot(dat) -> np.ndarray:
+    """Private copy of a dat's full storage (ops padded / op2 element array)."""
+    return np.array(dat.data, copy=True)
+
+
+def restore(dat, snap: np.ndarray) -> None:
+    """Write a snapshot back into the dat's current storage, in place."""
+    dat.data[...] = snap
+
+
+class DatArena:
+    """Owns the shared-memory segments backing a set of dats.
+
+    Context-manager friendly::
+
+        with DatArena() as arena:
+            arena.share_all(all_rank_local_dats)
+            run_spmd_mp(nranks, body, world=world)
+        # dats are back on private storage, final values preserved
+    """
+
+    def __init__(self):
+        self._entries: list[tuple[object, shared_memory.SharedMemory]] = []
+        self._released = False
+
+    def share(self, dat) -> np.ndarray:
+        """Move ``dat`` onto a fresh shared segment, preserving its values."""
+        arr = np.asarray(dat.data)
+        seg = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+        view: np.ndarray = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        view[...] = arr
+        dat.adopt_storage(view)
+        self._entries.append((dat, seg))
+        return view
+
+    def share_all(self, dats) -> None:
+        for dat in dats:
+            self.share(dat)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(seg.size for _, seg in self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def release(self) -> None:
+        """Rebind every dat to a private copy and destroy the segments.
+
+        Idempotent.  The copy carries whatever the workers last wrote, so
+        the parent keeps the final field values.
+        """
+        if self._released:
+            return
+        self._released = True
+        for dat, seg in self._entries:
+            dat.adopt_storage(np.array(dat.data, copy=True))
+            try:
+                seg.close()
+            except BufferError:
+                # an execplan guard or user view still references the shared
+                # buffer; the mapping lives until that reference drops, but
+                # unlink below still reclaims the segment at process exit
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+        self._entries.clear()
+
+    def __enter__(self) -> "DatArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __del__(self):
+        try:
+            self.release()
+        except Exception:
+            pass

@@ -1,0 +1,268 @@
+"""Pipe-based message transport for true multi-process SPMD worlds.
+
+Implements the same transport protocol as
+:class:`repro.simmpi.comm.ThreadTransport`, so :class:`~repro.simmpi.comm.SimComm`
+— and with it every collective, the fault hooks, the counters and the
+telemetry spans — runs unchanged on top of real worker processes.
+
+Design constraints, in priority order:
+
+* **SIGKILL safety.**  A worker may die at any instruction.  The fabric
+  therefore holds *no shared locks*: every channel is a unidirectional
+  ``multiprocessing.Pipe(duplex=False)`` with exactly one writer (the source
+  rank) and one reader (the destination rank).  ``multiprocessing.Queue``
+  was rejected precisely because its shared put-lock can be left acquired
+  by a killed feeder thread, wedging every other sender.
+* **Prompt failure detection.**  Failed ranks are flagged in a
+  ``RawArray('b')`` inherited over fork; blocked receivers poll their pipes
+  with short ``connection.wait`` slices and re-check the flags each wakeup,
+  so a peer's death surfaces as :class:`RankFailedError` within one poll
+  interval instead of a deadlock timeout.
+* **Deterministic matching.**  Each rank drains ready pipes into a private
+  pending list and matches (source, tag) against it with the same
+  first-match rule as the in-process mailbox, so ANY-source receives and
+  out-of-order tags behave identically across executors.
+
+Sends write directly into the destination pipe.  The OS pipe buffer
+(~64 KiB) gives buffered-send semantics for all realistic halo/collective
+payloads; a larger message turns the send into a rendezvous, which is
+still correct for every communication pattern the library emits (gathers
+and exchanges always have the matching receive posted).  When a rank dies
+mid-exchange the supervisor drains the dead rank's incoming pipes so a
+peer blocked on a full pipe to the corpse is released.
+
+The barrier is message-based (gather + release through rank 0) on a
+reserved tag range, giving the same all-live-ranks synchronisation as the
+thread barrier while staying kill-safe: a dead rank breaks the barrier via
+the failure flags, not via a poisoned lock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+from multiprocessing import connection as _mpc
+from multiprocessing.sharedctypes import RawArray
+from time import monotonic as _monotonic
+from typing import Any
+
+from repro.common.config import get_config
+from repro.common.errors import RankFailedError
+from repro.simmpi.comm import ANY, DeadlockError, _copy_payload, _Envelope
+
+#: barrier rounds use tags above the collective range (1 << 20)
+_TAG_BARRIER = 1 << 21
+
+
+class FailedFlags:
+    """Set-alike view over a shared byte array of per-rank failure flags.
+
+    Drop-in for the ``set`` used by ``_WorldState.failed``: supports
+    membership, truthiness, iteration (sorted, for error messages) and
+    ``add``.  Writes are single-byte stores — atomic enough for a flag that
+    only ever transitions 0 -> 1 — so no cross-process lock is needed.
+    """
+
+    def __init__(self, size: int):
+        self._flags = RawArray("b", size)
+
+    def add(self, rank: int) -> None:
+        self._flags[rank] = 1
+
+    def __contains__(self, rank: Any) -> bool:
+        return isinstance(rank, int) and 0 <= rank < len(self._flags) and bool(
+            self._flags[rank]
+        )
+
+    def __bool__(self) -> bool:
+        return any(self._flags)
+
+    def __iter__(self):
+        return iter(r for r, f in enumerate(self._flags) if f)
+
+    def __len__(self) -> int:
+        return sum(1 for f in self._flags if f)
+
+
+class ProcessTransport:
+    """Per-ordered-pair pipe fabric + shared failure flags for one world.
+
+    Built in the parent before forking; workers inherit every connection
+    and only ever touch their own row (their incoming readers and their
+    outgoing writers), so no two processes share a pipe end.
+    """
+
+    def __init__(self, size: int, *, poll_interval: float | None = None):
+        self.size = size
+        self.poll_interval = poll_interval
+        self.failed = FailedFlags(size)
+        # _rx[dest] is a list of (src, reader); _tx[src][dest] is the writer
+        self._rx: list[list[tuple[int, Any]]] = [[] for _ in range(size)]
+        self._tx: list[dict[int, Any]] = [{} for _ in range(size)]
+        for src in range(size):
+            for dest in range(size):
+                if src == dest:
+                    continue
+                reader, writer = mp.Pipe(duplex=False)
+                self._rx[dest].append((src, reader))
+                self._tx[src][dest] = writer
+        # per-rank private state; each process only touches its own rank's
+        # entry (inherited copy-on-write, never shared)
+        self._pending: list[list[_Envelope]] = [[] for _ in range(size)]
+        self._barrier_round = [0] * size
+        self._dead_conns: set[int] = set()
+
+    def _poll(self) -> float:
+        if self.poll_interval is not None:
+            return self.poll_interval
+        return get_config().mp_poll_interval
+
+    # -- sending -----------------------------------------------------------
+
+    def deliver(self, src: int, dest: int, tag: int, payload: Any) -> None:
+        if src == dest:
+            # self-sends never cross a pipe; copy to un-alias, same as the
+            # thread transport does for every delivery
+            self._pending[dest].append(_Envelope(src, tag, _copy_payload(payload)))
+            return
+        # pickling through the pipe un-aliases the payload, same as the
+        # thread transport's explicit copy
+        try:
+            self._tx[src][dest].send((tag, payload))
+        except (BrokenPipeError, OSError) as exc:
+            if dest in self.failed:
+                raise RankFailedError(
+                    f"send(dest={dest}, tag={tag}): rank {dest} has failed"
+                ) from exc
+            raise
+
+    # -- receiving ---------------------------------------------------------
+
+    def _drain(self, rank: int, timeout: float) -> bool:
+        """Pull every ready incoming message into the pending list."""
+        conns = [
+            (src, c) for src, c in self._rx[rank] if id(c) not in self._dead_conns
+        ]
+        if not conns:
+            return False
+        ready = _mpc.wait([c for _, c in conns], timeout)
+        if not ready:
+            return False
+        got = False
+        by_id = {id(c): src for src, c in conns}
+        for conn in ready:
+            src = by_id[id(conn)]
+            try:
+                tag, payload = conn.recv()
+            except (EOFError, OSError, pickle.UnpicklingError):
+                # writer died mid-message; the failure flags carry the news
+                self._dead_conns.add(id(conn))
+                continue
+            self._pending[rank].append(_Envelope(src, tag, payload))
+            got = True
+        return got
+
+    def _match(self, rank: int, src: int, tag: int) -> _Envelope | None:
+        pending = self._pending[rank]
+        for i, env in enumerate(pending):
+            if (src == ANY or env.src == src) and (tag == ANY or env.tag == tag):
+                return pending.pop(i)
+        return None
+
+    def collect(
+        self, rank: int, src: int, tag: int, timeout: float, failed=None
+    ) -> _Envelope:
+        limit = 1e12 if timeout is None else timeout
+        deadline = _monotonic() + limit
+        while True:
+            env = self._match(rank, src, tag)
+            if env is not None:
+                return env
+            # drain whatever is already buffered before declaring a source
+            # dead: messages it sent before dying must still be delivered
+            if self._drain(rank, 0):
+                continue
+            if failed:
+                if src in failed:
+                    raise RankFailedError(
+                        f"recv(src={src}, tag={tag}): rank {src} has failed"
+                    )
+                if src == ANY:
+                    raise RankFailedError(
+                        f"recv(src=ANY, tag={tag}): rank(s) "
+                        f"{sorted(failed)} failed with no message pending"
+                    )
+            remaining = deadline - _monotonic()
+            if remaining <= 0:
+                raise DeadlockError(
+                    f"recv(src={src}, tag={tag}) timed out after {timeout}s"
+                )
+            self._drain(rank, min(remaining, self._poll()))
+
+    def probe(self, rank: int, src: int, tag: int) -> bool:
+        self._drain(rank, 0)
+        pending = self._pending[rank]
+        for env in pending:
+            if (src == ANY or env.src == src) and (tag == ANY or env.tag == tag):
+                return True
+        return False
+
+    # -- barrier -----------------------------------------------------------
+
+    def barrier_wait(self, rank: int) -> None:
+        """Message barrier: gather-to-0 then broadcast-release.
+
+        Each process keeps its own round counter (SPMD code hits barriers in
+        the same order on every rank), so consecutive barriers use distinct
+        tags and cannot steal each other's arrival messages.
+        """
+        tag = _TAG_BARRIER + self._barrier_round[rank]
+        self._barrier_round[rank] += 1
+        timeout = get_config().deadlock_timeout
+        if rank == 0:
+            for _ in range(self.size - 1):
+                self.collect(0, ANY, tag, timeout, failed=self.failed)
+            for r in range(1, self.size):
+                self.deliver(0, r, tag, None)
+        else:
+            self.deliver(rank, 0, tag, None)
+            self.collect(rank, 0, tag, timeout, failed=self.failed)
+
+    # -- failure plumbing ----------------------------------------------------
+
+    def wake_all(self) -> None:
+        """No-op: blocked receivers poll the shared failure flags directly."""
+
+    def abort(self) -> None:
+        """No-op: the message barrier unblocks via the failure flags."""
+
+    def drain_dead(self, rank: int) -> None:
+        """Discard messages addressed to a dead rank (supervisor side).
+
+        A live sender blocked on the dead rank's full pipe is released as
+        soon as the buffer drains; it then notices the failure flag on its
+        next receive or send.
+        """
+        for _src, conn in self._rx[rank]:
+            if id(conn) in self._dead_conns:
+                continue
+            try:
+                while conn.poll(0):
+                    conn.recv()
+            except (EOFError, OSError, pickle.UnpicklingError):
+                self._dead_conns.add(id(conn))
+
+    def close(self) -> None:
+        """Close every pipe end held by this process (parent cleanup)."""
+        for row in self._rx:
+            for _src, conn in row:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        for row in self._tx:
+            for conn in row.values():
+                try:
+                    conn.close()
+                except OSError:
+                    pass

@@ -274,12 +274,43 @@ def _entries(directory: str | None = None) -> list[tuple[str, str, int, float]]:
     for name in sorted(names):
         if not (name.endswith(".so") or name.endswith(".c")):
             continue
+        # mkstemp temporaries from an in-flight compile (possibly another
+        # process's) share the directory and the suffixes; published keys
+        # are hex digests, so the "tmp" prefix cleanly separates them.
+        # Counting or unlinking an in-flight temp here would fail the
+        # racing compile.
+        if name.startswith("tmp"):
+            continue
         path = os.path.join(d, name)
         try:
             st = os.stat(path)
         except OSError:
             continue
         out.append((name, path, st.st_size, st.st_mtime))
+    return out
+
+
+def _stale_tmps(directory: str | None = None, min_age_seconds: float = 3600.0) -> list[str]:
+    """Leftover mkstemp temporaries from crashed compiles, old enough that
+    no live compile can still own them."""
+    d = directory or cache_dir()
+    cutoff = time.time() - min_age_seconds
+    out = []
+    try:
+        names = os.listdir(d)
+    except OSError:
+        return out
+    for name in names:
+        if not name.startswith("tmp"):
+            continue
+        if not (name.endswith(".so") or name.endswith(".c")):
+            continue
+        path = os.path.join(d, name)
+        try:
+            if os.stat(path).st_mtime < cutoff:
+                out.append(path)
+        except OSError:
+            continue
     return out
 
 
@@ -299,9 +330,19 @@ def cache_info() -> dict:
 
 
 def cache_clear() -> int:
-    """Remove every cached object+source; returns the number removed."""
+    """Remove every cached object+source; returns the number removed.
+
+    In-flight compile temporaries are left alone (unlinking them would fail
+    a concurrent compiler); hour-old leftovers from crashed compiles go.
+    """
     removed = 0
     for _, path, _, _ in _entries():
+        try:
+            os.unlink(path)
+            removed += 1
+        except OSError:
+            pass
+    for path in _stale_tmps():
         try:
             os.unlink(path)
             removed += 1
@@ -322,4 +363,10 @@ def cache_prune(max_age_days: float = 30.0) -> int:
                 removed += 1
             except OSError:
                 pass
+    for path in _stale_tmps(min_age_seconds=max(max_age_days * 86400.0, 3600.0)):
+        try:
+            os.unlink(path)
+            removed += 1
+        except OSError:
+            pass
     return removed

@@ -77,6 +77,24 @@ class Dat:
 
         return Arg.from_dat(self, access, map_, idx)
 
+    def adopt_storage(self, array: np.ndarray) -> None:
+        """Rebind the element storage to an externally owned buffer.
+
+        Used by :mod:`repro.mp.shm` to move a dat onto a shared-memory
+        segment (and back off it).  SoA dats are refused: their ``data``
+        is a transposed view and rebinding it would silently change the
+        physical layout.
+        """
+        if self.layout != "aos":
+            raise APIError(f"dat {self.name}: cannot adopt storage under SoA layout")
+        arr = np.asarray(array)
+        if arr.shape != self.data.shape or arr.dtype != self.data.dtype:
+            raise APIError(
+                f"dat {self.name}: adopted storage {arr.shape}/{arr.dtype} != "
+                f"{self.data.shape}/{self.data.dtype}"
+            )
+        self.data = arr
+
     def duplicate(self, name: str | None = None) -> "Dat":
         """Deep copy (same set/dim), e.g. for reference comparisons."""
         return Dat(self.set, self.dim, self.data.copy(), dtype=self.dtype,

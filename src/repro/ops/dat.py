@@ -147,6 +147,22 @@ class Dat:
             raise APIError("dat shapes differ")
         self.data[...] = other.data
 
+    def adopt_storage(self, array: np.ndarray) -> None:
+        """Rebind the padded storage to an externally owned buffer.
+
+        Used by :mod:`repro.mp.shm` to move a dat onto a shared-memory
+        segment (and back off it).  The buffer must match the current
+        storage exactly; the caller is responsible for keeping it alive for
+        as long as the dat references it.
+        """
+        arr = np.asarray(array)
+        if arr.shape != self._storage.shape or arr.dtype != self._storage.dtype:
+            raise APIError(
+                f"dat {self.name}: adopted storage {arr.shape}/{arr.dtype} != "
+                f"{self._storage.shape}/{self._storage.dtype}"
+            )
+        self.data = arr  # the setter flushes queued lazy loops first
+
     def norm(self) -> float:
         """L2 norm of the interior (validation helper)."""
         v = self.interior

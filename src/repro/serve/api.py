@@ -54,6 +54,7 @@ class ServeService:
         preemption: bool = True,
         retry: RetryPolicy | None = None,
         plan_cache_capacity: int | None = None,
+        executor: str = "thread",
     ):
         if plan_cache_capacity is not None:
             # per-service override of the process-wide plan LRU (satellite 1);
@@ -68,6 +69,7 @@ class ServeService:
             ckpt_dir=ckpt_dir,
             preemption=preemption,
             retry=retry,
+            executor=executor,
         )
         self.id_seed = id_seed
         self._jobs: dict[str, Job] = {}

@@ -79,13 +79,21 @@ def _instant(name: str, **attrs: Any) -> None:
 
 
 def run_attempt(
-    job: Job, session: SimulationSession, ckpt_dir: Path
+    job: Job, session: SimulationSession, ckpt_dir: Path, executor: str = "thread"
 ) -> tuple[str, Any]:
     """One blocking attempt at ``job`` on its warm session (worker thread).
 
     Returns ``("done", per-rank results)``, ``("preempted", None)`` or
     ``("fault", cause)``; organic errors propagate.  The session must be
     held exclusively by the caller.
+
+    ``executor="mp"`` (experimental) runs eligible attempts on real worker
+    processes via :func:`repro.mp.run_spmd_mp`.  Eligible means no
+    checkpoint cadence and no fault plan: the preempt flag and injected
+    faults live in the parent process and would be invisible to forked
+    workers, so preemptible and fault-injected jobs keep the thread
+    executor regardless.  A worker that dies organically surfaces as a
+    fault outcome and is retried like any other.
     """
     spec = job.spec
     adapter, state = session.adapter, session.state
@@ -112,7 +120,15 @@ def run_attempt(
 
     if spec.fault_plan is not None:
         spec.fault_plan.begin_attempt()
-    world = World(nranks, fault_plan=spec.fault_plan)
+    use_mp = executor == "mp" and frequency is None and spec.fault_plan is None
+    if use_mp:
+        from repro.mp import MpWorld, run_spmd_mp
+
+        world: Any = MpWorld(nranks)
+        run = lambda body: run_spmd_mp(nranks, body, world=world)  # noqa: E731
+    else:
+        world = World(nranks, fault_plan=spec.fault_plan)
+        run = lambda body: run_spmd(nranks, body, world=world)  # noqa: E731
 
     def rank_body(comm):
         rank = comm.rank
@@ -180,9 +196,9 @@ def run_attempt(
     try:
         with counters_scope(job.counters):
             try:
-                results = run_spmd(nranks, rank_body, world=world)
+                results = run(rank_body)
             finally:
-                if nranks > 1:
+                if nranks > 1 or use_mp:
                     job.counters.merge(world.total_counters())
         return ("done", results)
     except JobPreempted:
@@ -212,12 +228,16 @@ class Scheduler:
         ckpt_dir: str | Path,
         preemption: bool = True,
         retry: RetryPolicy | None = None,
+        executor: str = "thread",
     ):
         if workers < 1:
             raise ServeError("worker pool size must be >= 1")
+        if executor not in ("thread", "mp"):
+            raise ServeError(f"unknown executor {executor!r} (thread or mp)")
         self.queue = queue
         self.sessions = sessions
         self.workers = workers
+        self.executor = executor
         self.ckpt_dir = Path(ckpt_dir)
         self.ckpt_dir.mkdir(parents=True, exist_ok=True)
         self.preemption = preemption
@@ -345,7 +365,7 @@ class Scheduler:
         while True:
             resumes_before = job.resumes
             outcome, payload = await asyncio.to_thread(
-                run_attempt, job, session, self.ckpt_dir
+                run_attempt, job, session, self.ckpt_dir, self.executor
             )
             self.stats["resumes"] += job.resumes - resumes_before
             if outcome == "done":

@@ -148,6 +148,45 @@ class _Mailbox:
             self._cond.notify_all()
 
 
+class ThreadTransport:
+    """In-process transport: one mailbox per rank plus a shared thread barrier.
+
+    This is the reference implementation of the transport protocol shared
+    with :class:`repro.mp.transport.ProcessTransport`: ``deliver`` must copy
+    (or otherwise un-alias) the payload, ``collect`` must honour the
+    deadlock timeout and the failed-rank set with :class:`_Mailbox.get`'s
+    exact semantics, and ``barrier_wait`` must synchronise all live ranks.
+    """
+
+    def __init__(self, size: int):
+        self.size = size
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+
+    def deliver(self, src: int, dest: int, tag: int, payload: Any) -> None:
+        self.mailboxes[dest].put(_Envelope(src, tag, _copy_payload(payload)))
+
+    def collect(
+        self, rank: int, src: int, tag: int, timeout: float, failed=None
+    ) -> _Envelope:
+        return self.mailboxes[rank].get(src, tag, timeout, failed=failed)
+
+    def probe(self, rank: int, src: int, tag: int) -> bool:
+        return self.mailboxes[rank].probe(src, tag)
+
+    def barrier_wait(self, rank: int) -> None:
+        self.barrier.wait()
+
+    def wake_all(self) -> None:
+        """Wake blocked receivers (e.g. so they notice a rank failure)."""
+        for mb in self.mailboxes:
+            mb.wake()
+
+    def abort(self) -> None:
+        """Break any current/future barrier so a dead world can be reaped."""
+        self.barrier.abort()
+
+
 class Request:
     """Handle for a non-blocking operation (completed lazily on wait/test)."""
 
@@ -174,13 +213,14 @@ class _WorldState:
     """Shared state for one simulated world (all ranks)."""
 
     size: int
-    mailboxes: list[_Mailbox]
-    barrier: threading.Barrier
+    #: message fabric: ThreadTransport here, ProcessTransport in repro.mp
+    transport: Any
     coll_lock: threading.Lock = field(default_factory=threading.Lock)
     coll_slots: dict[tuple[int, str], list] = field(default_factory=dict)
     coll_seq: dict[str, int] = field(default_factory=dict)
-    #: ranks that have died (injected kill or organic exception)
-    failed: set[int] = field(default_factory=set)
+    #: ranks that have died (injected kill or organic exception); the mp
+    #: executor substitutes a shared-memory set-alike view here
+    failed: Any = field(default_factory=set)
     #: optional repro.resilience.faults.FaultPlan consulted on sends/loops
     fault_plan: Any = None
     #: optional repro.resilience.detection.RetryPolicy for transient faults
@@ -189,8 +229,7 @@ class _WorldState:
     def mark_failed(self, rank: int) -> None:
         """Record a rank's death and wake every blocked receiver."""
         self.failed.add(rank)
-        for mb in self.mailboxes:
-            mb.wake()
+        self.transport.wake_all()
 
 
 _REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
@@ -272,7 +311,7 @@ class SimComm:
             trc.instant("mpi_send", "mpi", dest=dest, tag=tag, bytes=nbytes)
         for _ in range(copies):
             self.counters.record_message(nbytes)
-            st.mailboxes[dest].put(_Envelope(self.rank, tag, _copy_payload(payload)))
+            st.transport.deliver(self.rank, dest, tag, payload)
 
     def _get_env(self, source: int, tag: int, timeout: float | None) -> _Envelope:
         """Blocking mailbox pop, recorded as an ``mpi_recv`` span when traced.
@@ -282,13 +321,15 @@ class SimComm:
         """
         trc = _trace.ACTIVE
         if trc is None:
-            return self._world.mailboxes[self.rank].get(
-                source, tag, _deadlock_timeout(timeout), failed=self._world.failed
+            return self._world.transport.collect(
+                self.rank, source, tag, _deadlock_timeout(timeout),
+                failed=self._world.failed,
             )
         span = trc.begin("mpi_recv", "mpi", src=source, tag=tag)
         try:
-            return self._world.mailboxes[self.rank].get(
-                source, tag, _deadlock_timeout(timeout), failed=self._world.failed
+            return self._world.transport.collect(
+                self.rank, source, tag, _deadlock_timeout(timeout),
+                failed=self._world.failed,
             )
         finally:
             trc.end(span)
@@ -309,18 +350,18 @@ class SimComm:
         return self.recv(source, tag)
 
     def probe(self, source: int = ANY, tag: int = ANY) -> bool:
-        return self._world.mailboxes[self.rank].probe(source, tag)
+        return self._world.transport.probe(self.rank, source, tag)
 
     # -- collectives --------------------------------------------------------
 
     def barrier(self) -> None:
         trc = _trace.ACTIVE
         if trc is None:
-            self._world.barrier.wait()
+            self._world.transport.barrier_wait(self.rank)
             return
         span = trc.begin("mpi_barrier", "mpi")
         try:
-            self._world.barrier.wait()
+            self._world.transport.barrier_wait(self.rank)
         finally:
             trc.end(span)
 

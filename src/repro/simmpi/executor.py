@@ -22,7 +22,7 @@ from typing import Any, Callable, Sequence
 from repro.common.counters import PerfCounters
 from repro.common.errors import RankFailedError
 from repro.common.profiling import add_loop_observer, counters_scope, remove_loop_observer
-from repro.simmpi.comm import SimComm, _WorldState, _Mailbox
+from repro.simmpi.comm import SimComm, ThreadTransport, _WorldState
 from repro.telemetry import tracer as _trace
 
 
@@ -40,8 +40,7 @@ class World:
         self.size = size
         self._state = _WorldState(
             size=size,
-            mailboxes=[_Mailbox() for _ in range(size)],
-            barrier=threading.Barrier(size),
+            transport=ThreadTransport(size),
             fault_plan=fault_plan,
             retry=retry,
         )
@@ -133,7 +132,7 @@ def run_spmd(
             # let peers observe the death: wake blocked receivers and free
             # ranks stuck in a barrier so the job can be reaped
             world._state.mark_failed(rank)
-            world._state.barrier.abort()
+            world._state.transport.abort()
 
     threads = [
         threading.Thread(target=worker, args=(r,), name=f"simmpi-rank-{r}")

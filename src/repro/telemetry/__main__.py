@@ -1,12 +1,33 @@
-"""CLI: ``python -m repro.telemetry report <trace> [--top N] [--rank R]``."""
+"""CLI: ``python -m repro.telemetry report <trace>... [--top N] [--rank R]``.
+
+``report`` accepts one or more trace files (Chrome JSON or JSONL), each
+argument optionally a glob — the multi-process executor leaves one
+``trace-rank<NNN>.jsonl`` per worker, so ``report 'traces/trace-rank*.jsonl'``
+merges a whole world into one breakdown.  ``--merge-out`` additionally
+writes the merged Chrome trace (pid = real worker process, tid = rank).
+"""
 
 from __future__ import annotations
 
 import argparse
+import glob as _glob
+import json
 import sys
 
 from repro.common.errors import TelemetryError
-from repro.telemetry.report import load_trace, render_report
+from repro.telemetry.report import load_traces, merged_chrome_trace, render_report
+
+
+def _expand(patterns: list[str]) -> list[str]:
+    """Expand glob patterns; a non-glob argument passes through verbatim."""
+    paths: list[str] = []
+    for pat in patterns:
+        matches = sorted(_glob.glob(pat))
+        if matches:
+            paths.extend(matches)
+        else:
+            paths.append(pat)  # literal path: missing files error in load
+    return paths
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -16,9 +37,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     rep = sub.add_parser(
-        "report", help="per-rank / per-kernel breakdown of a trace file"
+        "report", help="per-rank / per-kernel breakdown of one or more trace files"
     )
-    rep.add_argument("trace", help="Chrome trace JSON or JSONL event log")
+    rep.add_argument(
+        "trace", nargs="+",
+        help="Chrome trace JSON or JSONL event log(s); globs are expanded",
+    )
     rep.add_argument(
         "--top", type=int, default=None, metavar="N",
         help="show only the N most expensive kernels",
@@ -27,13 +51,21 @@ def main(argv: list[str] | None = None) -> int:
         "--rank", type=int, default=None, metavar="R",
         help="restrict the report to one simulated rank",
     )
+    rep.add_argument(
+        "--merge-out", default=None, metavar="FILE",
+        help="write the merged Chrome trace (pid = worker process, tid = rank)",
+    )
     ns = parser.parse_args(argv)
 
     try:
-        events = load_trace(ns.trace)
+        events = load_traces(_expand(ns.trace))
     except (TelemetryError, OSError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
+    if ns.merge_out is not None:
+        with open(ns.merge_out, "w") as fh:
+            json.dump(merged_chrome_trace(events), fh)
+            fh.write("\n")
     if ns.rank is not None:
         events = [e for e in events if e["rank"] == ns.rank]
     print(render_report(events, top=ns.top))

@@ -191,8 +191,14 @@ def write_jsonl(
     events: Sequence,
     *,
     metrics: "MetricsSnapshot | None" = None,
+    pid: int | None = None,
 ) -> Path:
-    """Write one JSON record per event (plus an optional metrics trailer)."""
+    """Write one JSON record per event (plus an optional metrics trailer).
+
+    ``pid`` stamps every record with the producing OS process — set by
+    multi-process workers exporting their own rings, and used by the report
+    CLI's multi-file merge to lay real processes out as Chrome-trace pids.
+    """
     path = Path(path)
     with open(path, "w") as fh:
         for ev in events:
@@ -220,6 +226,8 @@ def write_jsonl(
                     "tid": ev.tid,
                     "args": {k: _json_safe(v) for k, v in ev.attrs.items()},
                 }
+            if pid is not None:
+                rec["pid"] = pid
             fh.write(json.dumps(rec) + "\n")
         if metrics is not None:
             fh.write(json.dumps({"type": "metrics", **metrics.to_dict()}) + "\n")

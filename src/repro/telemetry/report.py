@@ -19,11 +19,12 @@ from __future__ import annotations
 import bisect
 import json
 from pathlib import Path
+from typing import Sequence
 
 from repro.common.errors import TelemetryError
 from repro.telemetry.export import _quantile
 
-__all__ = ["load_trace", "render_report"]
+__all__ = ["load_trace", "load_traces", "merged_chrome_trace", "render_report"]
 
 #: span names counted as communication *wait* (blocked, not computing)
 _WAIT_SPANS = ("mpi_recv", "mpi_barrier")
@@ -81,6 +82,7 @@ def _from_jsonl(lines: list[str]) -> list[dict]:
                 "dur": rec.get("dur", 0.0),
                 "rank": rec.get("rank", 0),
                 "tid": rec.get("tid", 0),
+                "pid": rec.get("pid"),
                 "args": rec.get("args", {}),
             }
         )
@@ -103,6 +105,71 @@ def load_trace(path: str | Path) -> list[dict]:
         return _from_jsonl(text.splitlines())
     except (json.JSONDecodeError, KeyError, TypeError) as err:
         raise TelemetryError(f"{path}: not a recognisable trace file: {err}") from err
+
+
+def load_traces(paths: "Sequence[str | Path]") -> list[dict]:
+    """Load and concatenate several trace files into one record list.
+
+    The multi-process executor writes one JSONL file per worker
+    (``trace-rank<NNN>.jsonl``, records stamped with the worker's OS pid);
+    this merges them so the report covers the whole world.  Records keep
+    their per-file rank/pid tags, so per-rank breakdowns stay correct.
+    """
+    if not paths:
+        raise TelemetryError("no trace files given")
+    merged: list[dict] = []
+    for path in paths:
+        merged.extend(load_trace(path))
+    return merged
+
+
+def merged_chrome_trace(records: list[dict]) -> dict:
+    """A Chrome trace over merged multi-process records.
+
+    Unlike :func:`repro.telemetry.export.chrome_trace` (pid = simulated
+    rank), the merged view uses **pid = the real worker OS process** and
+    **tid = the rank it hosted**, so a multi-process run renders as the
+    processes that actually existed.  Records without a pid stamp (the
+    in-process executor) fall back to pid = rank.
+
+    Timestamps are each process's tracer epoch; within one worker they are
+    coherent, across workers they are approximately aligned (all tracers
+    start at fork time).
+    """
+    trace_events: list[dict] = []
+    procs: dict[int, set[int]] = {}
+    for rec in records:
+        pid = rec.get("pid")
+        if pid is None:
+            pid = rec["rank"]
+        tid = rec["rank"]
+        procs.setdefault(pid, set()).add(tid)
+        base = {
+            "name": rec["name"],
+            "cat": rec.get("cat", ""),
+            "ts": round(rec["ts"] * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+            "args": rec.get("args", {}),
+        }
+        if rec["kind"] == "span":
+            base["ph"] = "X"
+            base["dur"] = round(rec.get("dur", 0.0) * 1e6, 3)
+        else:
+            base["ph"] = "i"
+            base["s"] = "t"
+        trace_events.append(base)
+    for pid, ranks in sorted(procs.items()):
+        label = ", ".join(f"rank {r}" for r in sorted(ranks))
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": f"worker {pid} ({label})"},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 
 def _contained_wait(waits: list[dict], containers: list[dict]) -> float:
